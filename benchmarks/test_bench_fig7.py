@@ -1,0 +1,36 @@
+"""Benchmark: reproduce Figure 7 (OplixNet vs the OFFT architecture [19]).
+
+For each of the four FCNN configurations the benchmark trains the original
+ONN, the OFFT block-circulant network and the OplixNet split network, and
+reports accuracy plus the #Para / #DC / #PS ratios normalised to the original
+ONN (evaluated at the paper's full model sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig7 import FIG7_MODELS, format_fig7, run_model
+from repro.experiments.presets import get_preset
+from repro.experiments.reporting import save_json
+
+_rows: list = []
+
+
+@pytest.mark.parametrize("model_key", [config.key for config in FIG7_MODELS])
+def test_fig7_model(run_once, model_key, preset_name, results_dir):
+    config = next(c for c in FIG7_MODELS if c.key == model_key)
+    preset = get_preset(preset_name)
+
+    rows = run_once(run_model, config, preset)
+
+    by_architecture = {row.architecture: row for row in rows}
+    # the paper's headline shape: OplixNet uses fewer DCs and PSs than OFFT,
+    # and both use fewer than the original ONN
+    assert by_architecture["oplixnet"].normalized_dc < by_architecture["offt"].normalized_dc < 1.0
+    assert by_architecture["oplixnet"].normalized_ps < by_architecture["offt"].normalized_ps < 1.0
+
+    _rows.extend(rows)
+    save_json(_rows, results_dir / "fig7.json")
+    print()
+    print(format_fig7(_rows))

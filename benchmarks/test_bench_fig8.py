@@ -1,0 +1,41 @@
+"""Benchmark: reproduce Figure 8 (comparison of data-assignment schemes).
+
+One benchmark per workload; each trains the SCVNN with every assignment scheme
+the paper compares on that workload (SI/SH/SS for the FCNN, SI/CL/CR for the
+CNNs) and reports accuracy plus the area-reduction ratio at paper scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8 import FIG8_SCHEMES, format_fig8, run_fig8
+from repro.experiments.presets import get_preset
+from repro.experiments.reporting import save_json
+
+WORKLOAD_KEYS = ("fcnn", "lenet5", "resnet20", "resnet32")
+
+_rows: list = []
+
+
+@pytest.mark.parametrize("workload_key", WORKLOAD_KEYS)
+def test_fig8_workload(run_once, workload_key, preset_name, results_dir):
+    preset = get_preset(preset_name)
+
+    rows = run_once(run_fig8, preset, [workload_key])
+
+    schemes = {row.scheme for row in rows}
+    assert schemes == set(FIG8_SCHEMES[workload_key])
+    if workload_key == "fcnn":
+        # every spatial scheme reaches the same ~75% reduction on the FCNN
+        assert all(row.area_reduction == pytest.approx(0.75, abs=0.01) for row in rows)
+    else:
+        by_scheme = {row.scheme: row for row in rows}
+        # channel remapping shrinks the network the most, spatial the least
+        assert by_scheme["CR"].area_reduction > by_scheme["CL"].area_reduction
+        assert by_scheme["CL"].area_reduction == pytest.approx(0.75, abs=0.02)
+
+    _rows.extend(rows)
+    save_json(_rows, results_dir / "fig8.json")
+    print()
+    print(format_fig8(_rows))

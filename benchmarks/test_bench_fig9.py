@@ -1,0 +1,44 @@
+"""Benchmark: reproduce Figure 9 (comparison of the output decoders).
+
+One benchmark per workload; each trains the SCVNN with the merge, linear,
+unitary and coherent decoder heads and reports accuracy plus the model area
+normalised to the coherent configuration (the paper's normalisation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig9 import FIG9_DECODERS, format_fig9, run_fig9
+from repro.experiments.presets import get_preset
+from repro.experiments.reporting import save_json
+
+WORKLOAD_KEYS = ("fcnn", "lenet5", "resnet20", "resnet32")
+
+_rows: list = []
+
+
+@pytest.mark.parametrize("workload_key", WORKLOAD_KEYS)
+def test_fig9_workload(run_once, workload_key, preset_name, results_dir):
+    preset = get_preset(preset_name)
+
+    rows = run_once(run_fig9, preset, [workload_key])
+
+    by_decoder = {row.decoder: row for row in rows}
+    assert set(by_decoder) == set(FIG9_DECODERS)
+    # area ordering of the paper: coherent (100%) < merge < unitary < linear
+    assert by_decoder["coherent"].normalized_area == pytest.approx(1.0)
+    assert (by_decoder["coherent"].normalized_area
+            < by_decoder["merge"].normalized_area
+            < by_decoder["unitary"].normalized_area
+            < by_decoder["linear"].normalized_area)
+    # the merge decoder costs only a small fraction of the model area over the
+    # coherent baseline (a fraction of a percent for the 10-class models; the
+    # 100-class ResNet-32 head is relatively larger but still < 3%)
+    assert by_decoder["merge"].normalized_area - 1.0 < 0.03
+    assert by_decoder["coherent"].extra_readout
+
+    _rows.extend(rows)
+    save_json(_rows, results_dir / "fig9.json")
+    print()
+    print(format_fig9(_rows))

@@ -1,0 +1,37 @@
+"""Benchmark: reproduce Table II (accuracy + #MZI, OplixNet vs original ONN).
+
+Each benchmark trains the original ONN (CVNN), the RVNN reference and the
+proposed SCVNN (with mutual learning) for one workload at the CPU-scale preset
+and reports the paper's row: accuracies plus the full-size MZI counts and the
+~75% reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import get_workload
+from repro.experiments.presets import get_preset
+from repro.experiments.reporting import save_json
+from repro.experiments.table2 import Table2Row, format_table2, run_workload
+
+WORKLOAD_KEYS = ("fcnn", "lenet5", "resnet20", "resnet32")
+
+_rows: list = []
+
+
+@pytest.mark.parametrize("workload_key", WORKLOAD_KEYS)
+def test_table2_row(run_once, workload_key, preset_name, results_dir):
+    workload = get_workload(workload_key)
+    preset = get_preset(preset_name)
+
+    row: Table2Row = run_once(run_workload, workload, preset)
+
+    assert 0.0 <= row.proposed_accuracy <= 1.0
+    assert row.mzi_reduction == pytest.approx(0.75, abs=0.02)
+    assert row.proposed_mzis < row.original_mzis
+
+    _rows.append(row)
+    save_json(_rows, results_dir / "table2.json")
+    print()
+    print(format_table2(_rows))

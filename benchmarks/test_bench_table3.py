@@ -1,0 +1,28 @@
+"""Benchmark: reproduce Table III (SCVNN accuracy with vs without mutual learning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import get_workload
+from repro.experiments.presets import get_preset
+from repro.experiments.reporting import save_json
+from repro.experiments.table3 import TABLE3_WORKLOAD_KEYS, Table3Row, format_table3, run_workload
+
+_rows: list = []
+
+
+@pytest.mark.parametrize("workload_key", TABLE3_WORKLOAD_KEYS)
+def test_table3_row(run_once, workload_key, preset_name, results_dir):
+    workload = get_workload(workload_key)
+    preset = get_preset(preset_name)
+
+    row: Table3Row = run_once(run_workload, workload, preset)
+
+    assert 0.0 <= row.accuracy_without_ml <= 1.0
+    assert 0.0 <= row.accuracy_with_ml <= 1.0
+
+    _rows.append(row)
+    save_json(_rows, results_dir / "table3.json")
+    print()
+    print(format_table3(_rows))

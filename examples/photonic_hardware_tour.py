@@ -1,0 +1,104 @@
+"""Example: a tour of the photonic hardware substrate.
+
+Demonstrates the building blocks the OplixNet framework deploys onto, without
+any neural-network training:
+
+1. the MZI transfer matrix of Eq. (1) and its power model,
+2. Reck vs Clements mesh decompositions of a random unitary,
+3. SVD mapping of an arbitrary weight matrix onto meshes + attenuators,
+4. the proposed DC-based complex encoder vs the PS-based encoder of [16]
+   (area budget and throughput),
+5. coherent detection vs photodiode detection,
+6. the effect of phase noise and finite phase-resolution on a deployed matrix.
+
+Run with:  python examples/photonic_hardware_tour.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.photonics import (
+    CoherentDetector,
+    DCComplexEncoder,
+    MZI,
+    PhaseNoiseModel,
+    PhotodiodeDetector,
+    PSComplexEncoder,
+    clements_decompose,
+    mzi_count_matrix,
+    mzi_transfer,
+    quantize_phases,
+    random_unitary,
+    reck_decompose,
+    svd_decompose,
+)
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    section("1. a single MZI (Eq. 1)")
+    mzi = MZI(theta=np.pi / 3, phi=np.pi / 4)
+    print("transfer matrix:\n", np.round(mzi.transfer_matrix(), 3))
+    print(f"unitary: {np.allclose(mzi.transfer_matrix().conj().T @ mzi.transfer_matrix(), np.eye(2))}")
+    print(f"static heater power: {mzi.power_mw():.1f} mW")
+
+    section("2. mesh decompositions of an 8x8 unitary")
+    unitary = random_unitary(8, rng)
+    for name, decompose in (("Reck (triangular)", reck_decompose),
+                            ("Clements (rectangular)", clements_decompose)):
+        mesh = decompose(unitary)
+        error = np.abs(mesh.reconstruct() - unitary).max()
+        print(f"{name:24s}: {mesh.mzi_count} MZIs, reconstruction error {error:.2e}, "
+              f"heater power {mesh.total_phase_power_mw():.0f} mW")
+
+    section("3. SVD mapping of a 6x10 weight matrix")
+    weight = rng.normal(size=(6, 10))
+    photonic = svd_decompose(weight)
+    vector = rng.normal(size=10) + 1j * rng.normal(size=10)
+    print(f"closed-form #MZI  : {mzi_count_matrix(6, 10)}")
+    print(f"deployed  #devices: {photonic.device_count} (meshes + attenuators)")
+    print(f"matrix error      : {np.abs(photonic.matrix() - weight).max():.2e}")
+    print(f"MVM error         : {np.abs(photonic.apply(vector) - weight @ vector).max():.2e}")
+
+    section("4. complex input encoders (Fig. 3)")
+    dc_encoder, ps_encoder = DCComplexEncoder(), PSComplexEncoder()
+    print(f"DC encoder: 0.3, -0.8 -> {dc_encoder.encode_pair(0.3, -0.8):+.2f} "
+          f"(no thermal bottleneck: {not dc_encoder.has_time_bottleneck})")
+    samples = 1_000_000
+    print(f"streaming {samples:,} samples: DC encoder {dc_encoder.encoding_latency(samples):.2e} s, "
+          f"PS encoder {ps_encoder.encoding_latency(samples):.2e} s")
+    budget = dc_encoder.area_budget(392)
+    print(f"DC encoder budget for 392 complex inputs: {budget.modulators} modulators, "
+          f"{budget.directional_couplers} DCs, {budget.thermal_phase_shifters} thermal PSs")
+
+    section("5. output detection (Fig. 6c)")
+    signal = rng.normal(size=4) + 1j * rng.normal(size=4)
+    photodiode = PhotodiodeDetector("amplitude")
+    coherent = CoherentDetector(reference_amplitude=1.0)
+    print("complex outputs      :", np.round(signal, 3))
+    print("photodiode amplitudes:", np.round(photodiode.detect(signal), 3), "(phase lost)")
+    print("coherent recovery    :", np.round(coherent.detect(signal), 3),
+          f"(needs {coherent.detectors_required(4)} detectors + post-processing)")
+
+    section("6. non-idealities on a deployed matrix")
+    clean = svd_decompose(rng.normal(size=(8, 8)))
+    reference = clean.matrix()
+    for sigma in (0.001, 0.01, 0.05):
+        noisy_left = PhaseNoiseModel(sigma=sigma, rng=np.random.default_rng(1)).perturb(clean.left_mesh)
+        error = np.abs(noisy_left.reconstruct() - clean.left_mesh.reconstruct()).max()
+        print(f"phase noise sigma={sigma:<6}: max mesh error {error:.3e}")
+    for bits in (4, 6, 8):
+        quantized = quantize_phases(clean.left_mesh, bits)
+        error = np.abs(quantized.reconstruct() - clean.left_mesh.reconstruct()).max()
+        print(f"{bits}-bit phase DACs     : max mesh error {error:.3e}")
+    print(f"(clean deployment error: {np.abs(reference - clean.matrix()).max():.1e})")
+
+
+if __name__ == "__main__":
+    main()

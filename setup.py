@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment is fully offline and has no ``wheel`` package, so
+PEP 517 editable installs (which require ``bdist_wheel``) are unavailable.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``pip install -e .`` with older pip versions) fall back to the classic
+``setup.py develop`` code path.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

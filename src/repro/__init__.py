@@ -1,0 +1,24 @@
+"""OplixNet reproduction: area-efficient optical split-complex neural networks.
+
+This package reproduces "OplixNet: Towards Area-Efficient Optical Split-Complex
+Networks with Real-to-Complex Data Assignment and Knowledge Distillation"
+(DATE 2024).  It contains, from the bottom up:
+
+* :mod:`repro.tensor` -- a numpy-based reverse-mode autograd engine.
+* :mod:`repro.nn` -- real and (split-)complex neural-network layers.
+* :mod:`repro.optim` -- optimizers and learning-rate schedules.
+* :mod:`repro.data` -- datasets, loaders and synthetic MNIST/CIFAR stand-ins.
+* :mod:`repro.assignment` -- real-to-complex data assignment schemes.
+* :mod:`repro.photonics` -- MZI/DC/PS transfer-matrix simulation, mesh
+  decompositions, encoders, detectors and the area / power model.
+* :mod:`repro.models` -- FCNN, LeNet-5 and ResNet model zoo (RVNN/CVNN/SCVNN).
+* :mod:`repro.core` -- the OplixNet framework itself: training, learnable
+  decoders, SCVNN-CVNN mutual learning and photonic deployment.
+* :mod:`repro.baselines` -- conventional ONN, OFFT ONN and pruned ONN baselines.
+* :mod:`repro.experiments` -- harnesses reproducing every table and figure of
+  the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Real-to-complex data assignment schemes (Section III-B of the paper).
+
+An assignment scheme packs a real-valued image into the real and imaginary
+parts of a complex-valued image that the split ONN consumes.  Spatial schemes
+halve the image height (used for FCNNs); channel schemes halve the number of
+channels (used for CNNs, because the size of a CONV kernel depends on channel
+counts rather than the spatial size of the feature map).
+"""
+
+from repro.assignment.base import AssignmentScheme, AssignmentResult
+from repro.assignment.spatial import SpatialInterlace, SpatialHalfHalf, SpatialSymmetric
+from repro.assignment.channel import ChannelLossless, ChannelRemapping, rgb_to_two_channels
+from repro.assignment.conventional import ConventionalAssignment
+from repro.assignment.registry import get_scheme, available_schemes, register_scheme
+
+__all__ = [
+    "AssignmentScheme",
+    "AssignmentResult",
+    "SpatialInterlace",
+    "SpatialHalfHalf",
+    "SpatialSymmetric",
+    "ChannelLossless",
+    "ChannelRemapping",
+    "rgb_to_two_channels",
+    "ConventionalAssignment",
+    "get_scheme",
+    "available_schemes",
+    "register_scheme",
+]

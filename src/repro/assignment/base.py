@@ -1,0 +1,102 @@
+"""Common interface of real-to-complex data assignment schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class AssignmentResult:
+    """The complex image produced by an assignment scheme.
+
+    Attributes
+    ----------
+    real, imag:
+        Arrays of identical shape ``(batch, channels, height, width)`` holding
+        the real and imaginary parts that will be encoded into light-signal
+        amplitude and phase.
+    """
+
+    real: np.ndarray
+    imag: np.ndarray
+
+    def __post_init__(self):
+        self.real = np.asarray(self.real, dtype=float)
+        self.imag = np.asarray(self.imag, dtype=float)
+        if self.real.shape != self.imag.shape:
+            raise ValueError(
+                f"real/imag shapes differ: {self.real.shape} vs {self.imag.shape}"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.real.shape
+
+    def as_complex(self) -> np.ndarray:
+        """Return the assignment as a numpy complex array."""
+        return self.real + 1j * self.imag
+
+
+class AssignmentScheme:
+    """Base class for assignment schemes.
+
+    Subclasses implement :meth:`assign` and :meth:`output_shape`; lossless
+    schemes additionally implement :meth:`inverse`.
+    """
+
+    #: short identifier used in experiment tables (e.g. ``"SI"``, ``"CL"``)
+    name: str = "base"
+    #: True if the original image can be exactly reconstructed from the result
+    lossless: bool = False
+    #: True if the scheme reduces the channel count (relevant for CONV layers)
+    reduces_channels: bool = False
+    #: True if the scheme reduces the spatial size (relevant for FCNN inputs)
+    reduces_spatial: bool = False
+    #: factor by which the trunk widths of the split network shrink relative to
+    #: the conventional ONN (0.5 for the lossless pairings, 1/3 for the lossy
+    #: channel remapping which compresses three colour channels into one
+    #: complex channel, 1.0 when no reduction applies)
+    trunk_width_scale: float = 1.0
+
+    def assign(self, images: np.ndarray) -> AssignmentResult:
+        """Pack a batch of real images ``(batch, channels, height, width)``."""
+        raise NotImplementedError
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Complex image shape ``(channels, height, width)`` for a given input shape."""
+        raise NotImplementedError
+
+    def inverse(self, result: AssignmentResult) -> np.ndarray:
+        """Reconstruct the original images (only defined for lossless schemes)."""
+        raise NotImplementedError(f"{self.name} assignment is not invertible")
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping helpers used by the area model and experiment harnesses
+    # ------------------------------------------------------------------ #
+    def input_feature_reduction(self, input_shape: Tuple[int, int, int]) -> float:
+        """Ratio of complex input features to real input features.
+
+        A value of 0.5 means the split ONN sees half as many input signals as
+        the conventional ONN, which is what drives the ~75% MZI-area saving of
+        fully connected layers.
+        """
+        channels, height, width = input_shape
+        out_channels, out_height, out_width = self.output_shape(input_shape)
+        return (out_channels * out_height * out_width) / float(channels * height * width)
+
+    @staticmethod
+    def _check_images(images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=float)
+        if images.ndim == 3:
+            images = images[None, ...]
+        if images.ndim != 4:
+            raise ValueError(
+                f"expected images of shape (batch, channels, height, width), got {images.shape}"
+            )
+        return images
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

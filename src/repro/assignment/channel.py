@@ -1,0 +1,100 @@
+"""Channel data-assignment schemes (Fig. 5 of the paper).
+
+These schemes halve the *channel* dimension, which is what actually shrinks
+convolution kernels (a CONV kernel's size depends on channel counts, not on
+the spatial size of the feature map).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.assignment.base import AssignmentResult, AssignmentScheme
+
+
+class ChannelLossless(AssignmentScheme):
+    """Pack pairs of colour channels into complex channels (proposed, "CL").
+
+    For a 3-channel image: channels (R, G) form complex channel 0 and channel
+    B forms the real part of complex channel 1 whose imaginary part is padded
+    with zeros -- no information is discarded.
+    """
+
+    name = "CL"
+    lossless = True
+    reduces_channels = True
+    trunk_width_scale = 0.5
+
+    def assign(self, images: np.ndarray) -> AssignmentResult:
+        images = self._check_images(images)
+        batch, channels, height, width = images.shape
+        if channels % 2 == 1:
+            images = np.concatenate(
+                [images, np.zeros((batch, 1, height, width))], axis=1
+            )
+        real = images[:, 0::2, :, :]
+        imag = images[:, 1::2, :, :]
+        return AssignmentResult(real, imag)
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        channels, height, width = input_shape
+        return (channels + 1) // 2, height, width
+
+    def inverse(self, result: AssignmentResult) -> np.ndarray:
+        batch, complex_channels, height, width = result.shape
+        images = np.zeros((batch, 2 * complex_channels, height, width))
+        images[:, 0::2, :, :] = result.real
+        images[:, 1::2, :, :] = result.imag
+        return images
+
+
+def rgb_to_two_channels(images: np.ndarray) -> np.ndarray:
+    """Lossy three-to-two channel colour mapping ``f(r, g, b)``.
+
+    Follows the spirit of the two-dimensional colour space of Thi et al. [26]
+    used by the paper's *channel remapping* comparison: the first output
+    channel is the luminance ``(r + g + b) / 3`` and the second an opponent
+    chrominance ``(r - b) / 2``.  The green/magenta axis is discarded, which is
+    exactly the kind of information loss the paper attributes to CR.
+    """
+    images = np.asarray(images, dtype=float)
+    if images.ndim != 4 or images.shape[1] != 3:
+        raise ValueError("rgb_to_two_channels expects (batch, 3, height, width) images")
+    red, green, blue = images[:, 0], images[:, 1], images[:, 2]
+    luminance = (red + green + blue) / 3.0
+    chrominance = (red - blue) / 2.0
+    return np.stack([luminance, chrominance], axis=1)
+
+
+class ChannelRemapping(AssignmentScheme):
+    """Lossy remapping of three colour channels into one complex channel ("CR").
+
+    The three colour channels are first mapped to two real channels via
+    :func:`rgb_to_two_channels`, which then become the real and imaginary parts
+    of a single complex channel.  The resulting network is thinner than with
+    channel-lossless assignment (one complex input channel instead of two) but
+    the mapping discards information and costs accuracy.
+    """
+
+    name = "CR"
+    lossless = False
+    reduces_channels = True
+    trunk_width_scale = 1.0 / 3.0
+
+    def assign(self, images: np.ndarray) -> AssignmentResult:
+        images = self._check_images(images)
+        if images.shape[1] != 3:
+            raise ValueError(
+                "channel remapping is defined for 3-channel (RGB) images; "
+                f"got {images.shape[1]} channels"
+            )
+        two_channel = rgb_to_two_channels(images)
+        return AssignmentResult(two_channel[:, 0:1], two_channel[:, 1:2])
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        channels, height, width = input_shape
+        if channels != 3:
+            raise ValueError("channel remapping is defined for 3-channel images")
+        return 1, height, width

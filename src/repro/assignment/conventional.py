@@ -1,0 +1,34 @@
+"""Conventional (amplitude-only) input assignment of the original ONN [10]."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.assignment.base import AssignmentResult, AssignmentScheme
+
+
+class ConventionalAssignment(AssignmentScheme):
+    """Identity assignment: all data goes to the amplitude, the phase is unused.
+
+    This reproduces the conventional ONN input encoding (Fig. 1c / Fig. 3c of
+    the paper): the complex image has the original data as its real part and
+    zeros as its imaginary part, so no area is saved.
+    """
+
+    name = "conventional"
+    lossless = True
+    reduces_channels = False
+    reduces_spatial = False
+    trunk_width_scale = 1.0
+
+    def assign(self, images: np.ndarray) -> AssignmentResult:
+        images = self._check_images(images)
+        return AssignmentResult(images, np.zeros_like(images))
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        return tuple(input_shape)
+
+    def inverse(self, result: AssignmentResult) -> np.ndarray:
+        return result.real.copy()

@@ -1,0 +1,51 @@
+"""Registry mapping scheme identifiers to assignment classes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.assignment.base import AssignmentScheme
+from repro.assignment.channel import ChannelLossless, ChannelRemapping
+from repro.assignment.conventional import ConventionalAssignment
+from repro.assignment.spatial import SpatialHalfHalf, SpatialInterlace, SpatialSymmetric
+
+_REGISTRY: Dict[str, Type[AssignmentScheme]] = {}
+
+
+def register_scheme(cls: Type[AssignmentScheme]) -> Type[AssignmentScheme]:
+    """Register an assignment scheme under its ``name`` (and lowercase alias)."""
+    _REGISTRY[cls.name] = cls
+    _REGISTRY[cls.name.lower()] = cls
+    return cls
+
+
+for _cls in (SpatialInterlace, SpatialHalfHalf, SpatialSymmetric,
+             ChannelLossless, ChannelRemapping, ConventionalAssignment):
+    register_scheme(_cls)
+
+# descriptive aliases used in the paper's prose
+_REGISTRY["spatial_interlace"] = SpatialInterlace
+_REGISTRY["spatial_half_half"] = SpatialHalfHalf
+_REGISTRY["spatial_symmetric"] = SpatialSymmetric
+_REGISTRY["channel_lossless"] = ChannelLossless
+_REGISTRY["channel_remapping"] = ChannelRemapping
+_REGISTRY["conv"] = ConventionalAssignment
+_REGISTRY["original"] = ConventionalAssignment
+
+
+def get_scheme(name: str) -> AssignmentScheme:
+    """Instantiate the assignment scheme registered under ``name``.
+
+    Accepts the paper's abbreviations ("SI", "SH", "SS", "CL", "CR"),
+    descriptive names ("spatial_interlace", ...) and "conventional".
+    """
+    key = name if name in _REGISTRY else name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown assignment scheme {name!r}; known: {sorted(set(_REGISTRY))}")
+    return _REGISTRY[key]()
+
+
+def available_schemes() -> List[str]:
+    """Canonical (short) names of all registered schemes."""
+    names = {cls.name for cls in _REGISTRY.values()}
+    return sorted(names)

@@ -1,0 +1,106 @@
+"""Spatial data-assignment schemes (Fig. 4 of the paper).
+
+All three schemes halve the image height, so an FCNN consuming the flattened
+complex image has half as many (complex) input features as the original
+real-valued network.  They differ only in *which* two pixels share a complex
+value, and therefore in how much the artificial real/imaginary coupling of the
+split representation hurts accuracy:
+
+* **spatial interlace** (proposed) -- vertically adjacent pixels, maximally
+  correlated, smallest accuracy loss;
+* **spatial half-half** -- a pixel from the top half with the pixel at the same
+  position in the bottom half;
+* **spatial symmetric** -- a pixel with its point-reflection through the image
+  centre, typically the least correlated pair.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.assignment.base import AssignmentResult, AssignmentScheme
+
+
+def _pad_to_even_height(images: np.ndarray) -> np.ndarray:
+    """Zero-pad one row at the bottom if the image height is odd."""
+    if images.shape[2] % 2 == 0:
+        return images
+    padding = ((0, 0), (0, 0), (0, 1), (0, 0))
+    return np.pad(images, padding, mode="constant")
+
+
+class SpatialInterlace(AssignmentScheme):
+    """Pack vertically adjacent pixel pairs into one complex value (proposed, "SI")."""
+
+    name = "SI"
+    lossless = True
+    reduces_spatial = True
+    trunk_width_scale = 0.5
+
+    def assign(self, images: np.ndarray) -> AssignmentResult:
+        images = _pad_to_even_height(self._check_images(images))
+        real = images[:, :, 0::2, :]
+        imag = images[:, :, 1::2, :]
+        return AssignmentResult(real, imag)
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        channels, height, width = input_shape
+        return channels, (height + 1) // 2, width
+
+    def inverse(self, result: AssignmentResult) -> np.ndarray:
+        batch, channels, half_height, width = result.shape
+        images = np.zeros((batch, channels, 2 * half_height, width))
+        images[:, :, 0::2, :] = result.real
+        images[:, :, 1::2, :] = result.imag
+        return images
+
+
+class SpatialHalfHalf(AssignmentScheme):
+    """Pack a top-half pixel with the same-position bottom-half pixel ("SH", from [13])."""
+
+    name = "SH"
+    lossless = True
+    reduces_spatial = True
+    trunk_width_scale = 0.5
+
+    def assign(self, images: np.ndarray) -> AssignmentResult:
+        images = _pad_to_even_height(self._check_images(images))
+        half = images.shape[2] // 2
+        real = images[:, :, :half, :]
+        imag = images[:, :, half:, :]
+        return AssignmentResult(real, imag)
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        channels, height, width = input_shape
+        return channels, (height + 1) // 2, width
+
+    def inverse(self, result: AssignmentResult) -> np.ndarray:
+        return np.concatenate([result.real, result.imag], axis=2)
+
+
+class SpatialSymmetric(AssignmentScheme):
+    """Pack a pixel with its point-reflection through the image centre ("SS")."""
+
+    name = "SS"
+    lossless = True
+    reduces_spatial = True
+    trunk_width_scale = 0.5
+
+    def assign(self, images: np.ndarray) -> AssignmentResult:
+        images = _pad_to_even_height(self._check_images(images))
+        half = images.shape[2] // 2
+        real = images[:, :, :half, :]
+        # the partner of pixel (i, j) is (H-1-i, W-1-j): flip the bottom half
+        # both vertically and horizontally.
+        imag = images[:, :, half:, :][:, :, ::-1, ::-1]
+        return AssignmentResult(real, imag.copy())
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        channels, height, width = input_shape
+        return channels, (height + 1) // 2, width
+
+    def inverse(self, result: AssignmentResult) -> np.ndarray:
+        bottom = result.imag[:, :, ::-1, ::-1]
+        return np.concatenate([result.real, bottom], axis=2)

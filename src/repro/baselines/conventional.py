@@ -1,0 +1,41 @@
+"""The conventional MZI-ONN baseline [10].
+
+In the conventional ONN the input data modulates light amplitudes only, every
+weight matrix is deployed at full size via SVD + unitary-to-interferometer
+mapping, and photodiodes at the output measure power while discarding phase.
+In software this corresponds to the CVNN flavour with the conventional
+(amplitude-only) assignment and the photodiode readout -- exactly how the
+paper's "Orig." rows are produced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.area_analysis import model_area_report
+from repro.nn.module import Module
+from repro.photonics.area import AreaReport
+
+
+def build_conventional_onn(architecture: str, input_shape: Tuple[int, int, int],
+                           num_classes: int, depth: int = 20,
+                           width_divider: float = 1.0,
+                           rng: Optional[np.random.Generator] = None) -> Module:
+    """Build the conventional-ONN software model (CVNN + amplitude-only input)."""
+    from repro.models import ModelSpec, build_model
+
+    spec = ModelSpec(architecture=architecture, flavour="cvnn", input_shape=input_shape,
+                     num_classes=num_classes, decoder="photodiode", depth=depth,
+                     width_divider=width_divider)
+    return build_model(spec, rng=rng)
+
+
+def conventional_area_report(architecture: str, input_shape: Tuple[int, int, int],
+                             num_classes: int, depth: int = 20,
+                             width_divider: float = 1.0) -> AreaReport:
+    """MZI area of the conventional ONN for a given architecture."""
+    model = build_conventional_onn(architecture, input_shape, num_classes,
+                                   depth=depth, width_divider=width_divider)
+    return model_area_report(model)

@@ -1,0 +1,193 @@
+"""FFT-based block-circulant ONN baseline (OFFT, Gu et al. ASP-DAC 2020 [19]).
+
+The OFFT architecture constrains every weight matrix to be *block-circulant*
+with block size ``k``: the matrix is partitioned into ``k x k`` blocks, each of
+which is a circulant matrix defined by a length-``k`` vector.  The
+matrix-vector product of each block is computed in the frequency domain with
+optical FFT (OFFT) butterflies, element-wise multiplication, and an inverse
+OFFT.  The number of *weight parameters* drops from ``m*n`` to ``m*n/k``.
+
+Device-count model
+------------------
+Following the structure described in [19] (and making the parallel-module
+assumption explicit, because the original paper's sharing strategy is not
+fully specified):
+
+* each ``k``-point OFFT / OIFFT butterfly network uses ``(k/2) log2(k)``
+  2x2 couplers (DCs) and the same number of fixed twiddle phase shifters;
+* every ``k x k`` circulant block needs one OFFT at its input, ``k``
+  element-wise complex multipliers (counted as one MZI each: 2 DCs + 1 PS,
+  the same MZI structure used for the Fig. 7 comparison) and one OIFFT at its
+  output;
+* there are ``ceil(m/k) * ceil(n/k)`` blocks.
+
+This model reproduces the qualitative picture of Fig. 7: OFFT reduces devices
+versus the conventional ONN, but OplixNet needs fewer DCs and PSs still.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.nn.linear import Linear
+from repro.nn.activations import ReLU
+from repro.nn.module import Sequential
+from repro.photonics.area import MZI_DC_COUNT, MZI_PS_COUNT, mzi_count_matrix
+from repro.tensor import ops
+from repro.tensor.random import default_rng
+from repro.tensor.tensor import Tensor, ensure_tensor
+
+
+def _circulant_index_matrix(block_size: int) -> np.ndarray:
+    """Index matrix ``I[a, b] = (a - b) mod k`` defining a circulant block."""
+    rows = np.arange(block_size).reshape(-1, 1)
+    cols = np.arange(block_size).reshape(1, -1)
+    return np.mod(rows - cols, block_size)
+
+
+class BlockCirculantLinear(Module):
+    """Linear layer with a block-circulant weight matrix (the OFFT constraint).
+
+    Dimensions that are not multiples of the block size are zero-padded, as in
+    the original paper.  The forward pass materialises the full weight matrix
+    from the per-block parameter vectors (differentiable through fancy
+    indexing), which is mathematically identical to the FFT-domain computation
+    performed optically.
+    """
+
+    def __init__(self, in_features: int, out_features: int, block_size: int = 4,
+                 bias: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.block_size = int(block_size)
+        self.row_blocks = math.ceil(out_features / block_size)
+        self.col_blocks = math.ceil(in_features / block_size)
+        rng = default_rng(rng)
+        scale = 1.0 / math.sqrt(in_features)
+        self.block_weights = Parameter(
+            rng.uniform(-scale, scale, size=(self.row_blocks, self.col_blocks, block_size)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self._index = _circulant_index_matrix(block_size)
+
+    @property
+    def parameter_count(self) -> int:
+        """Learnable weight parameters (excluding bias)."""
+        return self.row_blocks * self.col_blocks * self.block_size
+
+    def full_weight(self) -> Tensor:
+        """Materialise the (padded) block-circulant weight matrix."""
+        rows = []
+        for row_block in range(self.row_blocks):
+            row_parts = []
+            for col_block in range(self.col_blocks):
+                vector = self.block_weights[row_block, col_block]
+                row_parts.append(vector[self._index])
+            rows.append(ops.concatenate(row_parts, axis=1))
+        return ops.concatenate(rows, axis=0)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        inputs = ensure_tensor(inputs)
+        padded_in = self.col_blocks * self.block_size
+        if padded_in != self.in_features:
+            inputs = ops.pad(inputs, ((0, 0), (0, padded_in - self.in_features)))
+        weight = self.full_weight()
+        outputs = inputs @ weight.transpose()
+        outputs = outputs[:, :self.out_features]
+        if self.bias is not None:
+            outputs = outputs + self.bias
+        return outputs
+
+
+class OFFTFCNN(Module):
+    """Fully connected network built from block-circulant layers (the [19] FCNNs)."""
+
+    def __init__(self, in_features: int, hidden_sizes: Sequence[int], num_classes: int,
+                 block_size: int = 4, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = int(in_features)
+        self.hidden_sizes = [int(h) for h in hidden_sizes]
+        self.num_classes = int(num_classes)
+        self.block_size = int(block_size)
+        layers: List[Module] = []
+        previous = self.in_features
+        for width in self.hidden_sizes:
+            layers.append(BlockCirculantLinear(previous, width, block_size, rng=rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(BlockCirculantLinear(previous, self.num_classes, block_size, rng=rng))
+        self.network = Sequential(*layers)
+
+    def forward(self, inputs) -> Tensor:
+        inputs = ensure_tensor(inputs)
+        if inputs.ndim > 2:
+            inputs = inputs.flatten(start_dim=1)
+        return self.network(inputs)
+
+    def layer_shapes(self) -> List[tuple]:
+        shapes = []
+        previous = self.in_features
+        for width in list(self.hidden_sizes) + [self.num_classes]:
+            shapes.append((width, previous))
+            previous = width
+        return shapes
+
+
+@dataclass
+class OFFTDeviceCounts:
+    """Optical device counts of an OFFT-mapped network."""
+
+    directional_couplers: int
+    phase_shifters: int
+    parameters: int
+
+
+def offt_parameter_count(rows: int, cols: int, block_size: int) -> int:
+    """Weight parameters of a block-circulant ``rows x cols`` matrix."""
+    return math.ceil(rows / block_size) * math.ceil(cols / block_size) * block_size
+
+
+def _fft_stage_units(block_size: int) -> int:
+    """2x2 units in a ``block_size``-point butterfly network."""
+    if block_size == 1:
+        return 0
+    stages = int(round(math.log2(block_size)))
+    if 2 ** stages != block_size:
+        raise ValueError("OFFT block size must be a power of two")
+    return (block_size // 2) * stages
+
+
+def offt_device_counts(layer_shapes: Sequence[tuple], block_size: int = 4) -> OFFTDeviceCounts:
+    """DC / PS / parameter counts of an OFFT network with the given layer shapes."""
+    total_dc = 0
+    total_ps = 0
+    total_params = 0
+    fft_units = _fft_stage_units(block_size)
+    for rows, cols in layer_shapes:
+        blocks = math.ceil(rows / block_size) * math.ceil(cols / block_size)
+        # OFFT + OIFFT butterflies per block
+        total_dc += blocks * 2 * fft_units
+        total_ps += blocks * 2 * fft_units
+        # element-wise complex multipliers (one MZI each)
+        multipliers = blocks * block_size
+        total_dc += multipliers * MZI_DC_COUNT
+        total_ps += multipliers * MZI_PS_COUNT
+        total_params += offt_parameter_count(rows, cols, block_size)
+    return OFFTDeviceCounts(directional_couplers=total_dc, phase_shifters=total_ps,
+                            parameters=total_params)
+
+
+def conventional_device_counts(layer_shapes: Sequence[tuple]) -> OFFTDeviceCounts:
+    """DC / PS / parameter counts of the conventional (original) ONN."""
+    total_mzis = sum(mzi_count_matrix(rows, cols) for rows, cols in layer_shapes)
+    total_params = sum(rows * cols for rows, cols in layer_shapes)
+    return OFFTDeviceCounts(directional_couplers=MZI_DC_COUNT * total_mzis,
+                            phase_shifters=MZI_PS_COUNT * total_mzis,
+                            parameters=total_params)

@@ -1,0 +1,92 @@
+"""Magnitude pruning of ONN weight matrices (lottery-ticket style, [18]).
+
+Photonic pruning removes MZIs whose phase settings contribute least; in the
+software model this corresponds to zeroing the smallest-magnitude weights.
+The area model assumes the fraction of MZIs that can be removed equals the
+weight sparsity (the idealised assumption of [18]); the paper's criticism --
+that high sparsity costs substantial accuracy on FCNNs -- is what the pruning
+ablation benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.area_analysis import model_area_report
+from repro.nn.complex import ComplexConv2d, ComplexLinear
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.photonics.area import AreaReport, LayerArea
+
+
+_PRUNABLE_TYPES = (Linear, Conv2d, ComplexLinear, ComplexConv2d)
+
+
+def _weight_arrays(module: Module):
+    """Yield the weight arrays of one prunable module (never the biases)."""
+    if isinstance(module, (ComplexLinear, ComplexConv2d)):
+        yield module.weight_real.data
+        yield module.weight_imag.data
+    elif isinstance(module, (Linear, Conv2d)):
+        yield module.weight.data
+
+
+def magnitude_prune_model(model: Module, sparsity: float) -> int:
+    """Zero the smallest-magnitude weights of every prunable layer in place.
+
+    Parameters
+    ----------
+    sparsity:
+        Fraction of weights to remove in each layer, in ``[0, 1)``.
+
+    Returns
+    -------
+    int
+        Total number of weights that were zeroed.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError("sparsity must be in [0, 1)")
+    removed = 0
+    for module in model.modules():
+        if not isinstance(module, _PRUNABLE_TYPES):
+            continue
+        for weight in _weight_arrays(module):
+            flat = np.abs(weight).reshape(-1)
+            cutoff_count = int(round(sparsity * flat.size))
+            if cutoff_count == 0:
+                continue
+            threshold = np.partition(flat, cutoff_count - 1)[cutoff_count - 1]
+            mask = np.abs(weight) > threshold
+            removed += int(weight.size - mask.sum())
+            weight *= mask
+    return removed
+
+
+def sparsity_of_model(model: Module) -> float:
+    """Fraction of exactly-zero weights over all prunable layers."""
+    zeros = 0
+    total = 0
+    for module in model.modules():
+        if not isinstance(module, _PRUNABLE_TYPES):
+            continue
+        for weight in _weight_arrays(module):
+            zeros += int((weight == 0).sum())
+            total += weight.size
+    return zeros / total if total else 0.0
+
+
+def pruned_area_report(model: Module, sparsity: float) -> AreaReport:
+    """Idealised area of a pruned ONN: MZIs scale with the kept fraction."""
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError("sparsity must be in [0, 1)")
+    dense = model_area_report(model)
+    kept = 1.0 - sparsity
+    report = AreaReport()
+    for layer in dense.layers:
+        report.add(LayerArea(name=layer.name, rows=layer.rows, cols=layer.cols,
+                             mzis=int(round(layer.mzis * kept)),
+                             parameters=int(round(layer.parameters * kept))))
+    return report

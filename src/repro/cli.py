@@ -1,0 +1,152 @@
+"""Command-line interface: regenerate any table/figure of the paper.
+
+Examples
+--------
+::
+
+    python -m repro table2 --preset smoke --workloads fcnn lenet5
+    python -m repro fig8 --preset bench
+    python -m repro area                  # exact MZI accounting only (no training)
+    python -m repro ablations --preset smoke
+
+Each subcommand prints the same rows/series the paper reports and optionally
+saves them as JSON with ``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.reporting import format_table, percent, save_json
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", default="bench", choices=("smoke", "bench", "paper"),
+                        help="training scale (area numbers are always paper-scale)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--output", default=None,
+                        help="optional path of a JSON file to store the raw rows")
+
+
+def _maybe_save(rows, path: Optional[str]) -> None:
+    if path:
+        save_json(rows, path)
+        print(f"\nsaved raw rows to {path}")
+
+
+def _run_table2(args: argparse.Namespace) -> None:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    rows = run_table2(preset=args.preset, workloads=args.workloads or None, seed=args.seed)
+    print(format_table2(rows))
+    _maybe_save(rows, args.output)
+
+
+def _run_table3(args: argparse.Namespace) -> None:
+    from repro.experiments.table3 import format_table3, run_table3
+
+    rows = run_table3(preset=args.preset, workloads=args.workloads or None, seed=args.seed)
+    print(format_table3(rows))
+    _maybe_save(rows, args.output)
+
+
+def _run_fig7(args: argparse.Namespace) -> None:
+    from repro.experiments.fig7 import format_fig7, run_fig7
+
+    rows = run_fig7(preset=args.preset, models=args.models or None, seed=args.seed)
+    print(format_fig7(rows))
+    _maybe_save(rows, args.output)
+
+
+def _run_fig8(args: argparse.Namespace) -> None:
+    from repro.experiments.fig8 import format_fig8, run_fig8
+
+    rows = run_fig8(preset=args.preset, workloads=args.workloads or None, seed=args.seed)
+    print(format_fig8(rows))
+    _maybe_save(rows, args.output)
+
+
+def _run_fig9(args: argparse.Namespace) -> None:
+    from repro.experiments.fig9 import format_fig9, run_fig9
+
+    rows = run_fig9(preset=args.preset, workloads=args.workloads or None, seed=args.seed)
+    print(format_fig9(rows))
+    _maybe_save(rows, args.output)
+
+
+def _run_ablations(args: argparse.Namespace) -> None:
+    from repro.experiments import ablations
+
+    print(ablations.format_mesh_comparison(ablations.run_mesh_comparison()))
+    print()
+    print(ablations.format_alpha_sweep(
+        ablations.run_alpha_sweep(preset=args.preset, seed=args.seed)))
+    print()
+    print(ablations.format_noise_robustness(
+        ablations.run_noise_robustness(preset=args.preset, seed=args.seed)))
+    print()
+    print(ablations.format_pruning(
+        ablations.run_pruning_comparison(preset=args.preset, seed=args.seed)))
+
+
+def _run_area(args: argparse.Namespace) -> None:
+    """Exact paper-scale MZI accounting for every workload (no training)."""
+    from repro.experiments.common import WORKLOADS
+    from repro.experiments.table2 import paper_area_numbers
+
+    rows = []
+    for workload in WORKLOADS:
+        numbers = paper_area_numbers(workload)
+        rows.append([workload.display_name,
+                     f"{numbers['original_mzis'] / 1e4:.1f}",
+                     f"{numbers['proposed_mzis'] / 1e4:.1f}",
+                     percent(numbers["mzi_reduction"])])
+    print(format_table(["Model", "#MZI Orig. (x1e4)", "#MZI Prop. (x1e4)", "Reduction"], rows,
+                       title="Exact MZI accounting at paper scale (Table II area columns)"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OplixNet (DATE 2024) reproduction -- regenerate the paper's tables and figures",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, runner, helptext in (
+        ("table2", _run_table2, "Table II: accuracy and #MZI vs the original ONN"),
+        ("table3", _run_table3, "Table III: SCVNN-CVNN mutual learning"),
+        ("fig8", _run_fig8, "Figure 8: data-assignment comparison"),
+        ("fig9", _run_fig9, "Figure 9: decoder comparison"),
+    ):
+        sub = subparsers.add_parser(name, help=helptext)
+        _add_common_arguments(sub)
+        sub.add_argument("--workloads", nargs="*", default=None,
+                         help="subset of workloads (fcnn lenet5 resnet20 resnet32)")
+        sub.set_defaults(runner=runner)
+
+    fig7 = subparsers.add_parser("fig7", help="Figure 7: comparison with the OFFT architecture")
+    _add_common_arguments(fig7)
+    fig7.add_argument("--models", nargs="*", default=None,
+                      help="subset of Fig. 7 models (Model1 Model2 Model3 Model4)")
+    fig7.set_defaults(runner=_run_fig7)
+
+    ablations = subparsers.add_parser("ablations", help="ablation studies (alpha, mesh, noise, pruning)")
+    _add_common_arguments(ablations)
+    ablations.set_defaults(runner=_run_ablations)
+
+    area = subparsers.add_parser("area", help="exact paper-scale MZI accounting (no training)")
+    area.set_defaults(runner=_run_area)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.runner(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The OplixNet framework: the paper's primary contribution.
+
+The workflow (Fig. 2 of the paper) is::
+
+    real dataset -> data assignment -> optical complex encoder -> split ONN
+                 -> learnable complex decoder -> real logits
+
+    SCVNN <-> CVNN mutual learning restores the accuracy lost by assignment;
+    trained parameters are mapped to MZI phases and deployed on the photonic
+    circuit.
+
+This package contains the learnable decoder heads, the trainer, the mutual
+learning (knowledge distillation) loop, the experiment configuration objects,
+the model-level area analysis and the photonic deployment path.
+"""
+
+from repro.core.decoders import (
+    DecoderHead,
+    MergeDecoderHead,
+    LinearDecoderHead,
+    UnitaryDecoderHead,
+    CoherentDecoderHead,
+    PhotodiodeHead,
+    UnitaryLinear,
+    build_decoder_head,
+    DECODER_CHOICES,
+)
+from repro.core.config import ExperimentConfig, TrainingConfig
+from repro.core.training import Trainer, TrainingHistory, evaluate_accuracy
+from repro.core.distillation import MutualLearningTrainer, MutualLearningResult
+from repro.core.area_analysis import model_area_report, compare_area
+from repro.core.pipeline import OplixNet
+from repro.core.deploy import deploy_linear_model, DeployedModel
+
+__all__ = [
+    "DecoderHead",
+    "MergeDecoderHead",
+    "LinearDecoderHead",
+    "UnitaryDecoderHead",
+    "CoherentDecoderHead",
+    "PhotodiodeHead",
+    "UnitaryLinear",
+    "build_decoder_head",
+    "DECODER_CHOICES",
+    "ExperimentConfig",
+    "TrainingConfig",
+    "Trainer",
+    "TrainingHistory",
+    "evaluate_accuracy",
+    "MutualLearningTrainer",
+    "MutualLearningResult",
+    "model_area_report",
+    "compare_area",
+    "OplixNet",
+    "deploy_linear_model",
+    "DeployedModel",
+]

@@ -1,0 +1,65 @@
+"""Model-level MZI area analysis.
+
+Walks a model's modules and accounts every weight matrix that would be mapped
+onto MZI meshes: real/complex linear layers, real/complex convolution kernels
+(lowered to im2col matrices) and unitary decoder layers.  Batch norms, biases
+and activations live in the electronic domain and cost no MZIs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.decoders import UnitaryLinear
+from repro.nn.complex import ComplexConv2d, ComplexLinear
+from repro.nn.conv import Conv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.photonics.area import (
+    AreaReport,
+    LayerArea,
+    count_conv_layer,
+    count_linear_layer,
+    mzi_count_unitary,
+)
+
+
+def model_area_report(model: Module) -> AreaReport:
+    """Count the MZIs of every matrix-shaped layer in ``model``."""
+    report = AreaReport()
+    for name, module in model.named_modules():
+        label = name or type(module).__name__
+        if isinstance(module, UnitaryLinear):
+            report.add(LayerArea(name=label, rows=module.features, cols=module.features,
+                                 mzis=mzi_count_unitary(module.features),
+                                 parameters=2 * module.features * module.features))
+        elif isinstance(module, ComplexLinear):
+            report.add(count_linear_layer(label, module.out_features, module.in_features,
+                                          complex_valued=True))
+        elif isinstance(module, Linear):
+            report.add(count_linear_layer(label, module.out_features, module.in_features,
+                                          complex_valued=False))
+        elif isinstance(module, ComplexConv2d):
+            report.add(count_conv_layer(label, module.out_channels, module.in_channels,
+                                        module.kernel_size, complex_valued=True))
+        elif isinstance(module, Conv2d):
+            report.add(count_conv_layer(label, module.out_channels, module.in_channels,
+                                        module.kernel_size, complex_valued=False))
+    return report
+
+
+def compare_area(proposed: Module, baseline: Module) -> Dict[str, float]:
+    """Compare the MZI area of two models.
+
+    Returns a dictionary with the totals and the fractional reduction of
+    ``proposed`` relative to ``baseline`` (the quantity reported in Table II).
+    """
+    proposed_report = model_area_report(proposed)
+    baseline_report = model_area_report(baseline)
+    return {
+        "proposed_mzis": proposed_report.total_mzis,
+        "baseline_mzis": baseline_report.total_mzis,
+        "reduction": proposed_report.reduction_versus(baseline_report),
+        "proposed_parameters": proposed_report.total_parameters,
+        "baseline_parameters": baseline_report.total_parameters,
+    }

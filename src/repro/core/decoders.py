@@ -1,0 +1,306 @@
+"""Learnable optical complex-to-real decoder heads (Section III-D, Fig. 6).
+
+The output of a split/complex ONN is a vector of complex light amplitudes, but
+photodiodes can only measure optical power.  A *decoder head* is the trailing
+part of the network that turns complex activations into real logits:
+
+* :class:`MergeDecoderHead` (proposed "Merge") -- the decoder is merged into
+  the last layer: the final complex layer produces ``2 * num_classes``
+  outputs; the photodiode currents of outputs ``k`` and ``k + num_classes``
+  are summed electrically to give logit ``k``.  Extra MZI cost relative to the
+  bare last layer: ``#MZI(2C x F) - #MZI(C x F)``.
+* :class:`LinearDecoderHead` ("Linear") -- the bare last layer (``C`` complex
+  outputs) is followed by an extra learnable complex linear layer expanding to
+  ``2C`` detectable outputs.  Extra cost: ``#MZI(2C x C)``.
+* :class:`UnitaryDecoderHead` ("Unitary") -- the bare last layer's outputs are
+  zero-padded to ``2C`` modes and passed through a learnable ``2C x 2C``
+  *unitary* (a single MZI mesh, no attenuator column), then detected.  Extra
+  cost: ``2C (2C - 1) / 2`` MZIs.
+* :class:`CoherentDecoderHead` ("Coherent", baseline of [16]) -- no extra
+  optics; the complex outputs are read with coherent detection (reference
+  beam, two extra phase settings, digital post-processing) and the real part
+  is used as the logit.
+* :class:`PhotodiodeHead` -- the conventional ONN readout [10]: photodiodes
+  measure the power of each complex output and the phase is discarded.  Used
+  by the CVNN teacher / "Orig." baseline.
+
+For the paper's FCNN (last layer 10 x 50 complex, C = 10) the extra MZIs are
+155 (merge) < 190 (unitary) < 245 (linear) < -- which reproduces the paper's
+ordering: the merge decoder has the most weight parameters but the lowest
+optical area of the learnable decoders.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.complex import ComplexLinear, ComplexTensor
+from repro.nn.module import Module, Parameter
+from repro.photonics.area import mzi_count_matrix, mzi_count_unitary
+from repro.tensor import ops
+from repro.tensor.random import complex_init, default_rng
+from repro.tensor.tensor import Tensor
+
+DECODER_CHOICES = ("merge", "linear", "unitary", "coherent", "photodiode")
+
+
+def _paired_power_logits(outputs: ComplexTensor, num_classes: int) -> Tensor:
+    """Amplitude of the summed optical power of outputs ``k`` and ``k + C``.
+
+    The photocurrents of the two photodiodes assigned to class ``k`` are summed
+    electrically and the readout reports the corresponding amplitude
+    ``sqrt(|z_k|^2 + |z_{k+C}|^2)`` (the paper's photodiode decoders detect
+    amplitudes); the electronic calibration then scales/offsets each class.
+    """
+    power = outputs.power()
+    summed = power[:, :num_classes] + power[:, num_classes:2 * num_classes]
+    return (summed + 1e-12).sqrt()
+
+
+class ElectronicCalibration(Module):
+    """Per-class affine calibration of the detected photocurrents.
+
+    Photodiode currents are non-negative; the electronic readout that follows
+    them (trans-impedance amplifier + ADC offset) can scale and shift each
+    channel for free, so every decoder head ends with this learnable affine
+    map.  It costs no optical area and is replicated digitally when the model
+    is deployed.
+    """
+
+    def __init__(self, num_classes: int):
+        super().__init__()
+        self.scale = Parameter(np.ones(num_classes))
+        self.bias = Parameter(np.zeros(num_classes))
+
+    def forward(self, logits: Tensor) -> Tensor:
+        return logits * self.scale + self.bias
+
+    def as_arrays(self):
+        """Return (scale, bias) numpy arrays for digital replication at deployment."""
+        return self.scale.data.copy(), self.bias.data.copy()
+
+
+class UnitaryLinear(Module):
+    """A complex linear layer constrained to stay (approximately) unitary.
+
+    The weight is an unconstrained complex matrix during the backward pass;
+    after every optimizer step the trainer calls :meth:`project_to_unitary`,
+    which replaces it with the nearest unitary matrix (polar projection via
+    SVD).  On hardware the layer is a single MZI mesh of ``n(n-1)/2`` MZIs.
+    """
+
+    def __init__(self, features: int, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if features <= 0:
+            raise ValueError("features must be positive")
+        self.features = int(features)
+        rng = default_rng(rng)
+        real, imag = complex_init((features, features), rng=rng)
+        self.weight_real = Parameter(real)
+        self.weight_imag = Parameter(imag)
+        self.project_to_unitary()
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        out_real = (inputs.real @ self.weight_real.transpose()
+                    - inputs.imag @ self.weight_imag.transpose())
+        out_imag = (inputs.real @ self.weight_imag.transpose()
+                    + inputs.imag @ self.weight_real.transpose())
+        return ComplexTensor(out_real, out_imag)
+
+    def complex_weight(self) -> np.ndarray:
+        return self.weight_real.data + 1j * self.weight_imag.data
+
+    def project_to_unitary(self) -> None:
+        """Replace the weight with the nearest unitary matrix (polar factor)."""
+        left, _sigma, right = np.linalg.svd(self.complex_weight())
+        unitary = left @ right
+        self.weight_real.data = unitary.real.copy()
+        self.weight_imag.data = unitary.imag.copy()
+
+    def unitarity_error(self) -> float:
+        """Frobenius distance of ``W^H W`` from the identity."""
+        weight = self.complex_weight()
+        return float(np.linalg.norm(weight.conj().T @ weight - np.eye(self.features)))
+
+
+class DecoderHead(Module):
+    """Base class of the trailing (last layer + decoder) part of a complex model.
+
+    Subclasses map complex trunk features of width ``in_features`` to real
+    logits of width ``num_classes`` and report the MZI cost of everything they
+    add on top of the bare last layer.
+    """
+
+    name = "base"
+
+    def __init__(self, in_features: int, num_classes: int):
+        super().__init__()
+        if in_features <= 0 or num_classes <= 0:
+            raise ValueError("in_features and num_classes must be positive")
+        self.in_features = int(in_features)
+        self.num_classes = int(num_classes)
+
+    def forward(self, features: ComplexTensor) -> Tensor:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # area accounting
+    # ------------------------------------------------------------------ #
+    def base_last_layer_mzis(self) -> int:
+        """MZIs of the bare last layer (``C x F`` complex matrix)."""
+        return mzi_count_matrix(self.num_classes, self.in_features)
+
+    def total_mzis(self) -> int:
+        """MZIs of the last layer plus any decoder optics."""
+        raise NotImplementedError
+
+    def extra_mzis(self) -> int:
+        """MZIs added on top of the bare last layer (the coherent baseline)."""
+        return self.total_mzis() - self.base_last_layer_mzis()
+
+    @property
+    def needs_post_processing(self) -> bool:
+        return False
+
+    @property
+    def extra_readout_latency(self) -> bool:
+        return False
+
+
+class MergeDecoderHead(DecoderHead):
+    """Proposed merge decoder: last layer widened to ``2C`` complex outputs."""
+
+    name = "merge"
+
+    def __init__(self, in_features: int, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(in_features, num_classes)
+        self.merged_layer = ComplexLinear(in_features, 2 * num_classes, rng=rng)
+        self.calibration = ElectronicCalibration(num_classes)
+
+    def forward(self, features: ComplexTensor) -> Tensor:
+        outputs = self.merged_layer(features)
+        return self.calibration(_paired_power_logits(outputs, self.num_classes))
+
+    def total_mzis(self) -> int:
+        return mzi_count_matrix(2 * self.num_classes, self.in_features)
+
+
+class LinearDecoderHead(DecoderHead):
+    """Bare last layer followed by an extra complex linear decoder layer."""
+
+    name = "linear"
+
+    def __init__(self, in_features: int, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(in_features, num_classes)
+        self.last_layer = ComplexLinear(in_features, num_classes, rng=rng)
+        self.decoder_layer = ComplexLinear(num_classes, 2 * num_classes, rng=rng)
+        self.calibration = ElectronicCalibration(num_classes)
+
+    def forward(self, features: ComplexTensor) -> Tensor:
+        outputs = self.decoder_layer(self.last_layer(features))
+        return self.calibration(_paired_power_logits(outputs, self.num_classes))
+
+    def total_mzis(self) -> int:
+        return (mzi_count_matrix(self.num_classes, self.in_features)
+                + mzi_count_matrix(2 * self.num_classes, self.num_classes))
+
+
+class UnitaryDecoderHead(DecoderHead):
+    """Bare last layer, zero-padding to ``2C`` modes, then a learnable unitary."""
+
+    name = "unitary"
+
+    def __init__(self, in_features: int, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(in_features, num_classes)
+        self.last_layer = ComplexLinear(in_features, num_classes, rng=rng)
+        self.unitary = UnitaryLinear(2 * num_classes, rng=rng)
+        self.calibration = ElectronicCalibration(num_classes)
+
+    def forward(self, features: ComplexTensor) -> Tensor:
+        outputs = self.last_layer(features)
+        zeros_real = Tensor(np.zeros((outputs.shape[0], self.num_classes)))
+        zeros_imag = Tensor(np.zeros((outputs.shape[0], self.num_classes)))
+        padded = ComplexTensor(
+            ops.concatenate([outputs.real, zeros_real], axis=1),
+            ops.concatenate([outputs.imag, zeros_imag], axis=1),
+        )
+        decoded = self.unitary(padded)
+        return self.calibration(_paired_power_logits(decoded, self.num_classes))
+
+    def total_mzis(self) -> int:
+        return (mzi_count_matrix(self.num_classes, self.in_features)
+                + mzi_count_unitary(2 * self.num_classes))
+
+
+class CoherentDecoderHead(DecoderHead):
+    """Coherent-detection baseline [16]: logits are the real parts of the outputs.
+
+    No extra optics, but the readout needs a reference beam, two additional
+    reference phase settings (thermo-optic settling time) and a digital
+    subtraction step -- the practical drawbacks the learnable decoders remove.
+    """
+
+    name = "coherent"
+
+    def __init__(self, in_features: int, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(in_features, num_classes)
+        self.last_layer = ComplexLinear(in_features, num_classes, rng=rng)
+        self.calibration = ElectronicCalibration(num_classes)
+
+    def forward(self, features: ComplexTensor) -> Tensor:
+        outputs = self.last_layer(features)
+        return self.calibration(outputs.real)
+
+    def total_mzis(self) -> int:
+        return self.base_last_layer_mzis()
+
+    @property
+    def needs_post_processing(self) -> bool:
+        return True
+
+    @property
+    def extra_readout_latency(self) -> bool:
+        return True
+
+
+class PhotodiodeHead(DecoderHead):
+    """Conventional ONN readout [10]: photodiode power detection, phase discarded."""
+
+    name = "photodiode"
+
+    def __init__(self, in_features: int, num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(in_features, num_classes)
+        self.last_layer = ComplexLinear(in_features, num_classes, rng=rng)
+        self.calibration = ElectronicCalibration(num_classes)
+
+    def forward(self, features: ComplexTensor) -> Tensor:
+        outputs = self.last_layer(features)
+        return self.calibration(outputs.magnitude())
+
+    def total_mzis(self) -> int:
+        return self.base_last_layer_mzis()
+
+
+_DECODER_CLASSES = {
+    "merge": MergeDecoderHead,
+    "linear": LinearDecoderHead,
+    "unitary": UnitaryDecoderHead,
+    "coherent": CoherentDecoderHead,
+    "photodiode": PhotodiodeHead,
+}
+
+
+def build_decoder_head(name: str, in_features: int, num_classes: int,
+                       rng: Optional[np.random.Generator] = None) -> DecoderHead:
+    """Instantiate a decoder head by name ("merge", "linear", "unitary", ...)."""
+    key = name.lower()
+    if key not in _DECODER_CLASSES:
+        raise KeyError(f"unknown decoder {name!r}; choose from {DECODER_CHOICES}")
+    return _DECODER_CLASSES[key](in_features, num_classes, rng=rng)

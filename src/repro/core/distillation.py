@@ -1,0 +1,146 @@
+"""SCVNN-CVNN mutual learning (Section III-C of the paper).
+
+The split network (student) and a larger complex-valued network with
+conventional assignment (teacher) are trained *jointly* from scratch, each
+minimising its own cross-entropy plus a KL term towards the other's softened
+predictions (deep mutual learning, Zhang et al. CVPR 2018):
+
+.. math::
+
+    L_{SCVNN} = L_{CE} + \\alpha \\, KL(p_{CVNN} \\,\\|\\, p_{SCVNN}), \\qquad
+    L_{CVNN}  = L_{CE} + \\alpha \\, KL(p_{SCVNN} \\,\\|\\, p_{CVNN})
+
+Both networks see the *same* images each step, but through their own data
+assignment (the student through SI/CL/..., the teacher through the
+conventional amplitude-only assignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.assignment import AssignmentScheme, get_scheme
+from repro.core.config import TrainingConfig
+from repro.core.training import (
+    Trainer,
+    TrainingHistory,
+    apply_parameter_constraints,
+    evaluate_accuracy,
+    prepare_batch,
+)
+from repro.data.loader import DataLoader
+from repro.nn.losses import cross_entropy, kl_divergence
+from repro.nn.module import Module
+
+
+@dataclass
+class MutualLearningResult:
+    """Histories and final accuracies of a mutual-learning run."""
+
+    student_history: TrainingHistory = field(default_factory=TrainingHistory)
+    teacher_history: TrainingHistory = field(default_factory=TrainingHistory)
+    student_test_accuracy: float = 0.0
+    teacher_test_accuracy: float = 0.0
+
+
+class MutualLearningTrainer:
+    """Joint trainer for the SCVNN student and its CVNN teacher.
+
+    Parameters
+    ----------
+    student, teacher:
+        The two models.  The teacher is typically a larger network of the same
+        family (e.g. CVNN ResNet-56 for an SCVNN ResNet-32 student).
+    config:
+        Shared hyper-parameters; ``distillation_alpha`` is the paper's alpha.
+    student_scheme:
+        Data assignment of the student (e.g. spatial interlace).
+    teacher_scheme:
+        Data assignment of the teacher; defaults to the conventional
+        amplitude-only assignment.
+    """
+
+    def __init__(self, student: Module, teacher: Module, config: TrainingConfig,
+                 student_scheme: AssignmentScheme,
+                 teacher_scheme: Optional[AssignmentScheme] = None):
+        self.student = student
+        self.teacher = teacher
+        self.config = config
+        self.student_scheme = student_scheme
+        self.teacher_scheme = teacher_scheme if teacher_scheme is not None else get_scheme("conventional")
+        self.student_trainer = Trainer(student, config, scheme=student_scheme)
+        self.teacher_trainer = Trainer(teacher, config, scheme=self.teacher_scheme)
+
+    def _mutual_step(self, images: np.ndarray, labels: np.ndarray) -> tuple:
+        """One joint update of both networks; returns their batch losses."""
+        alpha = self.config.distillation_alpha
+        temperature = self.config.distillation_temperature
+
+        # student update (teacher logits act as a constant target)
+        self.student_trainer.optimizer.zero_grad()
+        student_logits = self.student(prepare_batch(images, self.student_scheme))
+        teacher_logits = self.teacher(prepare_batch(images, self.teacher_scheme))
+        student_loss = cross_entropy(student_logits, labels,
+                                     label_smoothing=self.config.label_smoothing)
+        if alpha > 0:
+            student_loss = student_loss + alpha * kl_divergence(
+                student_logits, teacher_logits.detach(), temperature=temperature)
+        student_loss.backward()
+        if self.config.grad_clip:
+            self.student_trainer.optimizer.clip_grad_norm(self.config.grad_clip)
+        self.student_trainer.optimizer.step()
+        apply_parameter_constraints(self.student)
+
+        # teacher update (student logits act as a constant target)
+        self.teacher_trainer.optimizer.zero_grad()
+        teacher_logits = self.teacher(prepare_batch(images, self.teacher_scheme))
+        student_logits_fixed = student_logits.detach()
+        teacher_loss = cross_entropy(teacher_logits, labels,
+                                     label_smoothing=self.config.label_smoothing)
+        if alpha > 0:
+            teacher_loss = teacher_loss + alpha * kl_divergence(
+                teacher_logits, student_logits_fixed, temperature=temperature)
+        teacher_loss.backward()
+        if self.config.grad_clip:
+            self.teacher_trainer.optimizer.clip_grad_norm(self.config.grad_clip)
+        self.teacher_trainer.optimizer.step()
+        apply_parameter_constraints(self.teacher)
+
+        return float(student_loss.data), float(teacher_loss.data)
+
+    def fit(self, train_loader: DataLoader, test_loader: Optional[DataLoader] = None,
+            verbose: bool = False) -> MutualLearningResult:
+        """Run the joint training schedule."""
+        result = MutualLearningResult()
+        self.student.train()
+        self.teacher.train()
+        for epoch in range(self.config.epochs):
+            student_loss_sum = teacher_loss_sum = 0.0
+            batches = 0
+            for images, labels in train_loader:
+                student_loss, teacher_loss = self._mutual_step(images, labels)
+                student_loss_sum += student_loss
+                teacher_loss_sum += teacher_loss
+                batches += 1
+            result.student_history.train_loss.append(student_loss_sum / max(batches, 1))
+            result.teacher_history.train_loss.append(teacher_loss_sum / max(batches, 1))
+            if test_loader is not None:
+                student_acc = evaluate_accuracy(self.student, test_loader, self.student_scheme)
+                teacher_acc = evaluate_accuracy(self.teacher, test_loader, self.teacher_scheme)
+                result.student_history.test_accuracy.append(student_acc)
+                result.teacher_history.test_accuracy.append(teacher_acc)
+            for trainer in (self.student_trainer, self.teacher_trainer):
+                if trainer.scheduler is not None:
+                    trainer.scheduler.step()
+            if verbose:
+                student_acc = (result.student_history.test_accuracy[-1]
+                               if result.student_history.test_accuracy else float("nan"))
+                print(f"epoch {epoch + 1:3d}: student_loss={result.student_history.train_loss[-1]:.4f} "
+                      f"student_acc={student_acc:.4f}")
+        if test_loader is not None:
+            result.student_test_accuracy = result.student_history.final_test_accuracy
+            result.teacher_test_accuracy = result.teacher_history.final_test_accuracy
+        return result

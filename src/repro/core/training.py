@@ -1,0 +1,153 @@
+"""Supervised training loop shared by every experiment.
+
+The :class:`Trainer` hides the difference between real and complex models: a
+data-assignment scheme turns each numpy image batch into either a real tensor
+(RVNN) or a :class:`~repro.nn.complex.ComplexTensor` (CVNN / SCVNN), and the
+model maps it to real logits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.assignment import AssignmentScheme
+from repro.core.config import TrainingConfig
+from repro.data.loader import DataLoader
+from repro.nn.complex import ComplexTensor
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.optim import SGD, Adam, CosineAnnealingLR, MultiStepLR
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def prepare_batch(images: np.ndarray, scheme: Optional[AssignmentScheme]):
+    """Convert a numpy image batch into the input the model expects.
+
+    With a scheme, the batch is packed into a :class:`ComplexTensor` (complex
+    models); without one it is wrapped as a real :class:`Tensor` (RVNN).
+    """
+    if scheme is None:
+        return Tensor(np.asarray(images, dtype=float))
+    result = scheme.assign(images)
+    return ComplexTensor(Tensor(result.real), Tensor(result.imag))
+
+
+def apply_parameter_constraints(model: Module) -> None:
+    """Re-project constrained modules (e.g. unitary decoders) after an update."""
+    for module in model.modules():
+        project = getattr(module, "project_to_unitary", None)
+        if callable(project):
+            project()
+
+
+def evaluate_accuracy(model: Module, loader: DataLoader,
+                      scheme: Optional[AssignmentScheme] = None) -> float:
+    """Top-1 accuracy of ``model`` over ``loader``."""
+    model.eval()
+    correct = 0
+    total = 0
+    with no_grad():
+        for images, labels in loader:
+            logits = model(prepare_batch(images, scheme))
+            predictions = logits.data.argmax(axis=1)
+            correct += int((predictions == labels).sum())
+            total += labels.shape[0]
+    model.train()
+    return correct / total if total else 0.0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics collected by the trainer."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracy) if self.test_accuracy else 0.0
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+
+class Trainer:
+    """Standard cross-entropy trainer.
+
+    Parameters
+    ----------
+    model:
+        The network to train (real or complex flavour).
+    config:
+        Training hyper-parameters.
+    scheme:
+        Data-assignment scheme for complex models; ``None`` for real models.
+    """
+
+    def __init__(self, model: Module, config: TrainingConfig,
+                 scheme: Optional[AssignmentScheme] = None):
+        self.model = model
+        self.config = config
+        self.scheme = scheme
+        self.optimizer = self._build_optimizer()
+        self.scheduler = self._build_scheduler()
+
+    def _build_optimizer(self):
+        params = self.model.parameters()
+        if self.config.optimizer == "adam":
+            return Adam(params, lr=self.config.learning_rate,
+                        weight_decay=self.config.weight_decay)
+        return SGD(params, lr=self.config.learning_rate, momentum=self.config.momentum,
+                   weight_decay=self.config.weight_decay)
+
+    def _build_scheduler(self):
+        if self.config.scheduler == "cosine":
+            return CosineAnnealingLR(self.optimizer, total_epochs=self.config.epochs)
+        if self.config.scheduler == "multistep" and self.config.milestones:
+            return MultiStepLR(self.optimizer, milestones=self.config.milestones)
+        return None
+
+    def train_step(self, images: np.ndarray, labels: np.ndarray):
+        """One optimizer update; returns ``(batch loss, predicted labels)``."""
+        self.optimizer.zero_grad()
+        logits = self.model(prepare_batch(images, self.scheme))
+        loss = cross_entropy(logits, labels, label_smoothing=self.config.label_smoothing)
+        loss.backward()
+        if self.config.grad_clip:
+            self.optimizer.clip_grad_norm(self.config.grad_clip)
+        self.optimizer.step()
+        apply_parameter_constraints(self.model)
+        return float(loss.data), logits.data.argmax(axis=1)
+
+    def fit(self, train_loader: DataLoader, test_loader: Optional[DataLoader] = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Run the full training schedule."""
+        history = TrainingHistory()
+        self.model.train()
+        for epoch in range(self.config.epochs):
+            epoch_loss = 0.0
+            batches = 0
+            correct = 0
+            seen = 0
+            for images, labels in train_loader:
+                loss, predictions = self.train_step(images, labels)
+                epoch_loss += loss
+                batches += 1
+                correct += int((predictions == labels).sum())
+                seen += labels.shape[0]
+            history.train_loss.append(epoch_loss / max(batches, 1))
+            history.train_accuracy.append(correct / max(seen, 1))
+            if test_loader is not None:
+                history.test_accuracy.append(evaluate_accuracy(self.model, test_loader, self.scheme))
+            if self.scheduler is not None:
+                self.scheduler.step()
+            if verbose:
+                test_acc = history.test_accuracy[-1] if history.test_accuracy else float("nan")
+                print(f"epoch {epoch + 1:3d}: loss={history.train_loss[-1]:.4f} "
+                      f"train_acc={history.train_accuracy[-1]:.4f} test_acc={test_acc:.4f}")
+        return history

@@ -1,0 +1,95 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Dataset:
+    """Minimal map-style dataset interface."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+    @property
+    def num_classes(self) -> int:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """Dataset backed by in-memory arrays of images and integer labels.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(N, C, H, W)`` (or any per-sample shape).
+    labels:
+        Integer array of shape ``(N,)``.
+    transform:
+        Optional callable applied to each image on access.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray,
+                 transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                 num_classes: Optional[int] = None):
+        images = np.asarray(images)
+        labels = np.asarray(labels).astype(int).reshape(-1)
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"images ({images.shape[0]}) and labels ({labels.shape[0]}) disagree on sample count"
+            )
+        self.images = images
+        self.labels = labels
+        self.transform = transform
+        self._num_classes = int(num_classes) if num_classes is not None else int(labels.max()) + 1 if labels.size else 0
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index: int) -> Tuple[np.ndarray, int]:
+        image = self.images[index]
+        if self.transform is not None:
+            image = self.transform(image)
+        return image, int(self.labels[index])
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+    @property
+    def image_shape(self) -> Tuple[int, ...]:
+        return tuple(self.images.shape[1:])
+
+
+class Subset(Dataset):
+    """A view of a dataset restricted to a list of indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(int(i) for i in indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int):
+        return self.dataset[self.indices[index]]
+
+    @property
+    def num_classes(self) -> int:
+        return self.dataset.num_classes
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.2,
+                     rng: Optional[np.random.Generator] = None) -> Tuple[Subset, Subset]:
+    """Randomly partition ``dataset`` into train and test subsets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    indices = rng.permutation(len(dataset))
+    split = int(round(len(dataset) * (1.0 - test_fraction)))
+    return Subset(dataset, indices[:split]), Subset(dataset, indices[split:])

@@ -1,0 +1,43 @@
+"""Mini-batch data loader."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+class DataLoader:
+    """Iterate over a dataset in shuffled mini-batches of numpy arrays.
+
+    Yields ``(images, labels)`` with images stacked along a new batch axis.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = True,
+                 drop_last: bool = False, rng: Optional[np.random.Generator] = None):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        count = len(self.dataset)
+        if self.drop_last:
+            return count // self.batch_size
+        return (count + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        indices = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(indices)
+        for start in range(0, len(indices), self.batch_size):
+            batch_indices = indices[start:start + self.batch_size]
+            if self.drop_last and len(batch_indices) < self.batch_size:
+                break
+            images, labels = zip(*(self.dataset[int(i)] for i in batch_indices))
+            yield np.stack(images), np.asarray(labels, dtype=int)

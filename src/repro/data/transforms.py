@@ -1,0 +1,84 @@
+"""Per-sample image transforms (applied inside datasets / loaders)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence):
+        self.transforms = list(transforms)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            image = transform(image)
+        return image
+
+
+class ToFloat:
+    """Convert to float64 in ``[0, 1]`` if the input is an integer image."""
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image)
+        if np.issubdtype(image.dtype, np.integer):
+            return image.astype(float) / 255.0
+        return image.astype(float)
+
+
+class Normalize:
+    """Channel-wise standardisation ``(x - mean) / std`` for ``(C, H, W)`` images."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=float).reshape(-1, 1, 1)
+        self.std = np.asarray(std, dtype=float).reshape(-1, 1, 1)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return (image - self.mean) / self.std
+
+
+class FlattenImage:
+    """Flatten a ``(C, H, W)`` image to a vector (used by FCNN pipelines)."""
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        return np.asarray(image).reshape(-1)
+
+
+class RandomHorizontalFlip:
+    """Flip the image left-right with the given probability."""
+
+    def __init__(self, probability: float = 0.5, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self.probability = float(probability)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self._rng.random() < self.probability:
+            return image[..., ::-1].copy()
+        return image
+
+
+class RandomCrop:
+    """Zero-pad by ``padding`` pixels and crop back to the original size."""
+
+    def __init__(self, padding: int = 4, rng: Optional[np.random.Generator] = None):
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.padding = int(padding)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return image
+        channels, height, width = image.shape
+        padded = np.pad(image, ((0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+                        mode="constant")
+        top = self._rng.integers(0, 2 * self.padding + 1)
+        left = self._rng.integers(0, 2 * self.padding + 1)
+        return padded[:, top:top + height, left:left + width]

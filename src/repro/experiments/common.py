@@ -1,0 +1,135 @@
+"""Shared workload definitions used by several experiment harnesses.
+
+The paper evaluates four model/dataset pairs (Table II):
+
+==========  ==========  =================================
+model       dataset     assignment used by OplixNet
+==========  ==========  =================================
+FCNN-100    MNIST       spatial interlace ("SI")
+LeNet-5     CIFAR-10    channel lossless ("CL")
+ResNet-20   CIFAR-10    channel lossless ("CL")
+ResNet-32   CIFAR-100   channel lossless ("CL")
+==========  ==========  =================================
+
+``workload_configs`` materialises these four workloads for a given preset
+(training scale) and ``paper_specs`` returns the full-size model
+specifications used for the exact MZI accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import ExperimentConfig, TrainingConfig
+from repro.experiments.presets import Preset
+from repro.models import ModelSpec
+
+
+@dataclass
+class Workload:
+    """One model/dataset pair of the paper's evaluation."""
+
+    key: str                     # "fcnn", "lenet5", "resnet20", "resnet32"
+    display_name: str            # name used in the printed tables
+    architecture: str
+    dataset: str
+    assignment: str
+    depth: int = 20              # only meaningful for ResNets
+    teacher_depth: Optional[int] = None
+    paper_depth: int = 20        # depth used for the exact area accounting
+    paper_num_classes: int = 10
+
+
+WORKLOADS: List[Workload] = [
+    Workload(key="fcnn", display_name="FCNN", architecture="fcnn", dataset="mnist",
+             assignment="SI", paper_num_classes=10),
+    Workload(key="lenet5", display_name="LeNet-5", architecture="lenet5", dataset="cifar10",
+             assignment="CL", paper_num_classes=10),
+    Workload(key="resnet20", display_name="ResNet-20", architecture="resnet", dataset="cifar10",
+             assignment="CL", depth=20, teacher_depth=56, paper_depth=20, paper_num_classes=10),
+    Workload(key="resnet32", display_name="ResNet-32", architecture="resnet", dataset="cifar100",
+             assignment="CL", depth=32, teacher_depth=56, paper_depth=32, paper_num_classes=100),
+]
+
+
+def get_workload(key: str) -> Workload:
+    for workload in WORKLOADS:
+        if workload.key == key:
+            return workload
+    raise KeyError(f"unknown workload {key!r}; known: {[w.key for w in WORKLOADS]}")
+
+
+def training_config(preset: Preset, seed: int = 0, **overrides) -> TrainingConfig:
+    """Training schedule derived from a preset (override any field by keyword)."""
+    base = dict(epochs=preset.epochs, batch_size=preset.batch_size,
+                learning_rate=preset.learning_rate, seed=seed)
+    base.update(overrides)
+    return TrainingConfig(**base)
+
+
+def workload_config(workload: Workload, preset: Preset, seed: int = 0,
+                    assignment: Optional[str] = None, decoder: str = "merge",
+                    **training_overrides) -> ExperimentConfig:
+    """Build the CPU-scale :class:`ExperimentConfig` of one workload."""
+    if workload.dataset == "mnist":
+        image_size, channels, num_classes = preset.fcnn_image, 1, 10
+    elif workload.dataset == "cifar10":
+        image_size, channels, num_classes = preset.cnn_image, 3, 10
+    else:  # cifar100 stand-in
+        image_size, channels, num_classes = preset.cnn_image, 3, preset.cifar100_classes
+
+    if workload.architecture == "resnet":
+        depth = preset.resnet_small_depth if workload.key == "resnet20" else preset.resnet_large_depth
+        teacher_depth = preset.resnet_teacher_depth
+    else:
+        depth = workload.depth
+        teacher_depth = None
+
+    # the paper's LeNet uses 5x5 valid convolutions; shrunken preset images
+    # switch to 3x3 "same" convolutions so the two pooling stages still fit
+    lenet_kernel, lenet_padding = (5, 0) if preset.name == "paper" else (3, 1)
+
+    return ExperimentConfig(
+        name=f"{workload.key}-{preset.name}",
+        architecture=workload.architecture,
+        dataset=workload.dataset,
+        num_classes=num_classes,
+        image_size=image_size,
+        channels=channels,
+        assignment=assignment if assignment is not None else workload.assignment,
+        decoder=decoder,
+        depth=depth,
+        teacher_depth=teacher_depth,
+        width_divider=preset.width_divider,
+        lenet_kernel=lenet_kernel,
+        lenet_padding=lenet_padding,
+        train_samples=preset.train_samples,
+        test_samples=preset.test_samples,
+        training=training_config(preset, seed=seed, **training_overrides),
+        seed=seed,
+    )
+
+
+def paper_specs(workload: Workload, assignment: Optional[str] = None,
+                decoder: str = "merge") -> Tuple[ModelSpec, ModelSpec]:
+    """Full-size (paper-scale) model specs: ``(proposed SCVNN, original CVNN)``.
+
+    These are used purely for MZI accounting, which is exact arithmetic and
+    therefore always evaluated at the paper's sizes regardless of preset.
+    """
+    if workload.dataset == "mnist":
+        input_shape, num_classes = (1, 28, 28), 10
+    elif workload.dataset == "cifar10":
+        input_shape, num_classes = (3, 32, 32), 10
+    else:
+        input_shape, num_classes = (3, 32, 32), workload.paper_num_classes
+
+    scvnn = ModelSpec(architecture=workload.architecture, flavour="scvnn",
+                      input_shape=input_shape, num_classes=num_classes,
+                      assignment=assignment if assignment is not None else workload.assignment,
+                      decoder=decoder, depth=workload.paper_depth)
+    cvnn = ModelSpec(architecture=workload.architecture, flavour="cvnn",
+                     input_shape=input_shape, num_classes=num_classes,
+                     decoder="photodiode", depth=workload.paper_depth)
+    return scvnn, cvnn

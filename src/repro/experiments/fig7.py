@@ -1,0 +1,203 @@
+"""Figure 7: comparison with the OFFT block-circulant architecture [19].
+
+Four FCNN configurations are evaluated (the paper's Model1-Model4):
+
+* Model1: (28x28)-400-10
+* Model2: (14x14)-70-10
+* Model3: (28x28)-400-128-10
+* Model4: (14x14)-160-160-10
+
+For each model the harness trains the original ONN FCNN (CVNN, conventional
+assignment), the OFFT version (block-circulant layers, block size 4) and the
+OplixNet version (SCVNN with spatial interlace + merge decoder), and reports
+inference accuracy together with the number of weight parameters, directional
+couplers and phase shifters normalised to the original ONN -- the quantities
+plotted in Fig. 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.assignment import get_scheme
+from repro.baselines.offt import OFFTFCNN, conventional_device_counts, offt_device_counts
+from repro.core.config import TrainingConfig
+from repro.core.training import Trainer, evaluate_accuracy
+from repro.data import DataLoader, synthetic_mnist
+from repro.experiments.presets import Preset, get_preset
+from repro.experiments.reporting import format_table
+from repro.models.fcnn import ComplexFCNN, RealFCNN
+from repro.photonics.area import MZI_DC_COUNT, MZI_PS_COUNT, mzi_count_matrix
+
+
+@dataclass(frozen=True)
+class Fig7ModelConfig:
+    """One of the four FCNN configurations compared in Fig. 7."""
+
+    key: str
+    image_size: Tuple[int, int]
+    hidden_sizes: Tuple[int, ...]
+
+    @property
+    def input_features(self) -> int:
+        return self.image_size[0] * self.image_size[1]
+
+    @property
+    def label(self) -> str:
+        hidden = "-".join(str(h) for h in self.hidden_sizes)
+        return f"{self.key}-({self.image_size[0]}x{self.image_size[1]})-{hidden}-10"
+
+    def layer_shapes(self, num_classes: int = 10) -> List[Tuple[int, int]]:
+        shapes = []
+        previous = self.input_features
+        for width in list(self.hidden_sizes) + [num_classes]:
+            shapes.append((width, previous))
+            previous = width
+        return shapes
+
+
+FIG7_MODELS: Tuple[Fig7ModelConfig, ...] = (
+    Fig7ModelConfig("Model1", (28, 28), (400,)),
+    Fig7ModelConfig("Model2", (14, 14), (70,)),
+    Fig7ModelConfig("Model3", (28, 28), (400, 128)),
+    Fig7ModelConfig("Model4", (14, 14), (160, 160)),
+)
+
+
+@dataclass
+class Fig7Row:
+    """Accuracy and normalised device counts of one architecture on one model."""
+
+    model: str
+    architecture: str          # "original", "offt" or "oplixnet"
+    accuracy: float
+    normalized_parameters: float
+    normalized_dc: float
+    normalized_ps: float
+
+
+def _split_input_features(image_size: Tuple[int, int]) -> int:
+    """Complex input features after spatial-interlace assignment of an image."""
+    channels, half_height, width = get_scheme("SI").output_shape((1, *image_size))
+    return channels * half_height * width
+
+
+def _oplixnet_shapes(config: Fig7ModelConfig, num_classes: int = 10) -> List[Tuple[int, int]]:
+    """Layer shapes of the OplixNet (split) version: all widths halved, merge head."""
+    shapes = []
+    previous = _split_input_features(config.image_size)
+    halved_hidden = [max(1, math.ceil(h / 2)) for h in config.hidden_sizes]
+    for width in halved_hidden:
+        shapes.append((width, previous))
+        previous = width
+    shapes.append((2 * num_classes, previous))   # merged decoder layer
+    return shapes
+
+
+def device_counts(config: Fig7ModelConfig, block_size: int = 4) -> dict:
+    """Normalised #Para / #DC / #PS of the three architectures at paper scale."""
+    original = conventional_device_counts(config.layer_shapes())
+    offt = offt_device_counts(config.layer_shapes(), block_size=block_size)
+    oplix_shapes = _oplixnet_shapes(config)
+    oplix_mzis = sum(mzi_count_matrix(rows, cols) for rows, cols in oplix_shapes)
+    # complex weights carry two real parameters each
+    oplix_params = sum(2 * rows * cols for rows, cols in oplix_shapes)
+    return {
+        "original": {"parameters": 1.0, "dc": 1.0, "ps": 1.0},
+        "offt": {
+            "parameters": offt.parameters / original.parameters,
+            "dc": offt.directional_couplers / original.directional_couplers,
+            "ps": offt.phase_shifters / original.phase_shifters,
+        },
+        "oplixnet": {
+            "parameters": oplix_params / original.parameters,
+            "dc": MZI_DC_COUNT * oplix_mzis / original.directional_couplers,
+            "ps": MZI_PS_COUNT * oplix_mzis / original.phase_shifters,
+        },
+    }
+
+
+def _scaled_config(config: Fig7ModelConfig, preset: Preset) -> Fig7ModelConfig:
+    """Shrink a Fig. 7 model for CPU-scale training (area uses the full config)."""
+    divider = preset.width_divider
+    image = preset.fcnn_image if config.image_size == (28, 28) else (
+        max(7, preset.fcnn_image[0] // 2), max(7, preset.fcnn_image[1] // 2))
+    hidden = tuple(max(4, int(math.ceil(h / divider))) for h in config.hidden_sizes)
+    return Fig7ModelConfig(config.key, image, hidden)
+
+
+def run_model(config: Fig7ModelConfig, preset: Preset, seed: int = 0,
+              block_size: int = 4) -> List[Fig7Row]:
+    """Train the three architectures on one Fig. 7 model configuration."""
+    scaled = _scaled_config(config, preset)
+    height, width = scaled.image_size
+    train, test = synthetic_mnist(height=height, width=width,
+                                  train_samples=preset.train_samples,
+                                  test_samples=preset.test_samples, seed=seed)
+    training = TrainingConfig(epochs=preset.epochs, batch_size=preset.batch_size,
+                              learning_rate=preset.learning_rate, seed=seed)
+    train_loader = DataLoader(train, batch_size=training.batch_size, shuffle=True,
+                              rng=np.random.default_rng(seed))
+    test_loader = DataLoader(test, batch_size=training.batch_size, shuffle=False)
+    rng = np.random.default_rng(seed)
+    counts = device_counts(config, block_size=block_size)
+    rows: List[Fig7Row] = []
+
+    # original ONN: complex model at full width with conventional assignment
+    original = ComplexFCNN(scaled.input_features, scaled.hidden_sizes, 10,
+                           decoder="photodiode", rng=rng)
+    Trainer(original, training, scheme=get_scheme("conventional")).fit(train_loader)
+    original_accuracy = evaluate_accuracy(original, test_loader, get_scheme("conventional"))
+    rows.append(Fig7Row(config.label, "original", original_accuracy,
+                        counts["original"]["parameters"], counts["original"]["dc"],
+                        counts["original"]["ps"]))
+
+    # OFFT: real block-circulant FCNN
+    offt_model = OFFTFCNN(scaled.input_features, scaled.hidden_sizes, 10,
+                          block_size=block_size, rng=rng)
+    Trainer(offt_model, training, scheme=None).fit(train_loader)
+    offt_accuracy = evaluate_accuracy(offt_model, test_loader, None)
+    rows.append(Fig7Row(config.label, "offt", offt_accuracy,
+                        counts["offt"]["parameters"], counts["offt"]["dc"], counts["offt"]["ps"]))
+
+    # OplixNet: SCVNN with spatial interlace and merge decoder
+    scheme = get_scheme("SI")
+    complex_features = _split_input_features(scaled.image_size)
+    halved_hidden = [max(1, math.ceil(h / 2)) for h in scaled.hidden_sizes]
+    oplixnet = ComplexFCNN(complex_features, halved_hidden, 10, decoder="merge", rng=rng)
+    Trainer(oplixnet, training, scheme=scheme).fit(train_loader)
+    oplix_accuracy = evaluate_accuracy(oplixnet, test_loader, scheme)
+    rows.append(Fig7Row(config.label, "oplixnet", oplix_accuracy,
+                        counts["oplixnet"]["parameters"], counts["oplixnet"]["dc"],
+                        counts["oplixnet"]["ps"]))
+    return rows
+
+
+def run_fig7(preset: str = "bench", models: Optional[Sequence[str]] = None,
+             seed: int = 0, block_size: int = 4) -> List[Fig7Row]:
+    """Reproduce the Fig. 7 comparison for the selected models (default: all four)."""
+    preset_obj = get_preset(preset) if isinstance(preset, str) else preset
+    selected = FIG7_MODELS if models is None else tuple(
+        m for m in FIG7_MODELS if m.key in set(models))
+    rows: List[Fig7Row] = []
+    for config in selected:
+        rows.extend(run_model(config, preset_obj, seed=seed, block_size=block_size))
+    return rows
+
+
+def format_fig7(rows: Sequence[Fig7Row]) -> str:
+    headers = ["Model", "Architecture", "Accuracy", "#Para (norm.)", "#DC (norm.)", "#PS (norm.)"]
+    table_rows = [
+        [row.model, row.architecture, f"{100 * row.accuracy:.2f}%",
+         f"{row.normalized_parameters:.3f}", f"{row.normalized_dc:.3f}", f"{row.normalized_ps:.3f}"]
+        for row in rows
+    ]
+    return format_table(headers, table_rows, title="Figure 7 -- OplixNet vs OFFT [19]")
+
+
+if __name__ == "__main__":
+    print(format_fig7(run_fig7(preset="bench")))

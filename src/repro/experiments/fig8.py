@@ -1,0 +1,87 @@
+"""Figure 8: comparison of real-to-complex data assignment schemes.
+
+For the FCNN/MNIST workload the spatial schemes (SI, SH, SS) are compared --
+they all give the same ~75% area reduction, so the interesting quantity is the
+accuracy ordering (interlaced neighbours > distant pairs).  For the three CNN
+workloads the channel schemes (CL, CR) are compared against applying the
+spatial interlace (SI), which cannot shrink convolution kernels; CR shrinks
+the network further but loses information in the colour remapping.
+
+Each bar of the paper's figure corresponds to one (workload, scheme) pair with
+its accuracy and area-reduction ratio; the harness reports exactly those pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.area_analysis import compare_area
+from repro.core.pipeline import OplixNet
+from repro.experiments.common import WORKLOADS, Workload, get_workload, paper_specs, workload_config
+from repro.experiments.presets import Preset, get_preset
+from repro.experiments.reporting import format_table, percent
+from repro.models import build_model
+
+#: assignment schemes compared per workload (as in the paper's Fig. 8)
+FIG8_SCHEMES: Dict[str, Tuple[str, ...]] = {
+    "fcnn": ("SI", "SH", "SS"),
+    "lenet5": ("SI", "CL", "CR"),
+    "resnet20": ("SI", "CL", "CR"),
+    "resnet32": ("SI", "CL", "CR"),
+}
+
+
+@dataclass
+class Fig8Row:
+    """Accuracy and area reduction of one (workload, assignment) pair."""
+
+    model: str
+    scheme: str
+    accuracy: float
+    area_reduction: float
+
+
+def area_reduction_at_paper_scale(workload: Workload, scheme: str) -> float:
+    """Exact area reduction of the given assignment at the paper's model sizes."""
+    scvnn_spec, cvnn_spec = paper_specs(workload, assignment=scheme)
+    comparison = compare_area(build_model(scvnn_spec), build_model(cvnn_spec))
+    return float(comparison["reduction"])
+
+
+def run_pair(workload: Workload, scheme: str, preset: Preset, seed: int = 0,
+             mutual_learning: bool = False) -> Fig8Row:
+    """Train the SCVNN of one workload with one assignment scheme."""
+    config = workload_config(workload, preset, seed=seed, assignment=scheme)
+    pipeline = OplixNet(config)
+    _student, outcome = pipeline.train_student(mutual_learning=mutual_learning)
+    accuracy = (outcome.student_test_accuracy if mutual_learning
+                else outcome.final_test_accuracy)
+    return Fig8Row(model=workload.display_name, scheme=scheme, accuracy=accuracy,
+                   area_reduction=area_reduction_at_paper_scale(workload, scheme))
+
+
+def run_fig8(preset: str = "bench", workloads: Optional[Sequence[str]] = None,
+             seed: int = 0, mutual_learning: bool = False) -> List[Fig8Row]:
+    """Reproduce the Fig. 8 sweep for the selected workloads (default: all four)."""
+    preset_obj = get_preset(preset) if isinstance(preset, str) else preset
+    keys = [w.key for w in WORKLOADS] if workloads is None else list(workloads)
+    rows: List[Fig8Row] = []
+    for key in keys:
+        workload = get_workload(key)
+        for scheme in FIG8_SCHEMES[key]:
+            rows.append(run_pair(workload, scheme, preset_obj, seed=seed,
+                                 mutual_learning=mutual_learning))
+    return rows
+
+
+def format_fig8(rows: Sequence[Fig8Row]) -> str:
+    headers = ["Model", "Assignment", "Accuracy", "Area reduction"]
+    table_rows = [[row.model, row.scheme, percent(row.accuracy), percent(row.area_reduction)]
+                  for row in rows]
+    return format_table(headers, table_rows,
+                        title="Figure 8 -- data assignment comparison")
+
+
+if __name__ == "__main__":
+    print(format_fig8(run_fig8(preset="bench")))

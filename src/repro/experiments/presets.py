@@ -1,0 +1,80 @@
+"""Workload presets controlling the size of the experiment harness runs.
+
+The area model is exact arithmetic and is always evaluated at the paper's full
+model sizes.  Training, however, runs in pure numpy on CPU, so the accuracy
+side of every experiment is scaled by a preset:
+
+* ``smoke``  -- minimal sizes used by the unit/integration tests.
+* ``bench``  -- the default for the pytest-benchmark harness: small images,
+  shallow ResNets, a few epochs; finishes in seconds per experiment while the
+  qualitative trends (which scheme/decoder wins, whether mutual learning
+  helps) remain visible.
+* ``paper``  -- the full configuration of the paper (28x28 / 32x32 images,
+  ResNet-20/32/56, hundreds of epochs).  Provided for completeness; running it
+  in numpy on CPU is not practical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Scaling knobs of one experiment run."""
+
+    name: str
+    #: image sizes used for training
+    fcnn_image: Tuple[int, int]
+    cnn_image: Tuple[int, int]
+    #: dataset sizes
+    train_samples: int
+    test_samples: int
+    #: training schedule
+    epochs: int
+    batch_size: int
+    learning_rate: float
+    #: ResNet depths used for training (student, deep-student, teacher)
+    resnet_small_depth: int
+    resnet_large_depth: int
+    resnet_teacher_depth: int
+    #: divider applied to every channel / hidden width for training
+    width_divider: float
+    #: class count used for the CIFAR-100 stand-in
+    cifar100_classes: int
+
+    def fcnn_features(self) -> int:
+        return self.fcnn_image[0] * self.fcnn_image[1]
+
+
+PRESETS: Dict[str, Preset] = {
+    "smoke": Preset(
+        name="smoke", fcnn_image=(8, 8), cnn_image=(12, 12),
+        train_samples=200, test_samples=80,
+        epochs=2, batch_size=32, learning_rate=0.05,
+        resnet_small_depth=8, resnet_large_depth=8, resnet_teacher_depth=8,
+        width_divider=4.0, cifar100_classes=5,
+    ),
+    "bench": Preset(
+        name="bench", fcnn_image=(14, 14), cnn_image=(16, 16),
+        train_samples=600, test_samples=200,
+        epochs=4, batch_size=32, learning_rate=0.05,
+        resnet_small_depth=8, resnet_large_depth=8, resnet_teacher_depth=14,
+        width_divider=2.0, cifar100_classes=10,
+    ),
+    "paper": Preset(
+        name="paper", fcnn_image=(28, 28), cnn_image=(32, 32),
+        train_samples=50000, test_samples=10000,
+        epochs=200, batch_size=128, learning_rate=0.1,
+        resnet_small_depth=20, resnet_large_depth=32, resnet_teacher_depth=56,
+        width_divider=1.0, cifar100_classes=100,
+    ),
+}
+
+
+def get_preset(name: str) -> Preset:
+    """Look up a preset by name ("smoke", "bench" or "paper")."""
+    if name not in PRESETS:
+        raise KeyError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
+    return PRESETS[name]

@@ -1,0 +1,73 @@
+"""Shared result formatting / persistence helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Iterable, List, Sequence, Union
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render a plain-text table (the harness prints the paper's rows with it)."""
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def as_dicts(results: Iterable[Any]) -> List[dict]:
+    """Convert a list of result dataclasses into plain dictionaries."""
+    converted = []
+    for result in results:
+        if dataclasses.is_dataclass(result):
+            converted.append(dataclasses.asdict(result))
+        elif isinstance(result, dict):
+            converted.append(dict(result))
+        else:
+            raise TypeError(f"cannot serialise result of type {type(result)!r}")
+    return converted
+
+
+def save_json(results: Union[Iterable[Any], dict], path: Union[str, Path]) -> Path:
+    """Persist experiment results as JSON (used by the benchmark harness)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(results, dict):
+        payload = results
+    else:
+        payload = as_dicts(results)
+    path.write_text(json.dumps(payload, indent=2, default=_json_default))
+    return path
+
+
+def _json_default(value: Any):
+    if dataclasses.is_dataclass(value):
+        return dataclasses.asdict(value)
+    if hasattr(value, "tolist"):          # numpy arrays and scalars
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def percent(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.2f}%"

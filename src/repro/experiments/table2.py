@@ -1,0 +1,107 @@
+"""Table II: accuracy and MZI area of OplixNet versus the original ONN.
+
+For each of the four workloads the harness trains
+
+* the original ONN ("Orig.", CVNN with conventional assignment, photodiode
+  readout),
+* the real-valued reference (RVNN), and
+* the proposed OplixNet model ("Prop.", SCVNN with the paper's assignment,
+  merge decoder and SCVNN-CVNN mutual learning),
+
+reports their test accuracy at the preset's CPU scale, and counts the MZIs of
+the original and proposed networks at the paper's full model sizes (where the
+counts and the ~75% reduction match the paper's Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.area_analysis import compare_area
+from repro.core.pipeline import OplixNet
+from repro.experiments.common import WORKLOADS, Workload, paper_specs, workload_config
+from repro.experiments.presets import Preset, get_preset
+from repro.experiments.reporting import format_table, percent
+from repro.models import build_model
+
+
+@dataclass
+class Table2Row:
+    """One row of Table II."""
+
+    model: str
+    original_accuracy: float
+    rvnn_accuracy: float
+    proposed_accuracy: float
+    original_mzis: int
+    proposed_mzis: int
+    mzi_reduction: float
+
+
+def paper_area_numbers(workload: Workload) -> dict:
+    """Exact MZI counts of the proposed and original networks at paper scale."""
+    scvnn_spec, cvnn_spec = paper_specs(workload)
+    comparison = compare_area(build_model(scvnn_spec), build_model(cvnn_spec))
+    return {
+        "original_mzis": int(comparison["baseline_mzis"]),
+        "proposed_mzis": int(comparison["proposed_mzis"]),
+        "mzi_reduction": float(comparison["reduction"]),
+    }
+
+
+def run_workload(workload: Workload, preset: Preset, seed: int = 0,
+                 mutual_learning: bool = True) -> Table2Row:
+    """Train the three variants of one workload and assemble its Table II row."""
+    config = workload_config(workload, preset, seed=seed)
+    pipeline = OplixNet(config)
+
+    _student, outcome = pipeline.train_student(mutual_learning=mutual_learning)
+    proposed_accuracy = (outcome.student_test_accuracy if mutual_learning
+                         else outcome.final_test_accuracy)
+
+    _cvnn, cvnn_history = pipeline.train_reference("cvnn")
+    _rvnn, rvnn_history = pipeline.train_reference("rvnn")
+
+    area = paper_area_numbers(workload)
+    return Table2Row(
+        model=workload.display_name,
+        original_accuracy=cvnn_history.final_test_accuracy,
+        rvnn_accuracy=rvnn_history.final_test_accuracy,
+        proposed_accuracy=proposed_accuracy,
+        original_mzis=area["original_mzis"],
+        proposed_mzis=area["proposed_mzis"],
+        mzi_reduction=area["mzi_reduction"],
+    )
+
+
+def run_table2(preset: str = "bench", workloads: Optional[Sequence[str]] = None,
+               seed: int = 0, mutual_learning: bool = True) -> List[Table2Row]:
+    """Reproduce Table II for the selected workloads (defaults to all four)."""
+    preset_obj = get_preset(preset) if isinstance(preset, str) else preset
+    selected = WORKLOADS if workloads is None else [w for w in WORKLOADS if w.key in set(workloads)]
+    return [run_workload(workload, preset_obj, seed=seed, mutual_learning=mutual_learning)
+            for workload in selected]
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Print the rows in the layout of the paper's Table II."""
+    headers = ["Model", "Acc Orig.", "Acc RVNN", "Acc Prop.",
+               "#MZI Orig. (x1e4)", "#MZI Prop. (x1e4)", "#MZI Red."]
+    table_rows = [
+        [row.model,
+         percent(row.original_accuracy),
+         percent(row.rvnn_accuracy),
+         percent(row.proposed_accuracy),
+         f"{row.original_mzis / 1e4:.1f}",
+         f"{row.proposed_mzis / 1e4:.1f}",
+         percent(row.mzi_reduction)]
+        for row in rows
+    ]
+    return format_table(headers, table_rows, title="Table II -- OplixNet vs original ONN")
+
+
+if __name__ == "__main__":
+    print(format_table2(run_table2(preset="bench")))

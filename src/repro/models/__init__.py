@@ -1,0 +1,30 @@
+"""Model zoo: FCNN, LeNet-5 and ResNet in RVNN / CVNN / SCVNN flavours.
+
+Flavours (Table I of the paper):
+
+* **RVNN** -- real-valued software reference network.
+* **CVNN** -- complex-valued network with conventional (amplitude-only) input
+  assignment; deployable on the conventional ONN [10].  This is the "Orig."
+  column of Table II and the mutual-learning teacher.
+* **SCVNN** -- split complex-valued network whose input width/channels are
+  reduced by a real-to-complex data assignment scheme; deployable on the
+  proposed split ONN.  This is the "Prop." column of Table II.
+"""
+
+from repro.models.fcnn import RealFCNN, ComplexFCNN
+from repro.models.lenet import RealLeNet5, ComplexLeNet5
+from repro.models.resnet import RealResNet, ComplexResNet, resnet_depth_to_blocks
+from repro.models.factory import ModelSpec, build_model, complex_trunk_widths
+
+__all__ = [
+    "RealFCNN",
+    "ComplexFCNN",
+    "RealLeNet5",
+    "ComplexLeNet5",
+    "RealResNet",
+    "ComplexResNet",
+    "resnet_depth_to_blocks",
+    "ModelSpec",
+    "build_model",
+    "complex_trunk_widths",
+]

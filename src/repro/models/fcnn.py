@@ -1,0 +1,83 @@
+"""Fully connected networks (the paper's FCNN-MNIST workload).
+
+The paper's FCNN has a single hidden layer of width 100 acting on the 784
+MNIST pixels; the split version halves both the input (via spatial interlace
+assignment) and the hidden width, giving the ~75% MZI reduction of Table II.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.decoders import DecoderHead, build_decoder_head
+from repro.nn import Linear, Module, ReLU, Sequential
+from repro.nn.complex import ComplexLinear, ComplexSequential, ComplexTensor, CReLU
+from repro.tensor.tensor import Tensor, ensure_tensor
+
+
+class RealFCNN(Module):
+    """Real-valued multi-layer perceptron (the RVNN reference)."""
+
+    def __init__(self, in_features: int, hidden_sizes: Sequence[int], num_classes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = int(in_features)
+        self.hidden_sizes = [int(h) for h in hidden_sizes]
+        self.num_classes = int(num_classes)
+        layers: List[Module] = []
+        previous = self.in_features
+        for width in self.hidden_sizes:
+            layers.append(Linear(previous, width, rng=rng))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Linear(previous, self.num_classes, rng=rng))
+        self.network = Sequential(*layers)
+
+    def forward(self, inputs) -> Tensor:
+        inputs = ensure_tensor(inputs)
+        if inputs.ndim > 2:
+            inputs = inputs.flatten(start_dim=1)
+        return self.network(inputs)
+
+
+class ComplexFCNN(Module):
+    """Complex-valued MLP with a learnable decoder head (CVNN / SCVNN).
+
+    Parameters
+    ----------
+    in_features:
+        Number of *complex* input features (e.g. 784 for the CVNN teacher with
+        conventional assignment, 392 for the SCVNN with spatial interlace).
+    hidden_sizes:
+        Complex widths of the hidden layers.
+    num_classes:
+        Number of target classes.
+    decoder:
+        One of "merge", "linear", "unitary", "coherent", "photodiode".
+    """
+
+    def __init__(self, in_features: int, hidden_sizes: Sequence[int], num_classes: int,
+                 decoder: str = "merge", rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = int(in_features)
+        self.hidden_sizes = [int(h) for h in hidden_sizes]
+        self.num_classes = int(num_classes)
+        self.decoder_name = decoder
+        layers: List[Module] = []
+        previous = self.in_features
+        for width in self.hidden_sizes:
+            layers.append(ComplexLinear(previous, width, rng=rng))
+            layers.append(CReLU())
+            previous = width
+        self.trunk = ComplexSequential(*layers)
+        self.head: DecoderHead = build_decoder_head(decoder, previous, self.num_classes, rng=rng)
+
+    def forward(self, inputs: ComplexTensor) -> Tensor:
+        if not isinstance(inputs, ComplexTensor):
+            inputs = ComplexTensor(ensure_tensor(inputs))
+        if inputs.ndim > 2:
+            inputs = inputs.flatten(start_dim=1)
+        features = self.trunk(inputs) if len(self.trunk) else inputs
+        return self.head(features)

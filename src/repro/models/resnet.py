@@ -1,0 +1,179 @@
+"""CIFAR-style residual networks (ResNet-20/32/56) in real and complex flavours.
+
+The architecture follows He et al.'s CIFAR ResNet: a 3x3 stem convolution,
+three stages of ``n`` basic blocks with base widths (16, 32, 64) and strides
+(1, 2, 2), global average pooling and a linear classifier.  Depth = 6n + 2
+(n = 3, 5, 9 for ResNet-20/32/56).  The complex flavour halves the channel
+widths -- that is what the channel-lossless assignment buys -- and ends in a
+learnable decoder head.
+
+CPU-scale note: the benchmark harness instantiates shallow variants
+(e.g. depth 8, width divider > 1, small images) because full ResNet-56 training
+in pure numpy would take days; the full-size constructors are provided and the
+MZI area accounting is always evaluated on the paper's full configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.decoders import DecoderHead, build_decoder_head
+from repro.nn import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Module, ReLU, Sequential
+from repro.nn.complex import (
+    ComplexBatchNorm2d,
+    ComplexConv2d,
+    ComplexGlobalAvgPool2d,
+    ComplexSequential,
+    ComplexTensor,
+    CReLU,
+)
+from repro.tensor.tensor import Tensor, ensure_tensor
+
+
+def resnet_depth_to_blocks(depth: int) -> int:
+    """Number of blocks per stage for a CIFAR ResNet of the given depth."""
+    if (depth - 2) % 6 != 0 or depth < 8:
+        raise ValueError(f"CIFAR ResNet depth must be 6n+2 with n >= 1, got {depth}")
+    return (depth - 2) // 6
+
+
+# --------------------------------------------------------------------------- #
+# real-valued blocks
+# --------------------------------------------------------------------------- #
+class BasicBlock(Module):
+    """Standard pre-activation-free basic residual block (two 3x3 convolutions)."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        identity = inputs if self.downsample is None else self.downsample(inputs)
+        out = self.relu(self.bn1(self.conv1(inputs)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(out + identity)
+
+
+class RealResNet(Module):
+    """Real-valued CIFAR ResNet (the RVNN reference)."""
+
+    def __init__(self, depth: int = 20, in_channels: int = 3, num_classes: int = 10,
+                 base_widths: Sequence[int] = (16, 32, 64),
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        blocks = resnet_depth_to_blocks(depth)
+        self.depth = depth
+        self.num_classes = int(num_classes)
+        widths = [int(w) for w in base_widths]
+        self.stem = Sequential(
+            Conv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng),
+            BatchNorm2d(widths[0]),
+            ReLU(),
+        )
+        stages: List[Module] = []
+        previous = widths[0]
+        for stage_index, width in enumerate(widths):
+            stride = 1 if stage_index == 0 else 2
+            for block_index in range(blocks):
+                stages.append(BasicBlock(previous, width,
+                                         stride=stride if block_index == 0 else 1, rng=rng))
+                previous = width
+        self.stages = Sequential(*stages)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(previous, num_classes, rng=rng)
+
+    def forward(self, inputs) -> Tensor:
+        inputs = ensure_tensor(inputs)
+        out = self.stem(inputs)
+        out = self.stages(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+
+# --------------------------------------------------------------------------- #
+# complex-valued blocks
+# --------------------------------------------------------------------------- #
+class ComplexBasicBlock(Module):
+    """Complex residual block: two complex 3x3 convolutions with split batch norm."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = ComplexConv2d(in_channels, out_channels, 3, stride=stride, padding=1,
+                                   bias=False, rng=rng)
+        self.bn1 = ComplexBatchNorm2d(out_channels)
+        self.activation = CReLU()
+        self.conv2 = ComplexConv2d(out_channels, out_channels, 3, stride=1, padding=1,
+                                   bias=False, rng=rng)
+        self.bn2 = ComplexBatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = ComplexSequential(
+                ComplexConv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+                ComplexBatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = None
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        identity = inputs if self.downsample is None else self.downsample(inputs)
+        out = self.activation(self.bn1(self.conv1(inputs)))
+        out = self.bn2(self.conv2(out))
+        return self.activation(out + identity)
+
+
+class ComplexResNet(Module):
+    """Complex-valued CIFAR ResNet with a learnable decoder head (CVNN / SCVNN).
+
+    ``in_channels`` counts complex channels (3 for the CVNN teacher, 2 with
+    channel-lossless assignment, 1 with channel remapping); ``base_widths``
+    default to half the real widths, matching the paper's split models.
+    """
+
+    def __init__(self, depth: int = 20, in_channels: int = 2, num_classes: int = 10,
+                 base_widths: Sequence[int] = (8, 16, 32),
+                 decoder: str = "merge",
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        blocks = resnet_depth_to_blocks(depth)
+        self.depth = depth
+        self.num_classes = int(num_classes)
+        self.decoder_name = decoder
+        widths = [int(w) for w in base_widths]
+        self.stem = ComplexSequential(
+            ComplexConv2d(in_channels, widths[0], 3, padding=1, bias=False, rng=rng),
+            ComplexBatchNorm2d(widths[0]),
+            CReLU(),
+        )
+        stages: List[Module] = []
+        previous = widths[0]
+        for stage_index, width in enumerate(widths):
+            stride = 1 if stage_index == 0 else 2
+            for block_index in range(blocks):
+                stages.append(ComplexBasicBlock(previous, width,
+                                                stride=stride if block_index == 0 else 1, rng=rng))
+                previous = width
+        self.stages = ComplexSequential(*stages)
+        self.pool = ComplexGlobalAvgPool2d()
+        self.head: DecoderHead = build_decoder_head(decoder, previous, num_classes, rng=rng)
+
+    def forward(self, inputs: ComplexTensor) -> Tensor:
+        if not isinstance(inputs, ComplexTensor):
+            inputs = ComplexTensor(ensure_tensor(inputs))
+        out = self.stem(inputs)
+        out = self.stages(out)
+        out = self.pool(out)
+        return self.head(out)

@@ -1,0 +1,50 @@
+"""Real-valued activation layers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import functional as F, ops
+from repro.tensor.tensor import Tensor
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return ops.relu(inputs)
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return ops.leaky_relu(inputs, self.negative_slope)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return ops.tanh(inputs)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return ops.sigmoid(inputs)
+
+
+class Softmax(Module):
+    """Softmax along a configurable axis (default: last)."""
+
+    def __init__(self, axis: int = -1):
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.softmax(inputs, axis=self.axis)

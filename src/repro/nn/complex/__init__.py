@@ -1,0 +1,49 @@
+"""Complex-valued and split complex-valued neural-network building blocks.
+
+A complex activation/weight is represented as a *pair* of real tensors
+(real part, imaginary part).  This "split" representation is exactly the
+complex-to-real conversion of Eq. (2) in the OplixNet paper, which means the
+software model trained here maps one-to-one onto the optical circuit (complex
+transfer matrices of MZI meshes) while the autograd engine only ever sees real
+arithmetic.
+"""
+
+from repro.nn.complex.ctensor import ComplexTensor
+from repro.nn.complex.expansion import (
+    complex_matrix_to_real,
+    complex_vector_to_real,
+    real_vector_to_complex,
+)
+from repro.nn.complex.clinear import ComplexLinear
+from repro.nn.complex.cconv import ComplexConv2d
+from repro.nn.complex.cactivations import ModReLU, CReLU, ZReLU, ComplexTanh
+from repro.nn.complex.cnorm import ComplexBatchNorm2d, ComplexBatchNorm1d
+from repro.nn.complex.cmodule import (
+    ComplexSequential,
+    ComplexFlatten,
+    ComplexAvgPool2d,
+    ComplexMaxPool2d,
+    ComplexGlobalAvgPool2d,
+    ComplexDropout,
+)
+
+__all__ = [
+    "ComplexTensor",
+    "complex_matrix_to_real",
+    "complex_vector_to_real",
+    "real_vector_to_complex",
+    "ComplexLinear",
+    "ComplexConv2d",
+    "ModReLU",
+    "CReLU",
+    "ZReLU",
+    "ComplexTanh",
+    "ComplexBatchNorm2d",
+    "ComplexBatchNorm1d",
+    "ComplexSequential",
+    "ComplexFlatten",
+    "ComplexAvgPool2d",
+    "ComplexMaxPool2d",
+    "ComplexGlobalAvgPool2d",
+    "ComplexDropout",
+]

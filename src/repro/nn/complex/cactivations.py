@@ -1,0 +1,76 @@
+"""Complex-valued activation functions.
+
+The library offers the standard complex activation families from the CVNN
+literature (Trabelsi et al., Bassey et al.):
+
+* :class:`ModReLU` -- shrinks the modulus by a learnable threshold while
+  preserving the phase; the natural choice for optical hardware because it
+  only requires an amplitude nonlinearity.
+* :class:`CReLU` -- applies ReLU independently to the real and imaginary
+  parts (the default in the OplixNet SCVNN models, as it matches the split
+  representation exactly).
+* :class:`ZReLU` -- passes a value only when its phase lies in the first
+  quadrant.
+* :class:`ComplexTanh` -- split tanh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.complex.ctensor import ComplexTensor
+from repro.nn.module import Module, Parameter
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+class CReLU(Module):
+    """Apply ReLU separately to the real and imaginary parts."""
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        return ComplexTensor(ops.relu(inputs.real), ops.relu(inputs.imag))
+
+
+class ZReLU(Module):
+    """Pass values whose phase lies in ``[0, pi/2]``, zero otherwise."""
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        mask = (inputs.real.data >= 0) & (inputs.imag.data >= 0)
+        mask_tensor = Tensor(mask.astype(inputs.real.dtype))
+        return ComplexTensor(inputs.real * mask_tensor, inputs.imag * mask_tensor)
+
+
+class ModReLU(Module):
+    """``modReLU(z) = ReLU(|z| + b) * z / |z|``.
+
+    The learnable bias ``b`` (one per feature) shifts the modulus before the
+    rectification; the phase of ``z`` is preserved, which on the photonic chip
+    corresponds to an amplitude-only nonlinearity after coherent detection.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-6):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.bias = Parameter(np.zeros(num_features))
+
+    def _bias_shape(self, inputs: ComplexTensor):
+        # feature axis is 1 for (batch, features, ...) and -1 for (batch, features)
+        if inputs.ndim <= 2:
+            return (1, self.num_features)
+        return (1, self.num_features) + (1,) * (inputs.ndim - 2)
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        magnitude = inputs.magnitude(eps=self.eps)
+        bias = self.bias.reshape(self._bias_shape(inputs))
+        scale = ops.relu(magnitude + bias) / magnitude
+        return ComplexTensor(inputs.real * scale, inputs.imag * scale)
+
+
+class ComplexTanh(Module):
+    """Split tanh applied independently to both parts."""
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        return ComplexTensor(inputs.real.tanh(), inputs.imag.tanh())

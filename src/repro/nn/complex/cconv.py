@@ -1,0 +1,70 @@
+"""Complex-valued 2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.complex.ctensor import ComplexTensor
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.random import complex_init, default_rng
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class ComplexConv2d(Module):
+    """Complex convolution implemented as four real convolutions.
+
+    For input ``x = x_re + j x_im`` and kernel ``w = w_re + j w_im``:
+
+    ``y_re = conv(x_re, w_re) - conv(x_im, w_im)``
+    ``y_im = conv(x_re, w_im) + conv(x_im, w_re)``
+
+    The channel counts refer to *complex* channels; with OplixNet's
+    channel-lossless assignment, a CNN with ``C`` real channels becomes a
+    complex CNN with ``ceil(C / 2)`` complex channels, halving the size of the
+    convolution kernels deployed on the MZI meshes.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: IntPair,
+                 stride: IntPair = 1, padding: IntPair = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("ComplexConv2d channel counts must be positive")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = kernel_size if isinstance(kernel_size, tuple) else (kernel_size, kernel_size)
+        self.stride = stride if isinstance(stride, tuple) else (stride, stride)
+        self.padding = padding if isinstance(padding, tuple) else (padding, padding)
+        rng = default_rng(rng)
+        weight_shape = (self.out_channels, self.in_channels, *self.kernel_size)
+        weight_real, weight_imag = complex_init(weight_shape, rng=rng)
+        self.weight_real = Parameter(weight_real)
+        self.weight_imag = Parameter(weight_imag)
+        if bias:
+            self.bias_real = Parameter(np.zeros(self.out_channels))
+            self.bias_imag = Parameter(np.zeros(self.out_channels))
+        else:
+            self.bias_real = None
+            self.bias_imag = None
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        if not isinstance(inputs, ComplexTensor):
+            inputs = ComplexTensor(inputs)
+        conv = lambda x, w, b: F.conv2d(x, w, b, stride=self.stride, padding=self.padding)  # noqa: E731
+        out_real = (conv(inputs.real, self.weight_real, self.bias_real)
+                    - conv(inputs.imag, self.weight_imag, None))
+        out_imag = (conv(inputs.real, self.weight_imag, self.bias_imag)
+                    + conv(inputs.imag, self.weight_real, None))
+        return ComplexTensor(out_real, out_imag)
+
+    def complex_weight(self) -> np.ndarray:
+        """Return the kernel as a numpy complex array."""
+        return self.weight_real.data + 1j * self.weight_imag.data
+
+    def __repr__(self) -> str:
+        return (f"ComplexConv2d(in={self.in_channels}, out={self.out_channels}, "
+                f"kernel={self.kernel_size}, stride={self.stride}, padding={self.padding})")

@@ -1,0 +1,66 @@
+"""Complex-valued fully connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.complex.ctensor import ComplexTensor
+from repro.nn.complex.expansion import complex_matrix_to_real
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.random import complex_init, default_rng
+
+
+class ComplexLinear(Module):
+    """Affine layer with complex weights acting on :class:`ComplexTensor` inputs.
+
+    The forward pass expands the complex product into real products:
+
+    ``y_re = x_re W_re^T - x_im W_im^T + b_re``
+    ``y_im = x_re W_im^T + x_im W_re^T + b_im``
+
+    which is exactly the split complex-to-real formulation of Eq. (2), so a
+    trained layer can be mapped to an MZI mesh either as one complex matrix or
+    as its real expansion.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("ComplexLinear features must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        rng = default_rng(rng)
+        weight_real, weight_imag = complex_init((out_features, in_features), rng=rng)
+        self.weight_real = Parameter(weight_real)
+        self.weight_imag = Parameter(weight_imag)
+        if bias:
+            self.bias_real = Parameter(np.zeros(out_features))
+            self.bias_imag = Parameter(np.zeros(out_features))
+        else:
+            self.bias_real = None
+            self.bias_imag = None
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        if not isinstance(inputs, ComplexTensor):
+            inputs = ComplexTensor(inputs)
+        out_real = (F.linear(inputs.real, self.weight_real, self.bias_real)
+                    - F.linear(inputs.imag, self.weight_imag, None))
+        out_imag = (F.linear(inputs.real, self.weight_imag, self.bias_imag)
+                    + F.linear(inputs.imag, self.weight_real, None))
+        return ComplexTensor(out_real, out_imag)
+
+    def complex_weight(self) -> np.ndarray:
+        """Return the weight as a numpy complex matrix (for photonic deployment)."""
+        return self.weight_real.data + 1j * self.weight_imag.data
+
+    def real_expanded_weight(self) -> np.ndarray:
+        """Return the Eq. (2) real expansion of the complex weight."""
+        return complex_matrix_to_real(self.complex_weight())
+
+    def __repr__(self) -> str:
+        return (f"ComplexLinear(in={self.in_features}, out={self.out_features}, "
+                f"bias={self.bias_real is not None})")

@@ -1,0 +1,37 @@
+"""Complex batch normalisation (split / "naive" variant).
+
+The real and imaginary parts are normalised independently with their own
+affine parameters.  This is the split-complex normalisation commonly used
+when complex data is represented as interleaved real channels and is exactly
+equivalent to the real BatchNorm the deployed real-expanded network would use.
+"""
+
+from __future__ import annotations
+
+from repro.nn.complex.ctensor import ComplexTensor
+from repro.nn.module import Module
+from repro.nn.normalization import BatchNorm1d, BatchNorm2d
+
+
+class ComplexBatchNorm2d(Module):
+    """Independent 2-d batch normalisation of real and imaginary feature maps."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.bn_real = BatchNorm2d(num_features, momentum=momentum, eps=eps)
+        self.bn_imag = BatchNorm2d(num_features, momentum=momentum, eps=eps)
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        return ComplexTensor(self.bn_real(inputs.real), self.bn_imag(inputs.imag))
+
+
+class ComplexBatchNorm1d(Module):
+    """Independent 1-d batch normalisation of real and imaginary features."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.bn_real = BatchNorm1d(num_features, momentum=momentum, eps=eps)
+        self.bn_imag = BatchNorm1d(num_features, momentum=momentum, eps=eps)
+
+    def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        return ComplexTensor(self.bn_real(inputs.real), self.bn_imag(inputs.imag))

@@ -1,0 +1,152 @@
+"""The :class:`ComplexTensor` pair-of-real-tensors representation."""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, ensure_tensor
+
+
+class ComplexTensor:
+    """A complex-valued array stored as separate real and imaginary tensors.
+
+    Both parts share shape and participate independently in autograd.  All the
+    complex arithmetic below reduces to real arithmetic on the two parts,
+    mirroring the split complex-to-real conversion (Eq. 2 of the paper) that
+    makes SCVNNs deployable on MZI meshes.
+    """
+
+    __slots__ = ("real", "imag")
+
+    def __init__(self, real: Union[Tensor, np.ndarray], imag: Union[Tensor, np.ndarray, None] = None):
+        self.real = ensure_tensor(real)
+        if imag is None:
+            imag = np.zeros_like(self.real.data)
+        self.imag = ensure_tensor(imag)
+        if self.real.shape != self.imag.shape:
+            raise ValueError(
+                f"real and imaginary parts must share a shape, got {self.real.shape} vs {self.imag.shape}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # constructors / converters
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_complex_array(cls, array: np.ndarray) -> "ComplexTensor":
+        """Build from a numpy complex array."""
+        array = np.asarray(array)
+        return cls(Tensor(array.real.copy()), Tensor(array.imag.copy()))
+
+    def to_complex_array(self) -> np.ndarray:
+        """Return the value as a numpy complex array (detached from autograd)."""
+        return self.real.data + 1j * self.imag.data
+
+    @classmethod
+    def from_polar(cls, magnitude: np.ndarray, phase: np.ndarray) -> "ComplexTensor":
+        """Build from magnitude/phase arrays (the physical light-signal view)."""
+        magnitude = np.asarray(magnitude, dtype=float)
+        phase = np.asarray(phase, dtype=float)
+        return cls(Tensor(magnitude * np.cos(phase)), Tensor(magnitude * np.sin(phase)))
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.real.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.real.ndim
+
+    def __len__(self) -> int:
+        return len(self.real)
+
+    def __repr__(self) -> str:
+        return f"ComplexTensor(shape={self.shape})"
+
+    def detach(self) -> "ComplexTensor":
+        return ComplexTensor(self.real.detach(), self.imag.detach())
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: "ComplexTensor") -> "ComplexTensor":
+        other = _ensure_complex(other)
+        return ComplexTensor(self.real + other.real, self.imag + other.imag)
+
+    def __sub__(self, other: "ComplexTensor") -> "ComplexTensor":
+        other = _ensure_complex(other)
+        return ComplexTensor(self.real - other.real, self.imag - other.imag)
+
+    def __mul__(self, other: Union["ComplexTensor", float, Tensor]) -> "ComplexTensor":
+        if isinstance(other, (int, float)):
+            return ComplexTensor(self.real * other, self.imag * other)
+        if isinstance(other, Tensor):
+            return ComplexTensor(self.real * other, self.imag * other)
+        other = _ensure_complex(other)
+        real = self.real * other.real - self.imag * other.imag
+        imag = self.real * other.imag + self.imag * other.real
+        return ComplexTensor(real, imag)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ComplexTensor":
+        return ComplexTensor(-self.real, -self.imag)
+
+    def __matmul__(self, other: "ComplexTensor") -> "ComplexTensor":
+        """Complex matrix product ``(a + jb)(c + jd) = (ac - bd) + j(ad + bc)``."""
+        other = _ensure_complex(other)
+        real = self.real @ other.real - self.imag @ other.imag
+        imag = self.real @ other.imag + self.imag @ other.real
+        return ComplexTensor(real, imag)
+
+    def conj(self) -> "ComplexTensor":
+        """Complex conjugate."""
+        return ComplexTensor(self.real, -self.imag)
+
+    def magnitude(self, eps: float = 1e-12) -> Tensor:
+        """Modulus ``|z|`` (the quantity a photodiode-based amplitude detector sees)."""
+        return (self.real * self.real + self.imag * self.imag + eps).sqrt()
+
+    def power(self) -> Tensor:
+        """Squared modulus ``|z|^2`` (optical power measured by a photodiode)."""
+        return self.real * self.real + self.imag * self.imag
+
+    def phase(self) -> np.ndarray:
+        """Phase angle in radians (non-differentiable helper for analysis)."""
+        return np.arctan2(self.imag.data, self.real.data)
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation (applied to both parts)
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "ComplexTensor":
+        return ComplexTensor(self.real.reshape(*shape), self.imag.reshape(*shape))
+
+    def flatten(self, start_dim: int = 0) -> "ComplexTensor":
+        return ComplexTensor(self.real.flatten(start_dim), self.imag.flatten(start_dim))
+
+    def transpose(self, *axes) -> "ComplexTensor":
+        return ComplexTensor(self.real.transpose(*axes), self.imag.transpose(*axes))
+
+    def __getitem__(self, index) -> "ComplexTensor":
+        return ComplexTensor(self.real[index], self.imag[index])
+
+    def concat_parts(self, axis: int = -1) -> Tensor:
+        """Concatenate the real and imaginary parts along ``axis``.
+
+        This is the "interleaved real view" used when a real-valued head (e.g.
+        a learnable decoder) consumes complex activations.
+        """
+        return ops.concatenate([self.real, self.imag], axis=axis)
+
+
+def _ensure_complex(value) -> ComplexTensor:
+    if isinstance(value, ComplexTensor):
+        return value
+    if isinstance(value, np.ndarray) and np.iscomplexobj(value):
+        return ComplexTensor.from_complex_array(value)
+    return ComplexTensor(ensure_tensor(value))

@@ -1,0 +1,54 @@
+"""Complex-to-real expansion of matrices and vectors (Eq. 2 of the paper).
+
+A complex matrix-vector multiplication ``W_c x_c`` can be rewritten as a real
+matrix-vector multiplication ``W_cr x_cr`` of twice the dimension, where each
+complex entry ``w = a + jb`` becomes the 2x2 block ``[[a, -b], [b, a]]`` and
+each complex vector element ``x = u + jv`` becomes the pair ``(u, v)``.
+
+The expanded matrix has only half the independent degrees of freedom of an
+unconstrained real matrix of the same size -- this is the expressiveness
+trade-off that OplixNet's knowledge-distillation step compensates for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def complex_matrix_to_real(matrix: np.ndarray) -> np.ndarray:
+    """Expand an ``(m, n)`` complex matrix into a ``(2m, 2n)`` real matrix.
+
+    The interleaved layout follows Eq. (2): output row ``2i`` is the real part
+    of complex output ``i`` and row ``2i + 1`` its imaginary part; likewise for
+    the input columns.
+    """
+    matrix = np.asarray(matrix)
+    rows, cols = matrix.shape
+    expanded = np.zeros((2 * rows, 2 * cols), dtype=float)
+    real, imag = matrix.real, matrix.imag
+    expanded[0::2, 0::2] = real
+    expanded[0::2, 1::2] = -imag
+    expanded[1::2, 0::2] = imag
+    expanded[1::2, 1::2] = real
+    return expanded
+
+
+def complex_vector_to_real(vector: np.ndarray) -> np.ndarray:
+    """Interleave a complex vector ``(n,)`` into a real vector ``(2n,)``.
+
+    Element ``2i`` holds the real part and ``2i + 1`` the imaginary part of
+    complex element ``i``, matching :func:`complex_matrix_to_real`.
+    """
+    vector = np.asarray(vector)
+    expanded = np.empty(2 * vector.shape[0], dtype=float)
+    expanded[0::2] = vector.real
+    expanded[1::2] = vector.imag
+    return expanded
+
+
+def real_vector_to_complex(vector: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`complex_vector_to_real`."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.shape[0] % 2 != 0:
+        raise ValueError("interleaved real vector must have even length")
+    return vector[0::2] + 1j * vector[1::2]

@@ -1,0 +1,58 @@
+"""Real-valued 2-D convolution layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.random import default_rng, kaiming_uniform
+from repro.tensor.tensor import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class Conv2d(Module):
+    """2-D convolution over ``(batch, channels, height, width)`` inputs.
+
+    The layer follows the cross-correlation convention of mainstream deep
+    learning frameworks; in the photonic deployment each kernel position is
+    lowered (via im2col) onto the same MZI-mesh matrix-vector product used for
+    fully connected layers.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: IntPair,
+                 stride: IntPair = 1, padding: IntPair = 0, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError("Conv2d channel counts must be positive")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = kernel_size if isinstance(kernel_size, tuple) else (kernel_size, kernel_size)
+        self.stride = stride if isinstance(stride, tuple) else (stride, stride)
+        self.padding = padding if isinstance(padding, tuple) else (padding, padding)
+        rng = default_rng(rng)
+        weight_shape = (self.out_channels, self.in_channels, *self.kernel_size)
+        self.weight = Parameter(kaiming_uniform(weight_shape, rng=rng))
+        if bias:
+            fan_in = self.in_channels * self.kernel_size[0] * self.kernel_size[1]
+            bound = 1.0 / np.sqrt(fan_in)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=(self.out_channels,)))
+        else:
+            self.bias = None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.conv2d(inputs, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def output_shape(self, height: int, width: int) -> Tuple[int, int]:
+        """Spatial output size for a given input size."""
+        out_h = (height + 2 * self.padding[0] - self.kernel_size[0]) // self.stride[0] + 1
+        out_w = (width + 2 * self.padding[1] - self.kernel_size[1]) // self.stride[1] + 1
+        return out_h, out_w
+
+    def __repr__(self) -> str:
+        return (f"Conv2d(in={self.in_channels}, out={self.out_channels}, "
+                f"kernel={self.kernel_size}, stride={self.stride}, padding={self.padding})")

@@ -1,0 +1,29 @@
+"""Dropout layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.random import default_rng
+from repro.tensor.tensor import Tensor
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in evaluation mode."""
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._rng = default_rng(rng)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.dropout(inputs, self.rate, self.training, rng=self._rng)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"

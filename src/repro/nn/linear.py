@@ -1,0 +1,62 @@
+"""Real-valued affine layers and small utility modules."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.random import default_rng, kaiming_uniform
+from repro.tensor.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Optional ``numpy.random.Generator`` used for initialisation, so models
+        can be constructed reproducibly.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear features must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        rng = default_rng(rng)
+        self.weight = Parameter(kaiming_uniform((out_features, in_features), rng=rng))
+        if bias:
+            bound = 1.0 / np.sqrt(in_features)
+            self.bias = Parameter(rng.uniform(-bound, bound, size=(out_features,)))
+        else:
+            self.bias = None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.linear(inputs, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Identity(Module):
+    """Pass-through module (useful as a placeholder, e.g. for removed decoders)."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.flatten(start_dim=1)

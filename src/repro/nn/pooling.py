@@ -1,0 +1,48 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+class MaxPool2d(Module):
+    """Max pooling over spatial windows."""
+
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.max_pool2d(inputs, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(kernel={self.kernel_size}, stride={self.stride or self.kernel_size})"
+
+
+class AvgPool2d(Module):
+    """Average pooling over spatial windows."""
+
+    def __init__(self, kernel_size: IntPair, stride: Optional[IntPair] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.avg_pool2d(inputs, self.kernel_size, self.stride)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(kernel={self.kernel_size}, stride={self.stride or self.kernel_size})"
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling producing a ``(batch, channels)`` tensor."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.global_avg_pool2d(inputs)

@@ -1,0 +1,24 @@
+"""Optimizers and learning-rate schedulers."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.lr_scheduler import (
+    LRScheduler,
+    StepLR,
+    MultiStepLR,
+    CosineAnnealingLR,
+    WarmupWrapper,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+    "WarmupWrapper",
+]

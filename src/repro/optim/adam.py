@@ -1,0 +1,64 @@
+"""Adam and AdamW optimizers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moment estimates."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: Tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must lie in [0, 1)")
+        self.beta1, self.beta2 = float(beta1), float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._moment1 = [np.zeros_like(p.data) for p in self.parameters]
+        self._moment2 = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _apply_weight_decay(self, parameter: Parameter, grad: np.ndarray) -> np.ndarray:
+        if self.weight_decay:
+            return grad + self.weight_decay * parameter.data
+        return grad
+
+    def _decoupled_decay(self, parameter: Parameter) -> None:
+        """Hook for AdamW-style decoupled decay (no-op for plain Adam)."""
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, m1, m2 in zip(self.parameters, self._moment1, self._moment2):
+            if parameter.grad is None:
+                continue
+            grad = self._apply_weight_decay(parameter, parameter.grad)
+            m1 *= self.beta1
+            m1 += (1.0 - self.beta1) * grad
+            m2 *= self.beta2
+            m2 += (1.0 - self.beta2) * grad ** 2
+            m1_hat = m1 / bias1
+            m2_hat = m2 / bias2
+            self._decoupled_decay(parameter)
+            parameter.data = parameter.data - self.lr * m1_hat / (np.sqrt(m2_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _apply_weight_decay(self, parameter: Parameter, grad: np.ndarray) -> np.ndarray:
+        return grad
+
+    def _decoupled_decay(self, parameter: Parameter) -> None:
+        if self.weight_decay:
+            parameter.data = parameter.data - self.lr * self.weight_decay * parameter.data

@@ -1,0 +1,52 @@
+"""Base optimizer class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class for gradient-based optimizers.
+
+    Parameters
+    ----------
+    parameters:
+        Iterable of :class:`~repro.nn.module.Parameter` objects to update.
+    lr:
+        Learning rate (can be changed later, e.g. by a scheduler, via
+        :attr:`lr`).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear the gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Clip the global gradient norm in place; returns the pre-clip norm."""
+        grads = [p.grad for p in self.parameters if p.grad is not None]
+        if not grads:
+            return 0.0
+        total = float(np.sqrt(sum(float((g ** 2).sum()) for g in grads)))
+        if total > max_norm > 0:
+            scale = max_norm / (total + 1e-12)
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad = parameter.grad * scale
+        return total

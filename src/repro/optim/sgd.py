@@ -1,0 +1,45 @@
+"""Stochastic gradient descent with momentum, Nesterov and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """SGD update ``p <- p - lr * (grad + wd * p)`` with optional momentum.
+
+    This is the optimizer used for the paper's CNN experiments (ResNet-style
+    training schedules with momentum 0.9 and small weight decay).
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.1,
+                 momentum: float = 0.0, weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(parameters, lr)
+        if momentum < 0 or weight_decay < 0:
+            raise ValueError("momentum and weight_decay must be non-negative")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = grad + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = grad
+            parameter.data = parameter.data - self.lr * update

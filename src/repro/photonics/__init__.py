@@ -1,0 +1,98 @@
+"""Photonic hardware substrate: components, meshes, encoders, detectors, area.
+
+This package simulates the optical hardware that OplixNet targets:
+
+* :mod:`~repro.photonics.components` -- transfer matrices of directional
+  couplers (DC), thermo-optic phase shifters (PS), Mach-Zehnder
+  interferometers (MZI, Eq. 1 of the paper) and attenuators, plus their power
+  models.
+* :mod:`~repro.photonics.mzi_mesh` -- Reck (triangular) and Clements
+  (rectangular) decompositions of arbitrary unitaries into MZI meshes and
+  their reconstruction.
+* :mod:`~repro.photonics.svd_mapping` -- SVD-based mapping of arbitrary weight
+  matrices onto two meshes plus a diagonal attenuator column.
+* :mod:`~repro.photonics.encoders` -- the proposed DC-based complex encoder,
+  the PS-based encoder of [16] and the conventional amplitude encoder.
+* :mod:`~repro.photonics.detectors` -- photodiode and coherent detection.
+* :mod:`~repro.photonics.area` -- MZI / DC / PS counting and the area model
+  used by every experiment table.
+* :mod:`~repro.photonics.noise` -- phase noise / quantization models.
+* :mod:`~repro.photonics.circuit` -- photonic layers and whole-network
+  circuits assembled from deployed neural networks.
+"""
+
+from repro.photonics.components import (
+    directional_coupler,
+    phase_shifter,
+    mzi_transfer,
+    attenuator,
+    DirectionalCoupler,
+    PhaseShifter,
+    MZI,
+    phase_shifter_power_mw,
+)
+from repro.photonics.mzi_mesh import (
+    MZISetting,
+    MeshDecomposition,
+    reck_decompose,
+    clements_decompose,
+    decompose_unitary,
+    random_unitary,
+    is_unitary,
+)
+from repro.photonics.svd_mapping import PhotonicMatrix, svd_decompose
+from repro.photonics.encoders import (
+    DCComplexEncoder,
+    PSComplexEncoder,
+    AmplitudeEncoder,
+)
+from repro.photonics.detectors import PhotodiodeDetector, CoherentDetector
+from repro.photonics.area import (
+    mzi_count_unitary,
+    mzi_count_matrix,
+    AreaReport,
+    LayerArea,
+    count_linear_layer,
+    count_conv_layer,
+    MZI_DC_COUNT,
+    MZI_PS_COUNT,
+)
+from repro.photonics.noise import PhaseNoiseModel, quantize_phases
+from repro.photonics.circuit import PhotonicLinearLayer, PhotonicNetwork
+
+__all__ = [
+    "directional_coupler",
+    "phase_shifter",
+    "mzi_transfer",
+    "attenuator",
+    "DirectionalCoupler",
+    "PhaseShifter",
+    "MZI",
+    "phase_shifter_power_mw",
+    "MZISetting",
+    "MeshDecomposition",
+    "reck_decompose",
+    "clements_decompose",
+    "decompose_unitary",
+    "random_unitary",
+    "is_unitary",
+    "PhotonicMatrix",
+    "svd_decompose",
+    "DCComplexEncoder",
+    "PSComplexEncoder",
+    "AmplitudeEncoder",
+    "PhotodiodeDetector",
+    "CoherentDetector",
+    "mzi_count_unitary",
+    "mzi_count_matrix",
+    "AreaReport",
+    "LayerArea",
+    "count_linear_layer",
+    "count_conv_layer",
+    "MZI_DC_COUNT",
+    "MZI_PS_COUNT",
+    "PhaseNoiseModel",
+    "quantize_phases",
+    "PhotonicLinearLayer",
+    "PhotonicNetwork",
+]

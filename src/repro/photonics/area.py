@@ -1,0 +1,135 @@
+"""Area model: MZI / DC / PS counting for layers, decoders and whole models.
+
+The paper measures "area" as the number of MZIs needed to realise every weight
+matrix via SVD and unitary-to-interferometer mapping:
+
+.. math::
+
+    \\#\\mathrm{MZI}(m \\times n) = \\frac{n(n-1)}{2} + \\min(m, n) + \\frac{m(m-1)}{2}
+
+Each MZI contains two directional couplers and (for the Fig. 7 comparison
+against the OFFT baseline) one phase shifter; the tunable output phase screens
+and attenuators are already included in the ``min(m, n)`` term of the formula.
+
+Convolution layers are lowered to matrix-vector products over im2col patches,
+so a CONV kernel of shape ``(C_out, C_in, k, k)`` is counted as an
+``(C_out) x (C_in k^2)`` matrix -- its MZI cost depends only on channel counts
+and kernel size, never on the spatial size of the feature map (this is why the
+paper's channel assignment, not the spatial one, shrinks CNNs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+#: devices per MZI used in the Fig. 7 comparison ("the same MZI structure,
+#: which contains 2 DCs and 1 PS")
+MZI_DC_COUNT = 2
+MZI_PS_COUNT = 1
+
+
+def mzi_count_unitary(n: int) -> int:
+    """MZIs required for an ``n x n`` unitary (Reck or Clements mesh)."""
+    if n < 0:
+        raise ValueError("dimension must be non-negative")
+    return n * (n - 1) // 2
+
+
+def mzi_count_matrix(rows: int, cols: int) -> int:
+    """MZIs required for an ``rows x cols`` matrix deployed as ``U S V*``."""
+    if rows < 0 or cols < 0:
+        raise ValueError("matrix dimensions must be non-negative")
+    if rows == 0 or cols == 0:
+        return 0
+    return mzi_count_unitary(cols) + min(rows, cols) + mzi_count_unitary(rows)
+
+
+@dataclass
+class LayerArea:
+    """Per-layer area accounting."""
+
+    name: str
+    rows: int
+    cols: int
+    mzis: int
+    parameters: int
+
+    @property
+    def directional_couplers(self) -> int:
+        return MZI_DC_COUNT * self.mzis
+
+    @property
+    def phase_shifters(self) -> int:
+        return MZI_PS_COUNT * self.mzis
+
+
+@dataclass
+class AreaReport:
+    """Aggregate area of a model (a list of matrix-shaped layers)."""
+
+    layers: List[LayerArea] = field(default_factory=list)
+
+    def add(self, layer: LayerArea) -> "AreaReport":
+        self.layers.append(layer)
+        return self
+
+    @property
+    def total_mzis(self) -> int:
+        return sum(layer.mzis for layer in self.layers)
+
+    @property
+    def total_directional_couplers(self) -> int:
+        return sum(layer.directional_couplers for layer in self.layers)
+
+    @property
+    def total_phase_shifters(self) -> int:
+        return sum(layer.phase_shifters for layer in self.layers)
+
+    @property
+    def total_parameters(self) -> int:
+        return sum(layer.parameters for layer in self.layers)
+
+    def reduction_versus(self, baseline: "AreaReport") -> float:
+        """Fractional MZI reduction relative to ``baseline`` (positive = smaller)."""
+        if baseline.total_mzis == 0:
+            raise ValueError("baseline has zero MZIs")
+        return 1.0 - self.total_mzis / baseline.total_mzis
+
+    def summary(self) -> str:
+        lines = [f"{'layer':<28}{'rows':>7}{'cols':>7}{'#MZI':>12}{'#param':>12}"]
+        for layer in self.layers:
+            lines.append(
+                f"{layer.name:<28}{layer.rows:>7}{layer.cols:>7}{layer.mzis:>12}{layer.parameters:>12}"
+            )
+        lines.append(
+            f"{'TOTAL':<28}{'':>7}{'':>7}{self.total_mzis:>12}{self.total_parameters:>12}"
+        )
+        return "\n".join(lines)
+
+
+def count_linear_layer(name: str, out_features: int, in_features: int,
+                       complex_valued: bool = False) -> LayerArea:
+    """Area of a fully connected layer.
+
+    ``complex_valued=True`` counts the layer as one complex matrix of the given
+    size (the split ONN deploys the complex matrix directly on the mesh, which
+    is what gives the ~75% saving); the parameter count doubles because each
+    complex weight has independent real and imaginary parts.
+    """
+    mzis = mzi_count_matrix(out_features, in_features)
+    parameters = out_features * in_features * (2 if complex_valued else 1)
+    return LayerArea(name=name, rows=out_features, cols=in_features,
+                     mzis=mzis, parameters=parameters)
+
+
+def count_conv_layer(name: str, out_channels: int, in_channels: int,
+                     kernel_size: Tuple[int, int],
+                     complex_valued: bool = False) -> LayerArea:
+    """Area of a convolution layer lowered to an im2col matrix product."""
+    kernel_h, kernel_w = kernel_size if isinstance(kernel_size, tuple) else (kernel_size, kernel_size)
+    rows = out_channels
+    cols = in_channels * kernel_h * kernel_w
+    mzis = mzi_count_matrix(rows, cols)
+    parameters = rows * cols * (2 if complex_valued else 1)
+    return LayerArea(name=name, rows=rows, cols=cols, mzis=mzis, parameters=parameters)

@@ -1,0 +1,129 @@
+"""Photonic circuit layers assembled from deployed weight matrices.
+
+:class:`PhotonicLinearLayer` wraps one weight matrix deployed via SVD onto two
+MZI meshes; :class:`PhotonicNetwork` chains several layers with (electro-optic)
+nonlinearities in between, which is how a trained SCVNN/CVNN is executed "on
+hardware" in this simulation.  Both support optional phase noise / phase
+quantization injection to study robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.photonics.mzi_mesh import MeshDecomposition
+from repro.photonics.noise import PhaseNoiseModel, quantize_phases
+from repro.photonics.svd_mapping import PhotonicMatrix, svd_decompose
+
+
+@dataclass
+class PhotonicLinearLayer:
+    """One weight matrix deployed on photonic hardware plus an optional bias.
+
+    The bias is applied electronically after detection (photonic MVM engines
+    add biases in the electrical domain).
+    """
+
+    photonic_matrix: PhotonicMatrix
+    bias: Optional[np.ndarray] = None
+    name: str = "layer"
+
+    @classmethod
+    def from_weight(cls, weight: np.ndarray, bias: Optional[np.ndarray] = None,
+                    method: str = "clements", name: str = "layer") -> "PhotonicLinearLayer":
+        """Deploy a (complex or real) weight matrix onto MZI meshes."""
+        return cls(photonic_matrix=svd_decompose(weight, method=method), bias=bias, name=name)
+
+    @property
+    def mzi_count(self) -> int:
+        return self.photonic_matrix.device_count
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Propagate complex amplitudes through the deployed matrix."""
+        outputs = self.photonic_matrix.apply(inputs)
+        if self.bias is not None:
+            outputs = outputs + self.bias
+        return outputs
+
+    __call__ = forward
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None) -> "PhotonicLinearLayer":
+        """Return a copy whose meshes carry phase noise and/or quantization."""
+        def degrade(mesh: MeshDecomposition) -> MeshDecomposition:
+            degraded = mesh
+            if quantization_bits is not None:
+                degraded = quantize_phases(degraded, quantization_bits)
+            if noise is not None:
+                degraded = noise.perturb(degraded)
+            return degraded
+
+        matrix = self.photonic_matrix
+        degraded_matrix = PhotonicMatrix(
+            rows=matrix.rows, cols=matrix.cols,
+            left_mesh=degrade(matrix.left_mesh),
+            right_mesh=degrade(matrix.right_mesh),
+            singular_values=matrix.singular_values.copy(),
+            scale=matrix.scale,
+        )
+        bias = None if self.bias is None else np.array(self.bias, copy=True)
+        return PhotonicLinearLayer(photonic_matrix=degraded_matrix, bias=bias, name=self.name)
+
+
+class PhotonicNetwork:
+    """A chain of photonic linear layers with nonlinearities in between.
+
+    Parameters
+    ----------
+    layers:
+        Deployed linear layers, applied in order.
+    activation:
+        Callable applied to the complex activations between layers (default:
+        CReLU -- ReLU on the real and imaginary parts independently, matching
+        the software SCVNN).
+    """
+
+    def __init__(self, layers: Sequence[PhotonicLinearLayer],
+                 activation: Optional[Callable[[np.ndarray], np.ndarray]] = None):
+        self.layers: List[PhotonicLinearLayer] = list(layers)
+        if not self.layers:
+            raise ValueError("PhotonicNetwork needs at least one layer")
+        self.activation = activation if activation is not None else split_relu
+
+    @property
+    def mzi_count(self) -> int:
+        return sum(layer.mzi_count for layer in self.layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Propagate complex input amplitudes through the whole network."""
+        signal = np.asarray(inputs, dtype=complex)
+        for index, layer in enumerate(self.layers):
+            signal = layer(signal)
+            if index < len(self.layers) - 1:
+                signal = self.activation(signal)
+        return signal
+
+    __call__ = forward
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None) -> "PhotonicNetwork":
+        """Return a copy of the network with degraded meshes."""
+        return PhotonicNetwork(
+            [layer.with_noise(noise=noise, quantization_bits=quantization_bits)
+             for layer in self.layers],
+            activation=self.activation,
+        )
+
+
+def split_relu(signal: np.ndarray) -> np.ndarray:
+    """CReLU on complex amplitudes: clamp real and imaginary parts at zero."""
+    signal = np.asarray(signal, dtype=complex)
+    return np.maximum(signal.real, 0.0) + 1j * np.maximum(signal.imag, 0.0)
+
+
+def modulus_squared(signal: np.ndarray) -> np.ndarray:
+    """Photodiode power readout used as a real nonlinearity."""
+    return np.abs(np.asarray(signal, dtype=complex)) ** 2

@@ -1,0 +1,157 @@
+"""Transfer matrices and power models of elementary photonic components.
+
+Conventions
+-----------
+* Light signals are complex amplitudes; optical power is the squared modulus.
+* A 50:50 directional coupler (DC) transmits half of the energy to each output
+  port and adds a ``pi/2`` phase shift to the diagonal (cross) transmission:
+
+  .. math::  \\mathrm{DC} = \\frac{1}{\\sqrt 2}\\begin{pmatrix}1 & i\\\\ i & 1\\end{pmatrix}
+
+* A thermo-optic phase shifter (PS) on the upper arm multiplies that arm by
+  ``exp(i * angle)``.
+* An MZI is ``DC . PS(theta) . DC . PS(phi)`` exactly as in Eq. (1) of the
+  paper; it is composed of 2 DCs and 2 PSs, but, following the paper's Fig. 7
+  accounting, the *internal* phase shifter count per MZI used for area
+  comparisons is configurable in :mod:`repro.photonics.area`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: static power consumed by a thermo-optic phase shifter at full 2*pi shift [16]
+MAX_PHASE_SHIFTER_POWER_MW = 80.0
+
+
+def directional_coupler(coupling_ratio: float = 0.5) -> np.ndarray:
+    """Transfer matrix of a directional coupler.
+
+    Parameters
+    ----------
+    coupling_ratio:
+        Fraction of optical power transferred to the cross port (0.5 for the
+        50:50 couplers used inside MZIs and the proposed complex encoder).
+    """
+    if not 0.0 <= coupling_ratio <= 1.0:
+        raise ValueError("coupling_ratio must be in [0, 1]")
+    through = math.sqrt(1.0 - coupling_ratio)
+    cross = math.sqrt(coupling_ratio)
+    return np.array([[through, 1j * cross], [1j * cross, through]], dtype=complex)
+
+
+def phase_shifter(angle: float, arm: int = 0) -> np.ndarray:
+    """Transfer matrix of a single-arm phase shifter.
+
+    Parameters
+    ----------
+    angle:
+        Phase shift in radians.
+    arm:
+        0 to place the shifter on the upper arm (paper convention), 1 for the
+        lower arm.
+    """
+    if arm not in (0, 1):
+        raise ValueError("arm must be 0 (upper) or 1 (lower)")
+    matrix = np.eye(2, dtype=complex)
+    matrix[arm, arm] = np.exp(1j * angle)
+    return matrix
+
+
+def mzi_transfer(theta: float, phi: float) -> np.ndarray:
+    """Transfer matrix of an MZI with internal phase ``theta`` and input phase ``phi``.
+
+    Implements Eq. (1) of the paper:
+    ``DC . diag(e^{i theta}, 1) . DC . diag(e^{i phi}, 1)``.
+    """
+    coupler = directional_coupler(0.5)
+    return coupler @ phase_shifter(theta) @ coupler @ phase_shifter(phi)
+
+
+def attenuator(transmission: float) -> complex:
+    """Scalar transfer factor of an optical attenuator (amplitude transmission)."""
+    if transmission < 0:
+        raise ValueError("attenuator transmission must be non-negative")
+    return complex(transmission)
+
+
+def phase_shifter_power_mw(angle: float,
+                           max_power_mw: float = MAX_PHASE_SHIFTER_POWER_MW) -> float:
+    """Static power consumed by a thermo-optic PS holding ``angle``.
+
+    The power of a thermo-optic heater grows linearly with the phase it must
+    hold, ranging from 0 to roughly 80 mW per 2*pi [16].  Angles are wrapped
+    into ``[0, 2*pi)`` first.
+    """
+    wrapped = float(np.mod(angle, 2.0 * math.pi))
+    return max_power_mw * wrapped / (2.0 * math.pi)
+
+
+@dataclass
+class DirectionalCoupler:
+    """A directional coupler component with a fixed coupling ratio."""
+
+    coupling_ratio: float = 0.5
+
+    def transfer_matrix(self) -> np.ndarray:
+        return directional_coupler(self.coupling_ratio)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        """Propagate a pair (or batch of pairs) of complex amplitudes."""
+        inputs = np.asarray(inputs, dtype=complex)
+        return inputs @ self.transfer_matrix().T
+
+
+@dataclass
+class PhaseShifter:
+    """A thermo-optic phase shifter on one arm of a two-mode section."""
+
+    angle: float = 0.0
+    arm: int = 0
+
+    def transfer_matrix(self) -> np.ndarray:
+        return phase_shifter(self.angle, self.arm)
+
+    def power_mw(self) -> float:
+        return phase_shifter_power_mw(self.angle)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=complex)
+        return inputs @ self.transfer_matrix().T
+
+
+@dataclass
+class MZI:
+    """A Mach-Zehnder interferometer with two tunable phase shifters.
+
+    Attributes
+    ----------
+    theta:
+        Internal phase shift (between the two DCs); controls the splitting
+        ratio of the MZI.
+    phi:
+        External phase shift at the first input; controls the relative phase.
+    """
+
+    theta: float = 0.0
+    phi: float = 0.0
+
+    def transfer_matrix(self) -> np.ndarray:
+        return mzi_transfer(self.theta, self.phi)
+
+    def power_mw(self) -> float:
+        """Static power of both phase shifters."""
+        return phase_shifter_power_mw(self.theta) + phase_shifter_power_mw(self.phi)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=complex)
+        return inputs @ self.transfer_matrix().T
+
+    @property
+    def component_counts(self) -> Tuple[int, int]:
+        """(directional couplers, phase shifters) inside one MZI."""
+        return 2, 2

@@ -1,0 +1,98 @@
+"""Optical output detection (Section II-B / Fig. 6c of the paper).
+
+* :class:`PhotodiodeDetector` -- direct detection of optical power (or
+  amplitude); all phase information is lost.  This is what the conventional
+  ONN and OplixNet's learnable decoders feed.
+* :class:`CoherentDetector` -- the coherent detection baseline of [16]: a
+  reference beam with a known amplitude interferes with the signal and the
+  real/imaginary parts are recovered from several photodiode readings taken at
+  different reference phase shifts.  The extra reference phase settings cost
+  additional measurement time and a digital post-processing step, which is the
+  drawback the learnable merge decoder removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.photonics.encoders import THERMAL_PS_SETTLING_TIME_S
+
+
+@dataclass
+class PhotodiodeDetector:
+    """Square-law photodiode bank.
+
+    Parameters
+    ----------
+    mode:
+        ``"power"`` returns ``|z|^2`` (physical photocurrent), ``"amplitude"``
+        returns ``|z|`` (power followed by a square-root readout).
+    """
+
+    mode: str = "amplitude"
+
+    def detect(self, signals: np.ndarray) -> np.ndarray:
+        signals = np.asarray(signals, dtype=complex)
+        power = np.abs(signals) ** 2
+        if self.mode == "power":
+            return power
+        if self.mode == "amplitude":
+            return np.sqrt(power)
+        raise ValueError(f"unknown photodiode mode {self.mode!r}")
+
+    def detectors_required(self, num_outputs: int) -> int:
+        return num_outputs
+
+    def readout_latency(self, num_samples: int) -> float:
+        """Direct detection happens at the photodetector rate (no extra steps)."""
+        return 0.0
+
+
+@dataclass
+class CoherentDetector:
+    """Coherent (homodyne-style) detection with a phase-swept reference beam.
+
+    Recovery uses three intensity measurements:
+
+    ``I_0   = |z + r|^2``, ``I_90 = |z + j r|^2`` and ``I_s = |z|^2``
+
+    from which ``Re(z) = (I_0 - I_s - r^2) / (2 r)`` and
+    ``Im(z) = (I_90 - I_s - r^2) / (2 r)``.  Each additional reference phase
+    requires the thermo-optic reference shifter to settle, and the subtraction
+    is digital post-processing.
+    """
+
+    reference_amplitude: float = 1.0
+
+    def measure_intensities(self, signals: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        signals = np.asarray(signals, dtype=complex)
+        reference = complex(self.reference_amplitude)
+        i_zero = np.abs(signals + reference) ** 2
+        i_ninety = np.abs(signals + 1j * reference) ** 2
+        i_signal = np.abs(signals) ** 2
+        return i_zero, i_ninety, i_signal
+
+    def detect(self, signals: np.ndarray) -> np.ndarray:
+        """Return the recovered complex field from the three intensity readings."""
+        if self.reference_amplitude <= 0:
+            raise ValueError("reference amplitude must be positive")
+        i_zero, i_ninety, i_signal = self.measure_intensities(signals)
+        ref_power = self.reference_amplitude ** 2
+        real = (i_zero - i_signal - ref_power) / (2.0 * self.reference_amplitude)
+        imag = (i_ninety - i_signal - ref_power) / (2.0 * self.reference_amplitude)
+        return real + 1j * imag
+
+    def detectors_required(self, num_outputs: int) -> int:
+        """One photodiode per output per reference setting (3 settings)."""
+        return 3 * num_outputs
+
+    def readout_latency(self, num_samples: int) -> float:
+        """Two extra reference phase settings must settle per sample."""
+        return 2.0 * num_samples * THERMAL_PS_SETTLING_TIME_S
+
+    @property
+    def needs_post_processing(self) -> bool:
+        return True

@@ -1,0 +1,158 @@
+"""Optical input encoders (Fig. 3 of the paper).
+
+Three encoders are modelled:
+
+* :class:`DCComplexEncoder` -- the proposed directional-coupler-based complex
+  encoder.  Two real values ``(A1, A2)`` are modulated onto two light signals
+  of amplitudes ``sqrt(2) A1`` and ``sqrt(2) A2`` (same static phase); the
+  second arm passes a static 90-degree shift and both enter a 50:50 coupler.
+  The top output port carries ``A1 + j A2`` and the bottom port is discarded.
+  Because the phase elements are *static*, there is no thermo-optic settling
+  time and the encoder sustains the full modulator rate.
+* :class:`PSComplexEncoder` -- the complex encoder of [16]: one amplitude
+  modulator plus a tunable thermo-optic phase shifter per complex value.  It
+  produces the same complex amplitude but the heater must re-settle for every
+  input, which caps the throughput (the "time bottleneck" the paper removes).
+* :class:`AmplitudeEncoder` -- the conventional ONN encoder [10]: amplitude
+  modulation only, phase left at zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.photonics.components import directional_coupler, phase_shifter
+
+#: settling time of a thermo-optic phase shifter (order of microseconds)
+THERMAL_PS_SETTLING_TIME_S = 1e-5
+#: modulation period of a high-speed optical modulator / photodetector (>= 100 GHz detection [15])
+MODULATOR_PERIOD_S = 1e-11
+
+
+@dataclass
+class EncoderAreaBudget:
+    """Optical components used by an encoder for a given number of complex inputs."""
+
+    modulators: int
+    directional_couplers: int
+    static_phase_elements: int
+    thermal_phase_shifters: int
+
+
+class DCComplexEncoder:
+    """Directional-coupler complex encoder (proposed).
+
+    :meth:`encode` maps pairs of real values to complex amplitudes.  The
+    physics is simulated explicitly with component transfer matrices so that
+    the identity ``output = A1 + j A2`` is a *verified* property, not an
+    assumption.
+    """
+
+    name = "dc"
+    has_time_bottleneck = False
+
+    #: static phase trim on the lower arm before the coupler.  With the DC
+    #: convention used here (a 90-degree shift on the *cross* path, Fig. 1a),
+    #: the coupler itself supplies the 90-degree rotation the paper attributes
+    #: to the static shifter, so the trim is zero.  A convention with a real
+    #: 50:50 splitter would set this to pi/2 instead.
+    static_shift: float = 0.0
+
+    def encode_pair(self, a1: float, a2: float) -> complex:
+        """Encode one pair of real values into one complex amplitude."""
+        # two modulated inputs at the same static phase (defined as 0)
+        signals = np.array([math.sqrt(2.0) * a1, math.sqrt(2.0) * a2], dtype=complex)
+        # static trim on the lower arm, then the 50:50 coupler
+        shifted = phase_shifter(self.static_shift, arm=1) @ signals
+        outputs = directional_coupler(0.5) @ shifted
+        # the top port carries A1 + j A2; the bottom port is discarded
+        return complex(outputs[0])
+
+    def encode(self, real: np.ndarray, imag: np.ndarray) -> np.ndarray:
+        """Vectorised encoding of arrays of (real, imaginary) values.
+
+        The transfer-matrix algebra reduces to ``real + 1j * imag`` exactly;
+        we keep the closed form here for speed and verify it against
+        :meth:`encode_pair` in the test-suite.
+        """
+        real = np.asarray(real, dtype=float)
+        imag = np.asarray(imag, dtype=float)
+        if real.shape != imag.shape:
+            raise ValueError("real and imaginary parts must have the same shape")
+        return real + 1j * imag
+
+    def area_budget(self, num_complex_inputs: int) -> EncoderAreaBudget:
+        """Two modulators, one DC and one static phase element per complex input."""
+        return EncoderAreaBudget(
+            modulators=2 * num_complex_inputs,
+            directional_couplers=num_complex_inputs,
+            static_phase_elements=num_complex_inputs,
+            thermal_phase_shifters=0,
+        )
+
+    def encoding_latency(self, num_samples: int) -> float:
+        """Time to stream ``num_samples`` input vectors (modulator-rate limited)."""
+        return num_samples * MODULATOR_PERIOD_S
+
+
+class PSComplexEncoder:
+    """Phase-shifter complex encoder of [16] (baseline with a thermal bottleneck)."""
+
+    name = "ps"
+    has_time_bottleneck = True
+
+    def encode_pair(self, a1: float, a2: float) -> complex:
+        """Encode a pair by amplitude modulation followed by a tunable phase shift."""
+        magnitude = math.hypot(a1, a2)
+        phase = math.atan2(a2, a1)
+        return magnitude * complex(math.cos(phase), math.sin(phase))
+
+    def encode(self, real: np.ndarray, imag: np.ndarray) -> np.ndarray:
+        real = np.asarray(real, dtype=float)
+        imag = np.asarray(imag, dtype=float)
+        if real.shape != imag.shape:
+            raise ValueError("real and imaginary parts must have the same shape")
+        magnitude = np.hypot(real, imag)
+        phase = np.arctan2(imag, real)
+        return magnitude * np.exp(1j * phase)
+
+    def area_budget(self, num_complex_inputs: int) -> EncoderAreaBudget:
+        """One modulator and one thermo-optic phase shifter per complex input."""
+        return EncoderAreaBudget(
+            modulators=num_complex_inputs,
+            directional_couplers=0,
+            static_phase_elements=0,
+            thermal_phase_shifters=num_complex_inputs,
+        )
+
+    def encoding_latency(self, num_samples: int) -> float:
+        """Each new sample requires the heater to re-settle."""
+        return num_samples * THERMAL_PS_SETTLING_TIME_S
+
+
+class AmplitudeEncoder:
+    """Conventional amplitude-only encoder [10]; the phase stays at zero."""
+
+    name = "amplitude"
+    has_time_bottleneck = False
+
+    def encode(self, real: np.ndarray, imag: np.ndarray = None) -> np.ndarray:
+        real = np.asarray(real, dtype=float)
+        if imag is not None and np.any(np.asarray(imag) != 0):
+            raise ValueError("the conventional encoder cannot carry imaginary data")
+        return real.astype(complex)
+
+    def area_budget(self, num_inputs: int) -> EncoderAreaBudget:
+        return EncoderAreaBudget(
+            modulators=num_inputs,
+            directional_couplers=0,
+            static_phase_elements=0,
+            thermal_phase_shifters=0,
+        )
+
+    def encoding_latency(self, num_samples: int) -> float:
+        return num_samples * MODULATOR_PERIOD_S

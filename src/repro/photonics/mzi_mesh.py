@@ -1,0 +1,291 @@
+"""Decomposition of arbitrary unitaries into meshes of physical MZIs.
+
+Two mesh topologies are provided:
+
+* **Reck** (triangular) -- the scheme of Reck et al. 1994 used by the original
+  coherent ONN [10]: elements are nulled row by row with column operations,
+  yielding ``U = D * M_K * ... * M_1`` where each ``M_k`` is a physical MZI
+  (Eq. 1) acting on two adjacent modes and ``D`` is a column of output phase
+  shifters.
+* **Clements** (rectangular) -- the scheme of Clements et al. 2016: elements
+  are nulled alternately with column and row operations; the leftover diagonal
+  is commuted through the row operations so the final form is identical
+  (``U = D * product of MZIs``) but the mesh has half the optical depth.
+
+Both use exactly ``n (n - 1) / 2`` MZIs for an ``n x n`` unitary, which is the
+count the paper's area model builds on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.photonics.components import mzi_transfer
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """Check whether ``matrix`` is unitary within ``atol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, identity, atol=atol))
+
+
+def random_unitary(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Draw a Haar-random ``n x n`` unitary matrix (QR of a complex Ginibre matrix)."""
+    if n <= 0:
+        raise ValueError("dimension must be positive")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    ginibre = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
+    q, r = np.linalg.qr(ginibre)
+    # fix the phases so the distribution is Haar
+    phases = np.diag(r).copy()
+    phases = phases / np.abs(phases)
+    return q * phases[None, :]
+
+
+@dataclass
+class MZISetting:
+    """Phase settings of one MZI in a mesh.
+
+    Attributes
+    ----------
+    mode:
+        Index of the upper of the two adjacent modes the MZI couples.
+    theta:
+        Internal phase shift (splitting control).
+    phi:
+        Input phase shift (relative-phase control).
+    """
+
+    mode: int
+    theta: float
+    phi: float
+
+    def transfer_matrix(self) -> np.ndarray:
+        return mzi_transfer(self.theta, self.phi)
+
+
+@dataclass
+class MeshDecomposition:
+    """A unitary expressed as output phases applied after a chain of MZIs.
+
+    ``reconstruct()`` returns ``diag(output_phases) @ M_last @ ... @ M_first``
+    where ``settings[0]`` is the MZI applied first to an input vector.
+    """
+
+    dimension: int
+    settings: List[MZISetting] = field(default_factory=list)
+    output_phases: np.ndarray = None  # complex unit-modulus phases, shape (dimension,)
+    method: str = "reck"
+
+    def __post_init__(self):
+        if self.output_phases is None:
+            self.output_phases = np.ones(self.dimension, dtype=complex)
+        self.output_phases = np.asarray(self.output_phases, dtype=complex)
+
+    @property
+    def mzi_count(self) -> int:
+        return len(self.settings)
+
+    @property
+    def phase_shifter_count(self) -> int:
+        """Tunable phase shifters: two per MZI plus the output phase screen."""
+        return 2 * len(self.settings) + self.dimension
+
+    def embed(self, setting: MZISetting) -> np.ndarray:
+        """Embed a single MZI into the full ``dimension x dimension`` space."""
+        full = np.eye(self.dimension, dtype=complex)
+        block = setting.transfer_matrix()
+        m = setting.mode
+        full[m:m + 2, m:m + 2] = block
+        return full
+
+    def reconstruct(self) -> np.ndarray:
+        """Multiply out the mesh into a dense unitary matrix."""
+        result = np.eye(self.dimension, dtype=complex)
+        for setting in self.settings:
+            result = self.embed(setting) @ result
+        return np.diag(self.output_phases) @ result
+
+    def apply(self, vector: np.ndarray, insertion_loss_db: float = 0.0) -> np.ndarray:
+        """Propagate complex input amplitudes through the mesh (batch-aware).
+
+        ``vector`` may be ``(dimension,)`` or ``(batch, dimension)``.
+
+        Parameters
+        ----------
+        insertion_loss_db:
+            Optional per-MZI insertion loss in dB (power).  Each MZI a signal
+            traverses multiplies its amplitude by ``10**(-IL/20)``, modelling
+            waveguide/coupler losses; 0 dB (default) keeps the mesh lossless.
+        """
+        if insertion_loss_db < 0:
+            raise ValueError("insertion_loss_db must be non-negative")
+        vector = np.asarray(vector, dtype=complex)
+        single = vector.ndim == 1
+        states = vector[None, :] if single else vector
+        if states.shape[-1] != self.dimension:
+            raise ValueError(f"expected vectors of length {self.dimension}, got {states.shape[-1]}")
+        states = states.copy()
+        transmission = 10.0 ** (-insertion_loss_db / 20.0)
+        for setting in self.settings:
+            m = setting.mode
+            block = setting.transfer_matrix() * transmission
+            pair = states[:, m:m + 2] @ block.T
+            states[:, m:m + 2] = pair
+        states = states * self.output_phases[None, :]
+        return states[0] if single else states
+
+    def total_phase_power_mw(self) -> float:
+        """Static power of every tunable phase shifter in the mesh."""
+        from repro.photonics.components import phase_shifter_power_mw
+
+        power = 0.0
+        for setting in self.settings:
+            power += phase_shifter_power_mw(setting.theta)
+            power += phase_shifter_power_mw(setting.phi)
+        for phase in np.angle(self.output_phases):
+            power += phase_shifter_power_mw(float(phase))
+        return power
+
+
+# --------------------------------------------------------------------------- #
+# nulling parameter solvers
+# --------------------------------------------------------------------------- #
+def _solve_right_null(a: complex, b: complex) -> Tuple[float, float]:
+    """Parameters of the MZI ``M`` such that right-multiplying by ``M``-dagger
+    on columns ``(m, m+1)`` nulls the entry whose current row values are
+    ``a = U[row, m]`` and ``b = U[row, m+1]``."""
+    theta = 2.0 * math.atan2(abs(b), abs(a))
+    phi = -float(np.angle(-b * np.conj(a))) if abs(a) > 0 and abs(b) > 0 else 0.0
+    return theta, phi
+
+
+def _solve_left_null(a: complex, b: complex) -> Tuple[float, float]:
+    """Parameters of the MZI ``M`` such that left-multiplying by ``M`` on rows
+    ``(row-1, row)`` nulls the entry whose current column values are
+    ``a = U[row-1, col]`` and ``b = U[row, col]``."""
+    theta = 2.0 * math.atan2(abs(a), abs(b))
+    phi = float(np.angle(b * np.conj(a))) if abs(a) > 0 and abs(b) > 0 else 0.0
+    return theta, phi
+
+
+def _embed_pair(n: int, mode: int, block: np.ndarray) -> np.ndarray:
+    full = np.eye(n, dtype=complex)
+    full[mode:mode + 2, mode:mode + 2] = block
+    return full
+
+
+def _refactor_phase_mzi(block: np.ndarray) -> Tuple[complex, complex, float, float]:
+    """Factor a 2x2 unitary ``A`` as ``diag(d0, d1) @ M(theta, phi)``.
+
+    Used to commute leftover row operations through the output phase screen in
+    the Clements decomposition.
+    """
+    a00, a01 = block[0, 0], block[0, 1]
+    theta = 2.0 * math.atan2(abs(a00), abs(a01))
+    s, c = math.sin(theta / 2.0), math.cos(theta / 2.0)
+    if s > 1e-12 and c > 1e-12:
+        phi = float(np.angle(a00) - np.angle(a01))
+    else:
+        phi = 0.0
+    mzi = mzi_transfer(theta, phi)
+    d0 = block[0, 1] / mzi[0, 1] if abs(mzi[0, 1]) > 1e-12 else block[0, 0] / mzi[0, 0]
+    d1 = block[1, 0] / mzi[1, 0] if abs(mzi[1, 0]) > 1e-12 else block[1, 1] / mzi[1, 1]
+    return d0, d1, theta, phi
+
+
+# --------------------------------------------------------------------------- #
+# decompositions
+# --------------------------------------------------------------------------- #
+def _check_unitary_input(unitary: np.ndarray) -> np.ndarray:
+    unitary = np.asarray(unitary, dtype=complex)
+    if unitary.ndim != 2 or unitary.shape[0] != unitary.shape[1]:
+        raise ValueError("decomposition requires a square matrix")
+    if not is_unitary(unitary, atol=1e-6):
+        raise ValueError("matrix is not unitary; map general matrices via svd_decompose()")
+    return unitary
+
+
+def reck_decompose(unitary: np.ndarray) -> MeshDecomposition:
+    """Triangular (Reck) decomposition of a unitary into physical MZIs."""
+    unitary = _check_unitary_input(unitary)
+    n = unitary.shape[0]
+    work = unitary.copy()
+    settings: List[MZISetting] = []
+    for row in range(n - 1, 0, -1):
+        for m in range(0, row):
+            a, b = work[row, m], work[row, m + 1]
+            theta, phi = _solve_right_null(a, b)
+            mzi = mzi_transfer(theta, phi)
+            work = work @ _embed_pair(n, m, mzi.conj().T)
+            settings.append(MZISetting(mode=m, theta=theta, phi=phi))
+    output_phases = np.diag(work).copy()
+    return MeshDecomposition(dimension=n, settings=settings,
+                             output_phases=output_phases, method="reck")
+
+
+def clements_decompose(unitary: np.ndarray) -> MeshDecomposition:
+    """Rectangular (Clements) decomposition of a unitary into physical MZIs."""
+    unitary = _check_unitary_input(unitary)
+    n = unitary.shape[0]
+    work = unitary.copy()
+    right_settings: List[MZISetting] = []   # recorded in application order
+    left_settings: List[MZISetting] = []    # recorded in application order
+
+    for i in range(n - 1):
+        if i % 2 == 0:
+            # null along the anti-diagonal with column (right) operations
+            for j in range(i + 1):
+                row, col = n - 1 - j, i - j
+                a, b = work[row, col], work[row, col + 1]
+                theta, phi = _solve_right_null(a, b)
+                mzi = mzi_transfer(theta, phi)
+                work = work @ _embed_pair(n, col, mzi.conj().T)
+                right_settings.append(MZISetting(mode=col, theta=theta, phi=phi))
+        else:
+            # null along the anti-diagonal with row (left) operations
+            for j in range(i + 1):
+                row, col = n - 1 - i + j, j
+                a, b = work[row - 1, col], work[row, col]
+                theta, phi = _solve_left_null(a, b)
+                mzi = mzi_transfer(theta, phi)
+                work = _embed_pair(n, row - 1, mzi) @ work
+                left_settings.append(MZISetting(mode=row - 1, theta=theta, phi=phi))
+
+    diagonal = np.diag(work).copy()
+
+    # U = L_1^{-1} ... L_q^{-1} D M_p ... M_1  with L/M physical MZIs.  Commute
+    # each L_k^{-1} through the diagonal so the final expression is
+    # D' * (physical MZI chain).
+    pushed: List[MZISetting] = []
+    for setting in reversed(left_settings):
+        m = setting.mode
+        inverse_block = setting.transfer_matrix().conj().T
+        block = inverse_block @ np.diag(diagonal[m:m + 2])
+        d0, d1, theta, phi = _refactor_phase_mzi(block)
+        diagonal[m] = d0
+        diagonal[m + 1] = d1
+        pushed.insert(0, MZISetting(mode=m, theta=theta, phi=phi))
+
+    # Application order: right-op MZIs first (rightmost in the product), then
+    # the pushed left-op MZIs.
+    settings = list(right_settings) + list(reversed(pushed))
+    return MeshDecomposition(dimension=n, settings=settings,
+                             output_phases=diagonal, method="clements")
+
+
+def decompose_unitary(unitary: np.ndarray, method: str = "clements") -> MeshDecomposition:
+    """Dispatch to :func:`reck_decompose` or :func:`clements_decompose`."""
+    method = method.lower()
+    if method == "reck":
+        return reck_decompose(unitary)
+    if method == "clements":
+        return clements_decompose(unitary)
+    raise ValueError(f"unknown mesh decomposition method {method!r} (use 'reck' or 'clements')")

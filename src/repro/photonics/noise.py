@@ -1,0 +1,76 @@
+"""Hardware non-ideality models: phase noise and phase quantization.
+
+These extend the paper (motivated by its references [11], [13]) and are used
+by the robustness ablation benchmark: the split ONN uses ~4x fewer MZIs, so
+for the same per-device phase error it accumulates less total error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.photonics.mzi_mesh import MeshDecomposition, MZISetting
+
+
+def quantize_phases(mesh: MeshDecomposition, bits: int) -> MeshDecomposition:
+    """Return a copy of ``mesh`` with every phase rounded to ``bits``-bit resolution.
+
+    Phases are quantized uniformly over ``[0, 2*pi)``, modelling the finite
+    resolution of the DAC driving each thermo-optic heater.
+    """
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    levels = 2 ** bits
+    step = 2.0 * math.pi / levels
+
+    def quantize(angle: float) -> float:
+        return round(float(np.mod(angle, 2.0 * math.pi)) / step) * step
+
+    settings = [MZISetting(mode=s.mode, theta=quantize(s.theta), phi=quantize(s.phi))
+                for s in mesh.settings]
+    phases = np.angle(mesh.output_phases)
+    quantized_phases = np.exp(1j * np.array([quantize(float(p)) for p in phases]))
+    return MeshDecomposition(dimension=mesh.dimension, settings=settings,
+                             output_phases=quantized_phases, method=mesh.method)
+
+
+@dataclass
+class PhaseNoiseModel:
+    """Additive Gaussian phase error on every tunable phase shifter.
+
+    Parameters
+    ----------
+    sigma:
+        Standard deviation of the phase error in radians.
+    rng:
+        Generator used to draw the errors (pass a seeded generator for
+        reproducible robustness sweeps).
+    """
+
+    sigma: float = 0.0
+    rng: Optional[np.random.Generator] = None
+
+    def perturb(self, mesh: MeshDecomposition) -> MeshDecomposition:
+        """Return a noisy copy of ``mesh``."""
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.sigma == 0:
+            return MeshDecomposition(dimension=mesh.dimension,
+                                     settings=list(mesh.settings),
+                                     output_phases=mesh.output_phases.copy(),
+                                     method=mesh.method)
+        rng = self.rng if self.rng is not None else np.random.default_rng(0)
+        settings = [
+            MZISetting(mode=s.mode,
+                       theta=s.theta + rng.normal(0.0, self.sigma),
+                       phi=s.phi + rng.normal(0.0, self.sigma))
+            for s in mesh.settings
+        ]
+        phase_errors = rng.normal(0.0, self.sigma, size=mesh.dimension)
+        output_phases = mesh.output_phases * np.exp(1j * phase_errors)
+        return MeshDecomposition(dimension=mesh.dimension, settings=settings,
+                                 output_phases=output_phases, method=mesh.method)

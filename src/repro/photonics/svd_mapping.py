@@ -1,0 +1,130 @@
+"""SVD mapping of arbitrary weight matrices onto MZI meshes.
+
+A general (complex or real) ``m x n`` weight matrix ``W`` is factored as
+``W = U S V*`` (singular value decomposition).  ``U`` and ``V*`` are unitary
+and are implemented as MZI meshes; ``S`` is a non-negative diagonal
+implemented as a column of optical attenuators (singular values larger than
+one are handled by pulling a global scale out of the diagonal, which in
+hardware corresponds to optical amplification or digital rescaling at the
+detector).
+
+The MZI count of the mapped matrix is::
+
+    n (n - 1) / 2  +  min(m, n)  +  m (m - 1) / 2
+
+which is the formula the paper uses for every area number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.photonics.area import mzi_count_matrix
+from repro.photonics.mzi_mesh import MeshDecomposition, decompose_unitary
+
+
+@dataclass
+class PhotonicMatrix:
+    """A weight matrix deployed as two MZI meshes and a diagonal scaling column.
+
+    Attributes
+    ----------
+    left_mesh:
+        Mesh implementing the ``m x m`` unitary ``U``.
+    right_mesh:
+        Mesh implementing the ``n x n`` unitary ``V*``.
+    singular_values:
+        The ``min(m, n)`` singular values (attenuator settings after
+        normalisation by :attr:`scale`).
+    scale:
+        Global scale factor pulled out so every attenuator transmission is at
+        most 1.  Applied digitally (or by an amplifier) after detection.
+    """
+
+    rows: int
+    cols: int
+    left_mesh: MeshDecomposition
+    right_mesh: MeshDecomposition
+    singular_values: np.ndarray
+    scale: float
+
+    @property
+    def mzi_count(self) -> int:
+        """MZIs used by both meshes (matches the closed-form count)."""
+        return self.left_mesh.mzi_count + self.right_mesh.mzi_count + 0
+
+    @property
+    def attenuator_count(self) -> int:
+        return int(min(self.rows, self.cols))
+
+    @property
+    def device_count(self) -> int:
+        """MZIs plus diagonal attenuators -- the paper's per-matrix device count."""
+        return self.mzi_count + self.attenuator_count
+
+    def matrix(self) -> np.ndarray:
+        """Reconstruct the dense matrix implemented by the photonic circuit."""
+        left = self.left_mesh.reconstruct()
+        right = self.right_mesh.reconstruct()
+        diag = np.zeros((self.rows, self.cols), dtype=complex)
+        k = min(self.rows, self.cols)
+        diag[np.arange(k), np.arange(k)] = self.singular_values
+        return self.scale * (left @ diag @ right)
+
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """Propagate complex amplitudes through ``V*``, the attenuators and ``U``.
+
+        ``vector`` may be ``(cols,)`` or ``(batch, cols)``.
+        """
+        vector = np.asarray(vector, dtype=complex)
+        single = vector.ndim == 1
+        states = vector[None, :] if single else vector
+        states = self.right_mesh.apply(states)
+        k = min(self.rows, self.cols)
+        projected = np.zeros((states.shape[0], self.rows), dtype=complex)
+        projected[:, :k] = states[:, :k] * self.singular_values[None, :k]
+        states = self.left_mesh.apply(projected)
+        states = states * self.scale
+        return states[0] if single else states
+
+
+def svd_decompose(weight: np.ndarray, method: str = "clements",
+                  normalize: bool = True) -> PhotonicMatrix:
+    """Map a weight matrix onto a photonic circuit via SVD.
+
+    Parameters
+    ----------
+    weight:
+        Real or complex matrix of shape ``(m, n)``.
+    method:
+        Mesh decomposition method for the two unitaries (``"clements"`` or
+        ``"reck"``).
+    normalize:
+        If True, scale the singular values so the largest attenuator
+        transmission is 1 (physically realisable); the scale factor is stored
+        in :attr:`PhotonicMatrix.scale`.
+    """
+    weight = np.asarray(weight, dtype=complex)
+    if weight.ndim != 2:
+        raise ValueError("svd_decompose expects a 2-D matrix")
+    rows, cols = weight.shape
+    left, singular_values, right = np.linalg.svd(weight, full_matrices=True)
+    scale = 1.0
+    if normalize and singular_values.size and singular_values[0] > 1.0:
+        scale = float(singular_values[0])
+        singular_values = singular_values / scale
+    left_mesh = decompose_unitary(left, method=method)
+    right_mesh = decompose_unitary(right, method=method)
+    photonic = PhotonicMatrix(
+        rows=rows, cols=cols, left_mesh=left_mesh, right_mesh=right_mesh,
+        singular_values=singular_values.astype(float), scale=scale,
+    )
+    expected = mzi_count_matrix(rows, cols) - min(rows, cols)
+    if photonic.mzi_count != expected:
+        raise AssertionError(
+            f"mesh MZI count {photonic.mzi_count} disagrees with closed form {expected}"
+        )
+    return photonic

@@ -1,0 +1,41 @@
+"""Reverse-mode automatic differentiation engine on top of numpy.
+
+This subpackage is the computational substrate for every neural network in the
+OplixNet reproduction.  It provides:
+
+* :class:`~repro.tensor.tensor.Tensor` -- an n-dimensional array that records
+  the operations applied to it and can back-propagate gradients.
+* :mod:`~repro.tensor.functional` -- stateless neural-network primitives
+  (conv2d, pooling, softmax, one-hot, ...) built from Tensor operations.
+* :mod:`~repro.tensor.gradcheck` -- finite-difference gradient verification
+  used heavily by the test-suite.
+* :mod:`~repro.tensor.random` -- seeded random helpers and weight
+  initialisation schemes.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor.gradcheck import gradcheck, numerical_gradient
+from repro.tensor.random import (
+    seed_all,
+    default_rng,
+    kaiming_uniform,
+    kaiming_normal,
+    xavier_uniform,
+    xavier_normal,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "gradcheck",
+    "numerical_gradient",
+    "seed_all",
+    "default_rng",
+    "kaiming_uniform",
+    "kaiming_normal",
+    "xavier_uniform",
+    "xavier_normal",
+]

@@ -1,0 +1,260 @@
+"""Stateless neural-network primitives built on the autograd engine.
+
+These functions are the computational kernels used by the layer classes in
+:mod:`repro.nn`.  Convolution and pooling are implemented with an im2col
+lowering so that the heavy lifting happens inside a single matrix product
+(the same operation the photonic MZI mesh implements in hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, ensure_tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _as_pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (int(value), int(value))
+
+
+# --------------------------------------------------------------------------- #
+# softmax family
+# --------------------------------------------------------------------------- #
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    logits = ensure_tensor(logits)
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    logits = ensure_tensor(logits)
+    return logits - ops.logsumexp(logits, axis=axis, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    """Encode integer class labels as one-hot rows."""
+    labels = np.asarray(labels, dtype=int).reshape(-1)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels out of range for one_hot encoding")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+# --------------------------------------------------------------------------- #
+# linear
+# --------------------------------------------------------------------------- #
+def linear(inputs: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``inputs @ weight.T + bias``.
+
+    ``weight`` has shape ``(out_features, in_features)`` to match the
+    convention used throughout :mod:`repro.nn`.
+    """
+    output = ensure_tensor(inputs) @ ensure_tensor(weight).transpose()
+    if bias is not None:
+        output = output + bias
+    return output
+
+
+# --------------------------------------------------------------------------- #
+# im2col convolution
+# --------------------------------------------------------------------------- #
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col_indices(input_shape: Tuple[int, int, int, int],
+                   kernel_size: Tuple[int, int],
+                   stride: Tuple[int, int],
+                   padding: Tuple[int, int]) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[int, int]]:
+    """Compute gather indices used to lower a convolution to a matrix product.
+
+    Returns ``(k, i, j, (out_h, out_w))`` where ``k, i, j`` index the channel,
+    row and column of each patch element for every output position.
+    """
+    _batch, channels, height, width = input_shape
+    kernel_h, kernel_w = kernel_size
+    stride_h, stride_w = stride
+    pad_h, pad_w = padding
+    out_h = _conv_output_size(height, kernel_h, stride_h, pad_h)
+    out_w = _conv_output_size(width, kernel_w, stride_w, pad_w)
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output would be empty for input {input_shape}, "
+            f"kernel {kernel_size}, stride {stride}, padding {padding}"
+        )
+
+    i0 = np.repeat(np.arange(kernel_h), kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride_h * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
+    j1 = stride_w * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return k, i, j, (out_h, out_w)
+
+
+def im2col(inputs: np.ndarray,
+           kernel_size: Tuple[int, int],
+           stride: Tuple[int, int],
+           padding: Tuple[int, int]) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Rearrange image patches into columns.
+
+    Output has shape ``(channels * kh * kw, batch * out_h * out_w)``.
+    """
+    pad_h, pad_w = padding
+    padded = np.pad(inputs, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)), mode="constant")
+    k, i, j, out_size = im2col_indices(inputs.shape, kernel_size, stride, padding)
+    columns = padded[:, k, i, j]                      # (batch, C*kh*kw, out_h*out_w)
+    columns = columns.transpose(1, 2, 0).reshape(columns.shape[1], -1)
+    return columns, out_size
+
+
+def col2im(columns: np.ndarray,
+           input_shape: Tuple[int, int, int, int],
+           kernel_size: Tuple[int, int],
+           stride: Tuple[int, int],
+           padding: Tuple[int, int]) -> np.ndarray:
+    """Scatter-add columns back into image form (adjoint of :func:`im2col`)."""
+    batch, channels, height, width = input_shape
+    pad_h, pad_w = padding
+    padded_shape = (batch, channels, height + 2 * pad_h, width + 2 * pad_w)
+    padded = np.zeros(padded_shape, dtype=columns.dtype)
+    k, i, j, out_size = im2col_indices(input_shape, kernel_size, stride, padding)
+    out_h, out_w = out_size
+    cols_reshaped = columns.reshape(channels * kernel_size[0] * kernel_size[1], out_h * out_w, batch)
+    cols_reshaped = cols_reshaped.transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), k, i, j), cols_reshaped)
+    if pad_h == 0 and pad_w == 0:
+        return padded
+    return padded[:, :, pad_h:pad_h + height, pad_w:pad_w + width]
+
+
+def conv2d(inputs: Tensor,
+           weight: Tensor,
+           bias: Optional[Tensor] = None,
+           stride: IntPair = 1,
+           padding: IntPair = 0) -> Tensor:
+    """2-D cross-correlation (what deep-learning frameworks call convolution).
+
+    Parameters
+    ----------
+    inputs:
+        Tensor of shape ``(batch, in_channels, height, width)``.
+    weight:
+        Tensor of shape ``(out_channels, in_channels, kernel_h, kernel_w)``.
+    bias:
+        Optional tensor of shape ``(out_channels,)``.
+    """
+    inputs = ensure_tensor(inputs)
+    weight = ensure_tensor(weight)
+    stride = _as_pair(stride)
+    padding = _as_pair(padding)
+    batch, in_channels, _height, _width = inputs.shape
+    out_channels, weight_in_channels, kernel_h, kernel_w = weight.shape
+    if in_channels != weight_in_channels:
+        raise ValueError(
+            f"conv2d channel mismatch: input has {in_channels}, weight expects {weight_in_channels}"
+        )
+
+    columns, (out_h, out_w) = im2col(inputs.data, (kernel_h, kernel_w), stride, padding)
+    weight_matrix = weight.data.reshape(out_channels, -1)
+    out_matrix = weight_matrix @ columns                       # (out_channels, batch*out_h*out_w)
+    out_data = out_matrix.reshape(out_channels, out_h, out_w, batch).transpose(3, 0, 1, 2)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, out_channels, 1, 1)
+
+    def backward(grad):
+        grad_matrix = grad.transpose(1, 2, 3, 0).reshape(out_channels, -1)
+        grad_weight = (grad_matrix @ columns.T).reshape(weight.shape)
+        grad_columns = weight_matrix.T @ grad_matrix
+        grad_input = col2im(grad_columns, inputs.shape, (kernel_h, kernel_w), stride, padding)
+        grad_bias = grad.sum(axis=(0, 2, 3)) if bias is not None else None
+        if bias is not None:
+            return grad_input, grad_weight, grad_bias
+        return grad_input, grad_weight
+
+    parents = (inputs, weight) if bias is None else (inputs, weight, bias)
+    output = Tensor._make(out_data, parents, backward)
+    return output
+
+
+def max_pool2d(inputs: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Max pooling over non-overlapping or strided windows."""
+    inputs = ensure_tensor(inputs)
+    kernel = _as_pair(kernel_size)
+    stride = _as_pair(stride) if stride is not None else kernel
+    batch, channels, height, width = inputs.shape
+    out_h = _conv_output_size(height, kernel[0], stride[0], 0)
+    out_w = _conv_output_size(width, kernel[1], stride[1], 0)
+
+    # Treat each channel independently by folding channels into the batch axis.
+    reshaped = inputs.data.reshape(batch * channels, 1, height, width)
+    columns, _ = im2col(reshaped, kernel, stride, (0, 0))      # (kh*kw, N*out_h*out_w)
+    max_idx = columns.argmax(axis=0)
+    out_cols = columns[max_idx, np.arange(columns.shape[1])]
+    out_data = out_cols.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    out_data = out_data.reshape(batch, channels, out_h, out_w)
+
+    def backward(grad):
+        grad_cols = np.zeros_like(columns)
+        grad_flat = grad.reshape(batch * channels, out_h, out_w).transpose(1, 2, 0).reshape(-1)
+        grad_cols[max_idx, np.arange(columns.shape[1])] = grad_flat
+        grad_input = col2im(grad_cols, (batch * channels, 1, height, width), kernel, stride, (0, 0))
+        return (grad_input.reshape(batch, channels, height, width),)
+
+    return Tensor._make(out_data, (inputs,), backward)
+
+
+def avg_pool2d(inputs: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling over windows."""
+    inputs = ensure_tensor(inputs)
+    kernel = _as_pair(kernel_size)
+    stride = _as_pair(stride) if stride is not None else kernel
+    batch, channels, height, width = inputs.shape
+    out_h = _conv_output_size(height, kernel[0], stride[0], 0)
+    out_w = _conv_output_size(width, kernel[1], stride[1], 0)
+    window = kernel[0] * kernel[1]
+
+    reshaped = inputs.data.reshape(batch * channels, 1, height, width)
+    columns, _ = im2col(reshaped, kernel, stride, (0, 0))
+    out_cols = columns.mean(axis=0)
+    out_data = out_cols.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
+    out_data = out_data.reshape(batch, channels, out_h, out_w)
+
+    def backward(grad):
+        grad_flat = grad.reshape(batch * channels, out_h, out_w).transpose(1, 2, 0).reshape(-1)
+        grad_cols = np.tile(grad_flat / window, (window, 1))
+        grad_input = col2im(grad_cols, (batch * channels, 1, height, width), kernel, stride, (0, 0))
+        return (grad_input.reshape(batch, channels, height, width),)
+
+    return Tensor._make(out_data, (inputs,), backward)
+
+
+def global_avg_pool2d(inputs: Tensor) -> Tensor:
+    """Average over the spatial dimensions, yielding ``(batch, channels)``."""
+    inputs = ensure_tensor(inputs)
+    return inputs.mean(axis=(2, 3))
+
+
+def dropout(inputs: Tensor, rate: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when not training or ``rate == 0``."""
+    if not training or rate <= 0.0:
+        return ensure_tensor(inputs)
+    if not 0.0 <= rate < 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    rng = rng if rng is not None else np.random.default_rng()
+    inputs = ensure_tensor(inputs)
+    mask = (rng.random(inputs.shape) >= rate) / (1.0 - rate)
+    return inputs * Tensor(mask.astype(inputs.dtype))

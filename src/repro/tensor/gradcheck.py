@@ -1,0 +1,77 @@
+"""Finite-difference gradient verification utilities.
+
+Used throughout the test-suite to validate the autograd engine and the
+hand-written backward passes of convolution, pooling and the complex layers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[], Tensor], tensor: Tensor, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of the scalar ``fn()`` w.r.t. ``tensor``.
+
+    ``fn`` must be a zero-argument callable that re-evaluates the forward pass
+    using the *current* contents of ``tensor.data``.
+    """
+    gradient = np.zeros_like(tensor.data, dtype=np.float64)
+    flat = tensor.data.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        plus = float(fn().data)
+        flat[index] = original - epsilon
+        minus = float(fn().data)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2.0 * epsilon)
+    return gradient
+
+
+def gradcheck(fn: Callable[[], Tensor],
+              tensors: Sequence[Tensor],
+              epsilon: float = 1e-6,
+              atol: float = 1e-5,
+              rtol: float = 1e-4) -> bool:
+    """Verify analytic gradients of ``fn`` against finite differences.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable returning a scalar :class:`Tensor` computed from
+        the tensors in ``tensors``.
+    tensors:
+        Leaf tensors (``requires_grad=True``) to check.
+
+    Returns
+    -------
+    bool
+        True if every analytic gradient matches the numerical estimate within
+        the given tolerances.  Raises ``AssertionError`` with a diagnostic
+        message otherwise.
+    """
+    for tensor in tensors:
+        if not tensor.requires_grad:
+            raise ValueError("gradcheck requires tensors with requires_grad=True")
+        tensor.zero_grad()
+
+    output = fn()
+    if output.size != 1:
+        raise ValueError("gradcheck expects fn() to return a scalar tensor")
+    output.backward()
+
+    for position, tensor in enumerate(tensors):
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, tensor, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for tensor #{position} "
+                f"(max abs difference {worst:.3e}, atol={atol}, rtol={rtol})"
+            )
+    return True

@@ -1,0 +1,447 @@
+"""Primitive differentiable operations on :class:`~repro.tensor.tensor.Tensor`.
+
+Every function here builds a result tensor via ``Tensor._make`` and supplies a
+backward closure returning one gradient per parent.  Broadcasting reduction is
+handled centrally by the autograd engine, so closures may return gradients in
+the broadcast shape.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, ensure_tensor
+
+Axis = Union[None, int, Tuple[int, ...]]
+
+
+# --------------------------------------------------------------------------- #
+# binary arithmetic
+# --------------------------------------------------------------------------- #
+def add(a, b) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data + b.data
+
+    def backward(grad):
+        return grad, grad
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def sub(a, b) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data - b.data
+
+    def backward(grad):
+        return grad, -grad
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data * b.data
+
+    def backward(grad):
+        return grad * b.data, grad * a.data
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def div(a, b) -> Tensor:
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data / b.data
+
+    def backward(grad):
+        grad_a = grad / b.data
+        grad_b = -grad * a.data / (b.data ** 2)
+        return grad_a, grad_b
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def neg(a) -> Tensor:
+    a = ensure_tensor(a)
+
+    def backward(grad):
+        return (-grad,)
+
+    return Tensor._make(-a.data, (a,), backward)
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise power with a constant (non-differentiated) exponent."""
+    a = ensure_tensor(a)
+    out_data = a.data ** exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise maximum; gradient is routed to the larger operand (ties split evenly)."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(grad):
+        a_larger = a.data > b.data
+        b_larger = b.data > a.data
+        ties = ~(a_larger | b_larger)
+        grad_a = grad * (a_larger + 0.5 * ties)
+        grad_b = grad * (b_larger + 0.5 * ties)
+        return grad_a, grad_b
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product following numpy ``@`` semantics (supports batched operands)."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    out_data = a.data @ b.data
+
+    def backward(grad):
+        a_data, b_data = a.data, b.data
+        if a_data.ndim == 1 and b_data.ndim == 1:
+            # inner product
+            grad_a = grad * b_data
+            grad_b = grad * a_data
+        elif a_data.ndim == 1:
+            # (k,) @ (..., k, n) -> (..., n)
+            grad_a = (grad[..., None, :] @ np.swapaxes(b_data, -1, -2))[..., 0, :]
+            grad_a = grad_a.reshape(-1, a_data.shape[0]).sum(axis=0)
+            grad_b = a_data[:, None] * grad[..., None, :]
+        elif b_data.ndim == 1:
+            # (..., m, k) @ (k,) -> (..., m)
+            grad_a = grad[..., :, None] * b_data[None, :]
+            grad_b = (np.swapaxes(a_data, -1, -2) @ grad[..., :, None])[..., 0]
+            grad_b = grad_b.reshape(-1, b_data.shape[0]).sum(axis=0)
+        else:
+            grad_a = grad @ np.swapaxes(b_data, -1, -2)
+            grad_b = np.swapaxes(a_data, -1, -2) @ grad
+        return grad_a, grad_b
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+# --------------------------------------------------------------------------- #
+# unary elementwise
+# --------------------------------------------------------------------------- #
+def exp(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * out_data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.log(a.data)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sqrt(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad):
+        return (grad * 0.5 / out_data,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
+    a = ensure_tensor(a)
+    out_data = np.abs(a.data)
+
+    def backward(grad):
+        return (grad * np.sign(a.data),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def tanh(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - out_data ** 2),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sigmoid(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        return (grad * out_data * (1.0 - out_data),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def relu(a) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.maximum(a.data, 0.0)
+
+    def backward(grad):
+        return (grad * (a.data > 0),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = np.where(a.data > 0, a.data, negative_slope * a.data)
+
+    def backward(grad):
+        return (grad * np.where(a.data > 0, 1.0, negative_slope),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def clip(a, low: Optional[float], high: Optional[float]) -> Tensor:
+    """Clamp values to ``[low, high]``; gradient is zero outside the interval."""
+    a = ensure_tensor(a)
+    out_data = np.clip(a.data, low, high)
+
+    def backward(grad):
+        mask = np.ones_like(a.data)
+        if low is not None:
+            mask = mask * (a.data >= low)
+        if high is not None:
+            mask = mask * (a.data <= high)
+        return (grad * mask,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def sin(a) -> Tensor:
+    a = ensure_tensor(a)
+
+    def backward(grad):
+        return (grad * np.cos(a.data),)
+
+    return Tensor._make(np.sin(a.data), (a,), backward)
+
+
+def cos(a) -> Tensor:
+    a = ensure_tensor(a)
+
+    def backward(grad):
+        return (-grad * np.sin(a.data),)
+
+    return Tensor._make(np.cos(a.data), (a,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# reductions
+# --------------------------------------------------------------------------- #
+def _expand_reduced(grad: np.ndarray, original_shape: Tuple[int, ...], axis: Axis,
+                    keepdims: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back to ``original_shape``."""
+    if axis is None:
+        return np.broadcast_to(grad, original_shape)
+    if not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        axes = tuple(ax % len(original_shape) for ax in axes)
+        for ax in sorted(axes):
+            grad = np.expand_dims(grad, ax)
+    return np.broadcast_to(grad, original_shape)
+
+
+def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    a = ensure_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        return (_expand_reduced(grad, a.data.shape, axis, keepdims),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.data.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(grad):
+        return (_expand_reduced(grad, a.data.shape, axis, keepdims) / count,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def var(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Biased (population) variance, matching ``numpy.var`` defaults."""
+    a = ensure_tensor(a)
+    mean_data = a.data.mean(axis=axis, keepdims=True)
+    out_data = ((a.data - mean_data) ** 2).mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else np.prod(
+        [a.data.shape[ax] for ax in (axis if isinstance(axis, tuple) else (axis,))]
+    )
+
+    def backward(grad):
+        grad_full = _expand_reduced(grad, a.data.shape, axis, keepdims)
+        return (grad_full * 2.0 * (a.data - mean_data) / count,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def _minmax(a, axis: Axis, keepdims: bool, fn) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = fn(a.data, axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        out_keep = fn(a.data, axis=axis, keepdims=True)
+        mask = (a.data == out_keep).astype(a.data.dtype)
+        # Split the gradient evenly among ties so that the total is conserved.
+        mask = mask / mask.sum(axis=axis, keepdims=True)
+        grad_full = _expand_reduced(grad, a.data.shape, axis, keepdims)
+        return (grad_full * mask,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def max(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return _minmax(a, axis, keepdims, np.max)
+
+
+def min(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    return _minmax(a, axis, keepdims, np.min)
+
+
+def logsumexp(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(a)))`` with exact softmax gradient."""
+    a = ensure_tensor(a)
+    shifted_max = a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(a.data - shifted_max)
+    sum_exps = exps.sum(axis=axis, keepdims=True)
+    out_keep = np.log(sum_exps) + shifted_max
+    out_data = out_keep if keepdims else np.squeeze(
+        out_keep, axis=axis if axis is not None else tuple(range(a.data.ndim))
+    )
+
+    def backward(grad):
+        softmax = exps / sum_exps
+        grad_full = _expand_reduced(grad, a.data.shape, axis, keepdims)
+        return (grad_full * softmax,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# --------------------------------------------------------------------------- #
+# shape manipulation
+# --------------------------------------------------------------------------- #
+def reshape(a, shape: Sequence[int]) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad):
+        return (grad.reshape(a.data.shape),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = a.data.transpose(axes)
+
+    def backward(grad):
+        if axes is None:
+            return (grad.transpose(),)
+        inverse = np.argsort(axes)
+        return (grad.transpose(inverse),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def getitem(a, index) -> Tensor:
+    a = ensure_tensor(a)
+    out_data = a.data[index]
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        slices = []
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(int(start), int(stop))
+            slices.append(grad[tuple(index)])
+        return tuple(slices)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [ensure_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        parts = np.split(grad, len(tensors), axis=axis)
+        return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def _normalize_pad_width(pad_width, ndim: int) -> np.ndarray:
+    """Expand ``pad_width`` into an ``(ndim, 2)`` integer array (numpy semantics)."""
+    width = np.asarray(pad_width, dtype=int)
+    if width.ndim == 0:
+        width = np.tile(width.reshape(1, 1), (ndim, 2))
+    elif width.ndim == 1 and width.shape == (2,):
+        width = np.tile(width.reshape(1, 2), (ndim, 1))
+    elif width.shape != (ndim, 2):
+        raise ValueError(f"pad_width {pad_width!r} is not valid for a {ndim}-d tensor")
+    return width
+
+
+def pad(a, pad_width, constant_value: float = 0.0) -> Tensor:
+    """Constant padding following ``numpy.pad`` ``pad_width`` conventions."""
+    a = ensure_tensor(a)
+    width = _normalize_pad_width(pad_width, a.data.ndim)
+    out_data = np.pad(a.data, width, mode="constant", constant_values=constant_value)
+
+    def backward(grad):
+        slices = tuple(
+            slice(int(before), int(before) + dim)
+            for (before, _after), dim in zip(width, a.data.shape)
+        )
+        return (grad[slices],)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Select elements from ``a`` where ``condition`` is true, else from ``b``."""
+    a, b = ensure_tensor(a), ensure_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(grad):
+        return grad * condition, grad * (~condition)
+
+    return Tensor._make(out_data, (a, b), backward)

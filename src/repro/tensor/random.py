@@ -1,0 +1,98 @@
+"""Seeded randomness and weight-initialisation schemes.
+
+All stochastic behaviour in the library flows through ``numpy.random.Generator``
+objects so that experiments are exactly reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+def seed_all(seed: int) -> np.random.Generator:
+    """Reset the library-wide default generator and return it."""
+    global _DEFAULT_RNG
+    _DEFAULT_RNG = np.random.default_rng(seed)
+    return _DEFAULT_RNG
+
+
+def default_rng(rng: Optional[np.random.Generator] = None) -> np.random.Generator:
+    """Return ``rng`` if given, otherwise the library-wide default generator."""
+    return rng if rng is not None else _DEFAULT_RNG
+
+
+def _fan_in_fan_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute fan-in/fan-out for linear (2-d) and convolutional (4-d) weights."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    elif len(shape) == 1:
+        fan_in = fan_out = shape[0]
+    else:
+        raise ValueError(f"unsupported weight shape {tuple(shape)} for fan computation")
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape: Sequence[int], gain: float = math.sqrt(2.0),
+                    rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He/Kaiming uniform initialisation (suitable for ReLU networks)."""
+    rng = default_rng(rng)
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape: Sequence[int], gain: float = math.sqrt(2.0),
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """He/Kaiming normal initialisation."""
+    rng = default_rng(rng)
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Sequence[int], gain: float = 1.0,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation (suitable for tanh / linear units)."""
+    rng = default_rng(rng)
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Sequence[int], gain: float = 1.0,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    rng = default_rng(rng)
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def complex_init(shape: Sequence[int], rng: Optional[np.random.Generator] = None,
+                 criterion: str = "glorot") -> Tuple[np.ndarray, np.ndarray]:
+    """Initialise a complex weight as (real, imaginary) parts.
+
+    Follows the polar initialisation of Trabelsi et al. ("Deep Complex
+    Networks"): magnitudes are Rayleigh distributed with a variance chosen by
+    the Glorot or He criterion, phases are uniform in ``[-pi, pi]``.
+    """
+    rng = default_rng(rng)
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    if criterion == "glorot":
+        sigma = 1.0 / math.sqrt(fan_in + fan_out)
+    elif criterion == "he":
+        sigma = 1.0 / math.sqrt(fan_in)
+    else:
+        raise ValueError(f"unknown criterion {criterion!r}; expected 'glorot' or 'he'")
+    magnitude = rng.rayleigh(scale=sigma, size=shape)
+    phase = rng.uniform(-math.pi, math.pi, size=shape)
+    return magnitude * np.cos(phase), magnitude * np.sin(phase)

@@ -1,0 +1,226 @@
+"""Tests of the real-to-complex data assignment schemes (Section III-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.assignment import (
+    AssignmentResult,
+    ChannelLossless,
+    ChannelRemapping,
+    ConventionalAssignment,
+    SpatialHalfHalf,
+    SpatialInterlace,
+    SpatialSymmetric,
+    available_schemes,
+    get_scheme,
+    rgb_to_two_channels,
+)
+
+
+def images(rng, batch=2, channels=1, height=6, width=5):
+    return rng.normal(size=(batch, channels, height, width))
+
+
+class TestSpatialInterlace:
+    def test_packs_adjacent_rows(self, rng):
+        data = images(rng, height=4)
+        result = SpatialInterlace().assign(data)
+        assert result.shape == (2, 1, 2, 5)
+        assert np.allclose(result.real[:, :, 0], data[:, :, 0])
+        assert np.allclose(result.imag[:, :, 0], data[:, :, 1])
+        assert np.allclose(result.real[:, :, 1], data[:, :, 2])
+        assert np.allclose(result.imag[:, :, 1], data[:, :, 3])
+
+    def test_inverse_roundtrip(self, rng):
+        data = images(rng, height=8)
+        scheme = SpatialInterlace()
+        assert np.allclose(scheme.inverse(scheme.assign(data)), data)
+
+    def test_odd_height_padded(self, rng):
+        data = images(rng, height=5)
+        result = SpatialInterlace().assign(data)
+        assert result.shape == (2, 1, 3, 5)
+        # the padded row is zero and lands in the imaginary part of the last row
+        assert np.allclose(result.imag[:, :, -1], 0.0)
+
+    def test_output_shape_and_reduction(self):
+        scheme = SpatialInterlace()
+        assert scheme.output_shape((1, 28, 28)) == (1, 14, 28)
+        assert scheme.input_feature_reduction((1, 28, 28)) == pytest.approx(0.5)
+        assert scheme.trunk_width_scale == 0.5
+        assert scheme.reduces_spatial and not scheme.reduces_channels
+
+
+class TestSpatialHalfHalf:
+    def test_packs_top_and_bottom_halves(self, rng):
+        data = images(rng, height=6)
+        result = SpatialHalfHalf().assign(data)
+        assert np.allclose(result.real, data[:, :, :3])
+        assert np.allclose(result.imag, data[:, :, 3:])
+
+    def test_inverse_roundtrip(self, rng):
+        data = images(rng, height=6)
+        scheme = SpatialHalfHalf()
+        assert np.allclose(scheme.inverse(scheme.assign(data)), data)
+
+
+class TestSpatialSymmetric:
+    def test_packs_point_reflections(self, rng):
+        data = images(rng, height=4, width=3)
+        result = SpatialSymmetric().assign(data)
+        # pixel (0, 0) is paired with pixel (H-1, W-1)
+        assert np.allclose(result.real[:, :, 0, 0], data[:, :, 0, 0])
+        assert np.allclose(result.imag[:, :, 0, 0], data[:, :, 3, 2])
+
+    def test_inverse_roundtrip(self, rng):
+        data = images(rng, height=6, width=4)
+        scheme = SpatialSymmetric()
+        assert np.allclose(scheme.inverse(scheme.assign(data)), data)
+
+    def test_same_area_reduction_as_interlace(self):
+        assert (SpatialSymmetric().output_shape((1, 28, 28))
+                == SpatialInterlace().output_shape((1, 28, 28)))
+
+
+class TestChannelLossless:
+    def test_three_channel_packing(self, rng):
+        data = images(rng, channels=3)
+        result = ChannelLossless().assign(data)
+        assert result.shape == (2, 2, 6, 5)
+        assert np.allclose(result.real[:, 0], data[:, 0])   # R -> real of channel 0
+        assert np.allclose(result.imag[:, 0], data[:, 1])   # G -> imag of channel 0
+        assert np.allclose(result.real[:, 1], data[:, 2])   # B -> real of channel 1
+        assert np.allclose(result.imag[:, 1], 0.0)           # padded imaginary part
+
+    def test_even_channel_packing_roundtrip(self, rng):
+        data = images(rng, channels=4)
+        scheme = ChannelLossless()
+        result = scheme.assign(data)
+        assert result.shape[1] == 2
+        assert np.allclose(scheme.inverse(result), data)
+
+    def test_three_channel_inverse_recovers_with_padding(self, rng):
+        data = images(rng, channels=3)
+        scheme = ChannelLossless()
+        recovered = scheme.inverse(scheme.assign(data))
+        assert np.allclose(recovered[:, :3], data)
+        assert np.allclose(recovered[:, 3], 0.0)
+
+    def test_output_shape(self):
+        assert ChannelLossless().output_shape((3, 32, 32)) == (2, 32, 32)
+        assert ChannelLossless().output_shape((4, 32, 32)) == (2, 32, 32)
+        assert ChannelLossless().trunk_width_scale == 0.5
+
+
+class TestChannelRemapping:
+    def test_output_is_single_complex_channel(self, rng):
+        data = images(rng, channels=3)
+        result = ChannelRemapping().assign(data)
+        assert result.shape == (2, 1, 6, 5)
+
+    def test_mapping_function(self, rng):
+        data = images(rng, channels=3)
+        two = rgb_to_two_channels(data)
+        assert np.allclose(two[:, 0], data.mean(axis=1))
+        assert np.allclose(two[:, 1], (data[:, 0] - data[:, 2]) / 2.0)
+
+    def test_is_lossy(self, rng):
+        scheme = ChannelRemapping()
+        assert not scheme.lossless
+        with pytest.raises(NotImplementedError):
+            scheme.inverse(scheme.assign(images(rng, channels=3)))
+
+    def test_requires_three_channels(self, rng):
+        with pytest.raises(ValueError):
+            ChannelRemapping().assign(images(rng, channels=4))
+        with pytest.raises(ValueError):
+            ChannelRemapping().output_shape((1, 8, 8))
+
+    def test_discards_green_magenta_axis(self, rng):
+        """Two images differing only along the discarded colour axis map identically."""
+        base = images(rng, channels=3)
+        shifted = base.copy()
+        shifted[:, 0] += 0.3   # +r
+        shifted[:, 1] -= 0.6   # -2g
+        shifted[:, 2] += 0.3   # +b  -> same luminance, same (r - b)
+        a = ChannelRemapping().assign(base)
+        b = ChannelRemapping().assign(shifted)
+        assert np.allclose(a.as_complex(), b.as_complex())
+
+    def test_width_scale_is_one_third(self):
+        assert ChannelRemapping().trunk_width_scale == pytest.approx(1.0 / 3.0)
+
+
+class TestConventional:
+    def test_identity_amplitude_only(self, rng):
+        data = images(rng, channels=3)
+        result = ConventionalAssignment().assign(data)
+        assert np.allclose(result.real, data)
+        assert np.allclose(result.imag, 0.0)
+        assert ConventionalAssignment().output_shape((3, 32, 32)) == (3, 32, 32)
+        assert np.allclose(ConventionalAssignment().inverse(result), data)
+
+
+class TestRegistryAndResult:
+    def test_all_names_resolve(self):
+        for name in ["SI", "SH", "SS", "CL", "CR", "conventional", "spatial_interlace",
+                     "channel_lossless", "si", "cl"]:
+            assert get_scheme(name) is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_scheme("does-not-exist")
+
+    def test_available_schemes(self):
+        names = available_schemes()
+        assert {"SI", "SH", "SS", "CL", "CR", "conventional"} <= set(names)
+
+    def test_result_validation(self, rng):
+        with pytest.raises(ValueError):
+            AssignmentResult(rng.normal(size=(1, 1, 2, 2)), rng.normal(size=(1, 1, 3, 2)))
+
+    def test_result_as_complex(self, rng):
+        real = rng.normal(size=(1, 1, 2, 2))
+        imag = rng.normal(size=(1, 1, 2, 2))
+        assert np.allclose(AssignmentResult(real, imag).as_complex(), real + 1j * imag)
+
+    def test_three_dim_input_promoted_to_batch(self, rng):
+        result = SpatialInterlace().assign(rng.normal(size=(1, 4, 4)))
+        assert result.shape == (1, 1, 2, 4)
+
+    def test_bad_rank_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SpatialInterlace().assign(rng.normal(size=(4, 4)))
+
+
+class TestPropertyBased:
+    @given(st.integers(2, 10), st.integers(2, 10), st.integers(1, 3), st.integers(0, 2 ** 16))
+    @settings(max_examples=30, deadline=None)
+    def test_lossless_schemes_roundtrip(self, height, width, channels, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(2, channels, height, width))
+        for scheme in (SpatialInterlace(), SpatialHalfHalf(), SpatialSymmetric()):
+            if height % 2 == 1:
+                continue  # padding makes the inverse recover a padded image
+            assert np.allclose(scheme.inverse(scheme.assign(data)), data)
+
+    @given(st.integers(2, 8), st.integers(2, 8), st.integers(0, 2 ** 16))
+    @settings(max_examples=30, deadline=None)
+    def test_feature_count_preserved_by_lossless_packing(self, height, width, seed):
+        """A lossless packing stores every real value exactly once."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(1, 2, height, width))
+        for scheme_name in ("SI", "SH", "SS", "CL"):
+            scheme = get_scheme(scheme_name)
+            result = scheme.assign(data)
+            packed = result.real.size + result.imag.size
+            assert packed >= data.size
+            # every original value appears somewhere in the packed representation
+            packed_values = np.sort(np.concatenate([result.real.ravel(), result.imag.ravel()]))
+            for value in data.ravel()[:5]:
+                index = np.searchsorted(packed_values, value)
+                index = min(index, packed_values.size - 1)
+                nearest = min(abs(packed_values[index] - value),
+                              abs(packed_values[max(index - 1, 0)] - value))
+                assert nearest < 1e-12

@@ -1,0 +1,44 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        actions = {action.dest: action for action in parser._subparsers._group_actions}
+        choices = actions["command"].choices
+        assert set(choices) >= {"table2", "table3", "fig7", "fig8", "fig9", "ablations", "area"}
+
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--preset", "gigantic"])
+
+
+class TestExecution:
+    def test_area_command_prints_paper_numbers(self, capsys):
+        assert main(["area"]) == 0
+        output = capsys.readouterr().out
+        assert "FCNN" in output and "ResNet-32" in output
+        assert "31.7" in output        # the paper's FCNN MZI count (x1e4)
+
+    def test_table2_smoke_with_json_output(self, tmp_path, capsys):
+        output_path = tmp_path / "rows.json"
+        assert main(["table2", "--preset", "smoke", "--workloads", "fcnn",
+                     "--output", str(output_path)]) == 0
+        stdout = capsys.readouterr().out
+        assert "Table II" in stdout
+        rows = json.loads(output_path.read_text())
+        assert rows[0]["model"] == "FCNN"
+
+    def test_fig9_smoke_single_workload(self, capsys):
+        assert main(["fig9", "--preset", "smoke", "--workloads", "fcnn"]) == 0
+        assert "decoder" in capsys.readouterr().out.lower()

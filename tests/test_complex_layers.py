@@ -1,0 +1,317 @@
+"""Tests of the complex / split-complex building blocks.
+
+The central invariant: every complex layer, expressed as a pair of real
+tensors, must agree with the equivalent numpy complex computation -- this is
+exactly the Eq. (2) split complex-to-real conversion that lets SCVNNs deploy
+onto MZI meshes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.complex import (
+    ComplexAvgPool2d,
+    ComplexBatchNorm1d,
+    ComplexBatchNorm2d,
+    ComplexConv2d,
+    ComplexDropout,
+    ComplexFlatten,
+    ComplexGlobalAvgPool2d,
+    ComplexLinear,
+    ComplexMaxPool2d,
+    ComplexSequential,
+    ComplexTanh,
+    ComplexTensor,
+    CReLU,
+    ModReLU,
+    ZReLU,
+    complex_matrix_to_real,
+    complex_vector_to_real,
+    real_vector_to_complex,
+)
+from repro.tensor import Tensor, functional as F, gradcheck
+
+
+def random_complex(rng, shape):
+    return rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+
+class TestComplexTensor:
+    def test_roundtrip_with_numpy(self, rng):
+        z = random_complex(rng, (3, 4))
+        ct = ComplexTensor.from_complex_array(z)
+        assert np.allclose(ct.to_complex_array(), z)
+
+    def test_from_polar(self):
+        ct = ComplexTensor.from_polar(np.array([2.0]), np.array([np.pi / 2]))
+        assert np.allclose(ct.to_complex_array(), [2j])
+
+    def test_arithmetic_matches_numpy(self, rng):
+        a, b = random_complex(rng, (3, 4)), random_complex(rng, (3, 4))
+        ca, cb = ComplexTensor.from_complex_array(a), ComplexTensor.from_complex_array(b)
+        assert np.allclose((ca + cb).to_complex_array(), a + b)
+        assert np.allclose((ca - cb).to_complex_array(), a - b)
+        assert np.allclose((ca * cb).to_complex_array(), a * b)
+        assert np.allclose((-ca).to_complex_array(), -a)
+        assert np.allclose(ca.conj().to_complex_array(), a.conj())
+
+    def test_matmul_matches_numpy(self, rng):
+        a, b = random_complex(rng, (3, 4)), random_complex(rng, (4, 5))
+        ca, cb = ComplexTensor.from_complex_array(a), ComplexTensor.from_complex_array(b)
+        assert np.allclose((ca @ cb).to_complex_array(), a @ b)
+
+    def test_magnitude_power_phase(self, rng):
+        z = random_complex(rng, (5,))
+        ct = ComplexTensor.from_complex_array(z)
+        assert np.allclose(ct.magnitude().data, np.abs(z), atol=1e-6)
+        assert np.allclose(ct.power().data, np.abs(z) ** 2)
+        assert np.allclose(ct.phase(), np.angle(z))
+
+    def test_scalar_and_real_tensor_multiplication(self, rng):
+        z = random_complex(rng, (4,))
+        ct = ComplexTensor.from_complex_array(z)
+        assert np.allclose((ct * 2.5).to_complex_array(), 2.5 * z)
+        gain = Tensor(np.arange(1.0, 5.0))
+        assert np.allclose((ct * gain).to_complex_array(), z * np.arange(1.0, 5.0))
+
+    def test_shape_manipulation(self, rng):
+        z = random_complex(rng, (2, 3, 4))
+        ct = ComplexTensor.from_complex_array(z)
+        assert ct.reshape(6, 4).shape == (6, 4)
+        assert ct.flatten(1).shape == (2, 12)
+        assert ct.transpose(2, 0, 1).shape == (4, 2, 3)
+        assert ct[0].shape == (3, 4)
+        assert ct.concat_parts(axis=-1).shape == (2, 3, 8)
+
+    def test_mismatched_parts_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ComplexTensor(Tensor(np.zeros((2, 3))), Tensor(np.zeros((3, 2))))
+
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_property_multiplication(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = random_complex(rng, (rows, cols))
+        b = random_complex(rng, (rows, cols))
+        product = (ComplexTensor.from_complex_array(a) * ComplexTensor.from_complex_array(b))
+        assert np.allclose(product.to_complex_array(), a * b)
+
+
+class TestEq2Expansion:
+    def test_expansion_matches_paper_template(self):
+        # the 2x2 template of Eq. (2)
+        matrix = np.array([[1 + 2j, 3 + 4j], [5 + 6j, 7 + 8j]])
+        expanded = complex_matrix_to_real(matrix)
+        expected = np.array([
+            [1, -2, 3, -4],
+            [2, 1, 4, 3],
+            [5, -6, 7, -8],
+            [6, 5, 8, 7],
+        ], dtype=float)
+        assert np.allclose(expanded, expected)
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 2 ** 16))
+    @settings(max_examples=30, deadline=None)
+    def test_expanded_mvm_equals_complex_mvm(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = random_complex(rng, (rows, cols))
+        vector = random_complex(rng, (cols,))
+        complex_result = matrix @ vector
+        real_result = complex_matrix_to_real(matrix) @ complex_vector_to_real(vector)
+        assert np.allclose(complex_vector_to_real(complex_result), real_result)
+
+    def test_vector_roundtrip(self, rng):
+        vector = random_complex(rng, (7,))
+        assert np.allclose(real_vector_to_complex(complex_vector_to_real(vector)), vector)
+
+    def test_expanded_matrix_has_half_the_free_parameters(self, rng):
+        matrix = random_complex(rng, (3, 5))
+        expanded = complex_matrix_to_real(matrix)
+        # entries appear twice (once as +re/+im, once mirrored), so the number
+        # of unique absolute values is (at most) half of a free real matrix
+        assert expanded.shape == (6, 10)
+        assert np.allclose(expanded[0::2, 0::2], expanded[1::2, 1::2])
+        assert np.allclose(expanded[0::2, 1::2], -expanded[1::2, 0::2])
+
+    def test_odd_length_real_vector_rejected(self):
+        with pytest.raises(ValueError):
+            real_vector_to_complex(np.zeros(5))
+
+
+class TestComplexLinear:
+    def test_matches_numpy_complex(self, rng):
+        layer = ComplexLinear(6, 4, bias=False, rng=rng)
+        z = random_complex(rng, (8, 6))
+        out = layer(ComplexTensor.from_complex_array(z))
+        assert np.allclose(out.to_complex_array(), z @ layer.complex_weight().T)
+
+    def test_bias_is_complex(self, rng):
+        layer = ComplexLinear(3, 2, rng=rng)
+        layer.bias_real.data[:] = 1.0
+        layer.bias_imag.data[:] = -2.0
+        out = layer(ComplexTensor.from_complex_array(np.zeros((1, 3), dtype=complex)))
+        assert np.allclose(out.to_complex_array(), np.full((1, 2), 1.0 - 2.0j))
+
+    def test_real_expanded_weight_consistency(self, rng):
+        layer = ComplexLinear(4, 3, bias=False, rng=rng)
+        z = random_complex(rng, (4,))
+        expanded = layer.real_expanded_weight()
+        expected = complex_vector_to_real(layer.complex_weight() @ z)
+        assert np.allclose(expanded @ complex_vector_to_real(z), expected)
+
+    def test_gradients(self, rng):
+        layer = ComplexLinear(3, 2, rng=rng)
+        real = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        imag = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+
+        def loss():
+            out = layer(ComplexTensor(real, imag))
+            return out.power().sum()
+
+        gradcheck(loss, [real, imag, layer.weight_real, layer.weight_imag])
+
+    def test_accepts_plain_tensor(self, rng):
+        layer = ComplexLinear(3, 2, rng=rng)
+        out = layer(Tensor(rng.normal(size=(4, 3))))
+        assert isinstance(out, ComplexTensor)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            ComplexLinear(0, 3)
+
+
+class TestComplexConv2d:
+    def test_matches_numpy_complex_convolution(self, rng):
+        layer = ComplexConv2d(2, 3, 3, padding=1, bias=False, rng=rng)
+        z = random_complex(rng, (2, 2, 6, 6))
+        out = layer(ComplexTensor(Tensor(z.real.copy()), Tensor(z.imag.copy()))).to_complex_array()
+
+        weight = layer.complex_weight()
+        real_part = (F.conv2d(Tensor(z.real.copy()), Tensor(weight.real.copy()), None, padding=1).data
+                     - F.conv2d(Tensor(z.imag.copy()), Tensor(weight.imag.copy()), None, padding=1).data)
+        imag_part = (F.conv2d(Tensor(z.real.copy()), Tensor(weight.imag.copy()), None, padding=1).data
+                     + F.conv2d(Tensor(z.imag.copy()), Tensor(weight.real.copy()), None, padding=1).data)
+        assert np.allclose(out, real_part + 1j * imag_part)
+
+    def test_output_shape(self, rng):
+        layer = ComplexConv2d(2, 5, 3, stride=2, padding=1, rng=rng)
+        z = ComplexTensor(Tensor(rng.normal(size=(1, 2, 9, 9))), Tensor(rng.normal(size=(1, 2, 9, 9))))
+        assert layer(z).shape == (1, 5, 5, 5)
+
+    def test_gradients(self, rng):
+        layer = ComplexConv2d(1, 2, 3, rng=rng)
+        real = Tensor(rng.normal(size=(1, 1, 4, 4)), requires_grad=True)
+        imag = Tensor(rng.normal(size=(1, 1, 4, 4)), requires_grad=True)
+        gradcheck(lambda: layer(ComplexTensor(real, imag)).power().sum(),
+                  [real, imag, layer.weight_real, layer.weight_imag], atol=1e-4)
+
+
+class TestComplexActivations:
+    def test_crelu(self, rng):
+        z = ComplexTensor(Tensor(np.array([[-1.0, 2.0]])), Tensor(np.array([[3.0, -4.0]])))
+        out = CReLU()(z)
+        assert np.allclose(out.real.data, [[0.0, 2.0]])
+        assert np.allclose(out.imag.data, [[3.0, 0.0]])
+
+    def test_zrelu_keeps_first_quadrant_only(self):
+        z = ComplexTensor(Tensor(np.array([[1.0, -1.0, 1.0]])), Tensor(np.array([[1.0, 1.0, -1.0]])))
+        out = ZReLU()(z)
+        assert np.allclose(out.to_complex_array(), [[1 + 1j, 0, 0]])
+
+    def test_modrelu_preserves_phase(self, rng):
+        z = random_complex(rng, (4, 6))
+        layer = ModReLU(6)
+        layer.bias.data[:] = -0.2
+        out = layer(ComplexTensor.from_complex_array(z)).to_complex_array()
+        passed = np.abs(out) > 1e-9
+        assert np.allclose(np.angle(out[passed]), np.angle(z[passed]), atol=1e-6)
+        # magnitudes shrink by at most |bias|
+        assert np.all(np.abs(out) <= np.abs(z) + 1e-9)
+
+    def test_modrelu_kills_small_magnitudes(self):
+        layer = ModReLU(1)
+        layer.bias.data[:] = -5.0
+        z = ComplexTensor(Tensor(np.array([[0.5]])), Tensor(np.array([[0.5]])))
+        assert np.allclose(layer(z).to_complex_array(), 0.0)
+
+    def test_modrelu_gradients(self, rng):
+        layer = ModReLU(3)
+        layer.bias.data[:] = -0.1
+        real = Tensor(rng.normal(size=(2, 3)) + 2.0, requires_grad=True)
+        imag = Tensor(rng.normal(size=(2, 3)) + 2.0, requires_grad=True)
+        gradcheck(lambda: layer(ComplexTensor(real, imag)).power().sum(),
+                  [real, imag, layer.bias], atol=1e-4)
+
+    def test_complex_tanh(self, rng):
+        z = random_complex(rng, (3, 3))
+        out = ComplexTanh()(ComplexTensor.from_complex_array(z))
+        assert np.allclose(out.real.data, np.tanh(z.real))
+        assert np.allclose(out.imag.data, np.tanh(z.imag))
+
+    def test_modrelu_invalid_features(self):
+        with pytest.raises(ValueError):
+            ModReLU(0)
+
+
+class TestComplexStructuralLayers:
+    def test_complex_batchnorm2d_normalizes_both_parts(self, rng):
+        layer = ComplexBatchNorm2d(4)
+        z = ComplexTensor(Tensor(rng.normal(3.0, 2.0, size=(16, 4, 5, 5))),
+                          Tensor(rng.normal(-1.0, 0.5, size=(16, 4, 5, 5))))
+        out = layer(z)
+        assert np.allclose(out.real.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        assert np.allclose(out.imag.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+
+    def test_complex_batchnorm1d(self, rng):
+        layer = ComplexBatchNorm1d(3)
+        z = ComplexTensor(Tensor(rng.normal(size=(32, 3))), Tensor(rng.normal(size=(32, 3))))
+        assert layer(z).shape == (32, 3)
+
+    def test_complex_avg_pool_is_exact(self, rng):
+        z = random_complex(rng, (2, 3, 4, 4))
+        out = ComplexAvgPool2d(2)(ComplexTensor.from_complex_array(z)).to_complex_array()
+        expected = z.reshape(2, 3, 2, 2, 2, 2).mean(axis=(3, 5))
+        assert np.allclose(out, expected)
+
+    def test_complex_max_pool_selects_by_modulus(self):
+        real = np.zeros((1, 1, 2, 2))
+        imag = np.zeros((1, 1, 2, 2))
+        real[0, 0] = [[1.0, -3.0], [0.5, 0.0]]
+        imag[0, 0] = [[0.0, 1.0], [2.0, 0.0]]
+        out = ComplexMaxPool2d(2)(ComplexTensor(Tensor(real), Tensor(imag)))
+        # the element with the largest modulus is (-3 + 1j)
+        assert np.allclose(out.to_complex_array(), [[[[-3.0 + 1.0j]]]])
+
+    def test_complex_max_pool_gradients(self, rng):
+        real = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        imag = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        gradcheck(lambda: ComplexMaxPool2d(2)(ComplexTensor(real, imag)).power().sum(),
+                  [real, imag], atol=1e-4)
+
+    def test_global_avg_pool_and_flatten(self, rng):
+        z = ComplexTensor(Tensor(rng.normal(size=(2, 3, 4, 4))), Tensor(rng.normal(size=(2, 3, 4, 4))))
+        assert ComplexGlobalAvgPool2d()(z).shape == (2, 3)
+        assert ComplexFlatten()(z).shape == (2, 48)
+
+    def test_complex_dropout_drops_both_parts_together(self, rng):
+        layer = ComplexDropout(0.5, rng=rng)
+        z = ComplexTensor(Tensor(np.ones((50, 50))), Tensor(np.ones((50, 50))))
+        out = layer(z)
+        real_zero = out.real.data == 0
+        imag_zero = out.imag.data == 0
+        assert np.array_equal(real_zero, imag_zero)
+        assert real_zero.any()
+
+    def test_complex_dropout_eval_identity(self, rng):
+        layer = ComplexDropout(0.5, rng=rng)
+        layer.eval()
+        z = ComplexTensor(Tensor(np.ones((4, 4))), Tensor(np.ones((4, 4))))
+        assert np.allclose(layer(z).real.data, 1.0)
+
+    def test_complex_sequential(self, rng):
+        model = ComplexSequential(ComplexLinear(4, 8, rng=rng), CReLU(), ComplexLinear(8, 2, rng=rng))
+        z = ComplexTensor(Tensor(rng.normal(size=(3, 4))), Tensor(rng.normal(size=(3, 4))))
+        assert model(z).shape == (3, 2)
+        assert len(model) == 3
+        assert isinstance(model[1], CReLU)

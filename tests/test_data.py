@@ -1,0 +1,190 @@
+"""Tests of datasets, loaders, transforms and the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    Compose,
+    DataLoader,
+    FlattenImage,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Subset,
+    SyntheticImageConfig,
+    SyntheticImageDataset,
+    ToFloat,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+    train_test_split,
+)
+
+
+class TestArrayDataset:
+    def test_basic_access(self, rng):
+        images = rng.normal(size=(10, 1, 4, 4))
+        labels = np.arange(10) % 3
+        dataset = ArrayDataset(images, labels)
+        assert len(dataset) == 10
+        image, label = dataset[2]
+        assert image.shape == (1, 4, 4)
+        assert label == 2
+        assert dataset.num_classes == 3
+        assert dataset.image_shape == (1, 4, 4)
+
+    def test_transform_applied(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(4, 1, 2, 2)), np.zeros(4),
+                               transform=FlattenImage(), num_classes=1)
+        image, _ = dataset[0]
+        assert image.shape == (4,)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ArrayDataset(rng.normal(size=(4, 1, 2, 2)), np.zeros(5))
+
+    def test_subset_and_split(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(20, 1, 2, 2)), np.arange(20) % 4)
+        subset = Subset(dataset, [0, 5, 7])
+        assert len(subset) == 3
+        assert subset.num_classes == 4
+        train, test = train_test_split(dataset, test_fraction=0.25, rng=rng)
+        assert len(train) == 15 and len(test) == 5
+
+    def test_split_invalid_fraction(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(4, 1, 2, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=1.5)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self, tiny_image_dataset):
+        loader = DataLoader(tiny_image_dataset, batch_size=8, shuffle=True)
+        seen = 0
+        for images, labels in loader:
+            assert images.shape[1:] == (3, 8, 8)
+            assert images.shape[0] == labels.shape[0]
+            seen += labels.shape[0]
+        assert seen == len(tiny_image_dataset)
+        assert len(loader) == 5
+
+    def test_drop_last(self, tiny_image_dataset):
+        loader = DataLoader(tiny_image_dataset, batch_size=16, drop_last=True, shuffle=False)
+        batches = list(loader)
+        assert len(batches) == 2
+        assert all(images.shape[0] == 16 for images, _ in batches)
+
+    def test_shuffle_determinism(self, tiny_image_dataset):
+        loader_a = DataLoader(tiny_image_dataset, batch_size=4, rng=np.random.default_rng(3))
+        loader_b = DataLoader(tiny_image_dataset, batch_size=4, rng=np.random.default_rng(3))
+        for (a_images, _), (b_images, _) in zip(loader_a, loader_b):
+            assert np.allclose(a_images, b_images)
+
+    def test_invalid_batch_size(self, tiny_image_dataset):
+        with pytest.raises(ValueError):
+            DataLoader(tiny_image_dataset, batch_size=0)
+
+
+class TestTransforms:
+    def test_to_float_scales_integers(self):
+        image = np.full((1, 2, 2), 255, dtype=np.uint8)
+        assert np.allclose(ToFloat()(image), 1.0)
+
+    def test_normalize(self, rng):
+        image = rng.normal(size=(3, 4, 4))
+        out = Normalize([1.0, 2.0, 3.0], [2.0, 2.0, 2.0])(image)
+        assert np.allclose(out, (image - np.array([1, 2, 3]).reshape(3, 1, 1)) / 2.0)
+
+    def test_normalize_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+    def test_random_flip_probability_extremes(self, rng):
+        image = rng.normal(size=(1, 3, 3))
+        assert np.allclose(RandomHorizontalFlip(0.0)(image), image)
+        assert np.allclose(RandomHorizontalFlip(1.0)(image), image[..., ::-1])
+
+    def test_random_crop_preserves_shape(self, rng):
+        image = rng.normal(size=(3, 8, 8))
+        out = RandomCrop(2, rng=rng)(image)
+        assert out.shape == (3, 8, 8)
+
+    def test_compose(self, rng):
+        pipeline = Compose([ToFloat(), FlattenImage()])
+        out = pipeline(np.zeros((1, 2, 2), dtype=np.uint8))
+        assert out.shape == (4,)
+
+
+class TestSyntheticGenerators:
+    def test_shapes_and_balance(self):
+        train, test = synthetic_mnist(height=10, width=10, train_samples=100, test_samples=40, seed=0)
+        assert train.images.shape == (100, 1, 10, 10)
+        assert test.images.shape == (40, 1, 10, 10)
+        assert train.num_classes == 10
+        counts = np.bincount(train.labels, minlength=10)
+        assert counts.min() >= 9  # balanced to within one sample
+
+    def test_determinism(self):
+        a_train, _ = synthetic_cifar10(height=8, width=8, train_samples=30, test_samples=10, seed=5)
+        b_train, _ = synthetic_cifar10(height=8, width=8, train_samples=30, test_samples=10, seed=5)
+        assert np.allclose(a_train.images, b_train.images)
+        assert np.array_equal(a_train.labels, b_train.labels)
+
+    def test_different_seeds_differ(self):
+        a_train, _ = synthetic_mnist(height=8, width=8, train_samples=30, test_samples=10, seed=1)
+        b_train, _ = synthetic_mnist(height=8, width=8, train_samples=30, test_samples=10, seed=2)
+        assert not np.allclose(a_train.images, b_train.images)
+
+    def test_cifar100_class_count(self):
+        train, _ = synthetic_cifar100(height=8, width=8, train_samples=60, test_samples=20,
+                                      num_classes=20, seed=0)
+        assert train.num_classes == 20
+        assert train.labels.max() == 19
+
+    def test_classes_are_separable_by_nearest_prototype(self):
+        """Nearest-prototype classification should beat chance by a wide margin."""
+        config = SyntheticImageConfig(num_classes=5, channels=1, height=12, width=12,
+                                      train_samples=100, test_samples=50, seed=3, jitter=1)
+        factory = SyntheticImageDataset(config)
+        _train, test = factory.splits()
+        prototypes = factory.prototypes.reshape(5, -1)
+        correct = 0
+        for index in range(len(test)):
+            image, label = test[index]
+            distances = np.linalg.norm(prototypes - image.reshape(1, -1), axis=1)
+            correct += int(distances.argmin() == label)
+        assert correct / len(test) > 0.6
+
+    def test_spatial_smoothness_gives_adjacent_pixel_correlation(self):
+        """Vertically adjacent pixels must correlate more than distant pixels.
+
+        This is the statistical property that makes spatial-interlace
+        assignment better than spatial-symmetric in the paper (and in our
+        Fig. 8 reproduction).
+        """
+        train, _ = synthetic_mnist(height=16, width=16, train_samples=200, test_samples=10, seed=0)
+        images = train.images[:, 0]
+        adjacent = np.corrcoef(images[:, :-1, :].reshape(len(images), -1).ravel(),
+                               images[:, 1:, :].reshape(len(images), -1).ravel())[0, 1]
+        flipped = images[:, ::-1, ::-1]
+        distant = np.corrcoef(images.reshape(len(images), -1).ravel(),
+                              flipped.reshape(len(images), -1).ravel())[0, 1]
+        assert adjacent > 0.5
+        assert adjacent > distant + 0.2
+
+    def test_channel_correlation_present(self):
+        """Class-level colour channels share a luminance component (what CL exploits)."""
+        train, _ = synthetic_cifar10(height=12, width=12, train_samples=200, test_samples=10, seed=0)
+        class_means = np.stack([train.images[train.labels == c].mean(axis=0) for c in range(10)])
+        red = class_means[:, 0].ravel()
+        green = class_means[:, 1].ravel()
+        assert np.corrcoef(red, green)[0, 1] > 0.3
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(channel_correlation=2.0)
+        with pytest.raises(ValueError):
+            SyntheticImageConfig(train_samples=5, num_classes=10)

@@ -1,0 +1,156 @@
+"""Tests of the learnable decoder heads (Section III-D / Fig. 6 / Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoders import (
+    DECODER_CHOICES,
+    CoherentDecoderHead,
+    ElectronicCalibration,
+    LinearDecoderHead,
+    MergeDecoderHead,
+    PhotodiodeHead,
+    UnitaryDecoderHead,
+    UnitaryLinear,
+    build_decoder_head,
+)
+from repro.nn.complex import ComplexTensor
+from repro.photonics.area import mzi_count_matrix, mzi_count_unitary
+from repro.tensor import Tensor
+
+
+def complex_features(rng, batch=4, width=12):
+    return ComplexTensor(Tensor(rng.normal(size=(batch, width))),
+                         Tensor(rng.normal(size=(batch, width))))
+
+
+class TestHeadForward:
+    @pytest.mark.parametrize("name", DECODER_CHOICES)
+    def test_output_shape(self, name, rng):
+        head = build_decoder_head(name, in_features=12, num_classes=5, rng=rng)
+        logits = head(complex_features(rng, batch=3, width=12))
+        assert logits.shape == (3, 5)
+
+    def test_unknown_decoder(self):
+        with pytest.raises(KeyError):
+            build_decoder_head("bogus", 4, 2)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            MergeDecoderHead(0, 5)
+
+    def test_coherent_head_returns_calibrated_real_part(self, rng):
+        head = CoherentDecoderHead(6, 3, rng=rng)
+        features = complex_features(rng, width=6)
+        logits = head(features)
+        raw = head.last_layer(features).real.data
+        scale, bias = head.calibration.as_arrays()
+        assert np.allclose(logits.data, raw * scale + bias)
+
+    def test_photodiode_head_discards_phase(self, rng):
+        head = PhotodiodeHead(6, 3, rng=rng)
+        features = complex_features(rng, width=6)
+        outputs = head.last_layer(features)
+        rotated = ComplexTensor(Tensor(-outputs.imag.data.copy()), Tensor(outputs.real.data.copy()))
+        # multiplying every output by j changes the phase but not the detected amplitude
+        assert np.allclose(head.calibration(outputs.magnitude()).data,
+                           head.calibration(rotated.magnitude()).data)
+
+    def test_merge_head_pairs_photodiodes(self, rng):
+        head = MergeDecoderHead(8, 4, rng=rng)
+        features = complex_features(rng, width=8)
+        outputs = head.merged_layer(features)
+        power = outputs.power().data
+        expected = np.sqrt(power[:, :4] + power[:, 4:] + 1e-12)
+        scale, bias = head.calibration.as_arrays()
+        assert np.allclose(head(features).data, expected * scale + bias)
+
+    def test_gradients_reach_head_parameters(self, rng):
+        head = MergeDecoderHead(6, 3, rng=rng)
+        loss = head(complex_features(rng, width=6)).sum()
+        loss.backward()
+        assert head.merged_layer.weight_real.grad is not None
+        assert head.calibration.scale.grad is not None
+
+
+class TestAreaAccounting:
+    def test_paper_fcnn_head_costs(self):
+        """Extra MZIs for the paper's FCNN head: merge 155 < unitary 190 < linear 245."""
+        in_features, classes = 50, 10
+        merge = MergeDecoderHead(in_features, classes)
+        unitary = UnitaryDecoderHead(in_features, classes)
+        linear = LinearDecoderHead(in_features, classes)
+        coherent = CoherentDecoderHead(in_features, classes)
+
+        assert coherent.extra_mzis() == 0
+        assert merge.extra_mzis() == mzi_count_matrix(20, 50) - mzi_count_matrix(10, 50) == 155
+        assert unitary.extra_mzis() == mzi_count_unitary(20) == 190
+        assert linear.extra_mzis() == mzi_count_matrix(20, 10) == 245
+        assert merge.extra_mzis() < unitary.extra_mzis() < linear.extra_mzis()
+
+    def test_merge_has_most_parameters_but_least_area(self):
+        """The paper's observation: more weights, fewer MZIs than linear/unitary."""
+        merge = MergeDecoderHead(50, 10)
+        linear = LinearDecoderHead(50, 10)
+        unitary = UnitaryDecoderHead(50, 10)
+        assert merge.num_parameters() >= linear.num_parameters() - 2 * 20 * 10
+        assert merge.total_mzis() < linear.total_mzis()
+        assert merge.total_mzis() < unitary.total_mzis()
+
+    def test_extra_area_is_small_fraction_of_fcnn(self):
+        """Merge adds well under 1% of the whole split FCNN's area (Fig. 9)."""
+        total_model = mzi_count_matrix(50, 392) + mzi_count_matrix(20, 50)
+        extra = MergeDecoderHead(50, 10).extra_mzis()
+        assert extra / total_model < 0.01
+
+    def test_readout_flags(self):
+        assert CoherentDecoderHead(5, 2).needs_post_processing
+        assert CoherentDecoderHead(5, 2).extra_readout_latency
+        assert not MergeDecoderHead(5, 2).needs_post_processing
+
+
+class TestUnitaryLinear:
+    def test_initialised_unitary(self, rng):
+        layer = UnitaryLinear(6, rng=rng)
+        assert layer.unitarity_error() < 1e-9
+
+    def test_projection_restores_unitarity(self, rng):
+        layer = UnitaryLinear(5, rng=rng)
+        layer.weight_real.data += rng.normal(scale=0.3, size=(5, 5))
+        assert layer.unitarity_error() > 1e-3
+        layer.project_to_unitary()
+        assert layer.unitarity_error() < 1e-9
+
+    def test_forward_matches_numpy(self, rng):
+        layer = UnitaryLinear(4, rng=rng)
+        z = rng.normal(size=(3, 4)) + 1j * rng.normal(size=(3, 4))
+        out = layer(ComplexTensor(Tensor(z.real.copy()), Tensor(z.imag.copy())))
+        assert np.allclose(out.to_complex_array(), z @ layer.complex_weight().T)
+
+    def test_energy_conserved(self, rng):
+        layer = UnitaryLinear(4, rng=rng)
+        z = rng.normal(size=(5, 4)) + 1j * rng.normal(size=(5, 4))
+        out = layer(ComplexTensor(Tensor(z.real.copy()), Tensor(z.imag.copy())))
+        assert np.allclose(np.abs(out.to_complex_array() ** 1).sum(axis=1) * 0 +
+                           (np.abs(out.to_complex_array()) ** 2).sum(axis=1),
+                           (np.abs(z) ** 2).sum(axis=1))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            UnitaryLinear(0)
+
+
+class TestElectronicCalibration:
+    def test_identity_at_init(self, rng):
+        calibration = ElectronicCalibration(4)
+        logits = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(calibration(logits).data, logits.data)
+
+    def test_affine_applied(self, rng):
+        calibration = ElectronicCalibration(3)
+        calibration.scale.data[:] = 2.0
+        calibration.bias.data[:] = -1.0
+        logits = Tensor(np.ones((2, 3)))
+        assert np.allclose(calibration(logits).data, 1.0)
+        scale, bias = calibration.as_arrays()
+        assert np.allclose(scale, 2.0) and np.allclose(bias, -1.0)

@@ -1,0 +1,90 @@
+"""Tests of SCVNN-CVNN mutual learning (Section III-C)."""
+
+import numpy as np
+import pytest
+
+from repro.assignment import get_scheme
+from repro.core.config import TrainingConfig
+from repro.core.distillation import MutualLearningResult, MutualLearningTrainer
+from repro.data import DataLoader
+from repro.models import ComplexFCNN
+
+
+def loaders(dataset, batch_size=16):
+    return (DataLoader(dataset, batch_size=batch_size, shuffle=True, rng=np.random.default_rng(0)),
+            DataLoader(dataset, batch_size=batch_size, shuffle=False))
+
+
+def build_pair(rng):
+    """A split student (half width) and a conventional-assignment teacher."""
+    student = ComplexFCNN(18, (10,), 2, decoder="merge", rng=rng)
+    teacher = ComplexFCNN(36, (20,), 2, decoder="photodiode", rng=rng)
+    return student, teacher
+
+
+class TestMutualLearning:
+    def test_both_networks_learn(self, tiny_flat_dataset, rng):
+        student, teacher = build_pair(rng)
+        config = TrainingConfig(epochs=5, batch_size=16, learning_rate=0.05,
+                                distillation_alpha=1.0, seed=0)
+        trainer = MutualLearningTrainer(student, teacher, config,
+                                        student_scheme=get_scheme("SI"))
+        train_loader, test_loader = loaders(tiny_flat_dataset)
+        result = trainer.fit(train_loader, test_loader)
+        assert isinstance(result, MutualLearningResult)
+        assert result.student_test_accuracy > 0.75
+        assert result.teacher_test_accuracy > 0.75
+        assert len(result.student_history.train_loss) == 5
+        assert result.student_history.train_loss[-1] < result.student_history.train_loss[0]
+
+    def test_teacher_defaults_to_conventional_assignment(self, rng):
+        student, teacher = build_pair(rng)
+        trainer = MutualLearningTrainer(student, teacher, TrainingConfig(epochs=1),
+                                        student_scheme=get_scheme("SI"))
+        assert trainer.teacher_scheme.name == "conventional"
+
+    def test_alpha_zero_reduces_to_independent_training(self, tiny_flat_dataset, rng):
+        """With alpha = 0 the distillation terms vanish; the losses are plain CE."""
+        student, teacher = build_pair(rng)
+        config = TrainingConfig(epochs=1, batch_size=16, learning_rate=0.05,
+                                distillation_alpha=0.0, seed=0)
+        trainer = MutualLearningTrainer(student, teacher, config,
+                                        student_scheme=get_scheme("SI"))
+        train_loader, test_loader = loaders(tiny_flat_dataset)
+        result = trainer.fit(train_loader, test_loader)
+        assert np.isfinite(result.student_history.train_loss[0])
+
+    def test_single_step_updates_both_models(self, tiny_flat_dataset, rng):
+        student, teacher = build_pair(rng)
+        config = TrainingConfig(epochs=1, batch_size=8, learning_rate=0.1, seed=0)
+        trainer = MutualLearningTrainer(student, teacher, config,
+                                        student_scheme=get_scheme("SI"))
+        images = np.stack([tiny_flat_dataset[i][0] for i in range(8)])
+        labels = np.array([tiny_flat_dataset[i][1] for i in range(8)])
+        student_before = student.trunk[0].weight_real.data.copy()
+        teacher_before = teacher.trunk[0].weight_real.data.copy()
+        student_loss, teacher_loss = trainer._mutual_step(images, labels)
+        assert np.isfinite(student_loss) and np.isfinite(teacher_loss)
+        assert not np.allclose(student.trunk[0].weight_real.data, student_before)
+        assert not np.allclose(teacher.trunk[0].weight_real.data, teacher_before)
+
+    def test_distillation_pulls_student_towards_teacher(self, tiny_flat_dataset, rng):
+        """With a huge alpha the student's predictions approach the teacher's."""
+        from repro.core.training import prepare_batch
+        from repro.tensor import no_grad
+        from repro.tensor.functional import softmax
+
+        student, teacher = build_pair(rng)
+        config = TrainingConfig(epochs=6, batch_size=16, learning_rate=0.05,
+                                distillation_alpha=10.0, seed=0)
+        trainer = MutualLearningTrainer(student, teacher, config,
+                                        student_scheme=get_scheme("SI"))
+        train_loader, _ = loaders(tiny_flat_dataset)
+        trainer.fit(train_loader)
+
+        images = np.stack([tiny_flat_dataset[i][0] for i in range(16)])
+        with no_grad():
+            student_probabilities = softmax(student(prepare_batch(images, get_scheme("SI")))).data
+            teacher_probabilities = softmax(teacher(prepare_batch(images, get_scheme("conventional")))).data
+        agreement = (student_probabilities.argmax(1) == teacher_probabilities.argmax(1)).mean()
+        assert agreement > 0.7

@@ -1,0 +1,80 @@
+"""Additional tests of experiment configuration plumbing and power modelling."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig, TrainingConfig
+from repro.experiments.common import get_workload, training_config, workload_config
+from repro.experiments.fig7 import FIG7_MODELS, Fig7ModelConfig, _oplixnet_shapes
+from repro.experiments.presets import get_preset
+from repro.photonics import random_unitary, reck_decompose
+from repro.photonics.components import MAX_PHASE_SHIFTER_POWER_MW
+
+
+class TestExperimentConfig:
+    def test_input_shape_property(self):
+        config = ExperimentConfig(name="x", channels=3, image_size=(16, 20))
+        assert config.input_shape == (3, 16, 20)
+
+    def test_default_training_config(self):
+        config = ExperimentConfig(name="x")
+        assert isinstance(config.training, TrainingConfig)
+        assert config.training.distillation_alpha == 1.0    # the paper's alpha
+
+    def test_training_config_overrides_via_helper(self):
+        preset = get_preset("smoke")
+        config = training_config(preset, seed=7, epochs=1, distillation_alpha=0.5)
+        assert config.epochs == 1
+        assert config.seed == 7
+        assert config.distillation_alpha == 0.5
+
+    def test_workload_config_lenet_kernel_choice(self):
+        """Non-paper presets shrink LeNet's kernels so small images still fit."""
+        smoke = workload_config(get_workload("lenet5"), get_preset("smoke"))
+        assert (smoke.lenet_kernel, smoke.lenet_padding) == (3, 1)
+        paper = workload_config(get_workload("lenet5"), get_preset("paper"))
+        assert (paper.lenet_kernel, paper.lenet_padding) == (5, 0)
+
+    def test_preset_fcnn_features(self):
+        assert get_preset("paper").fcnn_features() == 784
+        assert get_preset("bench").fcnn_features() == 196
+
+
+class TestFig7Configs:
+    def test_model_labels_match_paper(self):
+        labels = [config.label for config in FIG7_MODELS]
+        assert labels[0] == "Model1-(28x28)-400-10"
+        assert labels[1] == "Model2-(14x14)-70-10"
+        assert labels[2] == "Model3-(28x28)-400-128-10"
+        assert labels[3] == "Model4-(14x14)-160-160-10"
+
+    def test_layer_shapes(self):
+        config = Fig7ModelConfig("ModelX", (14, 14), (160, 160))
+        assert config.layer_shapes() == [(160, 196), (160, 160), (10, 160)]
+        assert config.input_features == 196
+
+    def test_oplixnet_shapes_halve_widths_and_merge_head(self):
+        config = FIG7_MODELS[0]   # (28x28)-400-10
+        shapes = _oplixnet_shapes(config)
+        assert shapes[0] == (200, 392)     # halved hidden on halved input
+        assert shapes[-1] == (20, 200)     # merged decoder doubles the output
+
+
+class TestMeshPowerModel:
+    def test_power_scales_with_mesh_size(self, rng):
+        small = reck_decompose(random_unitary(4, rng))
+        large = reck_decompose(random_unitary(12, rng))
+        assert large.total_phase_power_mw() > small.total_phase_power_mw()
+
+    def test_power_upper_bound(self, rng):
+        mesh = reck_decompose(random_unitary(6, rng))
+        # every tunable phase shifter consumes at most the full-swing power
+        upper = MAX_PHASE_SHIFTER_POWER_MW * (2 * mesh.mzi_count + mesh.dimension)
+        assert 0 <= mesh.total_phase_power_mw() <= upper
+
+    def test_identity_mesh_power_is_low(self):
+        mesh = reck_decompose(np.eye(5, dtype=complex))
+        # the identity needs theta = pi ("bar state") on the diagonal MZIs but no
+        # input phases, so the power stays well below half of the full swing
+        full_swing = MAX_PHASE_SHIFTER_POWER_MW * (2 * mesh.mzi_count + 5)
+        assert mesh.total_phase_power_mw() < 0.6 * full_swing

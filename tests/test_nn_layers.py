@@ -1,0 +1,152 @@
+"""Tests of the real-valued layers: Linear, Conv2d, BatchNorm, pooling, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.tensor import Tensor, gradcheck
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self, rng):
+        layer = Linear(6, 3, rng=rng)
+        x = rng.normal(size=(5, 6))
+        out = layer(Tensor(x))
+        assert out.shape == (5, 3)
+        assert np.allclose(out.data, x @ layer.weight.data.T + layer.bias.data)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_gradcheck(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        gradcheck(lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias])
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_identity_and_flatten(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        assert np.allclose(Identity()(x).data, x.data)
+        assert Flatten()(x).shape == (2, 12)
+
+
+class TestConv2dLayer:
+    def test_forward_shape(self, rng):
+        layer = Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.normal(size=(2, 3, 9, 9))))
+        assert out.shape == (2, 8, 5, 5)
+        assert layer.output_shape(9, 9) == (5, 5)
+
+    def test_gradcheck(self, rng):
+        layer = Conv2d(2, 3, 3, padding=1, rng=rng)
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        gradcheck(lambda: (layer(x) ** 2).sum(),
+                  [x, layer.weight, layer.bias], atol=1e-4)
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 4, 3)
+
+
+class TestBatchNorm:
+    def test_normalizes_batch_statistics(self, rng):
+        layer = BatchNorm1d(8)
+        x = Tensor(rng.normal(3.0, 2.0, size=(256, 8)))
+        out = layer(x)
+        assert np.allclose(out.data.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self, rng):
+        layer = BatchNorm1d(4, momentum=0.5)
+        x = Tensor(rng.normal(2.0, 1.0, size=(64, 4)))
+        layer(x)
+        assert np.all(layer.running_mean > 0.5)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = BatchNorm1d(4)
+        for _ in range(60):
+            layer(Tensor(rng.normal(5.0, 1.0, size=(64, 4))))
+        layer.eval()
+        single = layer(Tensor(np.full((1, 4), 5.0)))
+        assert np.allclose(single.data, 0.0, atol=0.5)
+
+    def test_batchnorm2d_shapes(self, rng):
+        layer = BatchNorm2d(3)
+        out = layer(Tensor(rng.normal(size=(4, 3, 5, 5))))
+        assert out.shape == (4, 3, 5, 5)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+
+    def test_gradients_flow(self, rng):
+        layer = BatchNorm1d(3)
+        x = Tensor(rng.normal(size=(8, 3)), requires_grad=True)
+        (layer(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert layer.weight.grad is not None
+
+    def test_affine_disabled(self, rng):
+        layer = BatchNorm1d(3, affine=False)
+        assert layer.parameters() == []
+        out = layer(Tensor(rng.normal(size=(16, 3))))
+        assert out.shape == (16, 3)
+
+    def test_invalid_features(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(0)
+
+
+class TestPoolingLayers:
+    def test_max_pool_layer(self, rng):
+        out = MaxPool2d(2)(Tensor(rng.normal(size=(1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_avg_pool_layer(self, rng):
+        out = AvgPool2d(2, stride=2)(Tensor(rng.normal(size=(1, 2, 6, 6))))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_global_avg_pool_layer(self, rng):
+        out = GlobalAvgPool2d()(Tensor(rng.normal(size=(3, 4, 5, 5))))
+        assert out.shape == (3, 4)
+
+
+class TestActivationsAndDropout:
+    def test_activation_shapes(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)))
+        for layer in (ReLU(), LeakyReLU(0.2), Tanh(), Sigmoid(), Softmax()):
+            assert layer(x).shape == (4, 5)
+
+    def test_softmax_axis(self, rng):
+        out = Softmax(axis=0)(Tensor(rng.normal(size=(4, 5))))
+        assert np.allclose(out.data.sum(axis=0), 1.0)
+
+    def test_dropout_train_vs_eval(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((100, 100)))
+        train_out = layer(x)
+        assert (train_out.data == 0).any()
+        layer.eval()
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)

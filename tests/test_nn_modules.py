@@ -1,0 +1,117 @@
+"""Tests of the Module/Parameter container machinery."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, ModuleList, ReLU, Sequential, BatchNorm1d
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Linear(4, 8)
+        self.second = Linear(8, 2)
+        self.gain = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.second(self.first(x).relu()) * self.gain
+
+
+class TestRegistration:
+    def test_parameters_are_collected(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_parameters()]
+        assert "first.weight" in names and "second.bias" in names and "gain" in names
+        assert len(model.parameters()) == 5
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_named_modules_includes_children(self):
+        model = TwoLayer()
+        names = [name for name, _ in model.named_modules()]
+        assert "" in names and "first" in names and "second" in names
+
+    def test_sequential_iteration_and_indexing(self):
+        seq = Sequential(Linear(3, 4), ReLU(), Linear(4, 2))
+        assert len(seq) == 3
+        assert isinstance(seq[1], ReLU)
+        assert len(list(iter(seq))) == 3
+        out = seq(Tensor(np.zeros((2, 3))))
+        assert out.shape == (2, 2)
+
+    def test_sequential_append(self):
+        seq = Sequential(Linear(3, 3))
+        seq.append(Linear(3, 2))
+        assert len(seq) == 2
+        assert len(seq.parameters()) == 4
+
+    def test_module_list(self):
+        items = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(items) == 2
+        assert isinstance(items[0], Linear)
+        assert len(items.parameters()) == 4
+        with pytest.raises(NotImplementedError):
+            items(Tensor(np.zeros((1, 2))))
+
+
+class TestTrainEvalAndGradients:
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(3, 3), BatchNorm1d(3))
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        model = TwoLayer()
+        out = model(Tensor(np.random.randn(3, 4))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        clone = TwoLayer()
+        clone.load_state_dict(state)
+        for (name_a, param_a), (name_b, param_b) in zip(model.named_parameters(),
+                                                        clone.named_parameters()):
+            assert name_a == name_b
+            assert np.allclose(param_a.data, param_b.data)
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["gain"][0] = 123.0
+        assert model.gain.data[0] == 1.0
+
+    def test_buffers_saved_and_restored(self):
+        bn = BatchNorm1d(4)
+        bn(Tensor(np.random.randn(16, 4)))
+        state = bn.state_dict()
+        fresh = BatchNorm1d(4)
+        fresh.load_state_dict(state)
+        assert np.allclose(fresh.running_mean, bn.running_mean)
+        assert np.allclose(fresh.running_var, bn.running_var)
+
+    def test_strict_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state.pop("gain")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state, strict=True)
+        model.load_state_dict(state, strict=False)   # tolerated when not strict
+
+    def test_shape_mismatch_raises(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["gain"] = np.ones(3)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)

@@ -1,0 +1,155 @@
+"""Tests of the optimizers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, CosineAnnealingLR, MultiStepLR, StepLR, WarmupWrapper
+from repro.tensor import Tensor
+
+
+def quadratic_loss(parameter):
+    return ((parameter - 3.0) ** 2).sum()
+
+
+def train(optimizer, parameter, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(parameter)
+        loss.backward()
+        optimizer.step()
+    return float(quadratic_loss(parameter).data)
+
+
+class TestSGD:
+    def test_plain_sgd_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        assert train(SGD([parameter], lr=0.1), parameter) < 1e-6
+        assert np.allclose(parameter.data, 3.0)
+
+    def test_momentum_converges(self):
+        parameter = Parameter(np.zeros(4))
+        assert train(SGD([parameter], lr=0.05, momentum=0.9), parameter) < 1e-6
+
+    def test_single_step_matches_manual_update(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.5)
+        quadratic_loss(parameter).backward()
+        optimizer.step()
+        # gradient of (x-3)^2 at 1 is -4, so x <- 1 - 0.5 * (-4) = 3
+        assert np.allclose(parameter.data, 3.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([10.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        parameter.grad = np.zeros(1)
+        optimizer.step()
+        assert parameter.data[0] < 10.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_nesterov_converges(self):
+        parameter = Parameter(np.zeros(3))
+        assert train(SGD([parameter], lr=0.05, momentum=0.9, nesterov=True), parameter) < 1e-6
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_parameters_without_grad_are_skipped(self):
+        used = Parameter(np.zeros(2))
+        unused = Parameter(np.ones(2))
+        optimizer = SGD([used, unused], lr=0.1)
+        quadratic_loss(used).backward()
+        optimizer.step()
+        assert np.allclose(unused.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        assert train(Adam([parameter], lr=0.1), parameter, steps=400) < 1e-4
+
+    def test_adamw_decoupled_decay(self):
+        parameter = Parameter(np.array([5.0]))
+        optimizer = AdamW([parameter], lr=0.01, weight_decay=0.1)
+        parameter.grad = np.zeros(1)
+        optimizer.step()
+        assert parameter.data[0] == pytest.approx(5.0 * (1 - 0.01 * 0.1))
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], betas=(1.0, 0.9))
+
+    def test_first_step_size_is_bounded_by_lr(self):
+        parameter = Parameter(np.array([0.0]))
+        optimizer = Adam([parameter], lr=0.1)
+        parameter.grad = np.array([100.0])
+        optimizer.step()
+        assert abs(parameter.data[0]) <= 0.1 + 1e-9
+
+
+class TestGradClipping:
+    def test_clip_reduces_norm(self):
+        parameter = Parameter(np.zeros(3))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad = np.array([3.0, 4.0, 0.0])
+        norm = optimizer.clip_grad_norm(1.0)
+        assert norm == pytest.approx(5.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_noop_when_below_threshold(self):
+        parameter = Parameter(np.zeros(2))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.grad = np.array([0.1, 0.1])
+        optimizer.clip_grad_norm(10.0)
+        assert np.allclose(parameter.grad, [0.1, 0.1])
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1))], lr=lr)
+
+    def test_step_lr(self):
+        optimizer = self._optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_multistep_lr(self):
+        optimizer = self._optimizer()
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.5)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_annealing_endpoints(self):
+        optimizer = self._optimizer()
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, min_lr=0.0)
+        values = [scheduler.step() for _ in range(10)]
+        assert values[0] < 1.0
+        assert values[-1] == pytest.approx(0.0, abs=1e-12)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_warmup_wrapper(self):
+        optimizer = self._optimizer()
+        scheduler = WarmupWrapper(CosineAnnealingLR(optimizer, total_epochs=10), warmup_epochs=3)
+        lrs = [scheduler.step() for _ in range(5)]
+        assert lrs[0] == pytest.approx(1.0 / 3.0)
+        assert lrs[1] == pytest.approx(2.0 / 3.0)
+        assert lrs[2] == pytest.approx(1.0)
+        assert lrs[3] < 1.0
+
+    def test_invalid_arguments(self):
+        optimizer = self._optimizer()
+        with pytest.raises(ValueError):
+            StepLR(optimizer, step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(optimizer, total_epochs=0)
+        with pytest.raises(ValueError):
+            WarmupWrapper(CosineAnnealingLR(optimizer, total_epochs=5), warmup_epochs=-1)

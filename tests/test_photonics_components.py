@@ -1,0 +1,129 @@
+"""Tests of elementary photonic components (DC, PS, MZI, attenuator, power)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.photonics import (
+    MZI,
+    DirectionalCoupler,
+    PhaseShifter,
+    attenuator,
+    directional_coupler,
+    mzi_transfer,
+    phase_shifter,
+    phase_shifter_power_mw,
+)
+from repro.photonics.components import MAX_PHASE_SHIFTER_POWER_MW
+
+
+def is_unitary_2x2(matrix):
+    return np.allclose(matrix.conj().T @ matrix, np.eye(2), atol=1e-12)
+
+
+class TestDirectionalCoupler:
+    def test_fifty_fifty_splits_power_evenly(self):
+        coupler = directional_coupler(0.5)
+        out = coupler @ np.array([1.0, 0.0])
+        powers = np.abs(out) ** 2
+        assert np.allclose(powers, [0.5, 0.5])
+
+    def test_cross_path_carries_90_degree_shift(self):
+        coupler = directional_coupler(0.5)
+        out = coupler @ np.array([1.0, 0.0])
+        assert np.angle(out[1]) - np.angle(out[0]) == pytest.approx(math.pi / 2)
+
+    def test_unitary_for_any_ratio(self):
+        for ratio in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert is_unitary_2x2(directional_coupler(ratio))
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            directional_coupler(1.5)
+
+    def test_component_class(self):
+        component = DirectionalCoupler(0.5)
+        out = component(np.array([1.0 + 0j, 0.0]))
+        assert np.allclose(np.abs(out) ** 2, [0.5, 0.5])
+
+
+class TestPhaseShifter:
+    def test_upper_arm_phase(self):
+        matrix = phase_shifter(math.pi / 3)
+        assert matrix[0, 0] == pytest.approx(np.exp(1j * math.pi / 3))
+        assert matrix[1, 1] == 1.0
+
+    def test_lower_arm(self):
+        matrix = phase_shifter(math.pi, arm=1)
+        assert matrix[1, 1] == pytest.approx(-1.0)
+
+    def test_invalid_arm(self):
+        with pytest.raises(ValueError):
+            phase_shifter(0.1, arm=2)
+
+    def test_power_scales_linearly_with_phase(self):
+        assert phase_shifter_power_mw(0.0) == 0.0
+        assert phase_shifter_power_mw(math.pi) == pytest.approx(MAX_PHASE_SHIFTER_POWER_MW / 2)
+        assert phase_shifter_power_mw(2 * math.pi - 1e-9) == pytest.approx(
+            MAX_PHASE_SHIFTER_POWER_MW, rel=1e-6)
+
+    def test_power_wraps_angles(self):
+        assert phase_shifter_power_mw(2 * math.pi + math.pi) == pytest.approx(
+            phase_shifter_power_mw(math.pi))
+
+    def test_component_class(self):
+        shifter = PhaseShifter(angle=math.pi / 2)
+        assert shifter.power_mw() == pytest.approx(MAX_PHASE_SHIFTER_POWER_MW / 4)
+        out = shifter(np.array([1.0 + 0j, 1.0 + 0j]))
+        assert out[0] == pytest.approx(1j)
+
+
+class TestMZI:
+    def test_matches_eq1_analytic_form(self):
+        theta, phi = 0.9, 2.1
+        matrix = mzi_transfer(theta, phi)
+        s, c = math.sin(theta / 2), math.cos(theta / 2)
+        expected = 1j * np.exp(1j * theta / 2) * np.array(
+            [[np.exp(1j * phi) * s, c], [np.exp(1j * phi) * c, -s]])
+        assert np.allclose(matrix, expected)
+
+    @given(st.floats(0, 2 * math.pi), st.floats(0, 2 * math.pi))
+    @settings(max_examples=50, deadline=None)
+    def test_always_unitary(self, theta, phi):
+        assert is_unitary_2x2(mzi_transfer(theta, phi))
+
+    def test_theta_zero_is_full_cross(self):
+        """With theta = 0 the MZI routes each input fully to the other port."""
+        matrix = mzi_transfer(0.0, 0.0)
+        out = matrix @ np.array([1.0, 0.0])
+        assert np.abs(out[0]) == pytest.approx(0.0, abs=1e-12)
+        assert np.abs(out[1]) == pytest.approx(1.0)
+
+    def test_theta_pi_is_full_bar(self):
+        """With theta = pi the MZI keeps each input on its own port."""
+        matrix = mzi_transfer(math.pi, 0.0)
+        out = matrix @ np.array([1.0, 0.0])
+        assert np.abs(out[0]) == pytest.approx(1.0)
+        assert np.abs(out[1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_energy_conservation(self, rng):
+        matrix = mzi_transfer(1.2, 0.4)
+        inputs = rng.normal(size=2) + 1j * rng.normal(size=2)
+        outputs = matrix @ inputs
+        assert np.sum(np.abs(outputs) ** 2) == pytest.approx(np.sum(np.abs(inputs) ** 2))
+
+    def test_component_class_counts_and_power(self):
+        mzi = MZI(theta=math.pi, phi=math.pi)
+        assert mzi.component_counts == (2, 2)
+        assert mzi.power_mw() == pytest.approx(MAX_PHASE_SHIFTER_POWER_MW)
+        out = mzi(np.array([1.0 + 0j, 0.0]))
+        assert np.allclose(np.abs(out) ** 2, np.abs(mzi.transfer_matrix() @ [1, 0]) ** 2)
+
+
+class TestAttenuator:
+    def test_scaling(self):
+        assert attenuator(0.5) == 0.5
+        with pytest.raises(ValueError):
+            attenuator(-0.1)

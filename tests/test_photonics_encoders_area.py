@@ -1,0 +1,164 @@
+"""Tests of the optical encoders, detectors and the area model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.photonics import (
+    AmplitudeEncoder,
+    AreaReport,
+    CoherentDetector,
+    DCComplexEncoder,
+    LayerArea,
+    PhotodiodeDetector,
+    PSComplexEncoder,
+    count_conv_layer,
+    count_linear_layer,
+    mzi_count_matrix,
+    mzi_count_unitary,
+    MZI_DC_COUNT,
+    MZI_PS_COUNT,
+)
+
+
+class TestDCComplexEncoder:
+    @given(st.floats(-5, 5), st.floats(-5, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_pair_encoding_is_a1_plus_j_a2(self, a1, a2):
+        """The transfer-matrix simulation of the DC encoder yields A1 + j A2 (Fig. 3a)."""
+        encoded = DCComplexEncoder().encode_pair(a1, a2)
+        assert encoded.real == pytest.approx(a1, abs=1e-9)
+        assert encoded.imag == pytest.approx(a2, abs=1e-9)
+
+    def test_vectorised_encode_matches_pairwise(self, rng):
+        encoder = DCComplexEncoder()
+        real, imag = rng.normal(size=8), rng.normal(size=8)
+        vectorised = encoder.encode(real, imag)
+        pairwise = np.array([encoder.encode_pair(a, b) for a, b in zip(real, imag)])
+        assert np.allclose(vectorised, pairwise)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            DCComplexEncoder().encode(rng.normal(size=3), rng.normal(size=4))
+
+    def test_no_thermal_bottleneck(self):
+        encoder = DCComplexEncoder()
+        assert not encoder.has_time_bottleneck
+        budget = encoder.area_budget(100)
+        assert budget.thermal_phase_shifters == 0
+        assert budget.directional_couplers == 100
+        assert budget.modulators == 200
+
+    def test_latency_is_modulator_limited(self):
+        assert DCComplexEncoder().encoding_latency(10 ** 6) < 1e-3
+
+
+class TestPSComplexEncoder:
+    def test_encodes_same_complex_value(self, rng):
+        encoder = PSComplexEncoder()
+        real, imag = rng.normal(size=5), rng.normal(size=5)
+        assert np.allclose(encoder.encode(real, imag), real + 1j * imag)
+        assert encoder.encode_pair(0.3, 0.4) == pytest.approx(0.3 + 0.4j)
+
+    def test_thermal_bottleneck_dominates_latency(self):
+        ps_encoder = PSComplexEncoder()
+        dc_encoder = DCComplexEncoder()
+        assert ps_encoder.has_time_bottleneck
+        assert ps_encoder.encoding_latency(1000) > 1000 * dc_encoder.encoding_latency(1000)
+
+    def test_area_budget_uses_thermal_shifters(self):
+        budget = PSComplexEncoder().area_budget(10)
+        assert budget.thermal_phase_shifters == 10
+        assert budget.directional_couplers == 0
+
+
+class TestAmplitudeEncoder:
+    def test_amplitude_only(self, rng):
+        encoder = AmplitudeEncoder()
+        real = rng.normal(size=4)
+        assert np.allclose(encoder.encode(real), real.astype(complex))
+        with pytest.raises(ValueError):
+            encoder.encode(real, np.ones(4))
+
+
+class TestDetectors:
+    def test_photodiode_modes(self, rng):
+        signal = rng.normal(size=5) + 1j * rng.normal(size=5)
+        assert np.allclose(PhotodiodeDetector("power").detect(signal), np.abs(signal) ** 2)
+        assert np.allclose(PhotodiodeDetector("amplitude").detect(signal), np.abs(signal))
+        with pytest.raises(ValueError):
+            PhotodiodeDetector("bogus").detect(signal)
+
+    def test_coherent_detector_recovers_complex_field(self, rng):
+        signal = rng.normal(size=9) + 1j * rng.normal(size=9)
+        for amplitude in (0.5, 1.0, 3.0):
+            recovered = CoherentDetector(reference_amplitude=amplitude).detect(signal)
+            assert np.allclose(recovered, signal)
+
+    def test_coherent_detector_costs_extra(self):
+        detector = CoherentDetector()
+        assert detector.detectors_required(10) == 30
+        assert detector.readout_latency(100) > 0
+        assert detector.needs_post_processing
+        assert PhotodiodeDetector().readout_latency(100) == 0.0
+
+    def test_invalid_reference(self, rng):
+        with pytest.raises(ValueError):
+            CoherentDetector(reference_amplitude=0.0).detect(np.ones(2, dtype=complex))
+
+
+class TestAreaModel:
+    def test_unitary_count(self):
+        assert mzi_count_unitary(4) == 6
+        assert mzi_count_unitary(1) == 0
+        with pytest.raises(ValueError):
+            mzi_count_unitary(-1)
+
+    def test_matrix_count_formula(self):
+        # the paper's formula: n(n-1)/2 + min(m, n) + m(m-1)/2
+        assert mzi_count_matrix(10, 100) == 100 * 99 // 2 + 10 + 10 * 9 // 2
+        assert mzi_count_matrix(100, 784) == 784 * 783 // 2 + 100 + 100 * 99 // 2
+        assert mzi_count_matrix(0, 5) == 0
+
+    def test_paper_fcnn_total(self):
+        """FCNN 784-100-10 needs ~31.7e4 MZIs (Table II, 'Orig.' column)."""
+        total = mzi_count_matrix(100, 784) + mzi_count_matrix(10, 100)
+        assert total == pytest.approx(31.7e4, rel=0.01)
+
+    def test_paper_split_fcnn_total(self):
+        """The split FCNN 392-50-(2x10) needs ~7.9e4 MZIs (Table II, 'Prop.')."""
+        total = mzi_count_matrix(50, 392) + mzi_count_matrix(20, 50)
+        assert total == pytest.approx(7.9e4, rel=0.01)
+        original = mzi_count_matrix(100, 784) + mzi_count_matrix(10, 100)
+        assert 1 - total / original == pytest.approx(0.75, abs=0.01)
+
+    def test_layer_counters(self):
+        linear = count_linear_layer("fc", 10, 100)
+        assert linear.mzis == mzi_count_matrix(10, 100)
+        assert linear.parameters == 1000
+        assert linear.directional_couplers == MZI_DC_COUNT * linear.mzis
+        assert linear.phase_shifters == MZI_PS_COUNT * linear.mzis
+
+        complex_linear = count_linear_layer("fc", 10, 100, complex_valued=True)
+        assert complex_linear.mzis == linear.mzis            # same optical area
+        assert complex_linear.parameters == 2000             # twice the parameters
+
+        conv = count_conv_layer("conv", 16, 6, (5, 5))
+        assert conv.rows == 16 and conv.cols == 150
+        assert conv.mzis == mzi_count_matrix(16, 150)
+
+    def test_area_report_aggregation_and_reduction(self):
+        baseline = AreaReport([count_linear_layer("a", 100, 784), count_linear_layer("b", 10, 100)])
+        proposed = AreaReport([count_linear_layer("a", 50, 392, complex_valued=True),
+                               count_linear_layer("b", 20, 50, complex_valued=True)])
+        assert proposed.reduction_versus(baseline) == pytest.approx(0.75, abs=0.01)
+        assert baseline.total_mzis > proposed.total_mzis
+        assert "TOTAL" in baseline.summary()
+
+    def test_reduction_against_empty_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            AreaReport().reduction_versus(AreaReport())
+
+    def test_negative_dims_rejected(self):
+        with pytest.raises(ValueError):
+            mzi_count_matrix(-1, 5)

@@ -1,0 +1,51 @@
+"""Tests of the optional per-MZI insertion-loss model (extension beyond the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.photonics import clements_decompose, random_unitary, reck_decompose
+
+
+class TestInsertionLoss:
+    def test_zero_loss_is_lossless(self, rng):
+        mesh = clements_decompose(random_unitary(6, rng))
+        vector = rng.normal(size=6) + 1j * rng.normal(size=6)
+        assert np.allclose(mesh.apply(vector, insertion_loss_db=0.0), mesh.apply(vector))
+
+    def test_output_power_decreases_with_loss(self, rng):
+        mesh = clements_decompose(random_unitary(8, rng))
+        vector = rng.normal(size=8) + 1j * rng.normal(size=8)
+        input_power = float(np.sum(np.abs(vector) ** 2))
+        powers = []
+        for loss_db in (0.0, 0.1, 0.5, 1.0):
+            output = mesh.apply(vector, insertion_loss_db=loss_db)
+            powers.append(float(np.sum(np.abs(output) ** 2)))
+        assert powers[0] == pytest.approx(input_power)
+        assert powers[0] > powers[1] > powers[2] > powers[3]
+
+    def test_loss_bounded_by_worst_case_depth(self, rng):
+        """Total attenuation can never exceed (per-MZI loss) ** (number of MZIs)."""
+        mesh = reck_decompose(random_unitary(5, rng))
+        vector = np.ones(5, dtype=complex)
+        loss_db = 0.2
+        output_power = float(np.sum(np.abs(mesh.apply(vector, insertion_loss_db=loss_db)) ** 2))
+        input_power = float(np.sum(np.abs(vector) ** 2))
+        worst_case = 10.0 ** (-loss_db * mesh.mzi_count / 10.0)
+        assert output_power >= input_power * worst_case - 1e-12
+
+    def test_both_mesh_topologies_attenuate(self, rng):
+        """Reck and Clements meshes both lose power with lossy MZIs (same MZI count)."""
+        unitary = random_unitary(10, rng)
+        vector = rng.normal(size=10) + 1j * rng.normal(size=10)
+        loss_db = 0.3
+        input_power = float(np.sum(np.abs(vector) ** 2))
+
+        for decompose in (reck_decompose, clements_decompose):
+            mesh = decompose(unitary)
+            output_power = float(np.sum(np.abs(mesh.apply(vector, insertion_loss_db=loss_db)) ** 2))
+            assert 0.0 < output_power < input_power
+
+    def test_negative_loss_rejected(self, rng):
+        mesh = reck_decompose(random_unitary(3, rng))
+        with pytest.raises(ValueError):
+            mesh.apply(np.ones(3, dtype=complex), insertion_loss_db=-1.0)

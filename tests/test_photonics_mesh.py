@@ -1,0 +1,140 @@
+"""Tests of the Reck/Clements MZI mesh decompositions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.photonics import (
+    MeshDecomposition,
+    MZISetting,
+    clements_decompose,
+    decompose_unitary,
+    is_unitary,
+    mzi_count_unitary,
+    random_unitary,
+    reck_decompose,
+)
+
+
+class TestRandomUnitary:
+    def test_is_unitary(self, rng):
+        for n in (1, 2, 5, 9):
+            assert is_unitary(random_unitary(n, rng))
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            random_unitary(0)
+
+    def test_is_unitary_rejects_non_square_and_non_unitary(self, rng):
+        assert not is_unitary(rng.normal(size=(3, 4)))
+        assert not is_unitary(rng.normal(size=(3, 3)) * 5)
+
+
+@pytest.mark.parametrize("decompose", [reck_decompose, clements_decompose],
+                         ids=["reck", "clements"])
+class TestDecompositions:
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 5, 8, 13])
+    def test_reconstruction(self, decompose, dimension, rng):
+        unitary = random_unitary(dimension, rng)
+        mesh = decompose(unitary)
+        assert np.allclose(mesh.reconstruct(), unitary, atol=1e-9)
+
+    @pytest.mark.parametrize("dimension", [2, 4, 7])
+    def test_mzi_count_formula(self, decompose, dimension, rng):
+        mesh = decompose(random_unitary(dimension, rng))
+        assert mesh.mzi_count == mzi_count_unitary(dimension)
+        assert mesh.phase_shifter_count == 2 * mesh.mzi_count + dimension
+
+    def test_apply_matches_matrix_product(self, decompose, rng):
+        unitary = random_unitary(6, rng)
+        mesh = decompose(unitary)
+        vector = rng.normal(size=6) + 1j * rng.normal(size=6)
+        assert np.allclose(mesh.apply(vector), unitary @ vector, atol=1e-9)
+
+    def test_apply_batched(self, decompose, rng):
+        unitary = random_unitary(5, rng)
+        mesh = decompose(unitary)
+        batch = rng.normal(size=(7, 5)) + 1j * rng.normal(size=(7, 5))
+        assert np.allclose(mesh.apply(batch), batch @ unitary.T, atol=1e-9)
+
+    def test_identity_matrix(self, decompose):
+        mesh = decompose(np.eye(4, dtype=complex))
+        assert np.allclose(mesh.reconstruct(), np.eye(4), atol=1e-10)
+
+    def test_permutation_matrix(self, decompose):
+        permutation = np.eye(4)[[1, 0, 3, 2]].astype(complex)
+        mesh = decompose(permutation)
+        assert np.allclose(mesh.reconstruct(), permutation, atol=1e-9)
+
+    def test_real_orthogonal_matrix(self, decompose, rng):
+        from scipy.stats import ortho_group
+
+        orthogonal = ortho_group.rvs(5, random_state=np.random.RandomState(0)).astype(complex)
+        mesh = decompose(orthogonal)
+        assert np.allclose(mesh.reconstruct(), orthogonal, atol=1e-9)
+
+    def test_energy_conservation(self, decompose, rng):
+        mesh = decompose(random_unitary(6, rng))
+        vector = rng.normal(size=6) + 1j * rng.normal(size=6)
+        assert np.sum(np.abs(mesh.apply(vector)) ** 2) == pytest.approx(
+            np.sum(np.abs(vector) ** 2))
+
+    def test_non_unitary_rejected(self, decompose, rng):
+        with pytest.raises(ValueError):
+            decompose(rng.normal(size=(4, 4)))
+        with pytest.raises(ValueError):
+            decompose(rng.normal(size=(3, 4)))
+
+    def test_output_phases_have_unit_modulus(self, decompose, rng):
+        mesh = decompose(random_unitary(7, rng))
+        assert np.allclose(np.abs(mesh.output_phases), 1.0, atol=1e-9)
+
+    def test_phase_power_is_finite_and_positive(self, decompose, rng):
+        mesh = decompose(random_unitary(5, rng))
+        power = mesh.total_phase_power_mw()
+        assert np.isfinite(power)
+        assert power >= 0
+
+
+class TestMeshStructure:
+    def test_apply_dimension_mismatch(self, rng):
+        mesh = reck_decompose(random_unitary(4, rng))
+        with pytest.raises(ValueError):
+            mesh.apply(np.ones(5, dtype=complex))
+
+    def test_dispatch(self, rng):
+        unitary = random_unitary(3, rng)
+        assert decompose_unitary(unitary, "reck").method == "reck"
+        assert decompose_unitary(unitary, "clements").method == "clements"
+        with pytest.raises(ValueError):
+            decompose_unitary(unitary, "bogus")
+
+    def test_settings_act_on_adjacent_modes_only(self, rng):
+        mesh = clements_decompose(random_unitary(6, rng))
+        assert all(0 <= setting.mode < 5 for setting in mesh.settings)
+
+    def test_clements_is_shallower_than_reck(self, rng):
+        """The rectangular mesh has roughly half the optical depth (ablation claim)."""
+        from repro.experiments.ablations import _optical_depth
+
+        unitary = random_unitary(12, rng)
+        reck_depth = _optical_depth(reck_decompose(unitary).settings)
+        clements_depth = _optical_depth(clements_decompose(unitary).settings)
+        assert clements_depth < reck_depth
+
+    def test_manual_mesh_reconstruction(self):
+        """A hand-built one-MZI mesh reconstructs to the embedded MZI matrix."""
+        setting = MZISetting(mode=0, theta=0.7, phi=0.3)
+        mesh = MeshDecomposition(dimension=3, settings=[setting])
+        expected = np.eye(3, dtype=complex)
+        expected[:2, :2] = setting.transfer_matrix()
+        assert np.allclose(mesh.reconstruct(), expected)
+
+    @given(st.integers(2, 9), st.integers(0, 2 ** 16))
+    @settings(max_examples=20, deadline=None)
+    def test_property_reconstruction_both_methods(self, dimension, seed):
+        rng = np.random.default_rng(seed)
+        unitary = random_unitary(dimension, rng)
+        for decompose in (reck_decompose, clements_decompose):
+            mesh = decompose(unitary)
+            assert np.abs(mesh.reconstruct() - unitary).max() < 1e-8

@@ -1,0 +1,65 @@
+"""Additional coverage: power accounting, area summaries and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.area_analysis import model_area_report
+from repro.experiments.reporting import format_table, save_json
+from repro.models import ComplexFCNN
+from repro.photonics import MZI, random_unitary, reck_decompose, svd_decompose
+from repro.photonics.components import MAX_PHASE_SHIFTER_POWER_MW, phase_shifter_power_mw
+
+
+class TestPowerAccounting:
+    def test_single_mzi_power_range(self):
+        assert MZI(0.0, 0.0).power_mw() == 0.0
+        assert MZI(np.pi, np.pi).power_mw() == pytest.approx(MAX_PHASE_SHIFTER_POWER_MW)
+        assert MZI(2 * np.pi - 1e-9, 0.0).power_mw() == pytest.approx(
+            MAX_PHASE_SHIFTER_POWER_MW, rel=1e-6)
+
+    def test_phase_power_is_non_negative_everywhere(self, rng):
+        for angle in rng.uniform(-20, 20, size=50):
+            assert phase_shifter_power_mw(float(angle)) >= 0.0
+
+    def test_deployed_matrix_power_scales_with_size(self, rng):
+        small = svd_decompose(rng.normal(size=(4, 4)))
+        large = svd_decompose(rng.normal(size=(16, 16)))
+        small_power = small.left_mesh.total_phase_power_mw() + small.right_mesh.total_phase_power_mw()
+        large_power = large.left_mesh.total_phase_power_mw() + large.right_mesh.total_phase_power_mw()
+        assert large_power > small_power
+
+    def test_split_network_uses_less_power_than_conventional(self, rng):
+        """Fewer MZIs -> lower static heater power (an implicit claim of the paper)."""
+        conventional = svd_decompose(rng.normal(size=(16, 32)))
+        split = svd_decompose(rng.normal(size=(8, 16)) + 1j * rng.normal(size=(8, 16)))
+        power = lambda pm: (pm.left_mesh.total_phase_power_mw()          # noqa: E731
+                            + pm.right_mesh.total_phase_power_mw())
+        assert power(split) < power(conventional)
+
+
+class TestAreaSummaries:
+    def test_summary_lists_every_layer_and_total(self, rng):
+        model = ComplexFCNN(12, (8, 6), 3, decoder="merge", rng=rng)
+        report = model_area_report(model)
+        summary = report.summary()
+        assert summary.count("\n") >= len(report.layers)
+        assert "TOTAL" in summary
+        assert str(report.total_mzis) in summary
+
+    def test_total_directional_couplers_and_phase_shifters(self, rng):
+        model = ComplexFCNN(10, (6,), 2, decoder="merge", rng=rng)
+        report = model_area_report(model)
+        assert report.total_directional_couplers == 2 * report.total_mzis
+        assert report.total_phase_shifters == report.total_mzis
+
+
+class TestReportingExtra:
+    def test_save_json_accepts_plain_dict(self, tmp_path):
+        path = save_json({"answer": 42, "array": np.arange(3)}, tmp_path / "out.json")
+        assert path.exists()
+        assert "42" in path.read_text()
+
+    def test_format_table_handles_mixed_types(self):
+        text = format_table(["a", "b"], [[1, 0.123456], ["long-string", None]])
+        assert "long-string" in text
+        assert "0.1235" in text

@@ -1,0 +1,155 @@
+"""Tests of SVD weight mapping, photonic circuits, noise and quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.photonics import (
+    PhaseNoiseModel,
+    PhotonicLinearLayer,
+    PhotonicNetwork,
+    mzi_count_matrix,
+    quantize_phases,
+    random_unitary,
+    reck_decompose,
+    svd_decompose,
+)
+from repro.photonics.circuit import modulus_squared, split_relu
+
+
+class TestSVDMapping:
+    @pytest.mark.parametrize("shape", [(4, 4), (3, 7), (8, 2), (1, 5), (6, 1)])
+    def test_matrix_reconstruction(self, shape, rng):
+        weight = rng.normal(size=shape)
+        photonic = svd_decompose(weight)
+        assert np.allclose(photonic.matrix(), weight, atol=1e-9)
+
+    def test_complex_matrix_reconstruction(self, rng):
+        weight = rng.normal(size=(4, 6)) + 1j * rng.normal(size=(4, 6))
+        photonic = svd_decompose(weight)
+        assert np.allclose(photonic.matrix(), weight, atol=1e-9)
+
+    def test_apply_matches_matmul(self, rng):
+        weight = rng.normal(size=(5, 8))
+        photonic = svd_decompose(weight)
+        vector = rng.normal(size=8) + 1j * rng.normal(size=8)
+        assert np.allclose(photonic.apply(vector), weight @ vector, atol=1e-9)
+
+    def test_apply_batched(self, rng):
+        weight = rng.normal(size=(3, 4))
+        photonic = svd_decompose(weight)
+        batch = rng.normal(size=(6, 4)).astype(complex)
+        assert np.allclose(photonic.apply(batch), batch @ weight.T, atol=1e-9)
+
+    def test_mzi_count_matches_closed_form(self, rng):
+        weight = rng.normal(size=(7, 11))
+        photonic = svd_decompose(weight)
+        assert photonic.device_count == mzi_count_matrix(7, 11)
+
+    def test_normalisation_keeps_attenuators_passive(self, rng):
+        weight = rng.normal(size=(6, 6)) * 10.0
+        photonic = svd_decompose(weight, normalize=True)
+        assert photonic.singular_values.max() <= 1.0 + 1e-12
+        assert photonic.scale > 1.0
+        assert np.allclose(photonic.matrix(), weight, atol=1e-8)
+
+    def test_reck_method_also_works(self, rng):
+        weight = rng.normal(size=(4, 5))
+        photonic = svd_decompose(weight, method="reck")
+        assert np.allclose(photonic.matrix(), weight, atol=1e-9)
+
+    def test_non_matrix_rejected(self, rng):
+        with pytest.raises(ValueError):
+            svd_decompose(rng.normal(size=(2, 3, 4)))
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(0, 2 ** 16))
+    @settings(max_examples=20, deadline=None)
+    def test_property_reconstruction(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        weight = rng.normal(size=(rows, cols))
+        assert np.abs(svd_decompose(weight).matrix() - weight).max() < 1e-8
+
+
+class TestPhotonicLayersAndNetworks:
+    def test_layer_forward_with_bias(self, rng):
+        weight = rng.normal(size=(3, 5))
+        bias = rng.normal(size=3) + 1j * rng.normal(size=3)
+        layer = PhotonicLinearLayer.from_weight(weight, bias=bias)
+        vector = rng.normal(size=5).astype(complex)
+        assert np.allclose(layer(vector), weight @ vector + bias, atol=1e-9)
+
+    def test_network_forward_matches_direct_computation(self, rng):
+        w1, w2 = rng.normal(size=(4, 6)), rng.normal(size=(2, 4))
+        network = PhotonicNetwork([
+            PhotonicLinearLayer.from_weight(w1),
+            PhotonicLinearLayer.from_weight(w2),
+        ])
+        vector = rng.normal(size=6) + 1j * rng.normal(size=6)
+        expected = w2 @ split_relu(w1 @ vector)
+        assert np.allclose(network(vector), expected, atol=1e-9)
+        assert network.mzi_count == mzi_count_matrix(4, 6) + mzi_count_matrix(2, 4)
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            PhotonicNetwork([])
+
+    def test_split_relu_and_modulus(self):
+        signal = np.array([1 - 2j, -3 + 4j])
+        assert np.allclose(split_relu(signal), [1 + 0j, 4j])
+        assert np.allclose(modulus_squared(signal), [5.0, 25.0])
+
+
+class TestNoiseModels:
+    def test_zero_noise_is_identity(self, rng):
+        mesh = reck_decompose(random_unitary(5, rng))
+        noisy = PhaseNoiseModel(sigma=0.0).perturb(mesh)
+        assert np.allclose(noisy.reconstruct(), mesh.reconstruct())
+
+    def test_noise_perturbs_but_stays_unitary(self, rng):
+        mesh = reck_decompose(random_unitary(5, rng))
+        noisy = PhaseNoiseModel(sigma=0.05, rng=rng).perturb(mesh)
+        original = mesh.reconstruct()
+        perturbed = noisy.reconstruct()
+        assert not np.allclose(original, perturbed)
+        assert np.allclose(perturbed.conj().T @ perturbed, np.eye(5), atol=1e-9)
+
+    def test_error_grows_with_sigma(self, rng):
+        mesh = reck_decompose(random_unitary(8, rng))
+        original = mesh.reconstruct()
+        errors = []
+        for sigma in (0.001, 0.01, 0.1):
+            noisy = PhaseNoiseModel(sigma=sigma, rng=np.random.default_rng(0)).perturb(mesh)
+            errors.append(np.abs(noisy.reconstruct() - original).max())
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_negative_sigma_rejected(self, rng):
+        mesh = reck_decompose(random_unitary(3, rng))
+        with pytest.raises(ValueError):
+            PhaseNoiseModel(sigma=-1.0).perturb(mesh)
+
+    def test_quantization_error_shrinks_with_bits(self, rng):
+        mesh = reck_decompose(random_unitary(6, rng))
+        original = mesh.reconstruct()
+        coarse = np.abs(quantize_phases(mesh, 3).reconstruct() - original).max()
+        fine = np.abs(quantize_phases(mesh, 10).reconstruct() - original).max()
+        assert fine < coarse
+        assert fine < 1e-2
+
+    def test_quantization_invalid_bits(self, rng):
+        mesh = reck_decompose(random_unitary(3, rng))
+        with pytest.raises(ValueError):
+            quantize_phases(mesh, 0)
+
+    def test_layer_with_noise_changes_output(self, rng):
+        weight = rng.normal(size=(4, 4))
+        layer = PhotonicLinearLayer.from_weight(weight)
+        noisy = layer.with_noise(noise=PhaseNoiseModel(sigma=0.1, rng=rng))
+        vector = rng.normal(size=4).astype(complex)
+        assert not np.allclose(layer(vector), noisy(vector))
+
+    def test_layer_with_quantization_only(self, rng):
+        weight = rng.normal(size=(3, 3))
+        layer = PhotonicLinearLayer.from_weight(weight)
+        quantized = layer.with_noise(quantization_bits=12)
+        vector = rng.normal(size=3).astype(complex)
+        assert np.allclose(layer(vector), quantized(vector), atol=1e-2)

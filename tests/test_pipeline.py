@@ -1,0 +1,104 @@
+"""Tests of the end-to-end OplixNet pipeline driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig, TrainingConfig
+from repro.core.distillation import MutualLearningResult
+from repro.core.pipeline import OplixNet, PipelineResult
+from repro.core.training import TrainingHistory
+from repro.models import ComplexFCNN, RealFCNN
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    base = dict(
+        name="unit-test", architecture="fcnn", dataset="mnist", num_classes=10,
+        image_size=(8, 8), channels=1, assignment="SI", decoder="merge",
+        train_samples=120, test_samples=60,
+        training=TrainingConfig(epochs=2, batch_size=32, learning_rate=0.05, seed=0),
+        seed=0,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestPipelineConstruction:
+    def test_datasets_are_cached(self):
+        pipeline = OplixNet(tiny_config())
+        first = pipeline.datasets()
+        second = pipeline.datasets()
+        assert first is second
+        train, test = first
+        assert len(train) == 120 and len(test) == 60
+
+    def test_unknown_dataset_rejected(self):
+        pipeline = OplixNet(tiny_config(dataset="imagenet"))
+        with pytest.raises(ValueError):
+            pipeline.datasets()
+
+    def test_builders_return_expected_flavours(self):
+        pipeline = OplixNet(tiny_config())
+        student = pipeline.build_student()
+        teacher = pipeline.build_teacher()
+        rvnn = pipeline.build_rvnn()
+        assert isinstance(student, ComplexFCNN) and student.in_features == 32
+        assert isinstance(teacher, ComplexFCNN) and teacher.in_features == 64
+        assert isinstance(rvnn, RealFCNN) and rvnn.in_features == 64
+        assert student.head.name == "merge"
+        assert teacher.head.name == "photodiode"
+
+    def test_cifar_configs_build(self):
+        config = tiny_config(architecture="lenet5", dataset="cifar10", channels=3,
+                             image_size=(12, 12), assignment="CL",
+                             lenet_kernel=3, lenet_padding=1, width_divider=4)
+        pipeline = OplixNet(config)
+        student = pipeline.build_student()
+        train, _ = pipeline.datasets()
+        assert train.images.shape[1] == 3
+        assert student.num_classes == 10
+
+    def test_area_summary_reports_reduction(self):
+        pipeline = OplixNet(tiny_config())
+        summary = pipeline.area_summary()
+        assert 0.5 < summary["reduction"] < 0.9
+        assert summary["baseline_mzis"] > summary["proposed_mzis"]
+
+
+class TestPipelineTraining:
+    def test_plain_training_returns_history(self):
+        pipeline = OplixNet(tiny_config())
+        student, history = pipeline.train_student(mutual_learning=False)
+        assert isinstance(history, TrainingHistory)
+        assert len(history.test_accuracy) == 2
+
+    def test_mutual_learning_returns_result(self):
+        pipeline = OplixNet(tiny_config())
+        student, result = pipeline.train_student(mutual_learning=True)
+        assert isinstance(result, MutualLearningResult)
+        assert 0.0 <= result.student_test_accuracy <= 1.0
+
+    def test_train_reference_flavours(self):
+        pipeline = OplixNet(tiny_config())
+        cvnn, history = pipeline.train_reference("cvnn")
+        assert isinstance(cvnn, ComplexFCNN)
+        assert len(history.train_loss) == 2
+        with pytest.raises(ValueError):
+            pipeline.train_reference("scvnn")
+
+    def test_run_collects_everything(self):
+        pipeline = OplixNet(tiny_config())
+        result = pipeline.run(mutual_learning=False, train_references=True)
+        assert isinstance(result, PipelineResult)
+        assert result.rvnn_accuracy is not None
+        assert result.baseline_accuracy is not None
+        assert result.area["reduction"] > 0.5
+        assert result.student_history is not None
+
+    def test_deploy_trained_student(self):
+        pipeline = OplixNet(tiny_config())
+        student, _ = pipeline.train_student(mutual_learning=False)
+        deployed = pipeline.deploy(student)
+        train, test = pipeline.datasets()
+        images = np.stack([test[i][0] for i in range(8)])
+        logits = deployed.predict_logits(images, pipeline.student_scheme())
+        assert logits.shape == (8, 10)

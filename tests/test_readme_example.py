@@ -1,0 +1,31 @@
+"""The README's minimal API example must keep working (documentation contract)."""
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig, TrainingConfig
+from repro.core.pipeline import OplixNet
+
+
+def test_readme_minimal_example_runs():
+    """Mirror of the README snippet, scaled down so it runs in a couple of seconds."""
+    config = ExperimentConfig(
+        name="demo", architecture="fcnn", dataset="mnist",
+        image_size=(10, 10), channels=1, num_classes=10,
+        assignment="SI",
+        decoder="merge",
+        train_samples=200, test_samples=80,
+        training=TrainingConfig(epochs=2, batch_size=32, learning_rate=0.05),
+    )
+    pipeline = OplixNet(config)
+    student, result = pipeline.train_student(mutual_learning=True)
+
+    summary = pipeline.area_summary()
+    assert summary["reduction"] > 0.5
+    assert 0.0 <= result.student_test_accuracy <= 1.0
+
+    deployed = pipeline.deploy(student)
+    _train, test = pipeline.datasets()
+    images = np.stack([test[i][0] for i in range(8)])
+    logits = deployed.predict_logits(images, pipeline.student_scheme())
+    assert logits.shape == (8, 10)
+    assert np.isfinite(logits).all()

@@ -1,0 +1,187 @@
+"""Tests of the neural-network primitives (conv, pooling, softmax, dropout)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import signal as scipy_signal
+
+from repro.tensor import Tensor, functional as F, gradcheck
+from repro.tensor.functional import col2im, im2col
+
+
+def reference_conv2d(inputs, weight, bias, stride, padding):
+    """Naive cross-correlation used as the ground truth."""
+    batch, _in_c, height, width = inputs.shape
+    out_c, in_c, kh, kw = weight.shape
+    padded = np.pad(inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kh) // stride + 1
+    out_w = (width + 2 * padding - kw) // stride + 1
+    output = np.zeros((batch, out_c, out_h, out_w))
+    for b in range(batch):
+        for o in range(out_c):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = padded[b, :, i * stride:i * stride + kh, j * stride:j * stride + kw]
+                    output[b, o, i, j] = (patch * weight[o]).sum()
+            if bias is not None:
+                output[b, o] += bias[o]
+    return output
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1), (2, 0)])
+    def test_matches_reference(self, rng, stride, padding):
+        inputs = rng.normal(size=(2, 3, 7, 8))
+        weight = rng.normal(size=(4, 3, 3, 3))
+        bias = rng.normal(size=4)
+        out = F.conv2d(Tensor(inputs), Tensor(weight), Tensor(bias), stride=stride, padding=padding)
+        expected = reference_conv2d(inputs, weight, bias, stride, padding)
+        assert out.shape == expected.shape
+        assert np.allclose(out.data, expected)
+
+    def test_matches_scipy_correlate(self, rng):
+        inputs = rng.normal(size=(1, 1, 9, 9))
+        weight = rng.normal(size=(1, 1, 3, 3))
+        out = F.conv2d(Tensor(inputs), Tensor(weight), None)
+        expected = scipy_signal.correlate2d(inputs[0, 0], weight[0, 0], mode="valid")
+        assert np.allclose(out.data[0, 0], expected)
+
+    def test_gradients(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.2, requires_grad=True)
+        b = Tensor(rng.normal(size=3) * 0.2, requires_grad=True)
+        gradcheck(lambda: (F.conv2d(x, w, b, stride=2, padding=1) ** 2).sum(), [x, w, b], atol=1e-4)
+
+    def test_no_bias_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)) * 0.2, requires_grad=True)
+        gradcheck(lambda: F.conv2d(x, w, None).sum(), [x, w], atol=1e-4)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)))
+        w = Tensor(rng.normal(size=(2, 4, 3, 3)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, None)
+
+    def test_empty_output_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 2, 2)))
+        w = Tensor(rng.normal(size=(1, 1, 5, 5)))
+        with pytest.raises(ValueError):
+            F.conv2d(x, w, None)
+
+
+class TestIm2Col:
+    def test_roundtrip_is_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> (the operators are adjoint)."""
+        shape = (2, 3, 6, 7)
+        kernel, stride, padding = (3, 3), (2, 2), (1, 1)
+        x = rng.normal(size=shape)
+        cols, _ = im2col(x, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, shape, kernel, stride, padding)).sum())
+        assert np.isclose(lhs, rhs)
+
+    @given(st.integers(4, 9), st.integers(4, 9), st.integers(1, 2), st.integers(0, 1),
+           st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_output_size_formula(self, height, width, stride, padding, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, height, width))
+        kernel = (3, 3)
+        if height + 2 * padding < 3 or width + 2 * padding < 3:
+            return
+        cols, (out_h, out_w) = im2col(x, kernel, (stride, stride), (padding, padding))
+        assert out_h == (height + 2 * padding - 3) // stride + 1
+        assert out_w == (width + 2 * padding - 3) // stride + 1
+        assert cols.shape == (2 * 9, out_h * out_w * 1)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = F.avg_pool2d(Tensor(x), 2)
+        assert np.allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_gradients(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+        gradcheck(lambda: (F.max_pool2d(x, 2) ** 2).sum(), [x], atol=1e-4)
+
+    def test_avg_pool_gradients(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+        gradcheck(lambda: (F.avg_pool2d(x, 3, stride=3) ** 2).sum(), [x], atol=1e-4)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 5, 4, 4))
+        out = F.global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 5)
+        assert np.allclose(out.data, x.mean(axis=(2, 3)))
+
+    def test_strided_pooling_shape(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 8, 8)))
+        assert F.max_pool2d(x, 2, stride=2).shape == (1, 1, 4, 4)
+        assert F.max_pool2d(x, 3, stride=2).shape == (1, 1, 3, 3)
+
+
+class TestSoftmaxFamily:
+    def test_softmax_sums_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(5, 7)))
+        probabilities = F.softmax(logits)
+        assert np.allclose(probabilities.data.sum(axis=1), 1.0)
+        assert (probabilities.data >= 0).all()
+
+    def test_log_softmax_matches_scipy(self, rng):
+        from scipy.special import log_softmax as scipy_log_softmax
+
+        logits = rng.normal(size=(4, 6))
+        ours = F.log_softmax(Tensor(logits)).data
+        assert np.allclose(ours, scipy_log_softmax(logits, axis=-1))
+
+    def test_softmax_invariant_to_shift(self, rng):
+        logits = rng.normal(size=(3, 5))
+        a = F.softmax(Tensor(logits)).data
+        b = F.softmax(Tensor(logits + 100.0)).data
+        assert np.allclose(a, b)
+
+    def test_log_softmax_gradients(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda: (F.log_softmax(logits) ** 2).sum(), [logits])
+
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3)
+        assert np.allclose(encoded, np.eye(3)[[0, 2, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([0, 5]), 3)
+
+
+class TestLinearAndDropout:
+    def test_linear_matches_numpy(self, rng):
+        x = rng.normal(size=(4, 6))
+        w = rng.normal(size=(3, 6))
+        b = rng.normal(size=3)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        assert np.allclose(out.data, x @ w.T + b)
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, rate=0.5, training=False)
+        assert np.allclose(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, rate=0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.08)
+        # surviving entries are scaled by 1 / (1 - rate)
+        surviving = out.data[out.data > 0]
+        assert np.allclose(surviving, 1.0 / 0.7)
+
+    def test_dropout_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), rate=1.0, training=True)

@@ -1,0 +1,274 @@
+"""Unit tests of the autograd engine's primitive operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tensor import Tensor, gradcheck, no_grad, is_grad_enabled
+from repro.tensor import ops
+
+
+def make(shape, rng, requires_grad=True):
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestBasicArithmetic:
+    def test_add_forward(self, rng):
+        a, b = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+
+    def test_scalar_operands(self, rng):
+        a = rng.normal(size=(3, 4))
+        assert np.allclose((Tensor(a) + 2.5).data, a + 2.5)
+        assert np.allclose((2.5 - Tensor(a)).data, 2.5 - a)
+        assert np.allclose((Tensor(a) * 3).data, a * 3)
+        assert np.allclose((1.0 / Tensor(np.abs(a) + 1)).data, 1.0 / (np.abs(a) + 1))
+
+    def test_add_backward(self, rng):
+        a, b = make((3, 4), rng), make((3, 4), rng)
+        gradcheck(lambda: (a + b).sum(), [a, b])
+
+    def test_sub_mul_div_backward(self, rng):
+        a, b = make((2, 5), rng), make((2, 5), rng)
+        b.data = b.data + 3.0  # keep divisor away from zero
+        gradcheck(lambda: ((a - b) * a / b).sum(), [a, b])
+
+    def test_neg_pow_backward(self, rng):
+        a = make((4,), rng)
+        a.data = np.abs(a.data) + 0.5
+        gradcheck(lambda: ((-a) ** 3).sum(), [a])
+
+    def test_broadcast_backward(self, rng):
+        a = make((3, 4), rng)
+        b = make((4,), rng)
+        c = make((3, 1), rng)
+        gradcheck(lambda: ((a + b) * c).sum(), [a, b, c])
+
+    def test_gradient_accumulates_on_reuse(self, rng):
+        a = make((3,), rng)
+        out = (a * a + a).sum()
+        out.backward()
+        assert np.allclose(a.grad, 2 * a.data + 1)
+
+    def test_maximum_ties_split(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([1.0, 0.0]), requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        assert np.allclose(a.grad, [0.5, 1.0])
+        assert np.allclose(b.grad, [0.5, 0.0])
+
+
+class TestMatmul:
+    def test_matrix_matrix(self, rng):
+        a, b = make((3, 4), rng), make((4, 5), rng)
+        gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_batched(self, rng):
+        a, b = make((2, 3, 4), rng), make((2, 4, 5), rng)
+        gradcheck(lambda: ((a @ b) ** 2).sum(), [a, b])
+
+    def test_vector_matrix(self, rng):
+        a, b = make((4,), rng), make((4, 5), rng)
+        gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_matrix_vector(self, rng):
+        a, b = make((3, 4), rng), make((4,), rng)
+        gradcheck(lambda: (a @ b).sum(), [a, b])
+
+    def test_inner_product(self, rng):
+        a, b = make((6,), rng), make((6,), rng)
+        gradcheck(lambda: (a @ b) * 1.0, [a, b])
+
+    def test_forward_matches_numpy(self, rng):
+        a, b = rng.normal(size=(5, 7)), rng.normal(size=(7, 2))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+
+class TestElementwise:
+    @pytest.mark.parametrize("op_name", ["exp", "tanh", "sigmoid", "relu", "abs", "sqrt", "log"])
+    def test_unary_gradients(self, op_name, rng):
+        a = make((3, 4), rng)
+        if op_name in ("sqrt", "log"):
+            a.data = np.abs(a.data) + 0.5
+        if op_name == "abs":
+            a.data = a.data + np.sign(a.data) * 0.1  # keep away from the kink
+        gradcheck(lambda: getattr(ops, op_name)(a).sum(), [a])
+
+    def test_relu_zeroes_negatives(self):
+        x = Tensor([[-1.0, 2.0, -0.5, 0.0]])
+        assert np.allclose(x.relu().data, [[0.0, 2.0, 0.0, 0.0]])
+
+    def test_leaky_relu(self, rng):
+        a = make((5,), rng)
+        out = ops.leaky_relu(a, 0.1)
+        expected = np.where(a.data > 0, a.data, 0.1 * a.data)
+        assert np.allclose(out.data, expected)
+        gradcheck(lambda: (ops.leaky_relu(a, 0.1) ** 2).sum(), [a])
+
+    def test_clip(self, rng):
+        a = make((10,), rng)
+        out = ops.clip(a, -0.5, 0.5)
+        assert out.data.max() <= 0.5 and out.data.min() >= -0.5
+        a.data = a.data * 0.3  # keep all strictly inside so gradcheck is smooth
+        gradcheck(lambda: (ops.clip(a, -0.5, 0.5) * 2).sum(), [a])
+
+    def test_sin_cos(self, rng):
+        a = make((4,), rng)
+        gradcheck(lambda: (ops.sin(a) + ops.cos(a)).sum(), [a])
+
+
+class TestReductions:
+    def test_sum_axes(self, rng):
+        a = make((3, 4, 5), rng)
+        gradcheck(lambda: a.sum(axis=1).sum(), [a])
+        gradcheck(lambda: (a.sum(axis=(0, 2)) ** 2).sum(), [a])
+        gradcheck(lambda: a.sum(axis=2, keepdims=True).sum(), [a])
+
+    def test_mean_and_var(self, rng):
+        a = make((4, 6), rng)
+        gradcheck(lambda: a.mean(axis=0).sum(), [a])
+        gradcheck(lambda: a.var(axis=1).sum(), [a])
+        assert np.allclose(a.var().data, a.data.var())
+
+    def test_max_min(self, rng):
+        a = make((5, 5), rng)
+        assert np.allclose(a.max(axis=0).data, a.data.max(axis=0))
+        assert np.allclose(a.min().data, a.data.min())
+        gradcheck(lambda: a.max(axis=1).sum(), [a])
+
+    def test_logsumexp_matches_naive(self, rng):
+        a = make((6, 3), rng)
+        naive = np.log(np.exp(a.data).sum(axis=1))
+        assert np.allclose(ops.logsumexp(a, axis=1).data, naive)
+        gradcheck(lambda: ops.logsumexp(a, axis=1).sum(), [a])
+
+    def test_logsumexp_is_stable_for_large_inputs(self):
+        a = Tensor(np.array([[1000.0, 1000.0]]), requires_grad=True)
+        out = ops.logsumexp(a, axis=1)
+        assert np.isfinite(out.data).all()
+
+
+class TestShapeOps:
+    def test_reshape_flatten(self, rng):
+        a = make((2, 3, 4), rng)
+        gradcheck(lambda: (a.reshape(6, 4) ** 2).sum(), [a])
+        assert a.flatten(start_dim=1).shape == (2, 12)
+
+    def test_transpose(self, rng):
+        a = make((2, 3, 4), rng)
+        assert a.transpose(2, 0, 1).shape == (4, 2, 3)
+        gradcheck(lambda: (a.transpose(2, 0, 1) ** 2).sum(), [a])
+        assert a.T.shape == (4, 3, 2)
+
+    def test_swapaxes(self, rng):
+        a = make((2, 3, 4), rng)
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_getitem(self, rng):
+        a = make((5, 6), rng)
+        gradcheck(lambda: (a[1:4, ::2] ** 2).sum(), [a])
+        gradcheck(lambda: (a[np.array([0, 0, 2])] ** 2).sum(), [a])
+
+    def test_concatenate_and_stack(self, rng):
+        a, b = make((2, 3), rng), make((4, 3), rng)
+        out = ops.concatenate([a, b], axis=0)
+        assert out.shape == (6, 3)
+        gradcheck(lambda: (ops.concatenate([a, b], axis=0) ** 2).sum(), [a, b])
+        c, d = make((3,), rng), make((3,), rng)
+        gradcheck(lambda: (ops.stack([c, d], axis=1) ** 2).sum(), [c, d])
+
+    def test_pad(self, rng):
+        a = make((3, 4), rng)
+        out = ops.pad(a, ((1, 1), (2, 0)), constant_value=0.0)
+        assert out.shape == (5, 6)
+        gradcheck(lambda: (ops.pad(a, 1) ** 2).sum(), [a])
+
+    def test_pad_invalid_width(self, rng):
+        a = make((3, 4), rng)
+        with pytest.raises(ValueError):
+            ops.pad(a, ((1, 1), (1, 1), (1, 1)))
+
+    def test_where(self, rng):
+        a, b = make((4, 4), rng), make((4, 4), rng)
+        condition = rng.random((4, 4)) > 0.5
+        out = ops.where(condition, a, b)
+        assert np.allclose(out.data, np.where(condition, a.data, b.data))
+        gradcheck(lambda: (ops.where(condition, a, b) ** 2).sum(), [a, b])
+
+
+class TestGraphMechanics:
+    def test_backward_requires_scalar(self, rng):
+        a = make((3,), rng)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor([1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_no_grad_disables_graph(self, rng):
+        a = make((3,), rng)
+        with no_grad():
+            out = (a * 2).sum()
+            assert not out.requires_grad
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_blocks_gradient(self, rng):
+        a = make((3,), rng)
+        out = (a.detach() * 3 + a).sum()
+        out.backward()
+        assert np.allclose(a.grad, np.ones(3))
+
+    def test_diamond_graph_gradients(self, rng):
+        a = make((3,), rng)
+        left = a * 2
+        right = a * 3
+        (left + right).sum().backward()
+        assert np.allclose(a.grad, np.full(3, 5.0))
+
+    def test_deep_chain_does_not_overflow(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        out = a
+        for _ in range(500):
+            out = out + 1.0
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones(2))
+
+    def test_zero_grad(self, rng):
+        a = make((3,), rng)
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_item_and_len(self):
+        assert Tensor([[3.5]]).item() == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]).item()
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_comparisons_return_numpy(self, rng):
+        a = make((3,), rng)
+        assert isinstance(a > 0, np.ndarray)
+        assert isinstance(a <= 0.5, np.ndarray)
+
+
+class TestPropertyBased:
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_broadcast_add_gradient_is_correct(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+        b = Tensor(rng.normal(size=(cols,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones((rows, cols)))
+        assert np.allclose(b.grad, np.full(cols, rows))
+
+    @given(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_matmul_matches_numpy(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a, b = rng.normal(size=(m, k)), rng.normal(size=(k, n))
+        assert np.allclose((Tensor(a) @ Tensor(b)).data, a @ b)

@@ -1,0 +1,74 @@
+"""Tests of seeding and weight-initialisation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import random as rnd
+
+
+class TestSeeding:
+    def test_seed_all_is_deterministic(self):
+        first = rnd.seed_all(42).normal(size=5)
+        second = rnd.seed_all(42).normal(size=5)
+        assert np.allclose(first, second)
+
+    def test_default_rng_passthrough(self):
+        custom = np.random.default_rng(7)
+        assert rnd.default_rng(custom) is custom
+
+    def test_default_rng_uses_global(self):
+        rnd.seed_all(3)
+        assert rnd.default_rng(None) is rnd.default_rng()
+
+
+class TestInitializers:
+    def test_kaiming_uniform_bounds(self):
+        weights = rnd.kaiming_uniform((64, 256), rng=np.random.default_rng(0))
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 256)
+        assert np.abs(weights).max() <= bound + 1e-12
+
+    def test_kaiming_normal_std(self):
+        weights = rnd.kaiming_normal((1000, 500), rng=np.random.default_rng(0))
+        expected_std = np.sqrt(2.0) / np.sqrt(500)
+        assert weights.std() == pytest.approx(expected_std, rel=0.05)
+
+    def test_xavier_uniform_bounds(self):
+        weights = rnd.xavier_uniform((100, 300), rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 400)
+        assert np.abs(weights).max() <= bound + 1e-12
+
+    def test_xavier_normal_std(self):
+        weights = rnd.xavier_normal((400, 600), rng=np.random.default_rng(0))
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.05)
+
+    def test_conv_fan_computation(self):
+        weights = rnd.kaiming_uniform((8, 4, 3, 3), rng=np.random.default_rng(0))
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / (4 * 9))
+        assert np.abs(weights).max() <= bound + 1e-12
+
+    def test_unsupported_shape_raises(self):
+        with pytest.raises(ValueError):
+            rnd.kaiming_uniform((2, 3, 4), rng=np.random.default_rng(0))
+
+    def test_complex_init_shapes_and_distribution(self):
+        real, imag = rnd.complex_init((200, 100), rng=np.random.default_rng(0))
+        assert real.shape == (200, 100) and imag.shape == (200, 100)
+        magnitude = np.hypot(real, imag)
+        # Rayleigh with sigma = 1/sqrt(fan_in + fan_out): mean = sigma * sqrt(pi/2)
+        sigma = 1.0 / np.sqrt(300)
+        assert magnitude.mean() == pytest.approx(sigma * np.sqrt(np.pi / 2), rel=0.05)
+
+    def test_complex_init_he_criterion(self):
+        real, imag = rnd.complex_init((50, 200), rng=np.random.default_rng(0), criterion="he")
+        magnitude = np.hypot(real, imag)
+        sigma = 1.0 / np.sqrt(200)
+        assert magnitude.mean() == pytest.approx(sigma * np.sqrt(np.pi / 2), rel=0.1)
+
+    def test_complex_init_bad_criterion(self):
+        with pytest.raises(ValueError):
+            rnd.complex_init((4, 4), criterion="bogus")
+
+    def test_initializers_are_reproducible_from_seed(self):
+        a = rnd.kaiming_uniform((10, 10), rng=np.random.default_rng(5))
+        b = rnd.kaiming_uniform((10, 10), rng=np.random.default_rng(5))
+        assert np.allclose(a, b)

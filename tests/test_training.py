@@ -1,0 +1,123 @@
+"""Tests of the supervised training loop (Trainer) on tiny synthetic tasks."""
+
+import numpy as np
+import pytest
+
+from repro.assignment import get_scheme
+from repro.core.config import TrainingConfig
+from repro.core.training import (
+    Trainer,
+    TrainingHistory,
+    apply_parameter_constraints,
+    evaluate_accuracy,
+    prepare_batch,
+)
+from repro.data import DataLoader
+from repro.models import ComplexFCNN, RealFCNN
+from repro.nn.complex import ComplexTensor
+from repro.tensor import Tensor
+
+
+def loaders(dataset, batch_size=16):
+    train_loader = DataLoader(dataset, batch_size=batch_size, shuffle=True,
+                              rng=np.random.default_rng(0))
+    test_loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    return train_loader, test_loader
+
+
+class TestPrepareBatch:
+    def test_real_path(self, rng):
+        images = rng.normal(size=(4, 1, 6, 6))
+        batch = prepare_batch(images, None)
+        assert isinstance(batch, Tensor)
+        assert batch.shape == (4, 1, 6, 6)
+
+    def test_complex_path_uses_scheme(self, rng):
+        images = rng.normal(size=(4, 1, 6, 6))
+        batch = prepare_batch(images, get_scheme("SI"))
+        assert isinstance(batch, ComplexTensor)
+        assert batch.shape == (4, 1, 3, 6)
+
+    def test_conventional_scheme_keeps_shape(self, rng):
+        images = rng.normal(size=(2, 3, 4, 4))
+        batch = prepare_batch(images, get_scheme("conventional"))
+        assert batch.shape == (2, 3, 4, 4)
+        assert np.allclose(batch.imag.data, 0.0)
+
+
+class TestTrainerRealModel:
+    def test_loss_decreases_and_accuracy_improves(self, tiny_flat_dataset, rng):
+        model = RealFCNN(36, (16,), 2, rng=rng)
+        config = TrainingConfig(epochs=6, batch_size=16, learning_rate=0.05, seed=0)
+        trainer = Trainer(model, config, scheme=None)
+        train_loader, test_loader = loaders(tiny_flat_dataset)
+        history = trainer.fit(train_loader, test_loader)
+        assert isinstance(history, TrainingHistory)
+        assert len(history.train_loss) == 6
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert history.final_test_accuracy > 0.8
+        assert history.best_test_accuracy >= history.final_test_accuracy
+
+    def test_evaluate_accuracy_range(self, tiny_flat_dataset, rng):
+        model = RealFCNN(36, (8,), 2, rng=rng)
+        _, test_loader = loaders(tiny_flat_dataset)
+        accuracy = evaluate_accuracy(model, test_loader, None)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_scheduler_updates_learning_rate(self, tiny_flat_dataset, rng):
+        model = RealFCNN(36, (8,), 2, rng=rng)
+        config = TrainingConfig(epochs=3, scheduler="cosine", learning_rate=0.1, seed=0)
+        trainer = Trainer(model, config)
+        train_loader, _ = loaders(tiny_flat_dataset)
+        initial_lr = trainer.optimizer.lr
+        trainer.fit(train_loader)
+        assert trainer.optimizer.lr < initial_lr
+
+    def test_adam_optimizer_option(self, tiny_flat_dataset, rng):
+        model = RealFCNN(36, (8,), 2, rng=rng)
+        config = TrainingConfig(epochs=2, optimizer="adam", learning_rate=0.01, seed=0)
+        trainer = Trainer(model, config)
+        assert type(trainer.optimizer).__name__ == "Adam"
+        train_loader, test_loader = loaders(tiny_flat_dataset)
+        history = trainer.fit(train_loader, test_loader)
+        assert history.final_test_accuracy > 0.6
+
+
+class TestTrainerComplexModel:
+    def test_scvnn_trains_above_chance(self, tiny_flat_dataset, rng):
+        scheme = get_scheme("SI")
+        model = ComplexFCNN(18, (12,), 2, decoder="merge", rng=rng)
+        config = TrainingConfig(epochs=6, batch_size=16, learning_rate=0.05, seed=0)
+        trainer = Trainer(model, config, scheme=scheme)
+        train_loader, test_loader = loaders(tiny_flat_dataset)
+        history = trainer.fit(train_loader, test_loader)
+        assert history.final_test_accuracy > 0.75
+
+    def test_unitary_decoder_stays_unitary_during_training(self, tiny_flat_dataset, rng):
+        scheme = get_scheme("SI")
+        model = ComplexFCNN(18, (8,), 2, decoder="unitary", rng=rng)
+        config = TrainingConfig(epochs=2, batch_size=16, learning_rate=0.05, seed=0)
+        trainer = Trainer(model, config, scheme=scheme)
+        train_loader, _ = loaders(tiny_flat_dataset)
+        trainer.fit(train_loader)
+        assert model.head.unitary.unitarity_error() < 1e-8
+
+    def test_apply_parameter_constraints_direct(self, rng):
+        model = ComplexFCNN(6, (4,), 2, decoder="unitary", rng=rng)
+        model.head.unitary.weight_real.data += 0.5
+        apply_parameter_constraints(model)
+        assert model.head.unitary.unitarity_error() < 1e-8
+
+
+class TestConfigValidation:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=-1)
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="rmsprop")
+        with pytest.raises(ValueError):
+            TrainingConfig(scheduler="exponential")
+        with pytest.raises(ValueError):
+            TrainingConfig(distillation_alpha=-0.1)
