@@ -68,7 +68,12 @@ class DeployedModel:
         return sum(stage.layer.mzi_count for stage in self.stages)
 
     def forward_signals(self, complex_inputs: np.ndarray) -> np.ndarray:
-        """Propagate complex input amplitudes through every photonic stage."""
+        """Propagate complex input amplitudes through every photonic stage.
+
+        When the stages carry trials-batched (noise-ensemble) meshes the
+        signal gains a leading trials axis at the first stage and every
+        realization propagates consistently through the rest of the chain.
+        """
         signal = np.asarray(complex_inputs, dtype=complex)
         for stage in self.stages:
             signal = stage.layer(signal)
@@ -86,12 +91,19 @@ class DeployedModel:
         return self.readout(signal)
 
     def classify(self, images: np.ndarray, scheme: AssignmentScheme) -> np.ndarray:
-        return self.predict_logits(images, scheme).argmax(axis=1)
+        return self.predict_logits(images, scheme).argmax(axis=-1)
 
     def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
-                   quantization_bits: Optional[int] = None) -> "DeployedModel":
-        """Return a copy whose meshes carry phase noise / quantization."""
-        stages = [DeployedStage(layer=stage.layer.with_noise(noise, quantization_bits),
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "DeployedModel":
+        """Return a copy whose meshes carry phase noise / quantization.
+
+        ``trials`` draws an ensemble of noise realizations per mesh; the
+        copy's logits and predictions then carry a leading trials axis, so a
+        whole Monte-Carlo robustness sweep runs in one batched forward pass.
+        """
+        stages = [DeployedStage(layer=stage.layer.with_noise(noise, quantization_bits,
+                                                             trials=trials),
                                 activation_after=stage.activation_after)
                   for stage in self.stages]
         return DeployedModel(stages=stages, readout=self.readout,
@@ -113,7 +125,7 @@ def _head_stages_and_readout(head: DecoderHead, method: str):
 
     def paired_power(signal: np.ndarray) -> np.ndarray:
         power = np.abs(signal) ** 2
-        summed = power[:, :num_classes] + power[:, num_classes:2 * num_classes]
+        summed = power[..., :num_classes] + power[..., num_classes:2 * num_classes]
         return calibrated(np.sqrt(summed + 1e-12))
 
     if isinstance(head, MergeDecoderHead):

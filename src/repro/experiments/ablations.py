@@ -21,7 +21,7 @@ decisions worth quantifying; each has a harness here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.training import evaluate_accuracy
 from repro.experiments.common import get_workload, workload_config
 from repro.experiments.presets import Preset, get_preset
 from repro.experiments.reporting import format_table, percent
+from repro.photonics import engine
 from repro.photonics.encoders import DCComplexEncoder, PSComplexEncoder
 from repro.photonics.mzi_mesh import clements_decompose, random_unitary, reck_decompose
 from repro.photonics.noise import PhaseNoiseModel
@@ -78,16 +79,15 @@ class MeshComparisonRow:
 
 
 def _optical_depth(settings) -> int:
-    """Number of MZI columns after greedy scheduling of non-overlapping MZIs."""
-    depth_per_mode: Dict[int, int] = {}
-    depth = 0
-    for setting in settings:
-        modes = (setting.mode, setting.mode + 1)
-        start = max(depth_per_mode.get(mode, 0) for mode in modes)
-        for mode in modes:
-            depth_per_mode[mode] = start + 1
-        depth = max(depth, start + 1)
-    return depth
+    """Number of MZI columns after greedy scheduling of non-overlapping MZIs.
+
+    Delegates to the compiled engine's column scheduler, which is also what
+    propagation executes -- the reported depth is the number of vectorized
+    column applications per forward pass.
+    """
+    modes = np.array([setting.mode for setting in settings], dtype=np.intp)
+    dimension = int(modes.max()) + 2 if modes.size else 0
+    return engine.column_schedule(modes, dimension).depth
 
 
 def run_mesh_comparison(dimensions: Sequence[int] = (4, 8, 16, 32),
@@ -102,7 +102,7 @@ def run_mesh_comparison(dimensions: Sequence[int] = (4, 8, 16, 32),
             error = float(np.abs(mesh.reconstruct() - unitary).max())
             rows.append(MeshComparisonRow(dimension=dimension, method=method,
                                           mzi_count=mesh.mzi_count,
-                                          optical_depth=_optical_depth(mesh.settings),
+                                          optical_depth=mesh.optical_depth,
                                           reconstruction_error=error))
     return rows
 
@@ -115,11 +115,20 @@ class NoisePoint:
     sigma: float
     split_onn_accuracy: float
     conventional_onn_accuracy: float
+    trials: int = 1
 
 
 def run_noise_robustness(preset: str = "bench", sigmas: Sequence[float] = (0.0, 0.01, 0.03, 0.1),
-                         seed: int = 0, eval_samples: int = 128) -> List[NoisePoint]:
-    """Deploy trained FCNNs and sweep Gaussian phase noise on every phase shifter."""
+                         seed: int = 0, eval_samples: int = 128,
+                         trials: Optional[int] = None) -> List[NoisePoint]:
+    """Deploy trained FCNNs and sweep Gaussian phase noise on every phase shifter.
+
+    With ``trials=T`` every sigma is evaluated over ``T`` independent noise
+    realizations drawn at once: the deployed meshes carry a trials axis and
+    the whole ensemble propagates in one vectorized pass through the compiled
+    engine, so the reported accuracies are Monte-Carlo means instead of a
+    single draw.
+    """
     preset_obj = get_preset(preset) if isinstance(preset, str) else preset
     workload = get_workload("fcnn")
     config = workload_config(workload, preset_obj, seed=seed)
@@ -141,13 +150,16 @@ def run_noise_robustness(preset: str = "bench", sigmas: Sequence[float] = (0.0, 
     points: List[NoisePoint] = []
     for sigma in sigmas:
         noise = PhaseNoiseModel(sigma=float(sigma), rng=np.random.default_rng(seed + 17))
-        noisy_student = deployed_student.with_noise(noise=noise)
-        noisy_conventional = deployed_conventional.with_noise(noise=noise)
+        noisy_student = deployed_student.with_noise(noise=noise, trials=trials)
+        noisy_conventional = deployed_conventional.with_noise(noise=noise, trials=trials)
+        # with trials, predictions have shape (trials, samples) and the mean
+        # against the broadcast labels is the Monte-Carlo average accuracy
         student_accuracy = float((noisy_student.classify(images, student_scheme) == labels).mean())
         conventional_accuracy = float(
             (noisy_conventional.classify(images, conventional_scheme) == labels).mean())
         points.append(NoisePoint(sigma=float(sigma), split_onn_accuracy=student_accuracy,
-                                 conventional_onn_accuracy=conventional_accuracy))
+                                 conventional_onn_accuracy=conventional_accuracy,
+                                 trials=1 if trials is None else int(trials)))
     return points
 
 

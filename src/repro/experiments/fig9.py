@@ -7,6 +7,13 @@ area normalised so that the coherent configuration is 100% (the paper's
 normalisation).  The expected shape: Merge adds only a fraction of a percent
 of area over Coherent and reaches the best accuracy of the learnable decoders,
 while Linear and Unitary cost more area.
+
+:func:`run_fig9_hardware` extends the figure beyond the paper: each decoder
+variant is additionally *deployed* onto simulated MZI meshes and evaluated
+under a Monte-Carlo ensemble of phase-noise realizations.  The ensemble runs
+as one trials-batched pass through the compiled mesh engine, so the sweep
+costs one vectorized forward per (decoder, sigma) instead of one mesh rebuild
+per trial.
 """
 
 from __future__ import annotations
@@ -14,12 +21,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.area_analysis import model_area_report
 from repro.core.pipeline import OplixNet
 from repro.experiments.common import WORKLOADS, Workload, get_workload, paper_specs, workload_config
 from repro.experiments.presets import Preset, get_preset
 from repro.experiments.reporting import format_table, percent
 from repro.models import build_model
+from repro.photonics.noise import PhaseNoiseModel
 
 #: decoder configurations compared in the paper's Fig. 9
 FIG9_DECODERS = ("merge", "linear", "unitary", "coherent")
@@ -71,6 +81,66 @@ def run_fig9(preset: str = "bench", workloads: Optional[Sequence[str]] = None,
             rows.append(run_pair(workload, decoder, preset_obj, seed=seed,
                                  mutual_learning=mutual_learning))
     return rows
+
+
+@dataclass
+class Fig9HardwareRow:
+    """Deployed-on-hardware accuracy of one decoder under phase noise."""
+
+    decoder: str
+    sigma: float
+    trials: int
+    noiseless_accuracy: float  # deployed circuit without phase errors
+    deployed_accuracy: float   # Monte-Carlo mean over the noise ensemble
+
+
+def run_fig9_hardware(preset: str = "bench", decoders: Sequence[str] = FIG9_DECODERS,
+                      sigmas: Sequence[float] = (0.0, 0.03), trials: int = 8,
+                      seed: int = 0, eval_samples: int = 96) -> List[Fig9HardwareRow]:
+    """Deploy each decoder variant onto meshes and sweep a phase-noise ensemble.
+
+    Uses the FCNN workload (the deployable model family).  For every decoder
+    the trained student is deployed once; each sigma is then evaluated over
+    ``trials`` noise realizations drawn as a single trials-batched mesh
+    ensemble.
+    """
+    preset_obj = get_preset(preset) if isinstance(preset, str) else preset
+    workload = get_workload("fcnn")
+    rows: List[Fig9HardwareRow] = []
+    for decoder in decoders:
+        config = workload_config(workload, preset_obj, seed=seed, decoder=decoder)
+        pipeline = OplixNet(config)
+        student, _ = pipeline.train_student(mutual_learning=False)
+        deployed = pipeline.deploy(student)
+        scheme = pipeline.student_scheme()
+
+        _train, test = pipeline.datasets()
+        count = min(eval_samples, len(test))
+        images = np.stack([test[i][0] for i in range(count)])
+        labels = np.array([test[i][1] for i in range(count)])
+        noiseless_accuracy = float((deployed.classify(images, scheme) == labels).mean())
+
+        for sigma in sigmas:
+            noise = PhaseNoiseModel(sigma=float(sigma),
+                                    rng=np.random.default_rng(seed + 17))
+            noisy = deployed.with_noise(noise=noise, trials=trials)
+            # predictions are (trials, samples); the mean over both axes is
+            # the Monte-Carlo average accuracy of the ensemble
+            accuracy = float((noisy.classify(images, scheme) == labels).mean())
+            rows.append(Fig9HardwareRow(decoder=decoder, sigma=float(sigma),
+                                        trials=int(trials),
+                                        noiseless_accuracy=noiseless_accuracy,
+                                        deployed_accuracy=accuracy))
+    return rows
+
+
+def format_fig9_hardware(rows: Sequence[Fig9HardwareRow]) -> str:
+    headers = ["Decoder", "sigma", "trials", "Deployed accuracy", "Noiseless accuracy"]
+    table_rows = [[row.decoder, f"{row.sigma:.3f}", row.trials,
+                   percent(row.deployed_accuracy), percent(row.noiseless_accuracy)]
+                  for row in rows]
+    return format_table(headers, table_rows,
+                        title="Figure 9 (hardware) -- deployed decoders under phase noise")
 
 
 def format_fig9(rows: Sequence[Fig9Row]) -> str:

@@ -16,6 +16,9 @@ This package simulates the optical hardware that OplixNet targets:
 * :mod:`~repro.photonics.detectors` -- photodiode and coherent detection.
 * :mod:`~repro.photonics.area` -- MZI / DC / PS counting and the area model
   used by every experiment table.
+* :mod:`~repro.photonics.engine` -- the compiled, vectorized mesh-propagation
+  engine: column scheduling of disjoint MZIs, batched transfer-matrix
+  evaluation, trials-axis noise ensembles and cached dense transfer matrices.
 * :mod:`~repro.photonics.noise` -- phase noise / quantization models.
 * :mod:`~repro.photonics.circuit` -- photonic layers and whole-network
   circuits assembled from deployed neural networks.
@@ -30,6 +33,14 @@ from repro.photonics.components import (
     PhaseShifter,
     MZI,
     phase_shifter_power_mw,
+)
+from repro.photonics.engine import (
+    MeshProgram,
+    column_schedule,
+    dense_transfer,
+    mzi_block_coefficients,
+    propagate,
+    reference_apply,
 )
 from repro.photonics.mzi_mesh import (
     MZISetting,
@@ -69,6 +80,12 @@ __all__ = [
     "PhaseShifter",
     "MZI",
     "phase_shifter_power_mw",
+    "MeshProgram",
+    "column_schedule",
+    "dense_transfer",
+    "mzi_block_coefficients",
+    "propagate",
+    "reference_apply",
     "MZISetting",
     "MeshDecomposition",
     "reck_decompose",

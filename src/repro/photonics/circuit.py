@@ -51,14 +51,23 @@ class PhotonicLinearLayer:
     __call__ = forward
 
     def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
-                   quantization_bits: Optional[int] = None) -> "PhotonicLinearLayer":
-        """Return a copy whose meshes carry phase noise and/or quantization."""
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "PhotonicLinearLayer":
+        """Return a copy whose meshes carry phase noise and/or quantization.
+
+        ``trials`` draws that many independent noise realizations at once;
+        the returned layer propagates the whole ensemble in one vectorized
+        pass and its outputs gain a leading trials axis.
+        """
+        if trials is not None and noise is None:
+            raise ValueError("trials requires a PhaseNoiseModel")
+
         def degrade(mesh: MeshDecomposition) -> MeshDecomposition:
             degraded = mesh
             if quantization_bits is not None:
                 degraded = quantize_phases(degraded, quantization_bits)
             if noise is not None:
-                degraded = noise.perturb(degraded)
+                degraded = noise.perturb(degraded, trials=trials)
             return degraded
 
         matrix = self.photonic_matrix
@@ -109,10 +118,17 @@ class PhotonicNetwork:
     __call__ = forward
 
     def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
-                   quantization_bits: Optional[int] = None) -> "PhotonicNetwork":
-        """Return a copy of the network with degraded meshes."""
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "PhotonicNetwork":
+        """Return a copy of the network with degraded meshes.
+
+        With ``trials`` every layer carries the same number of independent
+        noise realizations and the network output gains a leading trials axis
+        (realization ``t`` is consistent across layers).
+        """
         return PhotonicNetwork(
-            [layer.with_noise(noise=noise, quantization_bits=quantization_bits)
+            [layer.with_noise(noise=noise, quantization_bits=quantization_bits,
+                              trials=trials)
              for layer in self.layers],
             activation=self.activation,
         )

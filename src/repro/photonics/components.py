@@ -79,16 +79,19 @@ def attenuator(transmission: float) -> complex:
     return complex(transmission)
 
 
-def phase_shifter_power_mw(angle: float,
-                           max_power_mw: float = MAX_PHASE_SHIFTER_POWER_MW) -> float:
+def phase_shifter_power_mw(angle,
+                           max_power_mw: float = MAX_PHASE_SHIFTER_POWER_MW):
     """Static power consumed by a thermo-optic PS holding ``angle``.
 
     The power of a thermo-optic heater grows linearly with the phase it must
     hold, ranging from 0 to roughly 80 mW per 2*pi [16].  Angles are wrapped
-    into ``[0, 2*pi)`` first.
+    into ``[0, 2*pi)`` first.  Accepts scalars (returns a float) or arrays of
+    angles (returns the elementwise power array), so mesh-level totals reuse
+    this single definition of the power model.
     """
-    wrapped = float(np.mod(angle, 2.0 * math.pi))
-    return max_power_mw * wrapped / (2.0 * math.pi)
+    wrapped = np.mod(angle, 2.0 * math.pi)
+    power = max_power_mw * wrapped / (2.0 * math.pi)
+    return float(power) if np.ndim(angle) == 0 else power
 
 
 @dataclass

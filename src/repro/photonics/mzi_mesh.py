@@ -14,16 +14,22 @@ Two mesh topologies are provided:
 
 Both use exactly ``n (n - 1) / 2`` MZIs for an ``n x n`` unitary, which is the
 count the paper's area model builds on.
+
+Phases are stored structure-of-arrays (``modes``, ``thetas``, ``phis``) and
+propagation runs through the compiled column engine of
+:mod:`repro.photonics.engine`; :class:`MZISetting` remains as a per-MZI view
+for code that walks the mesh device by device.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.photonics import engine
 from repro.photonics.components import mzi_transfer
 
 
@@ -37,10 +43,14 @@ def is_unitary(matrix: np.ndarray, atol: float = 1e-8) -> bool:
 
 
 def random_unitary(n: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    """Draw a Haar-random ``n x n`` unitary matrix (QR of a complex Ginibre matrix)."""
+    """Draw a Haar-random ``n x n`` unitary matrix (QR of a complex Ginibre matrix).
+
+    Pass a seeded generator for reproducible draws; with ``rng=None`` a fresh
+    ``default_rng()`` is used, so repeated calls give independent unitaries.
+    """
     if n <= 0:
         raise ValueError("dimension must be positive")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng()
     ginibre = rng.normal(size=(n, n)) + 1j * rng.normal(size=(n, n))
     q, r = np.linalg.qr(ginibre)
     # fix the phases so the distribution is Haar
@@ -71,33 +81,196 @@ class MZISetting:
         return mzi_transfer(self.theta, self.phi)
 
 
-@dataclass
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+def _frozen(array, dtype) -> np.ndarray:
+    """Coerce to a read-only array, copying only when the input is writable.
+
+    Already-frozen arrays (e.g. shared between meshes by ``with_phases``) are
+    aliased rather than copied, so topologies and unchanged phase planes are
+    shared across noise/quantization copies.
+    """
+    array = np.asarray(array, dtype=dtype)
+    if array.flags.writeable:
+        array = _readonly(array.copy())
+    return array
+
+
 class MeshDecomposition:
     """A unitary expressed as output phases applied after a chain of MZIs.
 
     ``reconstruct()`` returns ``diag(output_phases) @ M_last @ ... @ M_first``
-    where ``settings[0]`` is the MZI applied first to an input vector.
+    where the MZI at index 0 is applied first to an input vector.
+
+    Phases are stored as structure-of-arrays: ``modes`` (int), ``thetas`` and
+    ``phis`` (float) hold one entry per MZI in application order.  ``thetas``,
+    ``phis`` and ``output_phases`` may carry a leading *trials* axis so an
+    ensemble of phase realizations (e.g. Monte-Carlo noise draws) shares one
+    topology and propagates in a single vectorized pass.
+
+    The arrays are exposed read-only; mutate phases through
+    :meth:`update_phases` (in place, invalidates the cached dense transfer
+    matrix) or :meth:`with_phases` (returns a new mesh sharing the topology).
     """
 
-    dimension: int
-    settings: List[MZISetting] = field(default_factory=list)
-    output_phases: np.ndarray = None  # complex unit-modulus phases, shape (dimension,)
-    method: str = "reck"
+    def __init__(self, dimension: int,
+                 settings: Optional[Sequence[MZISetting]] = None,
+                 output_phases: Optional[np.ndarray] = None,
+                 method: str = "reck",
+                 modes: Optional[np.ndarray] = None,
+                 thetas: Optional[np.ndarray] = None,
+                 phis: Optional[np.ndarray] = None):
+        self.dimension = int(dimension)
+        self.method = method
+        if settings is not None:
+            if modes is not None or thetas is not None or phis is not None:
+                raise ValueError("pass either settings or modes/thetas/phis, not both")
+            modes = np.array([s.mode for s in settings], dtype=np.intp)
+            thetas = np.array([s.theta for s in settings], dtype=float)
+            phis = np.array([s.phi for s in settings], dtype=float)
+        self._modes = _frozen([] if modes is None else modes, np.intp)
+        if self._modes.ndim != 1:
+            raise ValueError("modes must be a 1-D array of upper mode indices")
+        self._thetas = _frozen([] if thetas is None else thetas, float)
+        self._phis = _frozen([] if phis is None else phis, float)
+        if self._thetas.shape[-1:] != self._modes.shape or self._phis.shape[-1:] != self._modes.shape:
+            raise ValueError("thetas/phis must have one trailing entry per MZI")
+        if output_phases is None:
+            output_phases = np.ones(self.dimension, dtype=complex)
+        self._output_phases = _frozen(output_phases, complex)
+        if self._output_phases.shape[-1] != self.dimension:
+            raise ValueError(f"output_phases must have trailing length {self.dimension}")
+        # leading trials axes of the three phase arrays must broadcast together
+        self._trial_shape = np.broadcast_shapes(
+            self._thetas.shape[:-1], self._phis.shape[:-1], self._output_phases.shape[:-1])
+        self._program: Optional[engine.MeshProgram] = None
+        self._dense_cache: Dict[float, np.ndarray] = {}
+        self._settings_cache: Optional[List[MZISetting]] = None
 
-    def __post_init__(self):
-        if self.output_phases is None:
-            self.output_phases = np.ones(self.dimension, dtype=complex)
-        self.output_phases = np.asarray(self.output_phases, dtype=complex)
+    # ------------------------------------------------------------------ #
+    # structure-of-arrays access
+    # ------------------------------------------------------------------ #
+    @property
+    def modes(self) -> np.ndarray:
+        """Upper mode index of each MZI, in application order (read-only)."""
+        return self._modes
 
     @property
+    def thetas(self) -> np.ndarray:
+        """Internal phases, shape ``(*trials, n_mzi)`` (read-only)."""
+        return self._thetas
+
+    @property
+    def phis(self) -> np.ndarray:
+        """Input phases, shape ``(*trials, n_mzi)`` (read-only)."""
+        return self._phis
+
+    @property
+    def output_phases(self) -> np.ndarray:
+        """Output phase screen, shape ``(*trials, dimension)`` (read-only)."""
+        return self._output_phases
+
+    @property
+    def trial_shape(self) -> Tuple[int, ...]:
+        """Leading trials axes shared by the phase arrays (``()`` if none)."""
+        return self._trial_shape
+
+    @property
+    def is_batched(self) -> bool:
+        """True when the phases carry a leading trials axis."""
+        return bool(self._trial_shape)
+
+    @property
+    def settings(self) -> List[MZISetting]:
+        """Per-MZI view of the phase arrays (unbatched meshes only)."""
+        if self.is_batched:
+            raise ValueError("a trials-batched mesh has no single per-MZI settings; "
+                             "index the thetas/phis arrays instead")
+        if self._settings_cache is None:
+            self._settings_cache = [
+                MZISetting(mode=int(m), theta=float(t), phi=float(p))
+                for m, t, p in zip(self._modes, self._thetas, self._phis)
+            ]
+        return self._settings_cache
+
+    # ------------------------------------------------------------------ #
+    # counts
+    # ------------------------------------------------------------------ #
+    @property
     def mzi_count(self) -> int:
-        return len(self.settings)
+        return int(self._modes.size)
 
     @property
     def phase_shifter_count(self) -> int:
         """Tunable phase shifters: two per MZI plus the output phase screen."""
-        return 2 * len(self.settings) + self.dimension
+        return 2 * self.mzi_count + self.dimension
 
+    @property
+    def optical_depth(self) -> int:
+        """Columns of simultaneously applied MZIs after compilation."""
+        return self.compiled().depth
+
+    # ------------------------------------------------------------------ #
+    # compiled engine plumbing
+    # ------------------------------------------------------------------ #
+    def compiled(self) -> engine.MeshProgram:
+        """Column schedule of this mesh (cached; depends only on the topology)."""
+        if self._program is None:
+            self._program = engine.column_schedule(self._modes, self.dimension)
+        return self._program
+
+    def _dense_matrix(self, insertion_loss_db: float) -> np.ndarray:
+        key = float(insertion_loss_db)
+        matrix = self._dense_cache.get(key)
+        if matrix is None:
+            matrix = engine.dense_transfer(self.compiled(), self._thetas, self._phis,
+                                           self._output_phases, insertion_loss_db=key)
+            self._dense_cache[key] = matrix
+        return matrix
+
+    def update_phases(self, thetas: Optional[np.ndarray] = None,
+                      phis: Optional[np.ndarray] = None,
+                      output_phases: Optional[np.ndarray] = None) -> None:
+        """Replace phase arrays in place and invalidate the cached transfer matrix."""
+        if thetas is not None:
+            thetas = _frozen(thetas, float)
+            if thetas.shape[-1:] != self._modes.shape:
+                raise ValueError("thetas must have one trailing entry per MZI")
+            self._thetas = thetas
+        if phis is not None:
+            phis = _frozen(phis, float)
+            if phis.shape[-1:] != self._modes.shape:
+                raise ValueError("phis must have one trailing entry per MZI")
+            self._phis = phis
+        if output_phases is not None:
+            output_phases = _frozen(output_phases, complex)
+            if output_phases.shape[-1] != self.dimension:
+                raise ValueError(f"output_phases must have trailing length {self.dimension}")
+            self._output_phases = output_phases
+        self._trial_shape = np.broadcast_shapes(
+            self._thetas.shape[:-1], self._phis.shape[:-1], self._output_phases.shape[:-1])
+        self._dense_cache.clear()
+        self._settings_cache = None
+
+    def with_phases(self, thetas: Optional[np.ndarray] = None,
+                    phis: Optional[np.ndarray] = None,
+                    output_phases: Optional[np.ndarray] = None) -> "MeshDecomposition":
+        """A new mesh sharing this topology, with some phase arrays replaced."""
+        mesh = MeshDecomposition(
+            dimension=self.dimension, method=self.method, modes=self._modes,
+            thetas=self._thetas if thetas is None else thetas,
+            phis=self._phis if phis is None else phis,
+            output_phases=self._output_phases if output_phases is None else output_phases,
+        )
+        mesh._program = self._program  # the column schedule depends only on modes
+        return mesh
+
+    # ------------------------------------------------------------------ #
+    # dense reconstruction and propagation
+    # ------------------------------------------------------------------ #
     def embed(self, setting: MZISetting) -> np.ndarray:
         """Embed a single MZI into the full ``dimension x dimension`` space."""
         full = np.eye(self.dimension, dtype=complex)
@@ -107,16 +280,22 @@ class MeshDecomposition:
         return full
 
     def reconstruct(self) -> np.ndarray:
-        """Multiply out the mesh into a dense unitary matrix."""
-        result = np.eye(self.dimension, dtype=complex)
-        for setting in self.settings:
-            result = self.embed(setting) @ result
-        return np.diag(self.output_phases) @ result
+        """Multiply out the mesh into a dense unitary matrix.
+
+        Returns ``(dimension, dimension)``, or ``(*trials, dimension,
+        dimension)`` for a trials-batched mesh.
+        """
+        return engine.dense_transfer(self.compiled(), self._thetas, self._phis,
+                                     self._output_phases)
 
     def apply(self, vector: np.ndarray, insertion_loss_db: float = 0.0) -> np.ndarray:
         """Propagate complex input amplitudes through the mesh (batch-aware).
 
-        ``vector`` may be ``(dimension,)`` or ``(batch, dimension)``.
+        ``vector`` may be ``(dimension,)``, ``(batch, dimension)`` or carry
+        leading trials axes ``(*trials, batch, dimension)``.  For a
+        trials-batched mesh the result gains the mesh's trials axes: trial
+        ``t`` of the input (broadcast if the input has none) propagates
+        through phase realization ``t``.
 
         Parameters
         ----------
@@ -132,27 +311,29 @@ class MeshDecomposition:
         states = vector[None, :] if single else vector
         if states.shape[-1] != self.dimension:
             raise ValueError(f"expected vectors of length {self.dimension}, got {states.shape[-1]}")
-        states = states.copy()
-        transmission = 10.0 ** (-insertion_loss_db / 20.0)
-        for setting in self.settings:
-            m = setting.mode
-            block = setting.transfer_matrix() * transmission
-            pair = states[:, m:m + 2] @ block.T
-            states[:, m:m + 2] = pair
-        states = states * self.output_phases[None, :]
-        return states[0] if single else states
+        if not self.is_batched and self.dimension <= engine.DENSE_DIMENSION_LIMIT:
+            outputs = states @ self._dense_matrix(insertion_loss_db).T
+        else:
+            outputs = engine.propagate(self.compiled(), states, self._thetas,
+                                       self._phis, self._output_phases,
+                                       insertion_loss_db=insertion_loss_db)
+        return outputs[..., 0, :] if single else outputs
 
     def total_phase_power_mw(self) -> float:
-        """Static power of every tunable phase shifter in the mesh."""
+        """Static power of every tunable phase shifter in the mesh.
+
+        Returns a float, or an array over the trials axes for a batched mesh.
+        """
         from repro.photonics.components import phase_shifter_power_mw
 
-        power = 0.0
-        for setting in self.settings:
-            power += phase_shifter_power_mw(setting.theta)
-            power += phase_shifter_power_mw(setting.phi)
-        for phase in np.angle(self.output_phases):
-            power += phase_shifter_power_mw(float(phase))
-        return power
+        angles = np.concatenate([
+            np.broadcast_to(self._thetas, self._trial_shape + self._thetas.shape[-1:]),
+            np.broadcast_to(self._phis, self._trial_shape + self._phis.shape[-1:]),
+            np.broadcast_to(np.angle(self._output_phases),
+                            self._trial_shape + (self.dimension,)),
+        ], axis=-1)
+        power = phase_shifter_power_mw(angles).sum(axis=-1)
+        return float(power) if not self.is_batched else power
 
 
 # --------------------------------------------------------------------------- #

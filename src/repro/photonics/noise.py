@@ -3,6 +3,12 @@
 These extend the paper (motivated by its references [11], [13]) and are used
 by the robustness ablation benchmark: the split ONN uses ~4x fewer MZIs, so
 for the same per-device phase error it accumulates less total error.
+
+Both models operate directly on the structure-of-arrays phase storage of
+:class:`~repro.photonics.mzi_mesh.MeshDecomposition`.  ``PhaseNoiseModel``
+additionally supports drawing a whole *ensemble* of realizations at once
+(``trials=...``), producing a trials-batched mesh whose realizations all
+propagate in one vectorized pass through the compiled engine.
 """
 
 from __future__ import annotations
@@ -13,29 +19,28 @@ from typing import Optional
 
 import numpy as np
 
-from repro.photonics.mzi_mesh import MeshDecomposition, MZISetting
+from repro.photonics.mzi_mesh import MeshDecomposition
 
 
 def quantize_phases(mesh: MeshDecomposition, bits: int) -> MeshDecomposition:
     """Return a copy of ``mesh`` with every phase rounded to ``bits``-bit resolution.
 
     Phases are quantized uniformly over ``[0, 2*pi)``, modelling the finite
-    resolution of the DAC driving each thermo-optic heater.
+    resolution of the DAC driving each thermo-optic heater.  Works on
+    trials-batched meshes as well (every realization is quantized).
     """
     if bits <= 0:
         raise ValueError("bits must be positive")
-    levels = 2 ** bits
-    step = 2.0 * math.pi / levels
+    step = 2.0 * math.pi / 2 ** bits
 
-    def quantize(angle: float) -> float:
-        return round(float(np.mod(angle, 2.0 * math.pi)) / step) * step
+    def quantize(angles: np.ndarray) -> np.ndarray:
+        return np.round(np.mod(angles, 2.0 * math.pi) / step) * step
 
-    settings = [MZISetting(mode=s.mode, theta=quantize(s.theta), phi=quantize(s.phi))
-                for s in mesh.settings]
-    phases = np.angle(mesh.output_phases)
-    quantized_phases = np.exp(1j * np.array([quantize(float(p)) for p in phases]))
-    return MeshDecomposition(dimension=mesh.dimension, settings=settings,
-                             output_phases=quantized_phases, method=mesh.method)
+    return mesh.with_phases(
+        thetas=quantize(mesh.thetas),
+        phis=quantize(mesh.phis),
+        output_phases=np.exp(1j * quantize(np.angle(mesh.output_phases))),
+    )
 
 
 @dataclass
@@ -54,23 +59,40 @@ class PhaseNoiseModel:
     sigma: float = 0.0
     rng: Optional[np.random.Generator] = None
 
-    def perturb(self, mesh: MeshDecomposition) -> MeshDecomposition:
-        """Return a noisy copy of ``mesh``."""
+    def perturb(self, mesh: MeshDecomposition,
+                trials: Optional[int] = None) -> MeshDecomposition:
+        """Return a noisy copy of ``mesh``.
+
+        With ``trials=T`` the errors gain a leading axis of ``T`` independent
+        realizations and the returned mesh is trials-batched: its ``apply``
+        propagates all realizations in one vectorized pass.  ``trials=None``
+        (default) draws a single realization, with the same draw order as the
+        historical per-MZI implementation, so seeded sweeps stay reproducible.
+        """
         if self.sigma < 0:
             raise ValueError("sigma must be non-negative")
+        if trials is not None and trials <= 0:
+            raise ValueError("trials must be positive")
+        if trials is not None and mesh.is_batched:
+            raise ValueError("mesh already carries a trials axis")
         if self.sigma == 0:
-            return MeshDecomposition(dimension=mesh.dimension,
-                                     settings=list(mesh.settings),
-                                     output_phases=mesh.output_phases.copy(),
-                                     method=mesh.method)
+            if trials is None:
+                return mesh.with_phases()
+            lead = (trials,)
+            return mesh.with_phases(
+                thetas=np.broadcast_to(mesh.thetas, lead + mesh.thetas.shape),
+                phis=np.broadcast_to(mesh.phis, lead + mesh.phis.shape),
+                output_phases=np.broadcast_to(mesh.output_phases,
+                                              lead + mesh.output_phases.shape),
+            )
         rng = self.rng if self.rng is not None else np.random.default_rng(0)
-        settings = [
-            MZISetting(mode=s.mode,
-                       theta=s.theta + rng.normal(0.0, self.sigma),
-                       phi=s.phi + rng.normal(0.0, self.sigma))
-            for s in mesh.settings
-        ]
-        phase_errors = rng.normal(0.0, self.sigma, size=mesh.dimension)
-        output_phases = mesh.output_phases * np.exp(1j * phase_errors)
-        return MeshDecomposition(dimension=mesh.dimension, settings=settings,
-                                 output_phases=output_phases, method=mesh.method)
+        lead = () if trials is None else (trials,)
+        # interleaved (theta, phi) pairs keep the draw order of the historical
+        # per-MZI loop, so fixed-seed single-trial sweeps are unchanged
+        mzi_errors = rng.normal(0.0, self.sigma, size=lead + (mesh.mzi_count, 2))
+        phase_errors = rng.normal(0.0, self.sigma, size=lead + (mesh.dimension,))
+        return mesh.with_phases(
+            thetas=mesh.thetas + mzi_errors[..., 0],
+            phis=mesh.phis + mzi_errors[..., 1],
+            output_phases=mesh.output_phases * np.exp(1j * phase_errors),
+        )

@@ -54,7 +54,7 @@ class PhotonicMatrix:
     @property
     def mzi_count(self) -> int:
         """MZIs used by both meshes (matches the closed-form count)."""
-        return self.left_mesh.mzi_count + self.right_mesh.mzi_count + 0
+        return self.left_mesh.mzi_count + self.right_mesh.mzi_count
 
     @property
     def attenuator_count(self) -> int:
@@ -66,7 +66,10 @@ class PhotonicMatrix:
         return self.mzi_count + self.attenuator_count
 
     def matrix(self) -> np.ndarray:
-        """Reconstruct the dense matrix implemented by the photonic circuit."""
+        """Reconstruct the dense matrix implemented by the photonic circuit.
+
+        For trials-batched meshes the result gains the leading trials axes.
+        """
         left = self.left_mesh.reconstruct()
         right = self.right_mesh.reconstruct()
         diag = np.zeros((self.rows, self.cols), dtype=complex)
@@ -77,18 +80,20 @@ class PhotonicMatrix:
     def apply(self, vector: np.ndarray) -> np.ndarray:
         """Propagate complex amplitudes through ``V*``, the attenuators and ``U``.
 
-        ``vector`` may be ``(cols,)`` or ``(batch, cols)``.
+        ``vector`` may be ``(cols,)`` or ``(batch, cols)``, optionally with
+        leading trials axes; trials-batched meshes (phase-noise ensembles)
+        add their trials axes to the result.
         """
         vector = np.asarray(vector, dtype=complex)
         single = vector.ndim == 1
         states = vector[None, :] if single else vector
         states = self.right_mesh.apply(states)
         k = min(self.rows, self.cols)
-        projected = np.zeros((states.shape[0], self.rows), dtype=complex)
-        projected[:, :k] = states[:, :k] * self.singular_values[None, :k]
+        projected = np.zeros(states.shape[:-1] + (self.rows,), dtype=complex)
+        projected[..., :k] = states[..., :k] * self.singular_values[:k]
         states = self.left_mesh.apply(projected)
         states = states * self.scale
-        return states[0] if single else states
+        return states[..., 0, :] if single else states
 
 
 def svd_decompose(weight: np.ndarray, method: str = "clements",

@@ -170,6 +170,19 @@ class TestFig9:
         assert coherent.extra_readout
         assert "decoder" in format_fig9(rows).lower()
 
+    def test_hardware_noise_sweep_smoke(self):
+        from repro.experiments.fig9 import format_fig9_hardware, run_fig9_hardware
+
+        rows = run_fig9_hardware(preset="smoke", decoders=("merge",),
+                                 sigmas=(0.0, 0.1), trials=3, eval_samples=16)
+        assert len(rows) == 2
+        clean = [row for row in rows if row.sigma == 0.0][0]
+        # the zero-sigma ensemble must reproduce the noiseless deployment
+        assert clean.deployed_accuracy == pytest.approx(clean.noiseless_accuracy)
+        assert all(row.trials == 3 for row in rows)
+        assert all(0.0 <= row.deployed_accuracy <= 1.0 for row in rows)
+        assert "hardware" in format_fig9_hardware(rows).lower()
+
 
 class TestAblations:
     def test_mesh_comparison(self):
@@ -194,6 +207,13 @@ class TestAblations:
         assert len(points) == 2
         assert all(0.0 <= p.split_onn_accuracy <= 1.0 for p in points)
         assert "phase" in format_noise_robustness(points).lower()
+
+    def test_noise_robustness_batched_trials(self):
+        points = run_noise_robustness(preset="smoke", sigmas=(0.0, 0.1),
+                                      eval_samples=16, trials=3)
+        assert all(p.trials == 3 for p in points)
+        assert all(0.0 <= p.split_onn_accuracy <= 1.0 for p in points)
+        assert all(0.0 <= p.conventional_onn_accuracy <= 1.0 for p in points)
 
     def test_alpha_sweep_smoke(self):
         points = run_alpha_sweep(preset="smoke", alphas=(0.0, 1.0), workload_key="fcnn")

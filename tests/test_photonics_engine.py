@@ -1,0 +1,318 @@
+"""Property tests: the compiled mesh engine must match the per-MZI walk.
+
+:func:`repro.photonics.engine.reference_apply` is the seed per-MZI Python
+loop, kept as an executable specification.  Every compiled path -- the column
+program, the cached dense transfer matrix, the trials-batched noise ensembles
+-- is pinned against it to 1e-10 here, for both mesh topologies, with and
+without insertion loss, phase noise and quantization.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.photonics import (
+    MeshDecomposition,
+    MZISetting,
+    PhaseNoiseModel,
+    clements_decompose,
+    column_schedule,
+    mzi_block_coefficients,
+    mzi_transfer,
+    quantize_phases,
+    random_unitary,
+    reck_decompose,
+    reference_apply,
+)
+from repro.photonics import engine
+
+
+DECOMPOSERS = {"reck": reck_decompose, "clements": clements_decompose}
+
+
+def reference_output(mesh, states, insertion_loss_db=0.0):
+    return reference_apply(mesh.modes, mesh.thetas, mesh.phis, mesh.output_phases,
+                           states, insertion_loss_db=insertion_loss_db)
+
+
+def random_batch(rng, batch, dim):
+    return rng.normal(size=(batch, dim)) + 1j * rng.normal(size=(batch, dim))
+
+
+class TestBlockCoefficients:
+    @given(st.floats(-10.0, 10.0), st.floats(-10.0, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_closed_form_matches_component_product(self, theta, phi):
+        t00, t01, t10, t11 = mzi_block_coefficients(np.array([theta]), np.array([phi]))
+        expected = mzi_transfer(theta, phi)
+        block = np.array([[t00[0], t01[0]], [t10[0], t11[0]]])
+        assert np.abs(block - expected).max() < 1e-12
+
+    def test_transmission_scales_every_entry(self, rng):
+        thetas, phis = rng.uniform(0, 2 * np.pi, size=(2, 5))
+        lossless = mzi_block_coefficients(thetas, phis)
+        lossy = mzi_block_coefficients(thetas, phis, transmission=0.5)
+        for full, scaled in zip(lossless, lossy):
+            assert np.allclose(scaled, 0.5 * full)
+
+
+class TestColumnSchedule:
+    def test_columns_have_disjoint_modes(self, rng):
+        mesh = clements_decompose(random_unitary(9, rng))
+        program = column_schedule(mesh.modes, mesh.dimension)
+        for _indices, tops, bottoms in program.columns:
+            touched = np.concatenate([tops, bottoms])
+            assert len(set(touched.tolist())) == touched.size
+
+    def test_per_mode_order_is_preserved(self, rng):
+        mesh = reck_decompose(random_unitary(7, rng))
+        program = column_schedule(mesh.modes, mesh.dimension)
+        column_of = np.empty(mesh.mzi_count, dtype=int)
+        for column, (indices, _tops, _bottoms) in enumerate(program.columns):
+            column_of[indices] = column
+        for i in range(mesh.mzi_count):
+            for j in range(i + 1, mesh.mzi_count):
+                modes_i = {int(mesh.modes[i]), int(mesh.modes[i]) + 1}
+                modes_j = {int(mesh.modes[j]), int(mesh.modes[j]) + 1}
+                if modes_i & modes_j:
+                    assert column_of[i] < column_of[j]
+
+    def test_clements_depth_is_about_n(self, rng):
+        dimension = 10
+        mesh = clements_decompose(random_unitary(dimension, rng))
+        assert mesh.optical_depth <= dimension
+        reck = reck_decompose(random_unitary(dimension, rng))
+        assert reck.optical_depth == 2 * dimension - 3
+
+    def test_empty_mesh(self):
+        program = column_schedule(np.array([], dtype=np.intp), 4)
+        assert program.depth == 0
+
+
+@pytest.mark.parametrize("method", ["reck", "clements"])
+class TestCompiledPropagationMatchesReference:
+    @pytest.mark.parametrize("dimension", [2, 3, 5, 8, 16, 33])
+    def test_lossless(self, method, dimension, rng):
+        mesh = DECOMPOSERS[method](random_unitary(dimension, rng))
+        states = random_batch(rng, 6, dimension)
+        assert np.abs(mesh.apply(states) - reference_output(mesh, states)).max() < 1e-10
+
+    @pytest.mark.parametrize("loss_db", [0.1, 0.7])
+    def test_with_insertion_loss(self, method, loss_db, rng):
+        mesh = DECOMPOSERS[method](random_unitary(9, rng))
+        states = random_batch(rng, 4, 9)
+        compiled = mesh.apply(states, insertion_loss_db=loss_db)
+        assert np.abs(compiled - reference_output(mesh, states, loss_db)).max() < 1e-10
+
+    def test_with_phase_noise(self, method, rng):
+        mesh = DECOMPOSERS[method](random_unitary(8, rng))
+        noisy = PhaseNoiseModel(sigma=0.1, rng=rng).perturb(mesh)
+        states = random_batch(rng, 5, 8)
+        assert np.abs(noisy.apply(states) - reference_output(noisy, states)).max() < 1e-10
+
+    def test_with_quantization(self, method, rng):
+        mesh = DECOMPOSERS[method](random_unitary(8, rng))
+        quantized = quantize_phases(mesh, 4)
+        states = random_batch(rng, 5, 8)
+        compiled = quantized.apply(states)
+        assert np.abs(compiled - reference_output(quantized, states)).max() < 1e-10
+
+    def test_column_program_path_matches_dense_path(self, method, rng):
+        """Both engine paths agree (the dense cache is used below the limit)."""
+        mesh = DECOMPOSERS[method](random_unitary(12, rng))
+        states = random_batch(rng, 4, 12)
+        direct = engine.propagate(mesh.compiled(), states, mesh.thetas, mesh.phis,
+                                  mesh.output_phases)
+        assert np.abs(mesh.apply(states) - direct).max() < 1e-10
+
+    def test_reconstruct_matches_embed_product(self, method, rng):
+        mesh = DECOMPOSERS[method](random_unitary(6, rng))
+        expected = np.eye(6, dtype=complex)
+        for setting in mesh.settings:
+            expected = mesh.embed(setting) @ expected
+        expected = np.diag(mesh.output_phases) @ expected
+        assert np.abs(mesh.reconstruct() - expected).max() < 1e-10
+
+    @given(st.integers(2, 8), st.integers(0, 2 ** 16))
+    @settings(max_examples=25, deadline=None)
+    def test_property_compiled_equals_reference(self, method, dimension, seed):
+        rng = np.random.default_rng(seed)
+        mesh = DECOMPOSERS[method](random_unitary(dimension, rng))
+        states = random_batch(rng, 3, dimension)
+        assert np.abs(mesh.apply(states) - reference_output(mesh, states)).max() < 1e-10
+
+
+class TestTrialsAxis:
+    def test_batched_perturb_matches_per_trial_meshes(self, rng):
+        mesh = clements_decompose(random_unitary(7, rng))
+        batched = PhaseNoiseModel(sigma=0.08, rng=rng).perturb(mesh, trials=6)
+        states = random_batch(rng, 4, 7)
+        ensemble = batched.apply(states)
+        assert ensemble.shape == (6, 4, 7)
+        for t in range(6):
+            single = mesh.with_phases(thetas=batched.thetas[t], phis=batched.phis[t],
+                                      output_phases=batched.output_phases[t])
+            assert np.abs(ensemble[t] - reference_output(single, states)).max() < 1e-10
+
+    def test_zero_sigma_trials_replicates_clean_mesh(self, rng):
+        mesh = reck_decompose(random_unitary(5, rng))
+        batched = PhaseNoiseModel(sigma=0.0).perturb(mesh, trials=3)
+        states = random_batch(rng, 2, 5)
+        ensemble = batched.apply(states)
+        clean = mesh.apply(states)
+        for t in range(3):
+            assert np.allclose(ensemble[t], clean)
+
+    def test_quantize_applies_to_every_trial(self, rng):
+        mesh = reck_decompose(random_unitary(5, rng))
+        batched = PhaseNoiseModel(sigma=0.2, rng=rng).perturb(mesh, trials=4)
+        quantized = quantize_phases(batched, 5)
+        step = 2.0 * np.pi / 2 ** 5
+        remainder = np.mod(quantized.thetas, step)
+        assert np.all(np.minimum(remainder, step - remainder) < 1e-9)
+        assert quantized.trial_shape == (4,)
+
+    def test_batched_reconstruct_stacks_per_trial_matrices(self, rng):
+        mesh = clements_decompose(random_unitary(4, rng))
+        batched = PhaseNoiseModel(sigma=0.05, rng=rng).perturb(mesh, trials=3)
+        stacked = batched.reconstruct()
+        assert stacked.shape == (3, 4, 4)
+        for t in range(3):
+            single = mesh.with_phases(thetas=batched.thetas[t], phis=batched.phis[t],
+                                      output_phases=batched.output_phases[t])
+            assert np.abs(stacked[t] - single.reconstruct()).max() < 1e-10
+
+    def test_trials_axis_input_broadcasts_per_trial(self, rng):
+        mesh = clements_decompose(random_unitary(5, rng))
+        batched = PhaseNoiseModel(sigma=0.05, rng=rng).perturb(mesh, trials=3)
+        per_trial_inputs = (rng.normal(size=(3, 2, 5))
+                            + 1j * rng.normal(size=(3, 2, 5)))
+        outputs = batched.apply(per_trial_inputs)
+        for t in range(3):
+            single = mesh.with_phases(thetas=batched.thetas[t], phis=batched.phis[t],
+                                      output_phases=batched.output_phases[t])
+            assert np.abs(outputs[t] - single.apply(per_trial_inputs[t])).max() < 1e-10
+
+    def test_perturbing_batched_mesh_with_trials_rejected(self, rng):
+        mesh = reck_decompose(random_unitary(4, rng))
+        model = PhaseNoiseModel(sigma=0.1, rng=rng)
+        batched = model.perturb(mesh, trials=2)
+        with pytest.raises(ValueError):
+            model.perturb(batched, trials=2)
+
+    def test_invalid_trials_rejected(self, rng):
+        mesh = reck_decompose(random_unitary(4, rng))
+        with pytest.raises(ValueError):
+            PhaseNoiseModel(sigma=0.1, rng=rng).perturb(mesh, trials=0)
+
+    def test_settings_view_unavailable_on_batched_mesh(self, rng):
+        mesh = reck_decompose(random_unitary(4, rng))
+        batched = PhaseNoiseModel(sigma=0.1, rng=rng).perturb(mesh, trials=2)
+        with pytest.raises(ValueError):
+            batched.settings
+
+
+class TestSoAStorageAndCaching:
+    def test_settings_view_round_trips(self, rng):
+        mesh = clements_decompose(random_unitary(5, rng))
+        rebuilt = MeshDecomposition(dimension=5, settings=mesh.settings,
+                                    output_phases=mesh.output_phases,
+                                    method=mesh.method)
+        assert np.allclose(rebuilt.reconstruct(), mesh.reconstruct())
+        assert all(isinstance(s, MZISetting) for s in mesh.settings)
+
+    def test_phase_arrays_are_read_only(self, rng):
+        mesh = reck_decompose(random_unitary(4, rng))
+        with pytest.raises(ValueError):
+            mesh.thetas[0] = 1.0
+        with pytest.raises(ValueError):
+            mesh.output_phases[0] = 1.0
+
+    def test_update_phases_invalidates_dense_cache(self, rng):
+        unitary = random_unitary(5, rng)
+        mesh = clements_decompose(unitary)
+        states = random_batch(rng, 3, 5)
+        before = mesh.apply(states)          # populates the dense cache
+        mesh.update_phases(thetas=mesh.thetas + 0.3)
+        after = mesh.apply(states)
+        fresh = MeshDecomposition(dimension=5, modes=mesh.modes, thetas=mesh.thetas,
+                                  phis=mesh.phis, output_phases=mesh.output_phases,
+                                  method=mesh.method)
+        assert not np.allclose(before, after)
+        assert np.abs(after - fresh.apply(states)).max() < 1e-10
+
+    def test_with_phases_shares_topology_but_not_caches(self, rng):
+        mesh = clements_decompose(random_unitary(5, rng))
+        shifted = mesh.with_phases(phis=mesh.phis + 0.1)
+        assert shifted.modes is mesh.modes
+        assert not np.allclose(shifted.reconstruct(), mesh.reconstruct())
+
+    def test_vectorized_power_matches_per_shifter_sum(self, rng):
+        from repro.photonics.components import phase_shifter_power_mw
+
+        mesh = reck_decompose(random_unitary(6, rng))
+        expected = 0.0
+        for setting in mesh.settings:
+            expected += phase_shifter_power_mw(setting.theta)
+            expected += phase_shifter_power_mw(setting.phi)
+        for phase in np.angle(mesh.output_phases):
+            expected += phase_shifter_power_mw(float(phase))
+        assert mesh.total_phase_power_mw() == pytest.approx(expected, rel=1e-12)
+
+    def test_batched_power_is_per_trial(self, rng):
+        mesh = reck_decompose(random_unitary(5, rng))
+        batched = PhaseNoiseModel(sigma=0.1, rng=rng).perturb(mesh, trials=4)
+        power = batched.total_phase_power_mw()
+        assert power.shape == (4,)
+        assert np.isfinite(power).all()
+
+    def test_mixing_settings_and_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            MeshDecomposition(dimension=3, settings=[MZISetting(0, 0.1, 0.2)],
+                              thetas=np.array([0.1]))
+
+
+class TestDeployedEnsembles:
+    def test_deployed_noise_ensemble_matches_sequential_draws(self, rng):
+        """A trials-batched deployed model equals T seeded sequential copies."""
+        from repro.assignment import get_scheme
+        from repro.core.deploy import deploy_linear_model
+        from repro.models import ComplexFCNN
+
+        scheme = get_scheme("SI")
+        model = ComplexFCNN(8, (6,), 2, decoder="merge", rng=rng)
+        deployed = deploy_linear_model(model)
+        images = rng.normal(size=(3, 1, 4, 4))
+        trials = 4
+        noisy = deployed.with_noise(noise=PhaseNoiseModel(sigma=0.05,
+                                                          rng=np.random.default_rng(11)),
+                                    trials=trials)
+        logits = noisy.predict_logits(images, scheme)
+        assert logits.shape == (trials, 3, 2)
+        assert np.isfinite(logits).all()
+        predictions = noisy.classify(images, scheme)
+        assert predictions.shape == (trials, 3)
+
+    def test_zero_sigma_ensemble_matches_clean_model(self, rng):
+        from repro.assignment import get_scheme
+        from repro.core.deploy import deploy_linear_model
+        from repro.models import ComplexFCNN
+
+        scheme = get_scheme("SI")
+        model = ComplexFCNN(8, (6,), 2, decoder="merge", rng=rng)
+        deployed = deploy_linear_model(model)
+        images = rng.normal(size=(3, 1, 4, 4))
+        clean = deployed.predict_logits(images, scheme)
+        ensemble = deployed.with_noise(noise=PhaseNoiseModel(sigma=0.0),
+                                       trials=3).predict_logits(images, scheme)
+        for t in range(3):
+            assert np.allclose(ensemble[t], clean)
+
+    def test_trials_without_noise_model_rejected(self, rng):
+        from repro.core.deploy import deploy_linear_model
+        from repro.models import ComplexFCNN
+
+        model = ComplexFCNN(8, (6,), 2, decoder="merge", rng=rng)
+        deployed = deploy_linear_model(model)
+        with pytest.raises(ValueError):
+            deployed.with_noise(quantization_bits=6, trials=3)
