@@ -49,3 +49,24 @@ def run_once(benchmark):
         return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture
+def best_of():
+    """Best-of-N wall-clock timer shared by the micro-benchmarks.
+
+    Minimum over repeats filters scheduler noise on shared runners; the
+    micro-benchmarks compare two such minima to assert a speedup floor.
+    """
+
+    def _best_of(fn, repeats: int = 5) -> float:
+        import time
+
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    return _best_of

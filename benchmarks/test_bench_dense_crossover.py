@@ -1,0 +1,42 @@
+"""Crossover benchmark: cached dense transfer matmul vs the column program.
+
+Measures, per mesh dimension, the warm-cache dense apply against the compiled
+column program and records the raw timings plus the adaptively chosen
+``DENSE_DIMENSION_LIMIT`` to ``benchmarks/results/dense_crossover.json``.
+The measured data is what :func:`repro.photonics.engine.calibrate_dense_limit`
+picks the limit from on any machine.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import save_json
+from repro.photonics import engine
+
+#: dimensions the crossover is sampled at (kept small enough for CI)
+DIMENSIONS = (16, 32, 48, 64, 96, 128)
+
+
+def test_dense_crossover(benchmark, results_dir):
+    limit, rows = benchmark.pedantic(
+        engine.calibrate_dense_limit,
+        kwargs={"dimensions": DIMENSIONS, "batch": 32, "repeats": 3},
+        rounds=1, iterations=1)
+
+    save_json({
+        "chosen_limit": limit,
+        "default_limit": engine.DENSE_DIMENSION_LIMIT,
+        "rows": rows,
+    }, results_dir / "dense_crossover.json")
+
+    # the dense matmul must beat the Python-level column loop at small
+    # dimensions on any machine; the exact crossover is machine-dependent
+    assert limit >= 16
+    small = next(row for row in rows if row["dimension"] == 16)
+    assert small["dense_speedup"] > 1.0
+
+    # applying the measured limit must round-trip through the module global
+    previous = engine.set_dense_dimension_limit(limit)
+    try:
+        assert engine.DENSE_DIMENSION_LIMIT == limit
+    finally:
+        engine.set_dense_dimension_limit(previous)

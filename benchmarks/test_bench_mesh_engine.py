@@ -12,7 +12,6 @@ seed per-MZI loop at dimension >= 64; the assertions below pin that.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,17 +40,8 @@ class MeshEngineBenchRow:
 _rows: list = []
 
 
-def _best_of(fn, repeats: int = 5) -> float:
-    times = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - start)
-    return min(times)
-
-
 @pytest.mark.parametrize("dimension,method", [(16, "clements"), (64, "clements"), (64, "reck")])
-def test_mesh_engine_speedup(benchmark, dimension, method, results_dir):
+def test_mesh_engine_speedup(benchmark, best_of, dimension, method, results_dir):
     rng = np.random.default_rng(0)
     decompose = clements_decompose if method == "clements" else reck_decompose
     mesh = decompose(random_unitary(dimension, rng))
@@ -59,14 +49,14 @@ def test_mesh_engine_speedup(benchmark, dimension, method, results_dir):
     states = rng.normal(size=(batch, dimension)) + 1j * rng.normal(size=(batch, dimension))
     program = mesh.compiled()
 
-    reference_seconds = _best_of(
+    reference_seconds = best_of(
         lambda: reference_apply(mesh.modes, mesh.thetas, mesh.phis,
                                 mesh.output_phases, states), repeats=3)
-    column_seconds = _best_of(
+    column_seconds = best_of(
         lambda: engine.propagate(program, states, mesh.thetas, mesh.phis,
                                  mesh.output_phases))
     mesh.apply(states)  # warm the dense transfer-matrix cache
-    dense_seconds = _best_of(lambda: mesh.apply(states))
+    dense_seconds = best_of(lambda: mesh.apply(states))
 
     outputs = benchmark(mesh.apply, states)
     expected = reference_apply(mesh.modes, mesh.thetas, mesh.phis,
@@ -96,7 +86,7 @@ def test_mesh_engine_speedup(benchmark, dimension, method, results_dir):
     save_json(_rows, results_dir / "mesh_engine.json")
 
 
-def test_trials_ensemble_throughput(benchmark, results_dir):
+def test_trials_ensemble_throughput(benchmark, best_of, results_dir):
     """A 32-realization noise ensemble propagates in one vectorized pass."""
     from repro.photonics import PhaseNoiseModel
 
@@ -109,7 +99,7 @@ def test_trials_ensemble_throughput(benchmark, results_dir):
     ensemble = benchmark(batched.apply, states)
 
     assert ensemble.shape == (trials, batch, dimension)
-    batched_seconds = _best_of(lambda: batched.apply(states))
+    batched_seconds = best_of(lambda: batched.apply(states))
 
     def sequential():
         for t in range(trials):
@@ -118,5 +108,5 @@ def test_trials_ensemble_throughput(benchmark, results_dir):
             reference_apply(single.modes, single.thetas, single.phis,
                             single.output_phases, states)
 
-    sequential_seconds = _best_of(sequential, repeats=2)
+    sequential_seconds = best_of(sequential, repeats=2)
     assert sequential_seconds / batched_seconds >= 10.0

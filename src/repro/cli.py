@@ -91,6 +91,15 @@ def _run_ablations(args: argparse.Namespace) -> None:
         ablations.run_pruning_comparison(preset=args.preset, seed=args.seed)))
 
 
+def _run_deploy_cnn(args: argparse.Namespace) -> None:
+    from repro.experiments.deployed import format_deployed_cnn, run_deployed_cnn
+
+    rows = run_deployed_cnn(preset=args.preset, decoder=args.decoder, seed=args.seed,
+                            trials=args.trials, method=args.method)
+    print(format_deployed_cnn(rows))
+    _maybe_save(rows, args.output)
+
+
 def _run_area(args: argparse.Namespace) -> None:
     """Exact paper-scale MZI accounting for every workload (no training)."""
     from repro.experiments.common import WORKLOADS
@@ -135,6 +144,17 @@ def build_parser() -> argparse.ArgumentParser:
     ablations = subparsers.add_parser("ablations", help="ablation studies (alpha, mesh, noise, pruning)")
     _add_common_arguments(ablations)
     ablations.set_defaults(runner=_run_ablations)
+
+    deploy_cnn = subparsers.add_parser(
+        "deploy-cnn", help="deploy the complex LeNet-5 onto meshes (im2col lowering)")
+    _add_common_arguments(deploy_cnn)
+    deploy_cnn.add_argument("--decoder", default="merge",
+                            choices=("merge", "linear", "unitary", "coherent", "photodiode"))
+    deploy_cnn.add_argument("--trials", type=int, default=8,
+                            help="Monte-Carlo noise realizations per sigma")
+    deploy_cnn.add_argument("--method", default="clements", choices=("clements", "reck"),
+                            help="mesh decomposition scheme")
+    deploy_cnn.set_defaults(runner=_run_deploy_cnn)
 
     area = subparsers.add_parser("area", help="exact paper-scale MZI accounting (no training)")
     area.set_defaults(runner=_run_area)

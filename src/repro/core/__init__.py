@@ -30,7 +30,8 @@ from repro.core.training import Trainer, TrainingHistory, evaluate_accuracy
 from repro.core.distillation import MutualLearningTrainer, MutualLearningResult
 from repro.core.area_analysis import model_area_report, compare_area
 from repro.core.pipeline import OplixNet
-from repro.core.deploy import deploy_linear_model, DeployedModel
+from repro.core.deploy import deploy_linear_model, deploy_model, DeployedModel
+from repro.core.lowering import LoweredProgram, lower_model
 
 __all__ = [
     "DecoderHead",
@@ -53,5 +54,8 @@ __all__ = [
     "compare_area",
     "OplixNet",
     "deploy_linear_model",
+    "deploy_model",
+    "LoweredProgram",
+    "lower_model",
     "DeployedModel",
 ]

@@ -1,16 +1,21 @@
 """Deployment of trained complex models onto simulated photonic hardware.
 
-``deploy_linear_model`` maps every complex weight matrix of a trained
-:class:`~repro.models.fcnn.ComplexFCNN` (trunk and decoder head) onto MZI
-meshes via SVD (the "Paras -> phase mapping -> deploy phases" arrow of Fig. 2)
-and returns a :class:`DeployedModel` whose forward pass is executed purely
-with component transfer matrices -- complex light amplitudes propagating
-through meshes, electro-optic CReLU nonlinearities, and photodiode / coherent
-detection at the output.
+``deploy_model`` lowers any supported complex model -- fully connected
+(:class:`~repro.models.fcnn.ComplexFCNN`) or convolutional
+(:class:`~repro.models.lenet.ComplexLeNet5`) -- onto MZI meshes through the
+compiler-style pass of :mod:`repro.core.lowering` (the "Paras -> phase
+mapping -> deploy phases" arrow of Fig. 2) and returns a
+:class:`DeployedModel` whose forward pass is executed purely with component
+transfer matrices -- complex light amplitudes propagating through meshes,
+im2col patch streams for convolutions, electro-optic CReLU nonlinearities and
+photodiode / coherent detection at the output.
 
 The deployed circuit should agree with the software model to numerical
 precision; the integration tests check exactly that, as well as the graceful
-degradation under phase noise.
+degradation under phase noise.  Everything is batch-first: a whole image
+batch (and, with ``with_noise(trials=...)``, a whole Monte-Carlo ensemble of
+noise realizations) propagates as one vectorized pass through the compiled
+mesh engine.
 """
 
 from __future__ import annotations
@@ -21,72 +26,60 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.assignment import AssignmentScheme
-from repro.core.decoders import (
-    CoherentDecoderHead,
-    DecoderHead,
-    LinearDecoderHead,
-    MergeDecoderHead,
-    PhotodiodeHead,
-    UnitaryDecoderHead,
-)
-from repro.nn.complex import ComplexLinear
-from repro.photonics.circuit import PhotonicLinearLayer, split_relu
+from repro.core.lowering import LinearStage, PhotonicStage, lower_model
 from repro.photonics.encoders import DCComplexEncoder
 from repro.photonics.noise import PhaseNoiseModel
 
-
-def _complex_bias(layer: ComplexLinear) -> Optional[np.ndarray]:
-    if layer.bias_real is None:
-        return None
-    return layer.bias_real.data + 1j * layer.bias_imag.data
-
-
-def _deploy_complex_linear(layer: ComplexLinear, name: str, method: str) -> PhotonicLinearLayer:
-    return PhotonicLinearLayer.from_weight(layer.complex_weight(), bias=_complex_bias(layer),
-                                           method=method, name=name)
-
-
-@dataclass
-class DeployedStage:
-    """One photonic linear layer plus whether a CReLU follows it."""
-
-    layer: PhotonicLinearLayer
-    activation_after: bool = False
+#: historical name for the linear stage of a lowered program
+DeployedStage = LinearStage
 
 
 @dataclass
 class DeployedModel:
-    """A complex model executing on simulated photonic hardware."""
+    """A complex model executing on simulated photonic hardware.
 
-    stages: List[DeployedStage]
+    ``stages`` is the lowered photonic program: linear mesh stages, im2col
+    convolution stages and structural (pooling / flatten) stages, applied in
+    order.  ``input_kind`` records whether the program consumes flat feature
+    vectors or image maps (convolutional trunks).
+    """
+
+    stages: List[PhotonicStage]
     readout: Callable[[np.ndarray], np.ndarray]
     num_classes: int
+    input_kind: str = "flat"
     encoder: DCComplexEncoder = field(default_factory=DCComplexEncoder)
 
     @property
     def mzi_count(self) -> int:
-        return sum(stage.layer.mzi_count for stage in self.stages)
+        return sum(stage.mzi_count for stage in self.stages)
 
     def forward_signals(self, complex_inputs: np.ndarray) -> np.ndarray:
         """Propagate complex input amplitudes through every photonic stage.
 
-        When the stages carry trials-batched (noise-ensemble) meshes the
-        signal gains a leading trials axis at the first stage and every
-        realization propagates consistently through the rest of the chain.
+        Batch-first: ``complex_inputs`` is ``(batch, n)`` for flat programs or
+        ``(batch, channels, height, width)`` for convolutional ones.  When the
+        stages carry trials-batched (noise-ensemble) meshes the signal gains a
+        leading trials axis at the first mesh stage and every realization
+        propagates consistently through the rest of the chain.
         """
         signal = np.asarray(complex_inputs, dtype=complex)
         for stage in self.stages:
-            signal = stage.layer(signal)
-            if stage.activation_after:
-                signal = split_relu(signal)
+            signal = stage.forward(signal)
         return signal
+
+    forward = forward_signals
+    __call__ = forward_signals
 
     def predict_logits(self, images: np.ndarray, scheme: AssignmentScheme) -> np.ndarray:
         """Run the full optical pipeline: assignment, encoding, meshes, readout."""
         assignment = scheme.assign(images)
-        flattened_real = assignment.real.reshape(assignment.real.shape[0], -1)
-        flattened_imag = assignment.imag.reshape(assignment.imag.shape[0], -1)
-        light = self.encoder.encode(flattened_real, flattened_imag)
+        if self.input_kind == "image":
+            light = self.encoder.encode(assignment.real, assignment.imag)
+        else:
+            flattened_real = assignment.real.reshape(assignment.real.shape[0], -1)
+            flattened_imag = assignment.imag.reshape(assignment.imag.shape[0], -1)
+            light = self.encoder.encode(flattened_real, flattened_imag)
         signal = self.forward_signals(light)
         return self.readout(signal)
 
@@ -101,88 +94,36 @@ class DeployedModel:
         ``trials`` draws an ensemble of noise realizations per mesh; the
         copy's logits and predictions then carry a leading trials axis, so a
         whole Monte-Carlo robustness sweep runs in one batched forward pass.
+        A noise model with an *array* ``sigma`` additionally prepends a sigma
+        axis, folding a whole sigma sweep into the same pass.
         """
-        stages = [DeployedStage(layer=stage.layer.with_noise(noise, quantization_bits,
-                                                             trials=trials),
-                                activation_after=stage.activation_after)
+        stages = [stage.with_noise(noise, quantization_bits, trials=trials)
                   for stage in self.stages]
         return DeployedModel(stages=stages, readout=self.readout,
-                             num_classes=self.num_classes, encoder=self.encoder)
+                             num_classes=self.num_classes,
+                             input_kind=self.input_kind, encoder=self.encoder)
 
 
-def _head_stages_and_readout(head: DecoderHead, method: str):
-    """Deploy a decoder head: extra photonic stages plus the detector readout.
+def deploy_model(model, method: str = "clements") -> DeployedModel:
+    """Deploy a trained complex model onto simulated photonic hardware.
 
-    The per-class electronic calibration (scale + offset of the photocurrents)
-    trained with the head is replicated digitally inside the readout closure --
-    it lives in the electrical domain and costs no optical area.
+    Fully connected models map every ``ComplexLinear`` (trunk and decoder
+    head) onto an SVD pair of MZI meshes; convolutional models are lowered
+    layer by layer -- each ``ComplexConv2d`` kernel becomes its im2col matrix
+    on meshes and the forward pass streams complex patch batches through the
+    compiled mesh engine.  See :func:`repro.core.lowering.lower_model` for
+    the supported model families.
     """
-    num_classes = head.num_classes
-    scale, bias = head.calibration.as_arrays()
-
-    def calibrated(logits: np.ndarray) -> np.ndarray:
-        return logits * scale + bias
-
-    def paired_power(signal: np.ndarray) -> np.ndarray:
-        power = np.abs(signal) ** 2
-        summed = power[..., :num_classes] + power[..., num_classes:2 * num_classes]
-        return calibrated(np.sqrt(summed + 1e-12))
-
-    if isinstance(head, MergeDecoderHead):
-        stages = [DeployedStage(_deploy_complex_linear(head.merged_layer, "head.merged", method))]
-        return stages, paired_power
-    if isinstance(head, LinearDecoderHead):
-        stages = [
-            DeployedStage(_deploy_complex_linear(head.last_layer, "head.last", method)),
-            DeployedStage(_deploy_complex_linear(head.decoder_layer, "head.decoder", method)),
-        ]
-        return stages, paired_power
-    if isinstance(head, UnitaryDecoderHead):
-        last = _deploy_complex_linear(head.last_layer, "head.last", method)
-        unitary_weight = head.unitary.complex_weight()
-        # the zero-padded modes carry no light, so deploying the first C columns
-        # of the unitary as a 2C x C matrix is exactly equivalent
-        unitary_stage = PhotonicLinearLayer.from_weight(
-            unitary_weight[:, :head.num_classes], method=method, name="head.unitary")
-        return [DeployedStage(last), DeployedStage(unitary_stage)], paired_power
-    if isinstance(head, CoherentDecoderHead):
-        stages = [DeployedStage(_deploy_complex_linear(head.last_layer, "head.last", method))]
-
-        def coherent_readout(signal: np.ndarray) -> np.ndarray:
-            from repro.photonics.detectors import CoherentDetector
-
-            return calibrated(CoherentDetector().detect(signal).real)
-
-        return stages, coherent_readout
-    if isinstance(head, PhotodiodeHead):
-        stages = [DeployedStage(_deploy_complex_linear(head.last_layer, "head.last", method))]
-
-        def power_readout(signal: np.ndarray) -> np.ndarray:
-            return calibrated(np.abs(signal))
-
-        return stages, power_readout
-    raise TypeError(f"cannot deploy decoder head of type {type(head).__name__}")
+    program = lower_model(model, method=method)
+    return DeployedModel(stages=program.stages, readout=program.readout,
+                         num_classes=program.num_classes,
+                         input_kind=program.input_kind)
 
 
 def deploy_linear_model(model, method: str = "clements") -> DeployedModel:
-    """Deploy a trained :class:`~repro.models.fcnn.ComplexFCNN` onto photonic hardware.
+    """Historical name of :func:`deploy_model` (it predates conv lowering).
 
-    Convolutional models are lowered layer by layer to the same matrix-vector
-    products, but streaming im2col patches through meshes is orders of
-    magnitude slower in simulation, so deployment is provided for the fully
-    connected family (the paper's Fig. 2 workflow demonstrator).
+    Kept as an alias; both fully connected and convolutional complex models
+    deploy through the same lowering pipeline.
     """
-    from repro.models.fcnn import ComplexFCNN  # imported lazily to avoid a cycle
-
-    if not isinstance(model, ComplexFCNN):
-        raise TypeError("deploy_linear_model supports ComplexFCNN models; "
-                        "use model_area_report for CNN area accounting")
-    model.eval()
-    stages: List[DeployedStage] = []
-    for index, layer in enumerate(model.trunk):
-        if isinstance(layer, ComplexLinear):
-            stages.append(DeployedStage(
-                _deploy_complex_linear(layer, f"trunk.{index}", method), activation_after=True))
-    head_stages, readout = _head_stages_and_readout(model.head, method)
-    stages.extend(head_stages)
-    return DeployedModel(stages=stages, readout=readout, num_classes=model.num_classes)
+    return deploy_model(model, method=method)

@@ -1,0 +1,395 @@
+"""Compiler-style lowering of trained complex models onto photonic stages.
+
+``lower_model`` walks a supported complex model and lowers every layer to a
+*photonic stage* -- the "Paras -> phase mapping -> deploy phases" arrow of
+Fig. 2 generalised beyond fully connected trunks:
+
+* :class:`LinearStage` -- a ``ComplexLinear`` weight matrix deployed via SVD
+  onto two MZI meshes (optionally followed by an electro-optic CReLU).
+* :class:`Conv2dStage` -- a ``ComplexConv2d`` kernel lowered to its im2col
+  matrix ``(out_channels, in_channels * kh * kw)`` on meshes; the forward pass
+  extracts complex patches and streams them through the mesh engine as one
+  batch (``batch * out_h * out_w`` patch vectors per image batch).
+* :class:`AvgPool2dStage` / :class:`FlattenStage` -- linear structural ops
+  (average pooling is realisable with fixed couplers; in this simulation both
+  run array-level on the complex amplitudes).
+
+Every stage is *batch-first*: ``forward`` takes ``(batch, n)`` feature
+batches (or ``(batch, channels, height, width)`` image batches) and composes
+with the leading trials axes that noise-ensemble meshes introduce, so a whole
+Monte-Carlo sweep of a deployed CNN runs as a single vectorized pass.
+
+The decoder heads are lowered by :func:`lower_decoder_head`, which also
+builds the electronic readout closure (photodiode / coherent detection plus
+per-class calibration).  :func:`repro.core.deploy.deploy_model` wraps the
+lowered program into a :class:`~repro.core.deploy.DeployedModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.decoders import (
+    CoherentDecoderHead,
+    DecoderHead,
+    LinearDecoderHead,
+    MergeDecoderHead,
+    PhotodiodeHead,
+    UnitaryDecoderHead,
+)
+from repro.nn.complex import ComplexConv2d, ComplexLinear, CReLU
+from repro.nn.complex.cmodule import ComplexAvgPool2d, ComplexFlatten, ComplexSequential
+from repro.photonics.circuit import PhotonicLinearLayer, split_relu
+from repro.photonics.noise import PhaseNoiseModel
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _as_pair(value: IntPair) -> Tuple[int, int]:
+    return tuple(value) if isinstance(value, (tuple, list)) else (int(value), int(value))
+
+
+def complex_im2col(signal: np.ndarray, kernel_size: Tuple[int, int],
+                   stride: Tuple[int, int],
+                   padding: Tuple[int, int]) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Extract convolution patches from complex feature maps, batch-first.
+
+    Parameters
+    ----------
+    signal:
+        Complex array of shape ``(..., channels, height, width)``; any number
+        of leading axes (batch, trials, ...) is preserved.
+
+    Returns
+    -------
+    patches, (out_h, out_w):
+        ``patches`` has shape ``(..., out_h * out_w, channels * kh * kw)``
+        with the feature axis in ``(channel, kh, kw)`` order -- the same
+        layout ``ComplexConv2d.weight_matrix()`` flattens the kernel to, so a
+        convolution is exactly ``patches @ weight_matrix().T``.
+    """
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    signal = np.asarray(signal, dtype=complex)
+    if signal.ndim < 3:
+        raise ValueError("complex_im2col expects (..., channels, height, width)")
+    if ph or pw:
+        pad_width = [(0, 0)] * (signal.ndim - 2) + [(ph, ph), (pw, pw)]
+        signal = np.pad(signal, pad_width)
+    windows = np.lib.stride_tricks.sliding_window_view(signal, (kh, kw), axis=(-2, -1))
+    windows = windows[..., ::sh, ::sw, :, :]        # (..., C, out_h, out_w, kh, kw)
+    channels = windows.shape[-5]
+    out_h, out_w = windows.shape[-4], windows.shape[-3]
+    windows = np.moveaxis(windows, -5, -3)          # (..., out_h, out_w, C, kh, kw)
+    patches = windows.reshape(windows.shape[:-5] + (out_h * out_w, channels * kh * kw))
+    return patches, (out_h, out_w)
+
+
+# --------------------------------------------------------------------------- #
+# photonic stages
+# --------------------------------------------------------------------------- #
+@dataclass
+class LinearStage:
+    """One photonic linear layer plus whether an electro-optic CReLU follows it."""
+
+    layer: PhotonicLinearLayer
+    activation_after: bool = False
+
+    @property
+    def mzi_count(self) -> int:
+        return self.layer.mzi_count
+
+    def forward(self, signal: np.ndarray) -> np.ndarray:
+        """Apply the deployed matrix to ``(*trials, batch, n)`` amplitudes."""
+        signal = self.layer(signal)
+        if self.activation_after:
+            signal = split_relu(signal)
+        return signal
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "LinearStage":
+        return LinearStage(
+            layer=self.layer.with_noise(noise, quantization_bits, trials=trials),
+            activation_after=self.activation_after)
+
+
+@dataclass
+class Conv2dStage:
+    """A complex convolution deployed as its im2col matrix on MZI meshes.
+
+    ``forward`` extracts the complex patches of every image in the batch and
+    streams them through the deployed kernel matrix as one
+    ``(batch * out_h * out_w, in_channels * kh * kw)`` mesh batch -- the
+    "weight-sharing" of the convolution becomes mesh reuse.  The complex bias
+    (one per output channel) is applied electronically by the wrapped layer.
+    """
+
+    layer: PhotonicLinearLayer
+    in_channels: int
+    out_channels: int
+    kernel_size: Tuple[int, int]
+    stride: Tuple[int, int]
+    padding: Tuple[int, int]
+    activation_after: bool = False
+
+    @property
+    def mzi_count(self) -> int:
+        return self.layer.mzi_count
+
+    def forward(self, signal: np.ndarray) -> np.ndarray:
+        """Convolve ``(*trials, batch, channels, height, width)`` amplitudes."""
+        signal = np.asarray(signal, dtype=complex)
+        if signal.ndim < 4:
+            raise ValueError("Conv2dStage expects (..., batch, channels, height, width)")
+        if signal.shape[-3] != self.in_channels:
+            raise ValueError(f"stage {self.layer.name!r} expects {self.in_channels} "
+                             f"input channels, got {signal.shape[-3]}")
+        batch = signal.shape[-4]
+        patches, (out_h, out_w) = complex_im2col(signal, self.kernel_size,
+                                                 self.stride, self.padding)
+        flat = patches.reshape(patches.shape[:-3] + (batch * out_h * out_w,
+                                                     patches.shape[-1]))
+        outputs = self.layer(flat)                  # (*trials, batch * L, out_channels)
+        outputs = outputs.reshape(outputs.shape[:-2]
+                                  + (batch, out_h * out_w, self.out_channels))
+        outputs = np.swapaxes(outputs, -1, -2)
+        outputs = outputs.reshape(outputs.shape[:-1] + (out_h, out_w))
+        if self.activation_after:
+            outputs = split_relu(outputs)
+        return outputs
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "Conv2dStage":
+        return Conv2dStage(
+            layer=self.layer.with_noise(noise, quantization_bits, trials=trials),
+            in_channels=self.in_channels, out_channels=self.out_channels,
+            kernel_size=self.kernel_size, stride=self.stride, padding=self.padding,
+            activation_after=self.activation_after)
+
+
+@dataclass
+class AvgPool2dStage:
+    """Complex average pooling (linear; realisable with fixed couplers)."""
+
+    kernel_size: Tuple[int, int]
+    stride: Tuple[int, int]
+
+    mzi_count: int = 0
+
+    def forward(self, signal: np.ndarray) -> np.ndarray:
+        signal = np.asarray(signal, dtype=complex)
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        windows = np.lib.stride_tricks.sliding_window_view(signal, (kh, kw),
+                                                           axis=(-2, -1))
+        return windows[..., ::sh, ::sw, :, :].mean(axis=(-2, -1))
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "AvgPool2dStage":
+        return self
+
+
+@dataclass
+class FlattenStage:
+    """Flatten ``(..., channels, height, width)`` maps into feature vectors."""
+
+    mzi_count: int = 0
+
+    def forward(self, signal: np.ndarray) -> np.ndarray:
+        signal = np.asarray(signal, dtype=complex)
+        if signal.ndim < 4:
+            raise ValueError("FlattenStage expects (..., batch, channels, height, width)")
+        return signal.reshape(signal.shape[:-3] + (-1,))
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "FlattenStage":
+        return self
+
+
+PhotonicStage = Union[LinearStage, Conv2dStage, AvgPool2dStage, FlattenStage]
+
+
+# --------------------------------------------------------------------------- #
+# module lowering rules
+# --------------------------------------------------------------------------- #
+def _complex_bias(layer) -> Optional[np.ndarray]:
+    if layer.bias_real is None:
+        return None
+    return layer.bias_real.data + 1j * layer.bias_imag.data
+
+
+def lower_complex_linear(layer: ComplexLinear, name: str,
+                         method: str = "clements") -> LinearStage:
+    """Lower one ``ComplexLinear`` onto an SVD pair of MZI meshes."""
+    photonic = PhotonicLinearLayer.from_weight(layer.complex_weight(),
+                                               bias=_complex_bias(layer),
+                                               method=method, name=name)
+    return LinearStage(layer=photonic)
+
+
+def lower_complex_conv2d(layer: ComplexConv2d, name: str,
+                         method: str = "clements") -> Conv2dStage:
+    """Lower one ``ComplexConv2d`` to its im2col matrix on MZI meshes."""
+    photonic = PhotonicLinearLayer.from_weight(layer.weight_matrix(),
+                                               bias=_complex_bias(layer),
+                                               method=method, name=name)
+    return Conv2dStage(layer=photonic,
+                       in_channels=layer.in_channels, out_channels=layer.out_channels,
+                       kernel_size=_as_pair(layer.kernel_size),
+                       stride=_as_pair(layer.stride), padding=_as_pair(layer.padding))
+
+
+def lower_sequential(modules, method: str = "clements",
+                     prefix: str = "trunk") -> List[PhotonicStage]:
+    """Lower a chain of complex modules into photonic stages.
+
+    ``CReLU`` modules are folded into the preceding linear/conv stage as its
+    electro-optic activation; pooling and flatten become structural stages.
+    Unsupported module types raise ``TypeError``.
+    """
+    from repro.models.lenet import ComplexLinearWithActivation  # avoid an import cycle
+
+    stages: List[PhotonicStage] = []
+    for index, module in enumerate(modules):
+        name = f"{prefix}.{index}"
+        if isinstance(module, CReLU):
+            if not stages or not hasattr(stages[-1], "activation_after"):
+                raise TypeError("cannot lower a CReLU that does not follow a "
+                                "linear or convolution layer")
+            stages[-1].activation_after = True
+        elif isinstance(module, ComplexLinearWithActivation):
+            stage = lower_complex_linear(module.linear, name, method)
+            stage.activation_after = True
+            stages.append(stage)
+        elif isinstance(module, ComplexLinear):
+            stages.append(lower_complex_linear(module, name, method))
+        elif isinstance(module, ComplexConv2d):
+            stages.append(lower_complex_conv2d(module, name, method))
+        elif isinstance(module, ComplexAvgPool2d):
+            kernel = _as_pair(module.kernel_size)
+            stride = kernel if module.stride is None else _as_pair(module.stride)
+            stages.append(AvgPool2dStage(kernel_size=kernel, stride=stride))
+        elif isinstance(module, ComplexFlatten):
+            stages.append(FlattenStage())
+        elif isinstance(module, ComplexSequential):
+            stages.extend(lower_sequential(module, method, prefix=name))
+        else:
+            raise TypeError(f"cannot lower module of type {type(module).__name__} "
+                            "onto photonic stages")
+    return stages
+
+
+def lower_decoder_head(head: DecoderHead, method: str = "clements"
+                       ) -> Tuple[List[PhotonicStage], Callable[[np.ndarray], np.ndarray]]:
+    """Lower a decoder head: extra photonic stages plus the detector readout.
+
+    The per-class electronic calibration (scale + offset of the photocurrents)
+    trained with the head is replicated digitally inside the readout closure --
+    it lives in the electrical domain and costs no optical area.
+    """
+    num_classes = head.num_classes
+    scale, bias = head.calibration.as_arrays()
+
+    def calibrated(logits: np.ndarray) -> np.ndarray:
+        return logits * scale + bias
+
+    def paired_power(signal: np.ndarray) -> np.ndarray:
+        power = np.abs(signal) ** 2
+        summed = power[..., :num_classes] + power[..., num_classes:2 * num_classes]
+        return calibrated(np.sqrt(summed + 1e-12))
+
+    if isinstance(head, MergeDecoderHead):
+        stages = [lower_complex_linear(head.merged_layer, "head.merged", method)]
+        return stages, paired_power
+    if isinstance(head, LinearDecoderHead):
+        stages = [
+            lower_complex_linear(head.last_layer, "head.last", method),
+            lower_complex_linear(head.decoder_layer, "head.decoder", method),
+        ]
+        return stages, paired_power
+    if isinstance(head, UnitaryDecoderHead):
+        last = lower_complex_linear(head.last_layer, "head.last", method)
+        unitary_weight = head.unitary.complex_weight()
+        # the zero-padded modes carry no light, so deploying the first C columns
+        # of the unitary as a 2C x C matrix is exactly equivalent
+        unitary_stage = LinearStage(PhotonicLinearLayer.from_weight(
+            unitary_weight[:, :head.num_classes], method=method, name="head.unitary"))
+        return [last, unitary_stage], paired_power
+    if isinstance(head, CoherentDecoderHead):
+        stages = [lower_complex_linear(head.last_layer, "head.last", method)]
+
+        def coherent_readout(signal: np.ndarray) -> np.ndarray:
+            from repro.photonics.detectors import CoherentDetector
+
+            return calibrated(CoherentDetector().detect(signal).real)
+
+        return stages, coherent_readout
+    if isinstance(head, PhotodiodeHead):
+        stages = [lower_complex_linear(head.last_layer, "head.last", method)]
+
+        def power_readout(signal: np.ndarray) -> np.ndarray:
+            return calibrated(np.abs(signal))
+
+        return stages, power_readout
+    raise TypeError(f"cannot deploy decoder head of type {type(head).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# model lowering
+# --------------------------------------------------------------------------- #
+@dataclass
+class LoweredProgram:
+    """A model lowered to photonic stages plus its electronic readout.
+
+    ``input_kind`` records what the first stage consumes: ``"flat"`` feature
+    vectors (FCNN trunks) or ``"image"`` maps ``(batch, channels, h, w)``
+    (convolutional trunks).
+    """
+
+    stages: List[PhotonicStage]
+    readout: Callable[[np.ndarray], np.ndarray]
+    num_classes: int
+    input_kind: str = "flat"
+
+    @property
+    def mzi_count(self) -> int:
+        return sum(stage.mzi_count for stage in self.stages)
+
+
+def lower_model(model, method: str = "clements") -> LoweredProgram:
+    """Lower a trained complex model into a photonic stage program.
+
+    Supported families: :class:`~repro.models.fcnn.ComplexFCNN` (linear
+    trunk) and :class:`~repro.models.lenet.ComplexLeNet5` (convolutional
+    trunk, lowered via im2col).  Residual architectures (ComplexResNet) are
+    not lowerable to a pure stage chain and raise ``TypeError``.
+    """
+    from repro.models.fcnn import ComplexFCNN  # imported lazily to avoid a cycle
+    from repro.models.lenet import ComplexLeNet5
+
+    model.eval()
+    if isinstance(model, ComplexFCNN):
+        stages = lower_sequential(model.trunk, method, prefix="trunk")
+        input_kind = "flat"
+    elif isinstance(model, ComplexLeNet5):
+        stages = lower_sequential(model.features, method, prefix="features")
+        stages.append(FlattenStage())
+        stages.extend(lower_sequential(model.trunk, method, prefix="trunk"))
+        input_kind = "image"
+    else:
+        raise TypeError(
+            f"cannot lower model of type {type(model).__name__}; supported "
+            "families are ComplexFCNN and ComplexLeNet5 (residual models have "
+            "no pure stage-chain lowering)")
+    head_stages, readout = lower_decoder_head(model.head, method)
+    stages.extend(head_stages)
+    return LoweredProgram(stages=stages, readout=readout,
+                          num_classes=model.num_classes, input_kind=input_kind)

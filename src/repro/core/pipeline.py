@@ -21,7 +21,7 @@ import numpy as np
 from repro.assignment import AssignmentScheme, get_scheme
 from repro.core.area_analysis import compare_area, model_area_report
 from repro.core.config import ExperimentConfig
-from repro.core.deploy import DeployedModel, deploy_linear_model
+from repro.core.deploy import DeployedModel, deploy_model
 from repro.core.distillation import MutualLearningResult, MutualLearningTrainer
 from repro.core.training import Trainer, TrainingHistory, evaluate_accuracy
 from repro.data import ArrayDataset, DataLoader, synthetic_cifar10, synthetic_cifar100, synthetic_mnist
@@ -209,5 +209,5 @@ class OplixNet:
         )
 
     def deploy(self, student: Module, method: str = "clements") -> DeployedModel:
-        """Deploy a trained FCNN student onto the simulated photonic circuit."""
-        return deploy_linear_model(student, method=method)
+        """Deploy a trained student (FCNN or CNN) onto the simulated photonic circuit."""
+        return deploy_model(student, method=method)

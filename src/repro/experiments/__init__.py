@@ -15,6 +15,9 @@ Each module exposes a ``run_*`` function returning structured results plus a
 * :mod:`~repro.experiments.ablations` -- additional ablations (distillation
   alpha, mesh decomposition, phase-noise robustness, encoder throughput,
   pruning baseline).
+* :mod:`~repro.experiments.deployed` -- deployed-CNN evaluation: the complex
+  LeNet-5 lowered onto MZI meshes via im2col, with a batched phase-noise
+  Monte-Carlo sweep.
 
 Accuracy numbers are obtained on synthetic dataset stand-ins at CPU scale
 (see ``DESIGN.md``); MZI/DC/PS counts are always evaluated on the paper's

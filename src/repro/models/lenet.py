@@ -79,6 +79,11 @@ class ComplexLeNet5(Module):
     ``in_channels`` counts *complex* channels: 3 for the CVNN teacher
     (conventional assignment keeps all colour channels), 2 for the SCVNN with
     channel-lossless assignment, 1 with channel remapping.
+
+    The trained model is deployable onto simulated MZI meshes:
+    :func:`repro.core.deploy.deploy_model` lowers the convolution kernels to
+    im2col matrices and the trunk/head to SVD mesh pairs (see
+    :mod:`repro.core.lowering`).
     """
 
     def __init__(self, in_channels: int = 2, num_classes: int = 10,

@@ -65,6 +65,17 @@ class ComplexConv2d(Module):
         """Return the kernel as a numpy complex array."""
         return self.weight_real.data + 1j * self.weight_imag.data
 
+    def weight_matrix(self) -> np.ndarray:
+        """The im2col-lowered kernel matrix ``(out_channels, in_channels * kh * kw)``.
+
+        This is the matrix actually deployed on MZI meshes: streaming image
+        patches (in ``(channel, kh, kw)`` feature order, the layout of
+        :func:`repro.core.lowering.complex_im2col`) through it reproduces the
+        convolution exactly, and its shape is what the paper's area model
+        counts for convolution layers.
+        """
+        return self.complex_weight().reshape(self.out_channels, -1)
+
     def __repr__(self) -> str:
         return (f"ComplexConv2d(in={self.in_channels}, out={self.out_channels}, "
                 f"kernel={self.kernel_size}, stride={self.stride}, padding={self.padding})")

@@ -46,7 +46,9 @@ from repro.photonics.mzi_mesh import (
     MZISetting,
     MeshDecomposition,
     reck_decompose,
+    reck_decompose_reference,
     clements_decompose,
+    clements_decompose_reference,
     decompose_unitary,
     random_unitary,
     is_unitary,
@@ -89,7 +91,9 @@ __all__ = [
     "MZISetting",
     "MeshDecomposition",
     "reck_decompose",
+    "reck_decompose_reference",
     "clements_decompose",
+    "clements_decompose_reference",
     "decompose_unitary",
     "random_unitary",
     "is_unitary",

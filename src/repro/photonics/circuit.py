@@ -42,7 +42,13 @@ class PhotonicLinearLayer:
         return self.photonic_matrix.device_count
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Propagate complex amplitudes through the deployed matrix."""
+        """Propagate complex amplitudes through the deployed matrix.
+
+        Batch-first: ``inputs`` is ``(in_features,)`` or
+        ``(batch, in_features)``; trials-batched (noise-ensemble) meshes
+        prepend their trials axes to the result, composing with the batch
+        axis, and the electronic bias broadcasts over all leading axes.
+        """
         outputs = self.photonic_matrix.apply(inputs)
         if self.bias is not None:
             outputs = outputs + self.bias
@@ -107,7 +113,13 @@ class PhotonicNetwork:
         return sum(layer.mzi_count for layer in self.layers)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Propagate complex input amplitudes through the whole network."""
+        """Propagate complex input amplitudes through the whole network.
+
+        Batch-first: accepts ``(n,)`` or ``(batch, n)`` amplitudes; with
+        trials-batched layers (see :meth:`with_noise`) the output gains the
+        leading trials axes, realization ``t`` staying consistent across
+        every layer of the chain.
+        """
         signal = np.asarray(inputs, dtype=complex)
         for index, layer in enumerate(self.layers):
             signal = layer(signal)

@@ -37,7 +37,9 @@ import numpy as np
 
 #: meshes up to this dimension are applied through a cached dense transfer
 #: matrix (one BLAS matmul) instead of the column program; the cache is built
-#: lazily and invalidated by :meth:`MeshDecomposition.update_phases`.
+#: lazily and invalidated by :meth:`MeshDecomposition.update_phases`.  The
+#: default is a conservative measured value; :func:`calibrate_dense_limit`
+#: re-measures the crossover on the current machine and can replace it.
 DENSE_DIMENSION_LIMIT = 96
 
 
@@ -172,6 +174,88 @@ def dense_transfer(program: MeshProgram, thetas: np.ndarray, phis: np.ndarray,
                         insertion_loss_db=insertion_loss_db)
     # row i of the propagated identity is U @ e_i, i.e. the i-th column of U
     return np.swapaxes(columns, -1, -2)
+
+
+def set_dense_dimension_limit(limit: int) -> int:
+    """Replace :data:`DENSE_DIMENSION_LIMIT`; returns the previous value.
+
+    Meshes consult the module global on every ``apply``, so the new limit
+    takes effect immediately (already-cached dense matrices stay valid).
+    """
+    global DENSE_DIMENSION_LIMIT
+    previous = DENSE_DIMENSION_LIMIT
+    DENSE_DIMENSION_LIMIT = int(limit)
+    return previous
+
+
+def measure_dense_crossover(dimensions=(16, 32, 48, 64, 96, 128, 192),
+                            batch: int = 32, repeats: int = 5,
+                            method: str = "clements", seed: int = 0):
+    """Time the cached dense matmul against the column program per dimension.
+
+    For each mesh dimension the warm-cache dense apply (``states @ U.T``) and
+    the compiled column program are timed ``repeats`` times (best-of), on the
+    same Haar-random mesh and the same ``(batch, dim)`` state batch.  Returns
+    one dict per dimension with both timings and the dense speedup -- the raw
+    data the adaptive limit is picked from (and what the crossover benchmark
+    records under ``benchmarks/results/``).
+    """
+    import time
+
+    from repro.photonics.mzi_mesh import decompose_unitary, random_unitary
+
+    def best_of(fn) -> float:
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    rng = np.random.default_rng(seed)
+    rows = []
+    for dimension in dimensions:
+        mesh = decompose_unitary(random_unitary(int(dimension), rng), method=method)
+        program = mesh.compiled()
+        states = (rng.normal(size=(batch, dimension))
+                  + 1j * rng.normal(size=(batch, dimension)))
+        dense_matrix = dense_transfer(program, mesh.thetas, mesh.phis,
+                                      mesh.output_phases)
+        dense_seconds = best_of(lambda: states @ dense_matrix.T)
+        column_seconds = best_of(lambda: propagate(program, states, mesh.thetas,
+                                                   mesh.phis, mesh.output_phases))
+        rows.append({
+            "dimension": int(dimension),
+            "method": method,
+            "batch": int(batch),
+            "optical_depth": program.depth,
+            "dense_seconds": dense_seconds,
+            "column_seconds": column_seconds,
+            "dense_speedup": column_seconds / dense_seconds,
+        })
+    return rows
+
+
+def calibrate_dense_limit(dimensions=(16, 32, 48, 64, 96, 128, 192),
+                          batch: int = 32, repeats: int = 5,
+                          method: str = "clements", seed: int = 0,
+                          apply: bool = False):
+    """Pick :data:`DENSE_DIMENSION_LIMIT` from measured crossover data.
+
+    The limit is the largest measured dimension at which the warm-cache dense
+    matmul still beats the column program (the measured curves are monotone
+    enough that this is the crossover); if the dense path never wins the
+    limit is 0, disabling it.  With ``apply=True`` the module global is
+    updated in place.  Returns ``(limit, rows)`` so callers can record the
+    measurements.
+    """
+    rows = measure_dense_crossover(dimensions=dimensions, batch=batch,
+                                   repeats=repeats, method=method, seed=seed)
+    dense_wins = [row["dimension"] for row in rows if row["dense_speedup"] >= 1.0]
+    limit = max(dense_wins) if dense_wins else 0
+    if apply:
+        set_dense_dimension_limit(limit)
+    return limit, rows
 
 
 def reference_apply(modes: np.ndarray, thetas: np.ndarray, phis: np.ndarray,

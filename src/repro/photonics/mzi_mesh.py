@@ -19,12 +19,22 @@ Phases are stored structure-of-arrays (``modes``, ``thetas``, ``phis``) and
 propagation runs through the compiled column engine of
 :mod:`repro.photonics.engine`; :class:`MZISetting` remains as a per-MZI view
 for code that walks the mesh device by device.
+
+The decompositions themselves are *vectorized*: nulling operations are packed
+into wavefronts of disjoint mode pairs (the same greedy schedule the engine
+uses for propagation) and every wavefront solves its MZI parameters and
+applies its two-column/two-row updates as one array operation.  The original
+scalar nulling loops are kept as ``reck_decompose_reference`` /
+``clements_decompose_reference`` -- executable specifications the test-suite
+pins the vectorized paths against to 1e-10.
 """
 
 from __future__ import annotations
 
+import cmath
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -339,12 +349,24 @@ class MeshDecomposition:
 # --------------------------------------------------------------------------- #
 # nulling parameter solvers
 # --------------------------------------------------------------------------- #
+#: pivot cells at or below this magnitude are treated as optically dark when
+#: solving nulling parameters: the MZI is parked at a deterministic setting
+#: instead of amplifying floating-point residue (the phase of a ~1e-17 cell)
+#: into an arbitrary phase.  Without the clamp, phases inside dark subspaces
+#: -- e.g. the null-space completion rows of an SVD factor of a non-square
+#: weight -- are reproducible only up to accumulation noise, even though the
+#: reconstruction is exact either way.
+NULL_TOLERANCE = 1e-12
+
+
 def _solve_right_null(a: complex, b: complex) -> Tuple[float, float]:
     """Parameters of the MZI ``M`` such that right-multiplying by ``M``-dagger
     on columns ``(m, m+1)`` nulls the entry whose current row values are
     ``a = U[row, m]`` and ``b = U[row, m+1]``."""
-    theta = 2.0 * math.atan2(abs(b), abs(a))
-    phi = -float(np.angle(-b * np.conj(a))) if abs(a) > 0 and abs(b) > 0 else 0.0
+    a_abs = abs(a) if abs(a) > NULL_TOLERANCE else 0.0
+    b_abs = abs(b) if abs(b) > NULL_TOLERANCE else 0.0
+    theta = 2.0 * math.atan2(b_abs, a_abs)
+    phi = -float(np.angle(-b * np.conj(a))) if a_abs > 0 and b_abs > 0 else 0.0
     return theta, phi
 
 
@@ -352,8 +374,10 @@ def _solve_left_null(a: complex, b: complex) -> Tuple[float, float]:
     """Parameters of the MZI ``M`` such that left-multiplying by ``M`` on rows
     ``(row-1, row)`` nulls the entry whose current column values are
     ``a = U[row-1, col]`` and ``b = U[row, col]``."""
-    theta = 2.0 * math.atan2(abs(a), abs(b))
-    phi = float(np.angle(b * np.conj(a))) if abs(a) > 0 and abs(b) > 0 else 0.0
+    a_abs = abs(a) if abs(a) > NULL_TOLERANCE else 0.0
+    b_abs = abs(b) if abs(b) > NULL_TOLERANCE else 0.0
+    theta = 2.0 * math.atan2(a_abs, b_abs)
+    phi = float(np.angle(b * np.conj(a))) if a_abs > 0 and b_abs > 0 else 0.0
     return theta, phi
 
 
@@ -394,8 +418,14 @@ def _check_unitary_input(unitary: np.ndarray) -> np.ndarray:
     return unitary
 
 
-def reck_decompose(unitary: np.ndarray) -> MeshDecomposition:
-    """Triangular (Reck) decomposition of a unitary into physical MZIs."""
+def reck_decompose_reference(unitary: np.ndarray) -> MeshDecomposition:
+    """Scalar (per-element) Reck nulling loop, kept as an executable spec.
+
+    The seed algorithm -- one Python iteration and one full ``n x n`` matrix
+    product per nulled element -- with the shared dark-cell clamp of the
+    nulling solvers (see :data:`NULL_TOLERANCE`).  :func:`reck_decompose`
+    must agree with it to 1e-10; use it only as a reference.
+    """
     unitary = _check_unitary_input(unitary)
     n = unitary.shape[0]
     work = unitary.copy()
@@ -412,8 +442,13 @@ def reck_decompose(unitary: np.ndarray) -> MeshDecomposition:
                              output_phases=output_phases, method="reck")
 
 
-def clements_decompose(unitary: np.ndarray) -> MeshDecomposition:
-    """Rectangular (Clements) decomposition of a unitary into physical MZIs."""
+def clements_decompose_reference(unitary: np.ndarray) -> MeshDecomposition:
+    """Scalar (per-element) Clements nulling loop, kept as an executable spec.
+
+    The seed algorithm with the shared dark-cell clamp of the nulling solvers
+    (see :data:`NULL_TOLERANCE`); :func:`clements_decompose` must agree with
+    it to 1e-10.  Use it only as a reference.
+    """
     unitary = _check_unitary_input(unitary)
     n = unitary.shape[0]
     work = unitary.copy()
@@ -460,6 +495,222 @@ def clements_decompose(unitary: np.ndarray) -> MeshDecomposition:
     settings = list(right_settings) + list(reversed(pushed))
     return MeshDecomposition(dimension=n, settings=settings,
                              output_phases=diagonal, method="clements")
+
+
+# --------------------------------------------------------------------------- #
+# vectorized decompositions
+# --------------------------------------------------------------------------- #
+def _solve_right_null_vec(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_solve_right_null` over arrays of (a, b) pairs."""
+    a_abs = np.abs(a)
+    b_abs = np.abs(b)
+    a_abs = np.where(a_abs > NULL_TOLERANCE, a_abs, 0.0)
+    b_abs = np.where(b_abs > NULL_TOLERANCE, b_abs, 0.0)
+    theta = 2.0 * np.arctan2(b_abs, a_abs)
+    phi = np.where((a_abs > 0) & (b_abs > 0), -np.angle(-b * np.conj(a)), 0.0)
+    return theta, phi
+
+
+def _apply_right_columns(work: np.ndarray, tops: np.ndarray,
+                         thetas: np.ndarray, phis: np.ndarray) -> None:
+    """Right-multiply ``work`` by ``M(theta, phi)``-dagger on disjoint column pairs.
+
+    Every pair ``(tops[k], tops[k] + 1)`` is updated in place with one gather
+    and one fused 2x2 complex multiply -- the array-level form of the
+    per-element ``work @ embed(m, M.conj().T)``.
+    """
+    t00, t01, t10, t11 = engine.mzi_block_coefficients(thetas, phis)
+    upper = work[:, tops]
+    lower = work[:, tops + 1]
+    work[:, tops] = upper * np.conj(t00) + lower * np.conj(t01)
+    work[:, tops + 1] = upper * np.conj(t10) + lower * np.conj(t11)
+
+
+@lru_cache(maxsize=128)
+def _reck_oplist(n: int):
+    """Nulling op list and wavefront schedule of the Reck scheme (topology only).
+
+    Element ``(row, m)`` is nulled with a column operation on modes
+    ``(m, m + 1)``; two ops conflict exactly when their column pairs overlap,
+    so the engine's greedy column scheduler doubles as a dependency-preserving
+    wavefront schedule.  Cached per dimension: deploying a stack of same-size
+    matrices (e.g. conv im2col kernels) pays for the schedule once.
+    """
+    lengths = np.arange(n - 1, 0, -1)
+    op_rows = np.repeat(lengths, lengths)
+    op_cols = (np.concatenate([np.arange(row) for row in lengths])
+               if n > 1 else np.empty(0, dtype=np.intp))
+    op_rows.flags.writeable = False
+    op_cols.flags.writeable = False
+    return op_rows, op_cols, engine.column_schedule(op_cols, n)
+
+
+def reck_decompose(unitary: np.ndarray) -> MeshDecomposition:
+    """Triangular (Reck) decomposition of a unitary into physical MZIs.
+
+    Vectorized: the nulling operations are packed into wavefronts of disjoint
+    column pairs.  Each wavefront reads its pivot pairs, solves every MZI
+    parameter at once and applies all two-column updates in one array
+    operation, so the Python-level loop count drops from ``n (n - 1) / 2`` to
+    the mesh depth ``2 n - 3``.  Agrees with
+    :func:`reck_decompose_reference` to 1e-10.
+    """
+    unitary = _check_unitary_input(unitary)
+    n = unitary.shape[0]
+    work = unitary.copy()
+    op_rows, op_cols, schedule = _reck_oplist(n)
+    thetas = np.empty(op_cols.size, dtype=float)
+    phis = np.empty(op_cols.size, dtype=float)
+    for indices, tops, _bottoms in schedule.columns:
+        rows = op_rows[indices]
+        theta, phi = _solve_right_null_vec(work[rows, tops], work[rows, tops + 1])
+        _apply_right_columns(work, tops, theta, phi)
+        thetas[indices] = theta
+        phis[indices] = phi
+    output_phases = np.diag(work).copy()
+    return MeshDecomposition(dimension=n, modes=op_cols, thetas=thetas, phis=phis,
+                             output_phases=output_phases, method="reck")
+
+
+@lru_cache(maxsize=128)
+def _clements_oplist(n: int):
+    """Nulling op list of the Clements scheme plus the push-phase schedule.
+
+    Unlike Reck, the anti-diagonal nulling ops form one sequential dependency
+    chain -- every op's pivot cells were written by its predecessor (the last
+    op of each diagonal writes the pivot row/column the next diagonal starts
+    from), so there is no intra-matrix wavefront parallelism to exploit.  The
+    final commutation of the left ops through the output phase screen only
+    touches diagonal pairs, so *that* phase wavefront-vectorizes over disjoint
+    modes.  Cached per dimension.
+    """
+    is_left: List[bool] = []
+    op_modes: List[int] = []
+    op_pivots: List[int] = []
+    for i in range(n - 1):
+        if i % 2 == 0:
+            for j in range(i + 1):
+                is_left.append(False)
+                op_modes.append(i - j)          # column pair (col, col + 1)
+                op_pivots.append(n - 1 - j)     # pivot row
+        else:
+            for j in range(i + 1):
+                is_left.append(True)
+                op_modes.append(n - 2 - i + j)  # row pair (row - 1, row)
+                op_pivots.append(j)             # pivot column
+    is_left_arr = np.array(is_left, dtype=bool)
+    modes_arr = np.array(op_modes, dtype=np.intp)
+    pivots_arr = np.array(op_pivots, dtype=np.intp)
+    # push phase: reversed left ops, conflicting only on diagonal-pair overlap
+    left_reversed = np.flatnonzero(is_left_arr)[::-1]
+    push_modes = modes_arr[left_reversed]
+    for array in (is_left_arr, modes_arr, pivots_arr, left_reversed, push_modes):
+        array.flags.writeable = False
+    return (is_left_arr, modes_arr, pivots_arr, left_reversed, push_modes,
+            engine.column_schedule(push_modes, n))
+
+
+def _refactor_phase_mzi_vec(left_thetas: np.ndarray, left_phis: np.ndarray,
+                            d0: np.ndarray, d1: np.ndarray):
+    """Vectorized :func:`_refactor_phase_mzi` of ``L-dagger @ diag(d0, d1)``."""
+    l00, l01, l10, l11 = engine.mzi_block_coefficients(left_thetas, left_phis)
+    a00, a01 = np.conj(l00) * d0, np.conj(l10) * d1
+    a10, a11 = np.conj(l01) * d0, np.conj(l11) * d1
+    theta = 2.0 * np.arctan2(np.abs(a00), np.abs(a01))
+    sin_half, cos_half = np.sin(theta / 2.0), np.cos(theta / 2.0)
+    phi = np.where((sin_half > 1e-12) & (cos_half > 1e-12),
+                   np.angle(a00) - np.angle(a01), 0.0)
+    m00, m01, m10, m11 = engine.mzi_block_coefficients(theta, phi)
+    # a 2x2 unitary row never has both entries tiny, so the selected
+    # denominator is always well conditioned
+    use_01 = np.abs(m01) > 1e-12
+    use_10 = np.abs(m10) > 1e-12
+    new_d0 = np.where(use_01, a01, a00) / np.where(use_01, m01, m00)
+    new_d1 = np.where(use_10, a10, a11) / np.where(use_10, m10, m11)
+    return new_d0, new_d1, theta, phi
+
+
+def clements_decompose(unitary: np.ndarray) -> MeshDecomposition:
+    """Rectangular (Clements) decomposition of a unitary into physical MZIs.
+
+    Array-level: the anti-diagonal nulling ops chain sequentially (see
+    :func:`_clements_oplist`), so they run as a slim scalar-parameter loop
+    whose two-column / two-row updates are ``O(n)`` array slices instead of
+    the reference's embedded full ``n x n`` matrix products; the commutation
+    of the left ops through the output phase screen is wavefront-vectorized
+    over disjoint diagonal pairs.  Agrees with
+    :func:`clements_decompose_reference` to 1e-10.
+    """
+    unitary = _check_unitary_input(unitary)
+    n = unitary.shape[0]
+    work = unitary.copy()
+    is_left, op_modes, op_pivots, left_reversed, push_modes, push_schedule = \
+        _clements_oplist(n)
+    thetas = np.empty(op_modes.size, dtype=float)
+    phis = np.empty(op_modes.size, dtype=float)
+    # slim scalar chain: closed-form 2x2 entries (Eq. 1, the same closed form
+    # the engine evaluates) and O(n) two-row / two-column slice updates
+    for index, (left, mode, pivot) in enumerate(
+            zip(is_left.tolist(), op_modes.tolist(), op_pivots.tolist())):
+        if left:
+            a, b = work[mode, pivot], work[mode + 1, pivot]
+            a_abs = abs(a) if abs(a) > NULL_TOLERANCE else 0.0
+            b_abs = abs(b) if abs(b) > NULL_TOLERANCE else 0.0
+            theta = 2.0 * math.atan2(a_abs, b_abs)
+            phi = cmath.phase(b * a.conjugate()) if a_abs > 0 and b_abs > 0 else 0.0
+            e_theta, e_phi = cmath.exp(1j * theta), cmath.exp(1j * phi)
+            t00 = 0.5 * (e_theta - 1.0) * e_phi
+            t01 = 0.5j * (e_theta + 1.0)
+            t10 = t01 * e_phi
+            t11 = 0.5 * (1.0 - e_theta)
+            upper = work[mode, :].copy()
+            lower = work[mode + 1, :]
+            work[mode, :] = t00 * upper + t01 * lower
+            work[mode + 1, :] = t10 * upper + t11 * lower
+        else:
+            a, b = work[pivot, mode], work[pivot, mode + 1]
+            a_abs = abs(a) if abs(a) > NULL_TOLERANCE else 0.0
+            b_abs = abs(b) if abs(b) > NULL_TOLERANCE else 0.0
+            theta = 2.0 * math.atan2(b_abs, a_abs)
+            phi = -cmath.phase(-b * a.conjugate()) if a_abs > 0 and b_abs > 0 else 0.0
+            e_theta, e_phi = cmath.exp(-1j * theta), cmath.exp(-1j * phi)
+            # conjugate-transpose entries of the closed-form block
+            h00 = 0.5 * (e_theta - 1.0) * e_phi
+            h01 = -0.5j * (e_theta + 1.0) * e_phi
+            h10 = -0.5j * (e_theta + 1.0)
+            h11 = 0.5 * (1.0 - e_theta)
+            upper = work[:, mode].copy()
+            lower = work[:, mode + 1]
+            work[:, mode] = h00 * upper + h10 * lower
+            work[:, mode + 1] = h01 * upper + h11 * lower
+        thetas[index] = theta
+        phis[index] = phi
+
+    diagonal = np.diag(work).copy()
+
+    # U = L_1^{-1} ... L_q^{-1} D M_p ... M_1; commute each L_k^{-1} through
+    # the diagonal (in reversed recording order) so the final expression is
+    # D' * (physical MZI chain).  Push steps conflict only on overlapping
+    # diagonal pairs, so the column scheduler groups them into wavefronts.
+    pushed_thetas = np.empty(left_reversed.size, dtype=float)
+    pushed_phis = np.empty(left_reversed.size, dtype=float)
+    for indices, tops, _bottoms in push_schedule.columns:
+        ops = left_reversed[indices]
+        new_d0, new_d1, theta, phi = _refactor_phase_mzi_vec(
+            thetas[ops], phis[ops], diagonal[tops], diagonal[tops + 1])
+        diagonal[tops] = new_d0
+        diagonal[tops + 1] = new_d1
+        pushed_thetas[indices] = theta
+        pushed_phis[indices] = phi
+
+    # application order: right-op MZIs first (in recording order), then the
+    # pushed left-op MZIs in reversed recording order
+    right_indices = np.flatnonzero(~is_left)
+    modes = np.concatenate([op_modes[right_indices], push_modes])
+    all_thetas = np.concatenate([thetas[right_indices], pushed_thetas])
+    all_phis = np.concatenate([phis[right_indices], pushed_phis])
+    return MeshDecomposition(dimension=n, modes=modes, thetas=all_thetas,
+                             phis=all_phis, output_phases=diagonal, method="clements")
 
 
 def decompose_unitary(unitary: np.ndarray, method: str = "clements") -> MeshDecomposition:

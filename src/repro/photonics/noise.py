@@ -50,7 +50,10 @@ class PhaseNoiseModel:
     Parameters
     ----------
     sigma:
-        Standard deviation of the phase error in radians.
+        Standard deviation of the phase error in radians.  May be an *array*
+        of standard deviations: ``perturb`` then prepends one axis per sigma
+        axis to the mesh's trials shape, so a whole sigma sweep (and its
+        Monte-Carlo trials) propagates as one vectorized ensemble.
     rng:
         Generator used to draw the errors (pass a seeded generator for
         reproducible robustness sweeps).
@@ -68,14 +71,20 @@ class PhaseNoiseModel:
         propagates all realizations in one vectorized pass.  ``trials=None``
         (default) draws a single realization, with the same draw order as the
         historical per-MZI implementation, so seeded sweeps stay reproducible.
+
+        An array ``sigma`` of shape ``(S,)`` produces a mesh with trial shape
+        ``(S,)`` (or ``(S, T)`` with ``trials``): the same standard-normal
+        draws are scaled by each sigma (common random numbers), which is what
+        the historical per-sigma loop with a re-seeded generator produced.
         """
-        if self.sigma < 0:
+        sigma = np.asarray(self.sigma, dtype=float)
+        if np.any(sigma < 0):
             raise ValueError("sigma must be non-negative")
         if trials is not None and trials <= 0:
             raise ValueError("trials must be positive")
         if trials is not None and mesh.is_batched:
             raise ValueError("mesh already carries a trials axis")
-        if self.sigma == 0:
+        if sigma.ndim == 0 and sigma == 0:
             if trials is None:
                 return mesh.with_phases()
             lead = (trials,)
@@ -89,10 +98,13 @@ class PhaseNoiseModel:
         lead = () if trials is None else (trials,)
         # interleaved (theta, phi) pairs keep the draw order of the historical
         # per-MZI loop, so fixed-seed single-trial sweeps are unchanged
-        mzi_errors = rng.normal(0.0, self.sigma, size=lead + (mesh.mzi_count, 2))
-        phase_errors = rng.normal(0.0, self.sigma, size=lead + (mesh.dimension,))
+        mzi_errors = rng.normal(0.0, 1.0, size=lead + (mesh.mzi_count, 2))
+        phase_errors = rng.normal(0.0, 1.0, size=lead + (mesh.dimension,))
+        # one broadcast axis per trials/device axis, so array sigmas prepend
+        # their own axes to the trial shape
+        scale = sigma.reshape(sigma.shape + (1,) * (len(lead) + 1))
         return mesh.with_phases(
-            thetas=mesh.thetas + mzi_errors[..., 0],
-            phis=mesh.phis + mzi_errors[..., 1],
-            output_phases=mesh.output_phases * np.exp(1j * phase_errors),
+            thetas=mesh.thetas + scale * mzi_errors[..., 0],
+            phis=mesh.phis + scale * mzi_errors[..., 1],
+            output_phases=mesh.output_phases * np.exp(1j * scale * phase_errors),
         )

@@ -80,17 +80,22 @@ class PhotonicMatrix:
     def apply(self, vector: np.ndarray) -> np.ndarray:
         """Propagate complex amplitudes through ``V*``, the attenuators and ``U``.
 
-        ``vector`` may be ``(cols,)`` or ``(batch, cols)``, optionally with
-        leading trials axes; trials-batched meshes (phase-noise ensembles)
-        add their trials axes to the result.
+        Batch-first: ``vector`` may be ``(cols,)`` or ``(batch, cols)``,
+        optionally with leading trials axes; trials-batched meshes
+        (phase-noise ensembles) add their trials axes to the result, with
+        realization ``t`` applied consistently to both meshes.
         """
         vector = np.asarray(vector, dtype=complex)
         single = vector.ndim == 1
         states = vector[None, :] if single else vector
         states = self.right_mesh.apply(states)
         k = min(self.rows, self.cols)
-        projected = np.zeros(states.shape[:-1] + (self.rows,), dtype=complex)
-        projected[..., :k] = states[..., :k] * self.singular_values[:k]
+        if self.rows == self.cols:
+            # square weights need no mode padding/truncation
+            projected = states * self.singular_values
+        else:
+            projected = np.zeros(states.shape[:-1] + (self.rows,), dtype=complex)
+            projected[..., :k] = states[..., :k] * self.singular_values[:k]
         states = self.left_mesh.apply(projected)
         states = states * self.scale
         return states[..., 0, :] if single else states

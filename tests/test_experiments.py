@@ -228,3 +228,18 @@ class TestAblations:
         pruned = [row for row in rows if "pruned" in row.configuration][0]
         assert pruned.mzi_fraction == pytest.approx(0.25, abs=0.01)
         assert "pruning" in format_pruning(rows).lower()
+
+
+class TestDeployedCnn:
+    def test_deployed_cnn_smoke(self):
+        from repro.experiments.deployed import format_deployed_cnn, run_deployed_cnn
+
+        rows = run_deployed_cnn(preset="smoke", sigmas=(0.0, 0.05), trials=3,
+                                eval_samples=16)
+        assert len(rows) == 2
+        # the noiseless deployed circuit matches the software model
+        assert rows[0].max_logit_error < 1e-8
+        assert rows[0].deployed_accuracy == rows[0].software_accuracy
+        assert all(r.trials == 3 for r in rows)
+        assert all(0.0 <= r.noisy_accuracy <= 1.0 for r in rows)
+        assert "im2col" in format_deployed_cnn(rows)

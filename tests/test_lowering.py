@@ -1,0 +1,192 @@
+"""Tests of the lowering pipeline: deployed CNNs, batch-first forward, stages."""
+
+import numpy as np
+import pytest
+
+from repro.assignment import get_scheme
+from repro.core.area_analysis import model_area_report
+from repro.core.deploy import DeployedModel, deploy_model
+from repro.core.lowering import (
+    AvgPool2dStage,
+    Conv2dStage,
+    FlattenStage,
+    LinearStage,
+    complex_im2col,
+    lower_complex_conv2d,
+    lower_model,
+)
+from repro.core.training import prepare_batch
+from repro.models import ComplexFCNN
+from repro.models.lenet import ComplexLeNet5, RealLeNet5
+from repro.nn.complex import ComplexConv2d, ComplexTensor
+from repro.photonics.noise import PhaseNoiseModel
+from repro.tensor import no_grad
+
+
+DECODERS = ("merge", "linear", "unitary", "coherent", "photodiode")
+
+
+def tiny_lenet(rng, decoder="merge", num_classes=4):
+    return ComplexLeNet5(in_channels=2, num_classes=num_classes, image_size=(12, 12),
+                         channels=(3, 4), hidden_sizes=(12, 10), decoder=decoder,
+                         kernel_size=3, padding=1, rng=rng)
+
+
+def software_logits(model, images, scheme):
+    with no_grad():
+        return model(prepare_batch(images, scheme)).data
+
+
+class TestComplexIm2col:
+    @pytest.mark.parametrize("stride,padding", [((1, 1), (0, 0)), ((2, 2), (1, 1)),
+                                                ((1, 2), (2, 0))])
+    def test_patches_reproduce_convolution(self, stride, padding, rng):
+        conv = ComplexConv2d(3, 5, kernel_size=3, stride=stride, padding=padding, rng=rng)
+        images = rng.normal(size=(4, 3, 9, 11)) + 1j * rng.normal(size=(4, 3, 9, 11))
+        patches, (out_h, out_w) = complex_im2col(images, (3, 3), stride, padding)
+        bias = conv.bias_real.data + 1j * conv.bias_imag.data
+        direct = patches @ conv.weight_matrix().T + bias
+        expected = conv(ComplexTensor.from_complex_array(images)).to_complex_array()
+        assert direct.shape == (4, out_h * out_w, 5)
+        lowered = np.moveaxis(direct, -1, -2).reshape(4, 5, out_h, out_w)
+        assert np.allclose(lowered, expected, atol=1e-10)
+
+    def test_leading_axes_are_preserved(self, rng):
+        maps = rng.normal(size=(2, 3, 1, 6, 6)) + 0j
+        patches, (out_h, out_w) = complex_im2col(maps, (2, 2), (2, 2), (0, 0))
+        assert patches.shape == (2, 3, out_h * out_w, 4)
+        # every leading slice matches an independent extraction
+        single, _ = complex_im2col(maps[1, 2], (2, 2), (2, 2), (0, 0))
+        assert np.array_equal(patches[1, 2], single)
+
+
+class TestDeployedCNNFidelity:
+    @pytest.mark.parametrize("decoder", DECODERS)
+    def test_deployed_cnn_matches_software(self, decoder, rng):
+        scheme = get_scheme("CL")
+        model = tiny_lenet(rng, decoder=decoder)
+        model.head.calibration.scale.data[:] = rng.uniform(0.5, 1.5, size=4)
+        model.head.calibration.bias.data[:] = rng.normal(size=4)
+        deployed = deploy_model(model)
+        images = rng.normal(size=(5, 3, 12, 12))
+        expected = software_logits(model, images, scheme)
+        actual = deployed.predict_logits(images, scheme)
+        assert np.allclose(actual, expected, atol=1e-8)
+
+    @pytest.mark.parametrize("method", ["clements", "reck"])
+    def test_both_mesh_methods(self, method, rng):
+        scheme = get_scheme("CL")
+        model = tiny_lenet(rng)
+        deployed = deploy_model(model, method=method)
+        images = rng.normal(size=(3, 3, 12, 12))
+        assert np.allclose(deployed.predict_logits(images, scheme),
+                           software_logits(model, images, scheme), atol=1e-8)
+
+    def test_classification_agreement(self, rng):
+        scheme = get_scheme("CL")
+        model = tiny_lenet(rng)
+        deployed = deploy_model(model)
+        images = rng.normal(size=(6, 3, 12, 12))
+        assert np.array_equal(deployed.classify(images, scheme),
+                              software_logits(model, images, scheme).argmax(axis=1))
+
+    def test_mzi_count_matches_area_report(self, rng):
+        model = tiny_lenet(rng)
+        deployed = deploy_model(model)
+        assert deployed.mzi_count == model_area_report(model).total_mzis
+
+    def test_stage_chain_shape(self, rng):
+        program = lower_model(tiny_lenet(rng))
+        kinds = [type(stage) for stage in program.stages]
+        # conv, pool, conv, pool, flatten, linear, linear, head
+        assert kinds[:5] == [Conv2dStage, AvgPool2dStage, Conv2dStage,
+                             AvgPool2dStage, FlattenStage]
+        assert all(kind is LinearStage for kind in kinds[5:])
+        assert program.input_kind == "image"
+        assert program.stages[0].activation_after  # CReLU folded into the conv
+
+    def test_unsupported_models_rejected(self, rng):
+        with pytest.raises(TypeError):
+            deploy_model(RealLeNet5(3, 4, image_size=(12, 12), kernel_size=3,
+                                    padding=1, rng=rng))
+        from repro.models.resnet import ComplexResNet
+        with pytest.raises(TypeError):
+            lower_model(ComplexResNet(depth=8, in_channels=2, num_classes=4, rng=rng))
+
+
+class TestBatchFirstForward:
+    def test_cnn_batched_equals_looped(self, rng):
+        scheme = get_scheme("CL")
+        deployed = deploy_model(tiny_lenet(rng))
+        images = rng.normal(size=(5, 3, 12, 12))
+        batched = deployed.predict_logits(images, scheme)
+        looped = np.concatenate([deployed.predict_logits(images[i:i + 1], scheme)
+                                 for i in range(len(images))])
+        assert np.allclose(batched, looped, atol=1e-12)
+
+    def test_fcnn_batched_equals_looped(self, rng):
+        scheme = get_scheme("SI")
+        deployed = deploy_model(ComplexFCNN(18, (10,), 4, decoder="merge", rng=rng))
+        images = rng.normal(size=(6, 1, 6, 6))
+        batched = deployed.predict_logits(images, scheme)
+        looped = np.concatenate([deployed.predict_logits(images[i:i + 1], scheme)
+                                 for i in range(len(images))])
+        assert np.allclose(batched, looped, atol=1e-12)
+
+    def test_forward_signals_alias(self, rng):
+        deployed = deploy_model(ComplexFCNN(8, (6,), 3, decoder="merge", rng=rng))
+        vectors = rng.normal(size=(4, 8)) + 1j * rng.normal(size=(4, 8))
+        assert np.allclose(deployed.forward(vectors), deployed(vectors))
+
+
+class TestDeployedCNNUnderNoise:
+    def test_trials_axis_composes_with_batch(self, rng):
+        scheme = get_scheme("CL")
+        deployed = deploy_model(tiny_lenet(rng, num_classes=3))
+        images = rng.normal(size=(4, 3, 12, 12))
+        noisy = deployed.with_noise(noise=PhaseNoiseModel(sigma=0.02, rng=rng), trials=5)
+        logits = noisy.predict_logits(images, scheme)
+        assert logits.shape == (5, 4, 3)
+        predictions = noisy.classify(images, scheme)
+        assert predictions.shape == (5, 4)
+
+    def test_sigma_axis_composes_with_trials(self, rng):
+        scheme = get_scheme("CL")
+        deployed = deploy_model(tiny_lenet(rng, num_classes=3))
+        images = rng.normal(size=(2, 3, 12, 12))
+        noise = PhaseNoiseModel(sigma=np.array([0.0, 0.05]), rng=rng)
+        logits = deployed.with_noise(noise=noise, trials=3).predict_logits(images, scheme)
+        assert logits.shape == (2, 3, 2, 3)
+        # the sigma = 0 slice must agree with the clean circuit
+        clean = deployed.predict_logits(images, scheme)
+        assert np.allclose(logits[0], np.broadcast_to(clean, (3,) + clean.shape),
+                           atol=1e-8)
+
+    def test_quantization_through_conv_stages(self, rng):
+        scheme = get_scheme("CL")
+        deployed = deploy_model(tiny_lenet(rng))
+        images = rng.normal(size=(3, 3, 12, 12))
+        clean = deployed.predict_logits(images, scheme)
+        coarse = deployed.with_noise(quantization_bits=6).predict_logits(images, scheme)
+        fine = deployed.with_noise(quantization_bits=14).predict_logits(images, scheme)
+        assert not np.allclose(clean, coarse)
+        assert np.abs(fine - clean).max() < np.abs(coarse - clean).max()
+
+    def test_with_noise_preserves_structure(self, rng):
+        deployed = deploy_model(tiny_lenet(rng))
+        noisy = deployed.with_noise(noise=PhaseNoiseModel(sigma=0.1, rng=rng))
+        assert noisy.mzi_count == deployed.mzi_count
+        assert noisy.input_kind == "image"
+        assert isinstance(noisy, DeployedModel)
+
+
+class TestConvStageValidation:
+    def test_channel_mismatch_raises(self, rng):
+        stage = lower_complex_conv2d(ComplexConv2d(2, 3, 3, rng=rng), "conv")
+        with pytest.raises(ValueError):
+            stage.forward(np.ones((1, 4, 8, 8), dtype=complex))
+
+    def test_missing_spatial_axes_raise(self, rng):
+        stage = lower_complex_conv2d(ComplexConv2d(2, 3, 3, rng=rng), "conv")
+        with pytest.raises(ValueError):
+            stage.forward(np.ones((4, 8), dtype=complex))

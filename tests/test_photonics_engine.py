@@ -316,3 +316,77 @@ class TestDeployedEnsembles:
         deployed = deploy_linear_model(model)
         with pytest.raises(ValueError):
             deployed.with_noise(quantization_bits=6, trials=3)
+
+
+class TestSigmaAxisEnsembles:
+    """Array sigmas fold a whole sigma sweep into the trials ensemble."""
+
+    def test_sigma_axis_shapes(self, rng):
+        mesh = clements_decompose(random_unitary(6, rng))
+        noise = PhaseNoiseModel(sigma=np.array([0.0, 0.02, 0.1]), rng=rng)
+        batched = noise.perturb(mesh, trials=4)
+        assert batched.trial_shape == (3, 4)
+        states = rng.normal(size=(2, 6)) + 1j * rng.normal(size=(2, 6))
+        assert batched.apply(states).shape == (3, 4, 2, 6)
+
+    def test_sigma_axis_without_trials(self, rng):
+        mesh = clements_decompose(random_unitary(5, rng))
+        noise = PhaseNoiseModel(sigma=np.array([0.01, 0.3]), rng=rng)
+        batched = noise.perturb(mesh)
+        assert batched.trial_shape == (2,)
+
+    def test_zero_sigma_slice_is_clean(self, rng):
+        mesh = clements_decompose(random_unitary(6, rng))
+        noise = PhaseNoiseModel(sigma=np.array([0.0, 0.05]), rng=rng)
+        batched = noise.perturb(mesh, trials=3)
+        assert np.allclose(batched.thetas[0], np.broadcast_to(mesh.thetas, (3, mesh.mzi_count)))
+        assert np.allclose(batched.output_phases[0],
+                           np.broadcast_to(mesh.output_phases, (3, 6)))
+
+    def test_common_random_numbers_across_sigmas(self, rng):
+        """Sigma slices share standard-normal draws, scaled per sigma."""
+        mesh = clements_decompose(random_unitary(5, rng))
+        noise = PhaseNoiseModel(sigma=np.array([0.01, 0.1]), rng=np.random.default_rng(5))
+        batched = noise.perturb(mesh, trials=2)
+        small = batched.thetas[0] - mesh.thetas
+        large = batched.thetas[1] - mesh.thetas
+        assert np.allclose(large, 10.0 * small)
+
+    def test_negative_sigma_entry_rejected(self, rng):
+        mesh = clements_decompose(random_unitary(4, rng))
+        with pytest.raises(ValueError):
+            PhaseNoiseModel(sigma=np.array([0.1, -0.1]), rng=rng).perturb(mesh)
+
+    def test_scalar_stream_unchanged_by_refactor(self, rng):
+        """Scalar sigma draws the exact historical scaled-normal stream."""
+        mesh = clements_decompose(random_unitary(5, rng))
+        noisy = PhaseNoiseModel(sigma=0.05, rng=np.random.default_rng(11)).perturb(mesh)
+        reference = np.random.default_rng(11)
+        mzi_errors = reference.normal(0.0, 0.05, size=(mesh.mzi_count, 2))
+        phase_errors = reference.normal(0.0, 0.05, size=(5,))
+        assert np.allclose(noisy.thetas, mesh.thetas + mzi_errors[:, 0], atol=1e-15)
+        assert np.allclose(noisy.phis, mesh.phis + mzi_errors[:, 1], atol=1e-15)
+        assert np.allclose(noisy.output_phases,
+                           mesh.output_phases * np.exp(1j * phase_errors), atol=1e-15)
+
+
+class TestAdaptiveDenseLimit:
+    def test_set_dense_dimension_limit_round_trips(self):
+        previous = engine.set_dense_dimension_limit(12)
+        try:
+            assert engine.DENSE_DIMENSION_LIMIT == 12
+        finally:
+            engine.set_dense_dimension_limit(previous)
+        assert engine.DENSE_DIMENSION_LIMIT == previous
+
+    def test_measure_dense_crossover_rows(self):
+        rows = engine.measure_dense_crossover(dimensions=(4, 8), batch=4, repeats=1)
+        assert [row["dimension"] for row in rows] == [4, 8]
+        for row in rows:
+            assert row["dense_seconds"] > 0 and row["column_seconds"] > 0
+            assert row["dense_speedup"] == row["column_seconds"] / row["dense_seconds"]
+
+    def test_calibrate_limit_is_a_measured_dimension_or_disabled(self):
+        limit, rows = engine.calibrate_dense_limit(dimensions=(4, 8), batch=4, repeats=1)
+        # 0 disables the dense path on machines where it never wins
+        assert limit in {row["dimension"] for row in rows} | {0}

@@ -138,3 +138,79 @@ class TestMeshStructure:
         for decompose in (reck_decompose, clements_decompose):
             mesh = decompose(unitary)
             assert np.abs(mesh.reconstruct() - unitary).max() < 1e-8
+
+
+class TestVectorizedDecompositionParity:
+    """The vectorized nulling paths must match the scalar references to 1e-10."""
+
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 5, 8, 13, 21])
+    def test_reck_matches_scalar_reference(self, dimension, rng):
+        from repro.photonics import reck_decompose_reference
+
+        unitary = random_unitary(dimension, rng)
+        fast = reck_decompose(unitary)
+        spec = reck_decompose_reference(unitary)
+        assert np.array_equal(fast.modes, spec.modes)
+        assert np.abs(fast.thetas - spec.thetas).max(initial=0.0) < 1e-10
+        assert np.abs(fast.phis - spec.phis).max(initial=0.0) < 1e-10
+        assert np.abs(fast.output_phases - spec.output_phases).max() < 1e-10
+        assert np.abs(fast.reconstruct() - spec.reconstruct()).max() < 1e-10
+
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 5, 8, 13, 21])
+    def test_clements_matches_scalar_reference(self, dimension, rng):
+        from repro.photonics import clements_decompose_reference
+
+        unitary = random_unitary(dimension, rng)
+        fast = clements_decompose(unitary)
+        spec = clements_decompose_reference(unitary)
+        assert np.array_equal(fast.modes, spec.modes)
+        assert np.abs(fast.thetas - spec.thetas).max(initial=0.0) < 1e-10
+        assert np.abs(fast.phis - spec.phis).max(initial=0.0) < 1e-10
+        assert np.abs(fast.output_phases - spec.output_phases).max() < 1e-10
+        assert np.abs(fast.reconstruct() - spec.reconstruct()).max() < 1e-10
+
+    @given(st.integers(2, 9), st.integers(0, 2 ** 16))
+    @settings(max_examples=15, deadline=None)
+    def test_property_parity_both_methods(self, dimension, seed):
+        from repro.photonics import (
+            clements_decompose_reference,
+            reck_decompose_reference,
+        )
+
+        rng = np.random.default_rng(seed)
+        unitary = random_unitary(dimension, rng)
+        for fast, reference in ((reck_decompose, reck_decompose_reference),
+                                (clements_decompose, clements_decompose_reference)):
+            mesh = fast(unitary)
+            spec = reference(unitary)
+            assert np.array_equal(mesh.modes, spec.modes)
+            assert np.abs(mesh.thetas - spec.thetas).max() < 1e-10
+            assert np.abs(mesh.phis - spec.phis).max() < 1e-10
+            assert np.abs(mesh.output_phases - spec.output_phases).max() < 1e-10
+
+    @pytest.mark.parametrize("shape", [(3, 8), (13, 32), (40, 12)])
+    def test_parity_on_svd_factors_of_nonsquare_weights(self, shape, rng):
+        """Dark-subspace phases must be deterministic and path-independent.
+
+        The SVD factors of a non-square weight (the unitaries every real
+        deployment feeds the decompositions) contain null-space completion
+        rows; the dark-cell clamp parks those MZIs at theta = phi = 0 in both
+        the vectorized and the reference paths, so the full phase settings --
+        not just the reconstruction -- agree to 1e-10.
+        """
+        from repro.photonics import (
+            clements_decompose_reference,
+            reck_decompose_reference,
+        )
+
+        weight = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+        left, _sv, right = np.linalg.svd(weight, full_matrices=True)
+        for unitary in (left, right):
+            for fast, reference in ((reck_decompose, reck_decompose_reference),
+                                    (clements_decompose, clements_decompose_reference)):
+                mesh = fast(unitary)
+                spec = reference(unitary)
+                assert np.abs(mesh.thetas - spec.thetas).max() < 1e-10
+                assert np.abs(mesh.phis - spec.phis).max() < 1e-10
+                assert np.abs(mesh.output_phases - spec.output_phases).max() < 1e-10
+                assert np.abs(mesh.reconstruct() - unitary).max() < 1e-9
