@@ -1,0 +1,157 @@
+"""Micro-benchmarks of the ``repro.compile`` pipeline.
+
+Two quantities are measured and recorded to ``benchmarks/results/compile.json``:
+
+* **Batched-stack decomposition** -- decomposing a stack of same-size
+  unitaries in one vectorized Reck/Clements pass
+  (:func:`~repro.photonics.mzi_mesh.decompose_unitary_stack`) versus the
+  per-matrix loop.  The Clements chain is a sequential dependency chain per
+  matrix, so the stack axis is the only batch-level parallelism available --
+  this is the decomposition win the ROADMAP called out.
+* **Deployed-ResNet throughput** -- compile time of a residual model (batched
+  versus sequential decomposition of its conv-kernel SVD factors) and the
+  forward throughput of the compiled graph program, with the noiseless
+  fidelity against the eval-mode software model asserted to 1e-8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+import os
+
+from repro.experiments.reporting import save_json
+from repro.photonics import decompose_unitary, decompose_unitary_stack, random_unitary
+
+
+def bench_preset_name() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "bench")
+
+
+@dataclass
+class StackBenchRow:
+    dimension: int
+    stack_size: int
+    method: str
+    per_matrix_seconds: float
+    batched_seconds: float
+    speedup: float
+    max_phase_deviation: float
+
+
+@dataclass
+class ResnetBenchRow:
+    depth: int
+    base_widths: tuple
+    image_size: int
+    mzi_count: int
+    sequential_compile_seconds: float
+    batched_compile_seconds: float
+    compile_speedup: float
+    forward_seconds: float
+    images_per_second: float
+    max_logit_error: float
+
+
+_results: dict = {"stack_decomposition": [], "deployed_resnet": []}
+
+
+def _save(results_dir) -> None:
+    save_json(_results, results_dir / "compile.json")
+
+
+def _bench_sizes():
+    if bench_preset_name() == "smoke":
+        return 24, 8
+    return 48, 16
+
+
+@pytest.mark.parametrize("method", ["clements", "reck"])
+def test_batched_stack_decomposition_speedup(benchmark, best_of, method, results_dir):
+    dimension, stack_size = _bench_sizes()
+    rng = np.random.default_rng(0)
+    stack = np.stack([random_unitary(dimension, rng) for _ in range(stack_size)])
+
+    decompose_unitary_stack(stack, method=method)   # warm the schedule caches
+    batched_seconds = best_of(lambda: decompose_unitary_stack(stack, method=method),
+                              repeats=3)
+    per_matrix_seconds = best_of(
+        lambda: [decompose_unitary(unitary, method=method) for unitary in stack],
+        repeats=3)
+    meshes = benchmark(decompose_unitary_stack, stack, method=method)
+
+    deviation = 0.0
+    for unitary, mesh in zip(stack, meshes):
+        reference = decompose_unitary(unitary, method=method)
+        deviation = max(deviation,
+                        float(np.abs(mesh.thetas - reference.thetas).max()),
+                        float(np.abs(mesh.phis - reference.phis).max()),
+                        float(np.abs(mesh.output_phases - reference.output_phases).max()))
+    assert deviation < 1e-10
+
+    speedup = per_matrix_seconds / batched_seconds
+    # measured ~8x (clements) / ~3x (reck) for a 16-stack at dimension 48;
+    # pin a regression floor below the noise band of shared CI runners
+    assert speedup >= 1.3
+
+    _results["stack_decomposition"].append(StackBenchRow(
+        dimension=dimension, stack_size=stack_size, method=method,
+        per_matrix_seconds=per_matrix_seconds, batched_seconds=batched_seconds,
+        speedup=speedup, max_phase_deviation=deviation))
+    _save(results_dir)
+
+
+def test_compiled_resnet_forward_throughput(best_of, results_dir):
+    import repro
+    from repro.assignment import get_scheme
+    from repro.core.compile import CompileOptions
+    from repro.core.training import prepare_batch
+    from repro.models.resnet import ComplexResNet
+    from repro.nn.normalization import _BatchNorm
+    from repro.tensor import no_grad
+
+    smoke = bench_preset_name() == "smoke"
+    # depth 14 gives two blocks per stage, so the conv-kernel SVD factors form
+    # dimension groups large enough to cross the Clements stack threshold
+    depth = 8 if smoke else 14
+    widths = (2, 4, 8) if smoke else (4, 8, 16)
+    image = 8 if smoke else 12
+    batch = 16 if smoke else 32
+
+    rng = np.random.default_rng(0)
+    model = ComplexResNet(depth=depth, in_channels=2, num_classes=10,
+                          base_widths=widths, rng=rng)
+    for _name, module in model.named_modules():
+        if isinstance(module, _BatchNorm):
+            module._set_buffer("running_mean", rng.normal(size=module.num_features) * 0.3)
+            module._set_buffer("running_var", rng.uniform(0.5, 2.0, size=module.num_features))
+
+    sequential_seconds = best_of(
+        lambda: repro.compile(model, options=CompileOptions(batch_unitaries=False)),
+        repeats=2)
+    batched_seconds = best_of(lambda: repro.compile(model), repeats=2)
+    program = repro.compile(model)
+
+    scheme = get_scheme("CL")
+    images = rng.normal(size=(batch, 3, image, image))
+    with no_grad():
+        software = model(prepare_batch(images, scheme)).data
+    logits = program.predict_logits(images, scheme)
+    max_logit_error = float(np.abs(logits - software).max())
+    assert max_logit_error <= 1e-8
+
+    forward_seconds = best_of(lambda: program.predict_logits(images, scheme), repeats=3)
+
+    _results["deployed_resnet"].append(ResnetBenchRow(
+        depth=model.depth, base_widths=widths, image_size=image,
+        mzi_count=program.mzi_count,
+        sequential_compile_seconds=sequential_seconds,
+        batched_compile_seconds=batched_seconds,
+        compile_speedup=sequential_seconds / batched_seconds,
+        forward_seconds=forward_seconds,
+        images_per_second=batch / forward_seconds,
+        max_logit_error=max_logit_error))
+    _save(results_dir)

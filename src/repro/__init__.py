@@ -17,8 +17,32 @@ Networks with Real-to-Complex Data Assignment and Knowledge Distillation"
 * :mod:`repro.baselines` -- conventional ONN, OFFT ONN and pruned ONN baselines.
 * :mod:`repro.experiments` -- harnesses reproducing every table and figure of
   the paper's evaluation.
+
+The photonic compiler is exposed at the top level::
+
+    import repro
+
+    program = repro.compile(model)                       # CompiledProgram
+    logits = program.predict_logits(images, scheme)
+
+with :class:`repro.HardwareTarget` and :class:`repro.CompileOptions`
+controlling the mesh scheme / noise model and the execution policy (these
+resolve lazily so ``import repro`` stays cheap).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+_COMPILER_EXPORTS = ("compile", "CompiledProgram", "CompileOptions", "HardwareTarget")
+
+__all__ = ["__version__", *_COMPILER_EXPORTS]
+
+
+def __getattr__(name):
+    """Lazily resolve the compiler API (PEP 562) to keep ``import repro`` light."""
+    if name in _COMPILER_EXPORTS:
+        # import_module (not attribute access): repro.core re-exports the
+        # compile *function* under the same name as the submodule
+        from importlib import import_module
+
+        return getattr(import_module("repro.core.compile"), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

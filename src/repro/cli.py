@@ -8,6 +8,8 @@ Examples
     python -m repro fig8 --preset bench
     python -m repro area                  # exact MZI accounting only (no training)
     python -m repro ablations --preset smoke
+    python -m repro deploy-cnn --method reck --backend column
+    python -m repro deploy-resnet --preset smoke   # graph compiler end to end
 
 Each subcommand prints the same rows/series the paper reports and optionally
 saves them as JSON with ``--output``.
@@ -95,8 +97,19 @@ def _run_deploy_cnn(args: argparse.Namespace) -> None:
     from repro.experiments.deployed import format_deployed_cnn, run_deployed_cnn
 
     rows = run_deployed_cnn(preset=args.preset, decoder=args.decoder, seed=args.seed,
-                            trials=args.trials, method=args.method)
+                            trials=args.trials, method=args.method,
+                            backend=args.backend)
     print(format_deployed_cnn(rows))
+    _maybe_save(rows, args.output)
+
+
+def _run_deploy_resnet(args: argparse.Namespace) -> None:
+    from repro.experiments.deployed import format_deployed_resnet, run_deployed_resnet
+
+    rows = run_deployed_resnet(preset=args.preset, decoder=args.decoder, seed=args.seed,
+                               trials=args.trials, method=args.method,
+                               backend=args.backend)
+    print(format_deployed_resnet(rows))
     _maybe_save(rows, args.output)
 
 
@@ -145,16 +158,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(ablations)
     ablations.set_defaults(runner=_run_ablations)
 
-    deploy_cnn = subparsers.add_parser(
-        "deploy-cnn", help="deploy the complex LeNet-5 onto meshes (im2col lowering)")
-    _add_common_arguments(deploy_cnn)
-    deploy_cnn.add_argument("--decoder", default="merge",
+    for name, runner, default_trials, helptext in (
+        ("deploy-cnn", _run_deploy_cnn, 8,
+         "compile the complex LeNet-5 onto meshes (im2col lowering)"),
+        ("deploy-resnet", _run_deploy_resnet, 4,
+         "compile the complex ResNet onto meshes (graph lowering with "
+         "electronic skip adds)"),
+    ):
+        deploy = subparsers.add_parser(name, help=helptext)
+        _add_common_arguments(deploy)
+        deploy.add_argument("--decoder", default="merge",
                             choices=("merge", "linear", "unitary", "coherent", "photodiode"))
-    deploy_cnn.add_argument("--trials", type=int, default=8,
+        deploy.add_argument("--trials", type=int, default=default_trials,
                             help="Monte-Carlo noise realizations per sigma")
-    deploy_cnn.add_argument("--method", default="clements", choices=("clements", "reck"),
-                            help="mesh decomposition scheme")
-    deploy_cnn.set_defaults(runner=_run_deploy_cnn)
+        deploy.add_argument("--method", default="clements", choices=("clements", "reck"),
+                            help="mesh decomposition scheme (HardwareTarget.method)")
+        deploy.add_argument("--backend", default="auto",
+                            choices=("auto", "dense", "column"),
+                            help="mesh execution backend (CompileOptions.backend)")
+        deploy.set_defaults(runner=runner)
 
     area = subparsers.add_parser("area", help="exact paper-scale MZI accounting (no training)")
     area.set_defaults(runner=_run_area)

@@ -31,7 +31,22 @@ from repro.core.distillation import MutualLearningTrainer, MutualLearningResult
 from repro.core.area_analysis import model_area_report, compare_area
 from repro.core.pipeline import OplixNet
 from repro.core.deploy import deploy_linear_model, deploy_model, DeployedModel
-from repro.core.lowering import LoweredProgram, lower_model
+from repro.core.graph_ir import GraphNode, GraphProgram
+from repro.core.lowering import (
+    LoweredProgram,
+    LoweringContext,
+    lower_model,
+    lower_to_graph,
+    register_head_lowering,
+    register_lowering,
+    register_model_lowering,
+)
+from repro.core.compile import (
+    CompiledProgram,
+    CompileOptions,
+    HardwareTarget,
+    compile,
+)
 
 __all__ = [
     "DecoderHead",
@@ -58,4 +73,15 @@ __all__ = [
     "LoweredProgram",
     "lower_model",
     "DeployedModel",
+    "GraphNode",
+    "GraphProgram",
+    "LoweringContext",
+    "lower_to_graph",
+    "register_head_lowering",
+    "register_lowering",
+    "register_model_lowering",
+    "CompiledProgram",
+    "CompileOptions",
+    "HardwareTarget",
+    "compile",
 ]

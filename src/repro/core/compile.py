@@ -1,0 +1,241 @@
+"""``repro.compile()``: the photonic compiler entry point.
+
+Compiling replaces the historical ``deploy_model`` free functions with an
+explicit compiler shape::
+
+    import repro
+    from repro.core.compile import CompileOptions, HardwareTarget
+
+    program = repro.compile(
+        model,
+        target=HardwareTarget(method="clements"),
+        options=CompileOptions(backend="auto", dense_dimension_limit=128),
+    )
+    logits = program.predict_logits(images, scheme)
+
+* :class:`HardwareTarget` describes the hardware the program runs on: the
+  mesh decomposition scheme and the non-idealities to bake in at compile
+  time (phase-noise model, phase quantization, Monte-Carlo trial count).
+* :class:`CompileOptions` is the compiler policy: dense/column backend
+  selection, the per-mesh dense-dimension limit (replacing the old
+  thread-unsafe ``engine.DENSE_DIMENSION_LIMIT`` global mutation) and
+  whether same-size unitaries across the whole model are decomposed as one
+  batched Reck/Clements stack.
+* :class:`CompiledProgram` wraps the lowered
+  :class:`~repro.core.graph_ir.GraphProgram` -- a dataflow graph with
+  photonic stage nodes and electronic ops, so residual architectures
+  (ComplexResNet) deploy with photonic stages per branch and skip additions
+  in the electronic domain -- plus the encoder and readout needed to run the
+  full optical pipeline.
+
+Both dataclasses are frozen: two concurrent compiles with different policies
+never observe each other, unlike the module-global knobs they replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional
+
+import numpy as np
+
+from repro.assignment import AssignmentScheme
+from repro.core.graph_ir import GraphProgram
+from repro.core.lowering import lower_to_graph
+from repro.photonics.encoders import DCComplexEncoder
+from repro.photonics.mzi_mesh import MeshDecomposition
+from repro.photonics.noise import PhaseNoiseModel
+
+MESH_METHODS = ("clements", "reck")
+
+
+@dataclass(frozen=True)
+class HardwareTarget:
+    """Description of the photonic hardware a model is compiled for.
+
+    Parameters
+    ----------
+    method:
+        Mesh decomposition scheme for every deployed unitary (``"clements"``
+        or ``"reck"``).
+    noise:
+        Optional phase-noise model baked into the compiled program (use
+        :meth:`PhaseNoiseModel.seeded` for reproducible targets).  Further
+        ensembles can still be derived from the clean program with
+        :meth:`CompiledProgram.with_noise`.
+    quantization_bits:
+        Optional DAC resolution of the phase shifters.
+    trials:
+        Monte-Carlo ensemble size drawn at compile time when ``noise`` is
+        set; the program's outputs then carry a leading trials axis.
+    """
+
+    method: str = "clements"
+    noise: Optional[PhaseNoiseModel] = None
+    quantization_bits: Optional[int] = None
+    trials: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.method not in MESH_METHODS:
+            raise ValueError(f"unknown mesh method {self.method!r}; "
+                             f"choose from {MESH_METHODS}")
+        if self.trials is not None and self.noise is None:
+            raise ValueError("HardwareTarget.trials requires a noise model")
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Execution policy threaded explicitly through the compiler.
+
+    Parameters
+    ----------
+    backend:
+        How compiled meshes execute: ``"auto"`` (cached dense matmul up to
+        the dense-dimension limit, compiled column program above it),
+        ``"dense"`` or ``"column"`` to force one path.
+    dense_dimension_limit:
+        Per-mesh dense/column crossover used by the ``"auto"`` backend.
+        ``None`` falls back to the process default
+        (``engine.DENSE_DIMENSION_LIMIT``); setting it here is the supported
+        replacement for the deprecated ``set_dense_dimension_limit`` global
+        mutation and is safe under concurrent compiles.
+    batch_unitaries:
+        Decompose all same-size SVD factors of the model as one vectorized
+        Reck/Clements stack (identical results to the per-matrix path, pinned
+        to 1e-10 by the test-suite; substantially faster for models with many
+        same-size kernels).
+    """
+
+    backend: str = "auto"
+    dense_dimension_limit: Optional[int] = None
+    batch_unitaries: bool = True
+
+    def __post_init__(self) -> None:
+        if self.backend not in MeshDecomposition.BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"choose from {MeshDecomposition.BACKENDS}")
+        if self.dense_dimension_limit is not None and self.dense_dimension_limit < 0:
+            raise ValueError("dense_dimension_limit must be non-negative")
+
+
+@dataclass
+class CompiledProgram:
+    """A model compiled onto simulated photonic hardware.
+
+    The program is a dataflow graph (:attr:`graph`) of photonic stage nodes
+    and electronic ops; :meth:`forward_signals` executes it batch-first on
+    complex amplitudes and :meth:`predict_logits` runs the full optical
+    pipeline (assignment, encoding, meshes, detector readout).
+    """
+
+    graph: GraphProgram
+    target: HardwareTarget
+    options: CompileOptions
+    encoder: DCComplexEncoder = field(default_factory=DCComplexEncoder)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    @property
+    def num_classes(self) -> int:
+        return self.graph.num_classes
+
+    @property
+    def input_kind(self) -> str:
+        return self.graph.input_kind
+
+    @property
+    def readout(self):
+        return self.graph.readout
+
+    @property
+    def mzi_count(self) -> int:
+        return self.graph.mzi_count
+
+    @property
+    def stages(self) -> List[Any]:
+        """The stage chain of a purely sequential program.
+
+        Raises ``TypeError`` for graph-shaped programs (skip additions /
+        fan-out), which have no sequential form.
+        """
+        try:
+            return self.graph.chain_stages()
+        except ValueError as error:
+            raise TypeError(str(error)) from error
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def forward_signals(self, complex_inputs: np.ndarray) -> np.ndarray:
+        """Propagate complex input amplitudes through the program graph.
+
+        Batch-first: ``complex_inputs`` is ``(batch, n)`` for flat programs
+        or ``(batch, channels, height, width)`` for convolutional ones.  When
+        nodes carry trials-batched (noise-ensemble) meshes the signal gains a
+        leading trials axis at the first mesh node and every realization
+        propagates consistently through the rest of the graph.
+        """
+        return self.graph.forward(complex_inputs)
+
+    forward = forward_signals
+    __call__ = forward_signals
+
+    def predict_logits(self, images: np.ndarray, scheme: AssignmentScheme) -> np.ndarray:
+        """Run the full optical pipeline: assignment, encoding, meshes, readout."""
+        assignment = scheme.assign(images)
+        if self.input_kind == "image":
+            light = self.encoder.encode(assignment.real, assignment.imag)
+        else:
+            flattened_real = assignment.real.reshape(assignment.real.shape[0], -1)
+            flattened_imag = assignment.imag.reshape(assignment.imag.shape[0], -1)
+            light = self.encoder.encode(flattened_real, flattened_imag)
+        signal = self.forward_signals(light)
+        return self.readout(signal)
+
+    def classify(self, images: np.ndarray, scheme: AssignmentScheme) -> np.ndarray:
+        return self.predict_logits(images, scheme).argmax(axis=-1)
+
+    # ------------------------------------------------------------------ #
+    # hardware non-idealities
+    # ------------------------------------------------------------------ #
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "CompiledProgram":
+        """Return a copy whose mesh nodes carry phase noise / quantization.
+
+        ``trials`` draws an ensemble of noise realizations per mesh; the
+        copy's logits and predictions then carry a leading trials axis, so a
+        whole Monte-Carlo robustness sweep runs in one batched forward pass.
+        A noise model with an *array* ``sigma`` additionally prepends a sigma
+        axis, folding a whole sigma sweep into the same pass.
+        """
+        target = replace(self.target, noise=noise,
+                         quantization_bits=quantization_bits, trials=trials)
+        return CompiledProgram(
+            graph=self.graph.with_noise(noise, quantization_bits, trials=trials),
+            target=target, options=self.options, encoder=self.encoder)
+
+
+def compile(model, target: Optional[HardwareTarget] = None,
+            options: Optional[CompileOptions] = None) -> CompiledProgram:
+    """Compile a trained complex model onto simulated photonic hardware.
+
+    Lowers the model through the ``@register_lowering`` rule registry into a
+    photonic dataflow graph (fully connected and convolutional trunks become
+    stage chains; residual models gain explicit fan-out and electronic
+    skip-add nodes), deploys every weight via SVD with same-size unitaries
+    decomposed as one batched stack, and bakes the target's non-idealities in.
+    The model is switched to eval mode.
+    """
+    target = HardwareTarget() if target is None else target
+    options = CompileOptions() if options is None else options
+    graph = lower_to_graph(model, method=target.method, backend=options.backend,
+                           dense_dimension_limit=options.dense_dimension_limit,
+                           batch_unitaries=options.batch_unitaries)
+    program = CompiledProgram(graph=graph, target=target, options=options)
+    if target.noise is not None or target.quantization_bits is not None:
+        program = program.with_noise(noise=target.noise,
+                                     quantization_bits=target.quantization_bits,
+                                     trials=target.trials)
+    return program

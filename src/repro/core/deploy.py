@@ -1,17 +1,16 @@
-"""Deployment of trained complex models onto simulated photonic hardware.
+"""Deprecated deployment shims over the :func:`repro.compile` pipeline.
 
-``deploy_model`` lowers any supported complex model -- fully connected
-(:class:`~repro.models.fcnn.ComplexFCNN`) or convolutional
-(:class:`~repro.models.lenet.ComplexLeNet5`) -- onto MZI meshes through the
-compiler-style pass of :mod:`repro.core.lowering` (the "Paras -> phase
-mapping -> deploy phases" arrow of Fig. 2) and returns a
-:class:`DeployedModel` whose forward pass is executed purely with component
-transfer matrices -- complex light amplitudes propagating through meshes,
-im2col patch streams for convolutions, electro-optic CReLU nonlinearities and
-photodiode / coherent detection at the output.
+``deploy_model`` / ``deploy_linear_model`` predate the graph-shaped compiler
+(:mod:`repro.core.compile`).  They are kept as thin shims so every historical
+experiment, benchmark and CLI path keeps working: each one compiles the model
+through ``repro.compile`` and flattens the resulting chain program back into
+a :class:`DeployedModel`.  New code should call ``repro.compile`` directly --
+it additionally handles graph-shaped (residual) models, exposes the
+dense/column execution policy per compile instead of via module globals, and
+batches the unitary decomposition of same-size weights.
 
-The deployed circuit should agree with the software model to numerical
-precision; the integration tests check exactly that, as well as the graceful
+The deployed circuit agrees with the software model to numerical precision;
+the integration tests check exactly that, as well as the graceful
 degradation under phase noise.  Everything is batch-first: a whole image
 batch (and, with ``with_noise(trials=...)``, a whole Monte-Carlo ensemble of
 noise realizations) propagates as one vectorized pass through the compiled
@@ -20,13 +19,14 @@ mesh engine.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.assignment import AssignmentScheme
-from repro.core.lowering import LinearStage, PhotonicStage, lower_model
+from repro.core.lowering import LinearStage, PhotonicStage
 from repro.photonics.encoders import DCComplexEncoder
 from repro.photonics.noise import PhaseNoiseModel
 
@@ -36,12 +36,14 @@ DeployedStage = LinearStage
 
 @dataclass
 class DeployedModel:
-    """A complex model executing on simulated photonic hardware.
+    """A chain-shaped complex model executing on simulated photonic hardware.
 
     ``stages`` is the lowered photonic program: linear mesh stages, im2col
     convolution stages and structural (pooling / flatten) stages, applied in
     order.  ``input_kind`` records whether the program consumes flat feature
-    vectors or image maps (convolutional trunks).
+    vectors or image maps (convolutional trunks).  Residual models have no
+    stage-chain form; they compile to the graph-shaped
+    :class:`~repro.core.compile.CompiledProgram` instead.
     """
 
     stages: List[PhotonicStage]
@@ -104,26 +106,39 @@ class DeployedModel:
                              input_kind=self.input_kind, encoder=self.encoder)
 
 
-def deploy_model(model, method: str = "clements") -> DeployedModel:
-    """Deploy a trained complex model onto simulated photonic hardware.
+def _deploy_via_compile(model, method: str) -> DeployedModel:
+    from repro.core.compile import HardwareTarget, compile as compile_model
 
-    Fully connected models map every ``ComplexLinear`` (trunk and decoder
-    head) onto an SVD pair of MZI meshes; convolutional models are lowered
-    layer by layer -- each ``ComplexConv2d`` kernel becomes its im2col matrix
-    on meshes and the forward pass streams complex patch batches through the
-    compiled mesh engine.  See :func:`repro.core.lowering.lower_model` for
-    the supported model families.
-    """
-    program = lower_model(model, method=method)
-    return DeployedModel(stages=program.stages, readout=program.readout,
+    program = compile_model(model, target=HardwareTarget(method=method))
+    try:
+        stages = program.graph.chain_stages()
+    except ValueError as error:
+        raise TypeError(
+            f"model of type {type(model).__name__} compiles to a graph-shaped "
+            "program (skip additions / fan-out) that DeployedModel cannot "
+            "represent; use repro.compile(model) instead") from error
+    return DeployedModel(stages=stages, readout=program.readout,
                          num_classes=program.num_classes,
-                         input_kind=program.input_kind)
+                         input_kind=program.input_kind, encoder=program.encoder)
+
+
+def deploy_model(model, method: str = "clements") -> DeployedModel:
+    """Deprecated: deploy a sequential complex model onto photonic hardware.
+
+    Thin shim over :func:`repro.compile` kept for backwards compatibility;
+    the compiled stages are identical to the new API's (the shim merely
+    re-wraps the chain program).  Use ``repro.compile`` directly for new code
+    and for residual models.
+    """
+    warnings.warn("deploy_model() is deprecated; use repro.compile(model, "
+                  "target=HardwareTarget(method=...)) instead",
+                  DeprecationWarning, stacklevel=2)
+    return _deploy_via_compile(model, method)
 
 
 def deploy_linear_model(model, method: str = "clements") -> DeployedModel:
-    """Historical name of :func:`deploy_model` (it predates conv lowering).
-
-    Kept as an alias; both fully connected and convolutional complex models
-    deploy through the same lowering pipeline.
-    """
-    return deploy_model(model, method=method)
+    """Deprecated historical name of :func:`deploy_model` (predates conv lowering)."""
+    warnings.warn("deploy_linear_model() is deprecated; use repro.compile(model, "
+                  "target=HardwareTarget(method=...)) instead",
+                  DeprecationWarning, stacklevel=2)
+    return _deploy_via_compile(model, method)

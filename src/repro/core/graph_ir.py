@@ -1,0 +1,284 @@
+"""Graph intermediate representation of compiled photonic programs.
+
+A compiled model is a directed acyclic graph of named :class:`GraphNode`\\ s.
+Each node wraps an *op* -- either a photonic stage from
+:mod:`repro.core.lowering` (mesh-deployed linear / convolution layers,
+structural pooling and flatten stages) or one of the electronic ops defined
+here -- and names the nodes whose outputs it consumes.  Edges are explicit:
+a node referenced by several consumers fans its signal out (an optical
+splitter / electronic broadcast), which is how residual architectures express
+their skip connections:
+
+* :class:`ElectronicAdd` -- skip-connection addition.  Photocurrents (or
+  digitised amplitudes) of the two branches are summed in the electronic
+  domain, costing no optical area.
+* :class:`ElectronicBatchNorm` -- an eval-mode split batch norm folded to a
+  per-channel affine map on the real and imaginary parts independently.
+  Split normalisation is widely-linear (not complex-linear), so it cannot be
+  absorbed into an MZI mesh; like biases it lives in the electronic domain.
+* :class:`ElectronicActivation` -- a CReLU that could not be folded into a
+  preceding mesh stage (e.g. the activation after a skip addition), applied
+  electro-optically as its own node.
+
+:class:`GraphProgram` executes the graph topologically, batch-first, freeing
+intermediate signals as soon as their last consumer has run.  Chain-shaped
+graphs (purely sequential models) can be flattened back to a stage list with
+:meth:`GraphProgram.chain_stages`, which is what keeps the deprecated
+``DeployedModel`` shims working on top of the new compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.photonics.circuit import split_relu
+from repro.photonics.noise import PhaseNoiseModel
+
+#: name of the implicit source node every graph reads its input signal from
+INPUT = "input"
+
+
+# --------------------------------------------------------------------------- #
+# electronic ops
+# --------------------------------------------------------------------------- #
+@dataclass
+class ElectronicAdd:
+    """Sum the signals of several producer nodes (skip-connection addition).
+
+    Leading trials/sigma axes broadcast: an identity skip branch that never
+    passed through a noisy mesh broadcasts against the trials-batched main
+    branch exactly like numpy broadcasting.
+    """
+
+    mzi_count: int = 0
+
+    def forward(self, *signals: np.ndarray) -> np.ndarray:
+        if not signals:
+            raise ValueError("ElectronicAdd needs at least one input signal")
+        total = np.asarray(signals[0], dtype=complex)
+        for signal in signals[1:]:
+            total = total + np.asarray(signal, dtype=complex)
+        return total
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "ElectronicAdd":
+        return self
+
+
+@dataclass
+class ElectronicActivation:
+    """Electro-optic CReLU applied as its own graph node."""
+
+    mzi_count: int = 0
+
+    def forward(self, signal: np.ndarray) -> np.ndarray:
+        return split_relu(signal)
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "ElectronicActivation":
+        return self
+
+
+@dataclass
+class ElectronicBatchNorm:
+    """Eval-mode split batch norm as a per-channel electronic affine map.
+
+    ``real_scale``/``real_shift`` act on the real part and
+    ``imag_scale``/``imag_shift`` on the imaginary part (split normalisation
+    treats the two as independent real channels).  With ``spatial=True`` the
+    channel axis is ``-3`` of an image signal ``(..., C, H, W)``; otherwise
+    the parameters act on the trailing feature axis.
+    """
+
+    real_scale: np.ndarray
+    real_shift: np.ndarray
+    imag_scale: np.ndarray
+    imag_shift: np.ndarray
+    spatial: bool = True
+
+    mzi_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.real_scale = np.asarray(self.real_scale, dtype=float)
+        self.real_shift = np.asarray(self.real_shift, dtype=float)
+        self.imag_scale = np.asarray(self.imag_scale, dtype=float)
+        self.imag_shift = np.asarray(self.imag_shift, dtype=float)
+
+    def _shaped(self, params: np.ndarray) -> np.ndarray:
+        return params[:, None, None] if self.spatial else params
+
+    def forward(self, signal: np.ndarray) -> np.ndarray:
+        signal = np.asarray(signal, dtype=complex)
+        real = signal.real * self._shaped(self.real_scale) + self._shaped(self.real_shift)
+        imag = signal.imag * self._shaped(self.imag_scale) + self._shaped(self.imag_shift)
+        return real + 1j * imag
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "ElectronicBatchNorm":
+        return self
+
+
+# --------------------------------------------------------------------------- #
+# graph structure
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GraphNode:
+    """One op of the program plus the names of the nodes it consumes."""
+
+    name: str
+    op: Any
+    inputs: Tuple[str, ...]
+
+
+@dataclass
+class GraphProgram:
+    """A topologically ordered photonic/electronic dataflow graph.
+
+    ``nodes`` must be in execution order (every input of a node refers to
+    :data:`INPUT` or an earlier node); ``output`` names the node whose signal
+    the program returns.  ``readout`` converts the complex output amplitudes
+    to real logits (photodiode / coherent detection plus calibration) and
+    ``input_kind`` records what the first stage consumes (``"flat"`` feature
+    vectors or ``"image"`` maps).
+    """
+
+    nodes: List[GraphNode]
+    output: str
+    readout: Callable[[np.ndarray], np.ndarray]
+    num_classes: int
+    input_kind: str = "flat"
+    _last_use: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        defined = {INPUT}
+        for node in self.nodes:
+            if node.name in defined:
+                raise ValueError(f"duplicate graph node name {node.name!r}")
+            missing = [name for name in node.inputs if name not in defined]
+            if missing:
+                raise ValueError(f"node {node.name!r} consumes undefined "
+                                 f"producers {missing} (not topologically ordered?)")
+            defined.add(node.name)
+        if self.output not in defined:
+            raise ValueError(f"output node {self.output!r} is not defined")
+        self._last_use = {}
+        for index, node in enumerate(self.nodes):
+            for name in node.inputs:
+                self._last_use[name] = index
+        self._last_use[self.output] = len(self.nodes)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+    def node(self, name: str) -> GraphNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no graph node named {name!r}")
+
+    @property
+    def mzi_count(self) -> int:
+        return sum(node.op.mzi_count for node in self.nodes)
+
+    @property
+    def is_chain(self) -> bool:
+        """True when the graph is a straight line from input to output."""
+        previous = INPUT
+        for node in self.nodes:
+            if node.inputs != (previous,):
+                return False
+            previous = node.name
+        return bool(self.nodes) and self.output == self.nodes[-1].name
+
+    def chain_stages(self) -> List[Any]:
+        """Flatten a chain-shaped graph back to an ordered stage/op list.
+
+        Raises ``ValueError`` for graphs with fan-out or multi-input nodes
+        (residual programs have no stage-chain form -- execute the graph).
+        """
+        if not self.is_chain:
+            raise ValueError("program is graph-shaped (fan-out / skip-add nodes); "
+                             "it has no sequential stage-chain form")
+        return [node.op for node in self.nodes]
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def forward(self, signal: np.ndarray) -> np.ndarray:
+        """Execute the graph on a batch of complex input amplitudes.
+
+        Batch-first like every stage: trials-batched (noise-ensemble) mesh
+        nodes prepend their trials axes and the electronic nodes broadcast
+        over them.  Intermediate signals are freed after their last consumer.
+        """
+        values: Dict[str, np.ndarray] = {INPUT: np.asarray(signal, dtype=complex)}
+        for index, node in enumerate(self.nodes):
+            values[node.name] = node.op.forward(*(values[name] for name in node.inputs))
+            for name in node.inputs:
+                if self._last_use.get(name, -1) == index:
+                    del values[name]
+        return values[self.output]
+
+    __call__ = forward
+
+    # ------------------------------------------------------------------ #
+    # hardware non-idealities
+    # ------------------------------------------------------------------ #
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "GraphProgram":
+        """A copy of the graph whose mesh nodes carry noise / quantization."""
+        nodes = [GraphNode(name=node.name,
+                           op=node.op.with_noise(noise, quantization_bits, trials=trials),
+                           inputs=node.inputs)
+                 for node in self.nodes]
+        return GraphProgram(nodes=nodes, output=self.output, readout=self.readout,
+                            num_classes=self.num_classes, input_kind=self.input_kind)
+
+
+class GraphBuilder:
+    """Incrementally assemble a :class:`GraphProgram` in topological order."""
+
+    def __init__(self) -> None:
+        self._nodes: List[GraphNode] = []
+        self._by_name: Dict[str, GraphNode] = {}
+
+    def add(self, name: str, op: Any, inputs: Sequence[str]) -> str:
+        """Append a node; a colliding name is uniquified with a numeric suffix."""
+        unique = name
+        suffix = 1
+        while unique == INPUT or unique in self._by_name:
+            unique = f"{name}#{suffix}"
+            suffix += 1
+        node = GraphNode(name=unique, op=op, inputs=tuple(inputs))
+        self._nodes.append(node)
+        self._by_name[unique] = node
+        return unique
+
+    def op_of(self, name: str) -> Optional[Any]:
+        """The op of a previously added node (None for :data:`INPUT`)."""
+        node = self._by_name.get(name)
+        return None if node is None else node.op
+
+    def ops(self) -> List[Any]:
+        """The ops added so far, in emission order."""
+        return [node.op for node in self._nodes]
+
+    def nodes(self) -> List[GraphNode]:
+        """A copy of the node list added so far, in emission order."""
+        return list(self._nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def build(self, output: str, readout: Callable[[np.ndarray], np.ndarray],
+              num_classes: int, input_kind: str = "flat") -> GraphProgram:
+        return GraphProgram(nodes=list(self._nodes), output=output, readout=readout,
+                            num_classes=num_classes, input_kind=input_kind)

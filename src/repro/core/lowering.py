@@ -1,8 +1,8 @@
-"""Compiler-style lowering of trained complex models onto photonic stages.
+"""Compiler-style lowering of trained complex models onto photonic programs.
 
-``lower_model`` walks a supported complex model and lowers every layer to a
-*photonic stage* -- the "Paras -> phase mapping -> deploy phases" arrow of
-Fig. 2 generalised beyond fully connected trunks:
+Lowering turns every layer of a supported complex model into a *node op* --
+the "Paras -> phase mapping -> deploy phases" arrow of Fig. 2 generalised
+beyond fully connected trunks:
 
 * :class:`LinearStage` -- a ``ComplexLinear`` weight matrix deployed via SVD
   onto two MZI meshes (optionally followed by an electro-optic CReLU).
@@ -10,25 +10,45 @@ Fig. 2 generalised beyond fully connected trunks:
   matrix ``(out_channels, in_channels * kh * kw)`` on meshes; the forward pass
   extracts complex patches and streams them through the mesh engine as one
   batch (``batch * out_h * out_w`` patch vectors per image batch).
-* :class:`AvgPool2dStage` / :class:`FlattenStage` -- linear structural ops
-  (average pooling is realisable with fixed couplers; in this simulation both
-  run array-level on the complex amplitudes).
+* :class:`AvgPool2dStage` / :class:`GlobalAvgPool2dStage` /
+  :class:`FlattenStage` -- linear structural ops (average pooling is
+  realisable with fixed couplers; in this simulation all run array-level on
+  the complex amplitudes).
+* electronic ops (:class:`~repro.core.graph_ir.ElectronicBatchNorm`,
+  :class:`~repro.core.graph_ir.ElectronicAdd`,
+  :class:`~repro.core.graph_ir.ElectronicActivation`) for everything that
+  lives in the electrical domain: split batch norms, skip additions and
+  activations that cannot fold into a preceding mesh stage.
+
+How a module lowers is decided by an extensible **rule registry**: decorate a
+function with ``@register_lowering(LayerType)`` and any chain or graph walk
+will dispatch to it (nearest match in the module's MRO wins).  Models
+register whole-model rules with ``@register_model_lowering`` (the built-in
+families register theirs in :mod:`repro.models`) and decoder heads with
+``@register_head_lowering``.  Rules receive a :class:`LoweringContext`, which
+carries the compile policy, the :class:`~repro.core.graph_ir.GraphBuilder`
+being filled, and the deferred weight-deployment queue: weights requested via
+:meth:`LoweringContext.deploy_weight` are SVD-factored together at the end of
+the walk so that all same-size unitaries of the model decompose as one
+batched Reck/Clements stack
+(:func:`repro.photonics.svd_mapping.svd_decompose_many`).
 
 Every stage is *batch-first*: ``forward`` takes ``(batch, n)`` feature
 batches (or ``(batch, channels, height, width)`` image batches) and composes
 with the leading trials axes that noise-ensemble meshes introduce, so a whole
-Monte-Carlo sweep of a deployed CNN runs as a single vectorized pass.
+Monte-Carlo sweep of a deployed model runs as a single vectorized pass.
 
-The decoder heads are lowered by :func:`lower_decoder_head`, which also
-builds the electronic readout closure (photodiode / coherent detection plus
-per-class calibration).  :func:`repro.core.deploy.deploy_model` wraps the
-lowered program into a :class:`~repro.core.deploy.DeployedModel`.
+The historical chain API (:func:`lower_model` / :func:`lower_sequential` /
+:class:`LoweredProgram`) remains as a deprecated veneer over the graph
+compiler for purely sequential models; graph-shaped models (ComplexResNet)
+must go through :func:`repro.compile`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
 import numpy as np
 
@@ -40,10 +60,25 @@ from repro.core.decoders import (
     PhotodiodeHead,
     UnitaryDecoderHead,
 )
+from repro.core.graph_ir import (
+    INPUT,
+    ElectronicActivation,
+    ElectronicBatchNorm,
+    GraphBuilder,
+    GraphNode,
+    GraphProgram,
+)
 from repro.nn.complex import ComplexConv2d, ComplexLinear, CReLU
-from repro.nn.complex.cmodule import ComplexAvgPool2d, ComplexFlatten, ComplexSequential
+from repro.nn.complex.cmodule import (
+    ComplexAvgPool2d,
+    ComplexFlatten,
+    ComplexGlobalAvgPool2d,
+    ComplexSequential,
+)
+from repro.nn.complex.cnorm import ComplexBatchNorm1d, ComplexBatchNorm2d
 from repro.photonics.circuit import PhotonicLinearLayer, split_relu
 from repro.photonics.noise import PhaseNoiseModel
+from repro.photonics.svd_mapping import svd_decompose_many
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -197,6 +232,25 @@ class AvgPool2dStage:
 
 
 @dataclass
+class GlobalAvgPool2dStage:
+    """Global average pooling of ``(..., channels, height, width)`` maps."""
+
+    mzi_count: int = 0
+
+    def forward(self, signal: np.ndarray) -> np.ndarray:
+        signal = np.asarray(signal, dtype=complex)
+        if signal.ndim < 4:
+            raise ValueError("GlobalAvgPool2dStage expects "
+                             "(..., batch, channels, height, width)")
+        return signal.mean(axis=(-2, -1))
+
+    def with_noise(self, noise: Optional[PhaseNoiseModel] = None,
+                   quantization_bits: Optional[int] = None,
+                   trials: Optional[int] = None) -> "GlobalAvgPool2dStage":
+        return self
+
+
+@dataclass
 class FlattenStage:
     """Flatten ``(..., channels, height, width)`` maps into feature vectors."""
 
@@ -214,11 +268,197 @@ class FlattenStage:
         return self
 
 
-PhotonicStage = Union[LinearStage, Conv2dStage, AvgPool2dStage, FlattenStage]
+PhotonicStage = Union[LinearStage, Conv2dStage, AvgPool2dStage,
+                      GlobalAvgPool2dStage, FlattenStage]
 
 
 # --------------------------------------------------------------------------- #
-# module lowering rules
+# lowering-rule registries
+# --------------------------------------------------------------------------- #
+_LAYER_RULES: Dict[Type, Callable] = {}
+_HEAD_RULES: Dict[Type, Callable] = {}
+_MODEL_RULES: Dict[Type, Callable] = {}
+
+
+def _register(registry: Dict[Type, Callable], types: Tuple[Type, ...]) -> Callable:
+    def decorator(rule: Callable) -> Callable:
+        for module_type in types:
+            registry[module_type] = rule
+        return rule
+    return decorator
+
+
+def register_lowering(*module_types: Type) -> Callable:
+    """Register a lowering rule for one or more module types.
+
+    The rule is called as ``rule(module, name, ctx)`` with a
+    :class:`LoweringContext`; it emits nodes through the context.  Dispatch
+    walks the module's MRO, so a rule registered for a base class covers its
+    subclasses until a more specific rule is registered.
+    """
+    return _register(_LAYER_RULES, module_types)
+
+
+def register_head_lowering(*head_types: Type) -> Callable:
+    """Register a decoder-head rule, called as ``rule(head, ctx) -> readout``."""
+    return _register(_HEAD_RULES, head_types)
+
+
+def register_model_lowering(*model_types: Type) -> Callable:
+    """Register a whole-model rule, called as ``rule(model, ctx)``.
+
+    The rule walks the model, emits the graph through the context (setting
+    ``ctx.input_kind``) and lowers the decoder head via ``ctx.lower_head``.
+    """
+    return _register(_MODEL_RULES, model_types)
+
+
+def _find_rule(registry: Dict[Type, Callable], obj: Any, what: str) -> Callable:
+    for klass in type(obj).__mro__:
+        rule = registry.get(klass)
+        if rule is not None:
+            return rule
+    known = sorted(klass.__name__ for klass in registry)
+    raise TypeError(f"cannot {what} of type {type(obj).__name__} onto photonic "
+                    f"hardware; registered types: {known} "
+                    "(add one with @register_lowering)")
+
+
+class LoweringContext:
+    """Carries the compile policy and the graph being built through a walk.
+
+    ``cursor`` names the node whose output the next emitted chain node will
+    consume; graph rules (e.g. residual blocks) may reposition it to branch
+    and join.  Weight matrices requested through :meth:`deploy_weight` are
+    deployed together in :meth:`finalize` so that all same-size SVD factors
+    of the walk decompose as one batched Reck/Clements stack.
+    """
+
+    def __init__(self, method: str = "clements", backend: str = "auto",
+                 dense_dimension_limit: Optional[int] = None,
+                 batch_unitaries: bool = True):
+        self.method = method
+        self.backend = backend
+        self.dense_dimension_limit = dense_dimension_limit
+        self.batch_unitaries = batch_unitaries
+        self.builder = GraphBuilder()
+        self.cursor: str = INPUT
+        self.input_kind: str = "flat"
+        self.readout: Optional[Callable[[np.ndarray], np.ndarray]] = None
+        self.num_classes: Optional[int] = None
+        self._pending: List[Tuple[np.ndarray, PhotonicLinearLayer]] = []
+
+    # ------------------------------------------------------------------ #
+    # graph emission
+    # ------------------------------------------------------------------ #
+    def emit(self, name: str, op: Any, inputs: Optional[Tuple[str, ...]] = None) -> str:
+        """Append a node (consuming the cursor by default) and advance the cursor."""
+        node_inputs = (self.cursor,) if inputs is None else tuple(inputs)
+        self.cursor = self.builder.add(name, op, node_inputs)
+        return self.cursor
+
+    def cursor_op(self) -> Optional[Any]:
+        """The op the cursor points at (None at the graph input)."""
+        return self.builder.op_of(self.cursor)
+
+    # ------------------------------------------------------------------ #
+    # registry dispatch
+    # ------------------------------------------------------------------ #
+    def lower_module(self, module: Any, name: str) -> None:
+        _find_rule(_LAYER_RULES, module, "lower module")(module, name, self)
+
+    def lower_chain(self, modules, prefix: str) -> None:
+        """Lower an iterable of modules as a sequential chain at the cursor."""
+        for index, module in enumerate(modules):
+            self.lower_module(module, f"{prefix}.{index}")
+
+    def lower_head(self, head: DecoderHead) -> None:
+        """Lower the decoder head and record its electronic readout closure."""
+        self.readout = _find_rule(_HEAD_RULES, head, "deploy decoder head")(head, self)
+        self.num_classes = head.num_classes
+
+    # ------------------------------------------------------------------ #
+    # deferred (batched) weight deployment
+    # ------------------------------------------------------------------ #
+    def deploy_weight(self, weight: np.ndarray, bias: Optional[np.ndarray] = None,
+                      name: str = "layer") -> PhotonicLinearLayer:
+        """Queue a weight matrix for batched SVD deployment onto meshes.
+
+        Returns the (not yet populated) photonic layer; its meshes are filled
+        in by :meth:`finalize`, grouped with every other queued unitary of
+        the same dimension.
+        """
+        layer = PhotonicLinearLayer(photonic_matrix=None, bias=bias, name=name)
+        self._pending.append((np.asarray(weight, dtype=complex), layer))
+        return layer
+
+    def finalize(self) -> None:
+        """Deploy every queued weight; same-size unitaries share one stack pass."""
+        if not self._pending:
+            return
+        matrices = svd_decompose_many(
+            [weight for weight, _layer in self._pending], method=self.method,
+            batch_unitaries=self.batch_unitaries, backend=self.backend,
+            dense_dimension_limit=self.dense_dimension_limit)
+        for (_weight, layer), matrix in zip(self._pending, matrices):
+            layer.photonic_matrix = matrix
+        self._pending.clear()
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def _folded(self) -> Tuple[List[GraphNode], str]:
+        """Deploy pending weights and run the activation-folding peephole."""
+        self.finalize()
+        return fold_activation_nodes(self.builder.nodes(), self.cursor)
+
+    def program(self) -> GraphProgram:
+        if self.readout is None or self.num_classes is None:
+            raise RuntimeError("model rule finished without lowering a decoder "
+                               "head (ctx.lower_head was never called)")
+        nodes, output = self._folded()
+        return GraphProgram(nodes=nodes, output=output, readout=self.readout,
+                            num_classes=self.num_classes,
+                            input_kind=self.input_kind)
+
+
+def fold_activation_nodes(nodes: List[GraphNode],
+                          output: str) -> Tuple[List[GraphNode], str]:
+    """Peephole pass: fold eligible CReLU nodes into their producer stage.
+
+    An :class:`~repro.core.graph_ir.ElectronicActivation` node folds into the
+    mesh stage feeding it (as the stage's electro-optic ``activation_after``)
+    only when that stage has no *other* consumer -- a producer whose
+    pre-activation output also fans out to a skip branch (or is the program
+    output) must keep the activation as its own node, otherwise the branch
+    would silently receive activated amplitudes.  Runs on the fully built
+    graph, where the complete consumer map is known.
+    """
+    consumers: Dict[str, int] = {}
+    for node in nodes:
+        for name in node.inputs:
+            consumers[name] = consumers.get(name, 0) + 1
+    ops_by_name: Dict[str, Any] = {}
+    renamed: Dict[str, str] = {}
+    kept: List[GraphNode] = []
+    for node in nodes:
+        inputs = tuple(renamed.get(name, name) for name in node.inputs)
+        if isinstance(node.op, ElectronicActivation) and len(node.inputs) == 1:
+            producer = node.inputs[0]
+            producer_op = ops_by_name.get(producer)     # None for INPUT / folded
+            sole_consumer = (consumers.get(producer, 0) == 1 and producer != output)
+            if (sole_consumer and producer_op is not None
+                    and getattr(producer_op, "activation_after", True) is False):
+                producer_op.activation_after = True
+                renamed[node.name] = inputs[0]
+                continue
+        kept.append(GraphNode(name=node.name, op=node.op, inputs=inputs))
+        ops_by_name[node.name] = node.op
+    return kept, renamed.get(output, output)
+
+
+# --------------------------------------------------------------------------- #
+# built-in layer rules
 # --------------------------------------------------------------------------- #
 def _complex_bias(layer) -> Optional[np.ndarray]:
     if layer.bias_real is None:
@@ -226,6 +466,83 @@ def _complex_bias(layer) -> Optional[np.ndarray]:
     return layer.bias_real.data + 1j * layer.bias_imag.data
 
 
+def _batchnorm_affine(bn) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold an eval-mode real BatchNorm into ``(scale, shift)`` per channel."""
+    scale = 1.0 / np.sqrt(bn.running_var + bn.eps)
+    if bn.affine:
+        scale = bn.weight.data * scale
+        shift = bn.bias.data - bn.running_mean * scale
+    else:
+        shift = -bn.running_mean * scale
+    return scale, shift
+
+
+@register_lowering(ComplexLinear)
+def _lower_linear_rule(module: ComplexLinear, name: str, ctx: LoweringContext) -> None:
+    layer = ctx.deploy_weight(module.complex_weight(), bias=_complex_bias(module),
+                              name=name)
+    ctx.emit(name, LinearStage(layer=layer))
+
+
+@register_lowering(ComplexConv2d)
+def _lower_conv2d_rule(module: ComplexConv2d, name: str, ctx: LoweringContext) -> None:
+    layer = ctx.deploy_weight(module.weight_matrix(), bias=_complex_bias(module),
+                              name=name)
+    ctx.emit(name, Conv2dStage(
+        layer=layer, in_channels=module.in_channels, out_channels=module.out_channels,
+        kernel_size=_as_pair(module.kernel_size), stride=_as_pair(module.stride),
+        padding=_as_pair(module.padding)))
+
+
+@register_lowering(CReLU)
+def _lower_crelu_rule(module: CReLU, name: str, ctx: LoweringContext) -> None:
+    """Emit an electro-optic activation node.
+
+    Folding into the preceding mesh stage happens in a separate peephole pass
+    (:func:`fold_activation_nodes`) once the whole graph is built -- mutating
+    the producer here would be unsound when a skip branch also fans out from
+    its pre-activation output.
+    """
+    ctx.emit(name, ElectronicActivation())
+
+
+@register_lowering(ComplexAvgPool2d)
+def _lower_avgpool_rule(module: ComplexAvgPool2d, name: str, ctx: LoweringContext) -> None:
+    kernel = _as_pair(module.kernel_size)
+    stride = kernel if module.stride is None else _as_pair(module.stride)
+    ctx.emit(name, AvgPool2dStage(kernel_size=kernel, stride=stride))
+
+
+@register_lowering(ComplexGlobalAvgPool2d)
+def _lower_global_avgpool_rule(module: ComplexGlobalAvgPool2d, name: str,
+                               ctx: LoweringContext) -> None:
+    ctx.emit(name, GlobalAvgPool2dStage())
+
+
+@register_lowering(ComplexFlatten)
+def _lower_flatten_rule(module: ComplexFlatten, name: str, ctx: LoweringContext) -> None:
+    ctx.emit(name, FlattenStage())
+
+
+@register_lowering(ComplexSequential)
+def _lower_sequential_rule(module: ComplexSequential, name: str,
+                           ctx: LoweringContext) -> None:
+    ctx.lower_chain(module, name)
+
+
+@register_lowering(ComplexBatchNorm2d, ComplexBatchNorm1d)
+def _lower_batchnorm_rule(module, name: str, ctx: LoweringContext) -> None:
+    real_scale, real_shift = _batchnorm_affine(module.bn_real)
+    imag_scale, imag_shift = _batchnorm_affine(module.bn_imag)
+    ctx.emit(name, ElectronicBatchNorm(
+        real_scale=real_scale, real_shift=real_shift,
+        imag_scale=imag_scale, imag_shift=imag_shift,
+        spatial=isinstance(module, ComplexBatchNorm2d)))
+
+
+# --------------------------------------------------------------------------- #
+# eager single-layer helpers (kept for direct use and tests)
+# --------------------------------------------------------------------------- #
 def lower_complex_linear(layer: ComplexLinear, name: str,
                          method: str = "clements") -> LinearStage:
     """Lower one ``ComplexLinear`` onto an SVD pair of MZI meshes."""
@@ -251,40 +568,98 @@ def lower_sequential(modules, method: str = "clements",
                      prefix: str = "trunk") -> List[PhotonicStage]:
     """Lower a chain of complex modules into photonic stages.
 
-    ``CReLU`` modules are folded into the preceding linear/conv stage as its
-    electro-optic activation; pooling and flatten become structural stages.
-    Unsupported module types raise ``TypeError``.
+    Dispatches through the ``@register_lowering`` rule registry.  ``CReLU``
+    modules fold into the preceding linear/conv stage as its electro-optic
+    activation (:func:`fold_activation_nodes`); pooling and flatten become
+    structural stages; unregistered module types raise ``TypeError``.
     """
-    from repro.models.lenet import ComplexLinearWithActivation  # avoid an import cycle
+    ctx = LoweringContext(method=method)
+    ctx.lower_chain(modules, prefix)
+    nodes, _output = ctx._folded()
+    return [node.op for node in nodes]
 
-    stages: List[PhotonicStage] = []
-    for index, module in enumerate(modules):
-        name = f"{prefix}.{index}"
-        if isinstance(module, CReLU):
-            if not stages or not hasattr(stages[-1], "activation_after"):
-                raise TypeError("cannot lower a CReLU that does not follow a "
-                                "linear or convolution layer")
-            stages[-1].activation_after = True
-        elif isinstance(module, ComplexLinearWithActivation):
-            stage = lower_complex_linear(module.linear, name, method)
-            stage.activation_after = True
-            stages.append(stage)
-        elif isinstance(module, ComplexLinear):
-            stages.append(lower_complex_linear(module, name, method))
-        elif isinstance(module, ComplexConv2d):
-            stages.append(lower_complex_conv2d(module, name, method))
-        elif isinstance(module, ComplexAvgPool2d):
-            kernel = _as_pair(module.kernel_size)
-            stride = kernel if module.stride is None else _as_pair(module.stride)
-            stages.append(AvgPool2dStage(kernel_size=kernel, stride=stride))
-        elif isinstance(module, ComplexFlatten):
-            stages.append(FlattenStage())
-        elif isinstance(module, ComplexSequential):
-            stages.extend(lower_sequential(module, method, prefix=name))
-        else:
-            raise TypeError(f"cannot lower module of type {type(module).__name__} "
-                            "onto photonic stages")
-    return stages
+
+# --------------------------------------------------------------------------- #
+# decoder-head rules
+# --------------------------------------------------------------------------- #
+def _calibrated(head: DecoderHead) -> Callable[[np.ndarray], np.ndarray]:
+    scale, bias = head.calibration.as_arrays()
+
+    def calibrated(logits: np.ndarray) -> np.ndarray:
+        return logits * scale + bias
+
+    return calibrated
+
+
+def _paired_power_readout(head: DecoderHead) -> Callable[[np.ndarray], np.ndarray]:
+    num_classes = head.num_classes
+    calibrated = _calibrated(head)
+
+    def paired_power(signal: np.ndarray) -> np.ndarray:
+        power = np.abs(signal) ** 2
+        summed = power[..., :num_classes] + power[..., num_classes:2 * num_classes]
+        return calibrated(np.sqrt(summed + 1e-12))
+
+    return paired_power
+
+
+@register_head_lowering(MergeDecoderHead)
+def _lower_merge_head(head: MergeDecoderHead, ctx: LoweringContext):
+    layer = ctx.deploy_weight(head.merged_layer.complex_weight(),
+                              bias=_complex_bias(head.merged_layer), name="head.merged")
+    ctx.emit("head.merged", LinearStage(layer=layer))
+    return _paired_power_readout(head)
+
+
+@register_head_lowering(LinearDecoderHead)
+def _lower_linear_head(head: LinearDecoderHead, ctx: LoweringContext):
+    for attr, name in (("last_layer", "head.last"), ("decoder_layer", "head.decoder")):
+        module = getattr(head, attr)
+        layer = ctx.deploy_weight(module.complex_weight(),
+                                  bias=_complex_bias(module), name=name)
+        ctx.emit(name, LinearStage(layer=layer))
+    return _paired_power_readout(head)
+
+
+@register_head_lowering(UnitaryDecoderHead)
+def _lower_unitary_head(head: UnitaryDecoderHead, ctx: LoweringContext):
+    last = ctx.deploy_weight(head.last_layer.complex_weight(),
+                             bias=_complex_bias(head.last_layer), name="head.last")
+    ctx.emit("head.last", LinearStage(layer=last))
+    # the zero-padded modes carry no light, so deploying the first C columns
+    # of the unitary as a 2C x C matrix is exactly equivalent
+    unitary_weight = head.unitary.complex_weight()[:, :head.num_classes]
+    unitary = ctx.deploy_weight(unitary_weight, name="head.unitary")
+    ctx.emit("head.unitary", LinearStage(layer=unitary))
+    return _paired_power_readout(head)
+
+
+@register_head_lowering(CoherentDecoderHead)
+def _lower_coherent_head(head: CoherentDecoderHead, ctx: LoweringContext):
+    layer = ctx.deploy_weight(head.last_layer.complex_weight(),
+                              bias=_complex_bias(head.last_layer), name="head.last")
+    ctx.emit("head.last", LinearStage(layer=layer))
+    calibrated = _calibrated(head)
+
+    def coherent_readout(signal: np.ndarray) -> np.ndarray:
+        from repro.photonics.detectors import CoherentDetector
+
+        return calibrated(CoherentDetector().detect(signal).real)
+
+    return coherent_readout
+
+
+@register_head_lowering(PhotodiodeHead)
+def _lower_photodiode_head(head: PhotodiodeHead, ctx: LoweringContext):
+    layer = ctx.deploy_weight(head.last_layer.complex_weight(),
+                              bias=_complex_bias(head.last_layer), name="head.last")
+    ctx.emit("head.last", LinearStage(layer=layer))
+    calibrated = _calibrated(head)
+
+    def power_readout(signal: np.ndarray) -> np.ndarray:
+        return calibrated(np.abs(signal))
+
+    return power_readout
 
 
 def lower_decoder_head(head: DecoderHead, method: str = "clements"
@@ -295,51 +670,10 @@ def lower_decoder_head(head: DecoderHead, method: str = "clements"
     trained with the head is replicated digitally inside the readout closure --
     it lives in the electrical domain and costs no optical area.
     """
-    num_classes = head.num_classes
-    scale, bias = head.calibration.as_arrays()
-
-    def calibrated(logits: np.ndarray) -> np.ndarray:
-        return logits * scale + bias
-
-    def paired_power(signal: np.ndarray) -> np.ndarray:
-        power = np.abs(signal) ** 2
-        summed = power[..., :num_classes] + power[..., num_classes:2 * num_classes]
-        return calibrated(np.sqrt(summed + 1e-12))
-
-    if isinstance(head, MergeDecoderHead):
-        stages = [lower_complex_linear(head.merged_layer, "head.merged", method)]
-        return stages, paired_power
-    if isinstance(head, LinearDecoderHead):
-        stages = [
-            lower_complex_linear(head.last_layer, "head.last", method),
-            lower_complex_linear(head.decoder_layer, "head.decoder", method),
-        ]
-        return stages, paired_power
-    if isinstance(head, UnitaryDecoderHead):
-        last = lower_complex_linear(head.last_layer, "head.last", method)
-        unitary_weight = head.unitary.complex_weight()
-        # the zero-padded modes carry no light, so deploying the first C columns
-        # of the unitary as a 2C x C matrix is exactly equivalent
-        unitary_stage = LinearStage(PhotonicLinearLayer.from_weight(
-            unitary_weight[:, :head.num_classes], method=method, name="head.unitary"))
-        return [last, unitary_stage], paired_power
-    if isinstance(head, CoherentDecoderHead):
-        stages = [lower_complex_linear(head.last_layer, "head.last", method)]
-
-        def coherent_readout(signal: np.ndarray) -> np.ndarray:
-            from repro.photonics.detectors import CoherentDetector
-
-            return calibrated(CoherentDetector().detect(signal).real)
-
-        return stages, coherent_readout
-    if isinstance(head, PhotodiodeHead):
-        stages = [lower_complex_linear(head.last_layer, "head.last", method)]
-
-        def power_readout(signal: np.ndarray) -> np.ndarray:
-            return calibrated(np.abs(signal))
-
-        return stages, power_readout
-    raise TypeError(f"cannot deploy decoder head of type {type(head).__name__}")
+    ctx = LoweringContext(method=method)
+    ctx.lower_head(head)
+    nodes, _output = ctx._folded()
+    return [node.op for node in nodes], ctx.readout
 
 
 # --------------------------------------------------------------------------- #
@@ -364,32 +698,49 @@ class LoweredProgram:
         return sum(stage.mzi_count for stage in self.stages)
 
 
-def lower_model(model, method: str = "clements") -> LoweredProgram:
-    """Lower a trained complex model into a photonic stage program.
+def lower_to_graph(model, method: str = "clements", backend: str = "auto",
+                   dense_dimension_limit: Optional[int] = None,
+                   batch_unitaries: bool = True) -> GraphProgram:
+    """Lower a trained complex model into a photonic dataflow graph.
 
-    Supported families: :class:`~repro.models.fcnn.ComplexFCNN` (linear
-    trunk) and :class:`~repro.models.lenet.ComplexLeNet5` (convolutional
-    trunk, lowered via im2col).  Residual architectures (ComplexResNet) are
-    not lowerable to a pure stage chain and raise ``TypeError``.
+    Dispatches to the model's ``@register_model_lowering`` rule (the built-in
+    families -- ComplexFCNN, ComplexLeNet5, ComplexResNet -- register theirs
+    in :mod:`repro.models`); switches the model to eval mode so batch norms
+    fold their running statistics.  This is the lowering pass behind
+    :func:`repro.compile`.
     """
-    from repro.models.fcnn import ComplexFCNN  # imported lazily to avoid a cycle
-    from repro.models.lenet import ComplexLeNet5
+    # importing the zoo registers the built-in model and block rules; a
+    # custom model only needs its own module imported (which constructing the
+    # instance already did)
+    import repro.models  # noqa: F401
 
     model.eval()
-    if isinstance(model, ComplexFCNN):
-        stages = lower_sequential(model.trunk, method, prefix="trunk")
-        input_kind = "flat"
-    elif isinstance(model, ComplexLeNet5):
-        stages = lower_sequential(model.features, method, prefix="features")
-        stages.append(FlattenStage())
-        stages.extend(lower_sequential(model.trunk, method, prefix="trunk"))
-        input_kind = "image"
-    else:
+    rule = _find_rule(_MODEL_RULES, model, "lower model")
+    ctx = LoweringContext(method=method, backend=backend,
+                          dense_dimension_limit=dense_dimension_limit,
+                          batch_unitaries=batch_unitaries)
+    rule(model, ctx)
+    return ctx.program()
+
+
+def lower_model(model, method: str = "clements") -> LoweredProgram:
+    """Deprecated: lower a sequential model into a photonic stage *chain*.
+
+    Thin shim over the graph compiler: builds the program graph and flattens
+    it back to the historical stage list.  Only purely sequential models have
+    a chain form -- graph-shaped models (ComplexResNet) raise ``TypeError``
+    here and must go through :func:`repro.compile`.
+    """
+    warnings.warn("lower_model() is deprecated; use repro.compile(model) which "
+                  "also handles graph-shaped (residual) models",
+                  DeprecationWarning, stacklevel=2)
+    graph = lower_to_graph(model, method=method)
+    try:
+        stages = graph.chain_stages()
+    except ValueError as error:
         raise TypeError(
-            f"cannot lower model of type {type(model).__name__}; supported "
-            "families are ComplexFCNN and ComplexLeNet5 (residual models have "
-            "no pure stage-chain lowering)")
-    head_stages, readout = lower_decoder_head(model.head, method)
-    stages.extend(head_stages)
-    return LoweredProgram(stages=stages, readout=readout,
-                          num_classes=model.num_classes, input_kind=input_kind)
+            f"model of type {type(model).__name__} lowers to a graph-shaped "
+            "program (skip additions / fan-out); it has no stage-chain form. "
+            "Use repro.compile(model) instead") from error
+    return LoweredProgram(stages=stages, readout=graph.readout,
+                          num_classes=graph.num_classes, input_kind=graph.input_kind)

@@ -20,8 +20,9 @@ import numpy as np
 
 from repro.assignment import AssignmentScheme, get_scheme
 from repro.core.area_analysis import compare_area, model_area_report
+from repro.core.compile import CompiledProgram, CompileOptions, HardwareTarget
+from repro.core.compile import compile as compile_model
 from repro.core.config import ExperimentConfig
-from repro.core.deploy import DeployedModel, deploy_model
 from repro.core.distillation import MutualLearningResult, MutualLearningTrainer
 from repro.core.training import Trainer, TrainingHistory, evaluate_accuracy
 from repro.data import ArrayDataset, DataLoader, synthetic_cifar10, synthetic_cifar100, synthetic_mnist
@@ -208,6 +209,13 @@ class OplixNet:
             mutual_result=mutual,
         )
 
-    def deploy(self, student: Module, method: str = "clements") -> DeployedModel:
-        """Deploy a trained student (FCNN or CNN) onto the simulated photonic circuit."""
-        return deploy_model(student, method=method)
+    def deploy(self, student: Module, method: str = "clements",
+               options: Optional[CompileOptions] = None) -> CompiledProgram:
+        """Compile a trained student onto the simulated photonic circuit.
+
+        Routes through :func:`repro.compile`, so fully connected,
+        convolutional and residual students all deploy; ``options`` selects
+        the execution policy (dense/column backend, batched decomposition).
+        """
+        return compile_model(student, target=HardwareTarget(method=method),
+                             options=options)

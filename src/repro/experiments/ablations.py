@@ -28,7 +28,7 @@ import numpy as np
 from repro.assignment import get_scheme
 from repro.baselines.pruning import magnitude_prune_model, pruned_area_report
 from repro.core.area_analysis import model_area_report
-from repro.core.deploy import deploy_linear_model
+from repro.core.compile import compile as compile_model
 from repro.core.pipeline import OplixNet
 from repro.core.training import evaluate_accuracy
 from repro.experiments.common import get_workload, workload_config
@@ -139,8 +139,8 @@ def run_noise_robustness(preset: str = "bench", sigmas: Sequence[float] = (0.0, 
 
     student_scheme = pipeline.student_scheme()
     conventional_scheme = get_scheme("conventional")
-    deployed_student = deploy_linear_model(student)
-    deployed_conventional = deploy_linear_model(conventional)
+    deployed_student = compile_model(student)
+    deployed_conventional = compile_model(conventional)
 
     _train, test = pipeline.datasets()
     count = min(eval_samples, len(test))

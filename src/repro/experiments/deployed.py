@@ -1,13 +1,15 @@
-"""Deployed-CNN evaluation harness (extends the paper's Fig. 2 workflow).
+"""Deployed-model evaluation harnesses (extends the paper's Fig. 2 workflow).
 
-The paper's deployment demonstrator covered the FCNN family; with the im2col
-lowering pipeline the convolutional workloads deploy too.  This harness
-trains the SCVNN LeNet-5 student at CPU scale, lowers it onto MZI meshes
-(:func:`repro.core.deploy.deploy_model`) and reports
+The paper's deployment demonstrator covered the FCNN family; with the graph
+compiler every Table 2/3 architecture deploys.  ``run_deployed_cnn`` trains
+the SCVNN LeNet-5 student at CPU scale and ``run_deployed_resnet`` the SCVNN
+ResNet student (lowered to a dataflow graph with photonic branch stages and
+electronic skip-add nodes); both compile through :func:`repro.compile` and
+report
 
 * the software-vs-deployed fidelity (max logit error and accuracy agreement
   of the noiseless circuit), and
-* a phase-noise robustness sweep of the deployed CNN, run as one
+* a phase-noise robustness sweep of the deployed model, run as one
   ``(sigmas, trials)`` batched Monte-Carlo ensemble through the compiled
   mesh engine.
 """
@@ -15,10 +17,11 @@ trains the SCVNN LeNet-5 student at CPU scale, lowers it onto MZI meshes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.compile import CompileOptions
 from repro.core.pipeline import OplixNet
 from repro.core.training import prepare_batch
 from repro.experiments.common import get_workload, workload_config
@@ -29,8 +32,8 @@ from repro.tensor import no_grad
 
 
 @dataclass
-class DeployedCnnRow:
-    """Fidelity and robustness of one deployed convolutional model."""
+class DeployedModelRow:
+    """Fidelity and robustness of one deployed model at one noise level."""
 
     workload: str
     decoder: str
@@ -43,24 +46,23 @@ class DeployedCnnRow:
     mzi_count: int
 
 
-def run_deployed_cnn(preset: str = "bench", decoder: str = "merge",
-                     sigmas: Sequence[float] = (0.0, 0.01, 0.03),
-                     trials: int = 8, seed: int = 0, eval_samples: int = 64,
-                     method: str = "clements",
-                     mutual_learning: bool = False) -> List[DeployedCnnRow]:
-    """Train, deploy and noise-sweep the complex LeNet-5 student.
+#: historical name (the harness originally covered only the CNN workload)
+DeployedCnnRow = DeployedModelRow
 
-    The deployed forward must match the software model to numerical precision
-    when noiseless; the sweep then degrades gracefully with sigma.  One row
-    per sigma is returned; fidelity columns repeat across rows.
-    """
+
+def _deploy_and_sweep(workload_key: str, preset, decoder: str,
+                      sigmas: Sequence[float], trials: int, seed: int,
+                      eval_samples: int, method: str, backend: str,
+                      mutual_learning: bool) -> List[DeployedModelRow]:
+    """Train one workload's student, compile it and run the noise sweep."""
     preset_obj = get_preset(preset) if isinstance(preset, str) else preset
-    workload = get_workload("lenet5")
+    workload = get_workload(workload_key)
     config = workload_config(workload, preset_obj, seed=seed, decoder=decoder)
     pipeline = OplixNet(config)
     student, _ = pipeline.train_student(mutual_learning=mutual_learning)
     scheme = pipeline.student_scheme()
-    deployed = pipeline.deploy(student, method=method)
+    deployed = pipeline.deploy(student, method=method,
+                               options=CompileOptions(backend=backend))
 
     _train, test = pipeline.datasets()
     count = min(eval_samples, len(test))
@@ -80,17 +82,49 @@ def run_deployed_cnn(preset: str = "bench", decoder: str = "merge",
     hits = noisy.classify(images, scheme) == labels          # (sigmas, trials, samples)
     noisy_accuracies = hits.mean(axis=(1, 2))
 
-    return [DeployedCnnRow(workload=workload.display_name, decoder=decoder,
-                           sigma=float(sigma), trials=int(trials),
-                           software_accuracy=software_accuracy,
-                           deployed_accuracy=deployed_accuracy,
-                           noisy_accuracy=float(noisy_accuracies[index]),
-                           max_logit_error=max_logit_error,
-                           mzi_count=deployed.mzi_count)
+    return [DeployedModelRow(workload=workload.display_name, decoder=decoder,
+                             sigma=float(sigma), trials=int(trials),
+                             software_accuracy=software_accuracy,
+                             deployed_accuracy=deployed_accuracy,
+                             noisy_accuracy=float(noisy_accuracies[index]),
+                             max_logit_error=max_logit_error,
+                             mzi_count=deployed.mzi_count)
             for index, sigma in enumerate(sigma_axis)]
 
 
-def format_deployed_cnn(rows: Sequence[DeployedCnnRow]) -> str:
+def run_deployed_cnn(preset: str = "bench", decoder: str = "merge",
+                     sigmas: Sequence[float] = (0.0, 0.01, 0.03),
+                     trials: int = 8, seed: int = 0, eval_samples: int = 64,
+                     method: str = "clements", backend: str = "auto",
+                     mutual_learning: bool = False) -> List[DeployedModelRow]:
+    """Train, compile and noise-sweep the complex LeNet-5 student.
+
+    The deployed forward must match the software model to numerical precision
+    when noiseless; the sweep then degrades gracefully with sigma.  One row
+    per sigma is returned; fidelity columns repeat across rows.
+    """
+    return _deploy_and_sweep("lenet5", preset, decoder, sigmas, trials, seed,
+                             eval_samples, method, backend, mutual_learning)
+
+
+def run_deployed_resnet(preset: str = "bench", decoder: str = "merge",
+                        sigmas: Sequence[float] = (0.0, 0.01, 0.03),
+                        trials: int = 4, seed: int = 0, eval_samples: int = 32,
+                        method: str = "clements", backend: str = "auto",
+                        mutual_learning: bool = False) -> List[DeployedModelRow]:
+    """Train, compile and noise-sweep the complex ResNet student.
+
+    The residual student lowers to a graph-shaped program -- photonic im2col
+    stages on each branch, skip additions and folded batch norms in the
+    electronic domain -- so this harness exercises the full graph compiler
+    end to end (the noiseless circuit must agree with the eval-mode software
+    forward to numerical precision).
+    """
+    return _deploy_and_sweep("resnet20", preset, decoder, sigmas, trials, seed,
+                             eval_samples, method, backend, mutual_learning)
+
+
+def _format_rows(rows: Sequence[DeployedModelRow], title: str) -> str:
     headers = ["Model", "Decoder", "sigma", "trials", "Software acc",
                "Deployed acc", "Noisy acc", "Max logit err", "#MZI"]
     table_rows = [[row.workload, row.decoder, f"{row.sigma:.3f}", row.trials,
@@ -98,9 +132,18 @@ def format_deployed_cnn(rows: Sequence[DeployedCnnRow]) -> str:
                    percent(row.noisy_accuracy), f"{row.max_logit_error:.2e}",
                    row.mzi_count]
                   for row in rows]
-    return format_table(headers, table_rows,
-                        title="Deployed CNN -- im2col lowering onto MZI meshes")
+    return format_table(headers, table_rows, title=title)
+
+
+def format_deployed_cnn(rows: Sequence[DeployedModelRow]) -> str:
+    return _format_rows(rows, title="Deployed CNN -- im2col lowering onto MZI meshes")
+
+
+def format_deployed_resnet(rows: Sequence[DeployedModelRow]) -> str:
+    return _format_rows(rows, title="Deployed ResNet -- graph compiler "
+                                    "(photonic branches + electronic skip adds)")
 
 
 if __name__ == "__main__":
     print(format_deployed_cnn(run_deployed_cnn(preset="bench")))
+    print(format_deployed_resnet(run_deployed_resnet(preset="bench")))

@@ -81,3 +81,17 @@ class ComplexFCNN(Module):
             inputs = inputs.flatten(start_dim=1)
         features = self.trunk(inputs) if len(self.trunk) else inputs
         return self.head(features)
+
+
+# --------------------------------------------------------------------------- #
+# photonic lowering
+# --------------------------------------------------------------------------- #
+from repro.core.lowering import LoweringContext, register_model_lowering  # noqa: E402
+
+
+@register_model_lowering(ComplexFCNN)
+def _lower_complex_fcnn(model: ComplexFCNN, ctx: LoweringContext) -> None:
+    """Lower the fully connected trunk as a flat-input stage chain."""
+    ctx.input_kind = "flat"
+    ctx.lower_chain(model.trunk, "trunk")
+    ctx.lower_head(model.head)

@@ -136,3 +136,32 @@ class ComplexLinearWithActivation(Module):
 
     def forward(self, inputs: ComplexTensor) -> ComplexTensor:
         return self.activation(self.linear(inputs))
+
+
+# --------------------------------------------------------------------------- #
+# photonic lowering
+# --------------------------------------------------------------------------- #
+from repro.core.lowering import (  # noqa: E402
+    FlattenStage,
+    LoweringContext,
+    register_lowering,
+    register_model_lowering,
+)
+
+
+@register_lowering(ComplexLinearWithActivation)
+def _lower_linear_with_activation(module: ComplexLinearWithActivation, name: str,
+                                  ctx: LoweringContext) -> None:
+    """Lower the wrapped linear layer and fold the CReLU into its stage."""
+    ctx.lower_module(module.linear, name)
+    ctx.cursor_op().activation_after = True
+
+
+@register_model_lowering(ComplexLeNet5)
+def _lower_complex_lenet5(model: ComplexLeNet5, ctx: LoweringContext) -> None:
+    """Lower the conv features, the flatten, the linear trunk and the head."""
+    ctx.input_kind = "image"
+    ctx.lower_chain(model.features, "features")
+    ctx.emit("flatten", FlattenStage())
+    ctx.lower_chain(model.trunk, "trunk")
+    ctx.lower_head(model.head)

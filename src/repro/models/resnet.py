@@ -141,6 +141,13 @@ class ComplexResNet(Module):
     ``in_channels`` counts complex channels (3 for the CVNN teacher, 2 with
     channel-lossless assignment, 1 with channel remapping); ``base_widths``
     default to half the real widths, matching the paper's split models.
+
+    The trained model deploys onto simulated MZI meshes through
+    ``repro.compile``: every convolution becomes a photonic im2col stage,
+    each residual block's skip addition is an
+    :class:`~repro.core.graph_ir.ElectronicAdd` node and the eval-mode split
+    batch norms fold into electronic per-channel affine ops (see the lowering
+    rules at the bottom of this module).
     """
 
     def __init__(self, depth: int = 20, in_channels: int = 2, num_classes: int = 10,
@@ -177,3 +184,53 @@ class ComplexResNet(Module):
         out = self.stages(out)
         out = self.pool(out)
         return self.head(out)
+
+
+# --------------------------------------------------------------------------- #
+# photonic lowering
+# --------------------------------------------------------------------------- #
+from repro.core.graph_ir import ElectronicAdd  # noqa: E402
+from repro.core.lowering import (  # noqa: E402
+    GlobalAvgPool2dStage,
+    LoweringContext,
+    register_lowering,
+    register_model_lowering,
+)
+
+
+@register_lowering(ComplexBasicBlock)
+def _lower_complex_basic_block(block: ComplexBasicBlock, name: str,
+                               ctx: LoweringContext) -> None:
+    """Lower one residual block as a two-branch subgraph.
+
+    The entry signal fans out to the main branch (conv1 -> bn1 -> CReLU ->
+    conv2 -> bn2, with the convolutions on MZI meshes and the split batch
+    norms as electronic affine ops) and to the skip branch (identity, or the
+    1x1 projection when the block changes shape); the two branches join in an
+    electronic skip-add node followed by the block's closing CReLU.
+    """
+    entry = ctx.cursor
+    ctx.lower_module(block.conv1, f"{name}.conv1")
+    ctx.lower_module(block.bn1, f"{name}.bn1")
+    ctx.lower_module(block.activation, f"{name}.crelu1")
+    ctx.lower_module(block.conv2, f"{name}.conv2")
+    ctx.lower_module(block.bn2, f"{name}.bn2")
+    main = ctx.cursor
+    if block.downsample is None:
+        skip = entry
+    else:
+        ctx.cursor = entry
+        ctx.lower_module(block.downsample, f"{name}.downsample")
+        skip = ctx.cursor
+    ctx.emit(f"{name}.add", ElectronicAdd(), inputs=(main, skip))
+    ctx.lower_module(block.activation, f"{name}.crelu2")
+
+
+@register_model_lowering(ComplexResNet)
+def _lower_complex_resnet(model: ComplexResNet, ctx: LoweringContext) -> None:
+    """Lower stem, residual stages, global pooling and the decoder head."""
+    ctx.input_kind = "image"
+    ctx.lower_chain(model.stem, "stem")
+    ctx.lower_chain(model.stages, "stages")
+    ctx.emit("pool", GlobalAvgPool2dStage())
+    ctx.lower_head(model.head)

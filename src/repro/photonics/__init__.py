@@ -47,13 +47,16 @@ from repro.photonics.mzi_mesh import (
     MeshDecomposition,
     reck_decompose,
     reck_decompose_reference,
+    reck_decompose_stack,
     clements_decompose,
     clements_decompose_reference,
+    clements_decompose_stack,
     decompose_unitary,
+    decompose_unitary_stack,
     random_unitary,
     is_unitary,
 )
-from repro.photonics.svd_mapping import PhotonicMatrix, svd_decompose
+from repro.photonics.svd_mapping import PhotonicMatrix, svd_decompose, svd_decompose_many
 from repro.photonics.encoders import (
     DCComplexEncoder,
     PSComplexEncoder,
@@ -92,13 +95,17 @@ __all__ = [
     "MeshDecomposition",
     "reck_decompose",
     "reck_decompose_reference",
+    "reck_decompose_stack",
     "clements_decompose",
     "clements_decompose_reference",
+    "clements_decompose_stack",
     "decompose_unitary",
+    "decompose_unitary_stack",
     "random_unitary",
     "is_unitary",
     "PhotonicMatrix",
     "svd_decompose",
+    "svd_decompose_many",
     "DCComplexEncoder",
     "PSComplexEncoder",
     "AmplitudeEncoder",

@@ -27,6 +27,19 @@ applies its two-column/two-row updates as one array operation.  The original
 scalar nulling loops are kept as ``reck_decompose_reference`` /
 ``clements_decompose_reference`` -- executable specifications the test-suite
 pins the vectorized paths against to 1e-10.
+
+On top of the per-matrix paths, :func:`reck_decompose_stack` /
+:func:`clements_decompose_stack` decompose a whole *stack* of same-size
+unitaries at once, vectorizing every nulling operation over a leading matrix
+axis.  The compiler uses this to decompose all same-size SVD factors of a
+model (e.g. every conv-kernel matrix of a ResNet stage) in one batched pass;
+both stack paths are parity-pinned against the per-matrix paths to 1e-10.
+
+Execution policy is explicit: each :class:`MeshDecomposition` carries a
+``backend`` ("auto" / "dense" / "column") and an optional per-mesh
+``dense_dimension_limit``, threaded in by the compiler instead of consulting
+mutable module globals (``engine.DENSE_DIMENSION_LIMIT`` remains only as the
+default when no per-mesh limit is set).
 """
 
 from __future__ import annotations
@@ -124,7 +137,16 @@ class MeshDecomposition:
     The arrays are exposed read-only; mutate phases through
     :meth:`update_phases` (in place, invalidates the cached dense transfer
     matrix) or :meth:`with_phases` (returns a new mesh sharing the topology).
+
+    ``backend`` selects how :meth:`apply` executes: ``"auto"`` (dense matmul
+    below the dense-dimension limit, column program otherwise), ``"dense"``
+    (always the cached dense transfer matrix) or ``"column"`` (always the
+    compiled column program).  ``dense_dimension_limit`` overrides the
+    module-global default crossover for this mesh; both are normally set by
+    the compiler from :class:`~repro.core.compile.CompileOptions`.
     """
+
+    BACKENDS = ("auto", "dense", "column")
 
     def __init__(self, dimension: int,
                  settings: Optional[Sequence[MZISetting]] = None,
@@ -132,9 +154,16 @@ class MeshDecomposition:
                  method: str = "reck",
                  modes: Optional[np.ndarray] = None,
                  thetas: Optional[np.ndarray] = None,
-                 phis: Optional[np.ndarray] = None):
+                 phis: Optional[np.ndarray] = None,
+                 backend: str = "auto",
+                 dense_dimension_limit: Optional[int] = None):
         self.dimension = int(dimension)
         self.method = method
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown mesh backend {backend!r}; choose from {self.BACKENDS}")
+        self.backend = backend
+        self.dense_dimension_limit = (None if dense_dimension_limit is None
+                                      else int(dense_dimension_limit))
         if settings is not None:
             if modes is not None or thetas is not None or phis is not None:
                 raise ValueError("pass either settings or modes/thetas/phis, not both")
@@ -274,6 +303,7 @@ class MeshDecomposition:
             thetas=self._thetas if thetas is None else thetas,
             phis=self._phis if phis is None else phis,
             output_phases=self._output_phases if output_phases is None else output_phases,
+            backend=self.backend, dense_dimension_limit=self.dense_dimension_limit,
         )
         mesh._program = self._program  # the column schedule depends only on modes
         return mesh
@@ -321,8 +351,18 @@ class MeshDecomposition:
         states = vector[None, :] if single else vector
         if states.shape[-1] != self.dimension:
             raise ValueError(f"expected vectors of length {self.dimension}, got {states.shape[-1]}")
-        if not self.is_batched and self.dimension <= engine.DENSE_DIMENSION_LIMIT:
-            outputs = states @ self._dense_matrix(insertion_loss_db).T
+        if self.backend == "dense":
+            use_dense = True
+        elif self.backend == "column":
+            use_dense = False
+        else:
+            limit = (engine.DENSE_DIMENSION_LIMIT if self.dense_dimension_limit is None
+                     else self.dense_dimension_limit)
+            use_dense = not self.is_batched and self.dimension <= limit
+        if use_dense:
+            dense = self._dense_matrix(insertion_loss_db)
+            # trials-batched dense matrices broadcast through matmul
+            outputs = states @ np.swapaxes(dense, -1, -2)
         else:
             outputs = engine.propagate(self.compiled(), states, self._thetas,
                                        self._phis, self._output_phases,
@@ -517,13 +557,18 @@ def _apply_right_columns(work: np.ndarray, tops: np.ndarray,
 
     Every pair ``(tops[k], tops[k] + 1)`` is updated in place with one gather
     and one fused 2x2 complex multiply -- the array-level form of the
-    per-element ``work @ embed(m, M.conj().T)``.
+    per-element ``work @ embed(m, M.conj().T)``.  ``work`` may carry a leading
+    stack axis ``(..., n, n)``; ``thetas``/``phis`` then have the matching
+    shape ``(..., k)`` and every matrix of the stack is updated at once.
     """
     t00, t01, t10, t11 = engine.mzi_block_coefficients(thetas, phis)
-    upper = work[:, tops]
-    lower = work[:, tops + 1]
-    work[:, tops] = upper * np.conj(t00) + lower * np.conj(t01)
-    work[:, tops + 1] = upper * np.conj(t10) + lower * np.conj(t11)
+    # insert the row axis so per-pair coefficients broadcast over (..., n, k)
+    t00, t01 = t00[..., None, :], t01[..., None, :]
+    t10, t11 = t10[..., None, :], t11[..., None, :]
+    upper = work[..., tops]
+    lower = work[..., tops + 1]
+    work[..., tops] = upper * np.conj(t00) + lower * np.conj(t01)
+    work[..., tops + 1] = upper * np.conj(t10) + lower * np.conj(t11)
 
 
 @lru_cache(maxsize=128)
@@ -545,6 +590,28 @@ def _reck_oplist(n: int):
     return op_rows, op_cols, engine.column_schedule(op_cols, n)
 
 
+def _reck_nulling(work: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared wavefront-nulling core of the Reck scheme, stack-generic.
+
+    ``work`` is mutated in place and may be a single matrix ``(n, n)`` or a
+    stack ``(..., n, n)``; the returned ``(modes, thetas, phis,
+    output_phases)`` arrays carry the same leading axes.
+    """
+    n = work.shape[-1]
+    op_rows, op_cols, schedule = _reck_oplist(n)
+    thetas = np.empty(work.shape[:-2] + (op_cols.size,), dtype=float)
+    phis = np.empty_like(thetas)
+    for indices, tops, _bottoms in schedule.columns:
+        rows = op_rows[indices]
+        theta, phi = _solve_right_null_vec(work[..., rows, tops],
+                                           work[..., rows, tops + 1])
+        _apply_right_columns(work, tops, theta, phi)
+        thetas[..., indices] = theta
+        phis[..., indices] = phi
+    output_phases = np.diagonal(work, axis1=-2, axis2=-1).copy()
+    return op_cols, thetas, phis, output_phases
+
+
 def reck_decompose(unitary: np.ndarray) -> MeshDecomposition:
     """Triangular (Reck) decomposition of a unitary into physical MZIs.
 
@@ -556,20 +623,10 @@ def reck_decompose(unitary: np.ndarray) -> MeshDecomposition:
     :func:`reck_decompose_reference` to 1e-10.
     """
     unitary = _check_unitary_input(unitary)
-    n = unitary.shape[0]
     work = unitary.copy()
-    op_rows, op_cols, schedule = _reck_oplist(n)
-    thetas = np.empty(op_cols.size, dtype=float)
-    phis = np.empty(op_cols.size, dtype=float)
-    for indices, tops, _bottoms in schedule.columns:
-        rows = op_rows[indices]
-        theta, phi = _solve_right_null_vec(work[rows, tops], work[rows, tops + 1])
-        _apply_right_columns(work, tops, theta, phi)
-        thetas[indices] = theta
-        phis[indices] = phi
-    output_phases = np.diag(work).copy()
-    return MeshDecomposition(dimension=n, modes=op_cols, thetas=thetas, phis=phis,
-                             output_phases=output_phases, method="reck")
+    modes, thetas, phis, output_phases = _reck_nulling(work)
+    return MeshDecomposition(dimension=unitary.shape[0], modes=modes, thetas=thetas,
+                             phis=phis, output_phases=output_phases, method="reck")
 
 
 @lru_cache(maxsize=128)
@@ -720,4 +777,119 @@ def decompose_unitary(unitary: np.ndarray, method: str = "clements") -> MeshDeco
         return reck_decompose(unitary)
     if method == "clements":
         return clements_decompose(unitary)
+    raise ValueError(f"unknown mesh decomposition method {method!r} (use 'reck' or 'clements')")
+
+
+# --------------------------------------------------------------------------- #
+# batched-stack decompositions
+# --------------------------------------------------------------------------- #
+def _check_unitary_stack(unitaries: np.ndarray) -> np.ndarray:
+    stack = np.asarray(unitaries, dtype=complex)
+    if stack.ndim != 3 or stack.shape[-1] != stack.shape[-2]:
+        raise ValueError("stack decomposition requires a (stack, n, n) array")
+    identity = np.eye(stack.shape[-1])
+    grams = np.swapaxes(stack.conj(), -1, -2) @ stack
+    if not np.allclose(grams, identity, atol=1e-6):
+        raise ValueError("stack contains a non-unitary matrix; map general "
+                         "matrices via svd_decompose_many()")
+    return stack
+
+
+def reck_decompose_stack(unitaries: np.ndarray) -> List[MeshDecomposition]:
+    """Reck-decompose a stack of same-size unitaries in one vectorized pass.
+
+    Every wavefront of nulling operations is applied to all matrices of the
+    stack at once, so the Python-level loop count stays at the mesh depth
+    ``2 n - 3`` regardless of the stack size.  Each returned mesh is
+    parity-pinned against :func:`reck_decompose` of its slice to 1e-10.
+    """
+    stack = _check_unitary_stack(unitaries)
+    work = stack.copy()
+    modes, thetas, phis, output_phases = _reck_nulling(work)
+    dimension = stack.shape[-1]
+    return [MeshDecomposition(dimension=dimension, modes=modes, thetas=thetas[index],
+                              phis=phis[index], output_phases=output_phases[index],
+                              method="reck")
+            for index in range(stack.shape[0])]
+
+
+def clements_decompose_stack(unitaries: np.ndarray) -> List[MeshDecomposition]:
+    """Clements-decompose a stack of same-size unitaries in one vectorized pass.
+
+    The anti-diagonal nulling operations of the Clements scheme form one
+    sequential dependency chain per matrix (see :func:`_clements_oplist`), so
+    the per-matrix path cannot wavefront-vectorize them.  Across a *stack*
+    they are embarrassingly parallel: every chain step solves its parameters
+    and applies its two-row / two-column update for all matrices at once,
+    which is how the compiler amortizes deploying many same-size conv-kernel
+    SVD factors.  Each returned mesh is parity-pinned against
+    :func:`clements_decompose` of its slice to 1e-10.
+    """
+    stack = _check_unitary_stack(unitaries)
+    count, n = stack.shape[0], stack.shape[-1]
+    work = stack.copy()
+    is_left, op_modes, op_pivots, left_reversed, push_modes, push_schedule = \
+        _clements_oplist(n)
+    thetas = np.empty((count, op_modes.size), dtype=float)
+    phis = np.empty_like(thetas)
+    for index, (left, mode, pivot) in enumerate(
+            zip(is_left.tolist(), op_modes.tolist(), op_pivots.tolist())):
+        if left:
+            a, b = work[:, mode, pivot], work[:, mode + 1, pivot]
+            a_abs = np.where(np.abs(a) > NULL_TOLERANCE, np.abs(a), 0.0)
+            b_abs = np.where(np.abs(b) > NULL_TOLERANCE, np.abs(b), 0.0)
+            theta = 2.0 * np.arctan2(a_abs, b_abs)
+            phi = np.where((a_abs > 0) & (b_abs > 0), np.angle(b * np.conj(a)), 0.0)
+            t00, t01, t10, t11 = engine.mzi_block_coefficients(theta, phi)
+            upper = work[:, mode, :].copy()
+            lower = work[:, mode + 1, :]
+            work[:, mode, :] = t00[:, None] * upper + t01[:, None] * lower
+            work[:, mode + 1, :] = t10[:, None] * upper + t11[:, None] * lower
+        else:
+            a, b = work[:, pivot, mode], work[:, pivot, mode + 1]
+            a_abs = np.where(np.abs(a) > NULL_TOLERANCE, np.abs(a), 0.0)
+            b_abs = np.where(np.abs(b) > NULL_TOLERANCE, np.abs(b), 0.0)
+            theta = 2.0 * np.arctan2(b_abs, a_abs)
+            phi = np.where((a_abs > 0) & (b_abs > 0), -np.angle(-b * np.conj(a)), 0.0)
+            # right ops apply the conjugate-transpose block on column pairs
+            t00, t01, t10, t11 = engine.mzi_block_coefficients(theta, phi)
+            h00, h01, h10, h11 = np.conj(t00), np.conj(t10), np.conj(t01), np.conj(t11)
+            upper = work[:, :, mode].copy()
+            lower = work[:, :, mode + 1]
+            work[:, :, mode] = h00[:, None] * upper + h10[:, None] * lower
+            work[:, :, mode + 1] = h01[:, None] * upper + h11[:, None] * lower
+        thetas[:, index] = theta
+        phis[:, index] = phi
+
+    diagonal = np.diagonal(work, axis1=-2, axis2=-1).copy()
+
+    pushed_thetas = np.empty((count, left_reversed.size), dtype=float)
+    pushed_phis = np.empty_like(pushed_thetas)
+    for indices, tops, _bottoms in push_schedule.columns:
+        ops = left_reversed[indices]
+        new_d0, new_d1, theta, phi = _refactor_phase_mzi_vec(
+            thetas[:, ops], phis[:, ops], diagonal[:, tops], diagonal[:, tops + 1])
+        diagonal[:, tops] = new_d0
+        diagonal[:, tops + 1] = new_d1
+        pushed_thetas[:, indices] = theta
+        pushed_phis[:, indices] = phi
+
+    right_indices = np.flatnonzero(~is_left)
+    modes = np.concatenate([op_modes[right_indices], push_modes])
+    all_thetas = np.concatenate([thetas[:, right_indices], pushed_thetas], axis=1)
+    all_phis = np.concatenate([phis[:, right_indices], pushed_phis], axis=1)
+    return [MeshDecomposition(dimension=n, modes=modes, thetas=all_thetas[index],
+                              phis=all_phis[index], output_phases=diagonal[index],
+                              method="clements")
+            for index in range(count)]
+
+
+def decompose_unitary_stack(unitaries: np.ndarray,
+                            method: str = "clements") -> List[MeshDecomposition]:
+    """Dispatch to :func:`reck_decompose_stack` or :func:`clements_decompose_stack`."""
+    method = method.lower()
+    if method == "reck":
+        return reck_decompose_stack(unitaries)
+    if method == "clements":
+        return clements_decompose_stack(unitaries)
     raise ValueError(f"unknown mesh decomposition method {method!r} (use 'reck' or 'clements')")

@@ -62,6 +62,17 @@ class PhaseNoiseModel:
     sigma: float = 0.0
     rng: Optional[np.random.Generator] = None
 
+    @classmethod
+    def seeded(cls, sigma, seed: int = 0) -> "PhaseNoiseModel":
+        """A noise model with its own freshly seeded generator.
+
+        Convenience for building reproducible
+        :class:`~repro.core.compile.HardwareTarget` noise specifications
+        without sharing a generator between targets (a shared generator makes
+        logically independent compiles consume each other's draws).
+        """
+        return cls(sigma=sigma, rng=np.random.default_rng(seed))
+
     def perturb(self, mesh: MeshDecomposition,
                 trials: Optional[int] = None) -> MeshDecomposition:
         """Return a noisy copy of ``mesh``.

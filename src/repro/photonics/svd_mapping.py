@@ -13,17 +13,27 @@ The MZI count of the mapped matrix is::
     n (n - 1) / 2  +  min(m, n)  +  m (m - 1) / 2
 
 which is the formula the paper uses for every area number.
+
+:func:`svd_decompose_many` maps a whole list of weight matrices at once:
+the SVD factors of every weight are grouped by dimension and each group is
+decomposed as one batched stack
+(:func:`~repro.photonics.mzi_mesh.decompose_unitary_stack`), which is how the
+compiler amortizes deploying models with many same-size kernels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.photonics.area import mzi_count_matrix
-from repro.photonics.mzi_mesh import MeshDecomposition, decompose_unitary
+from repro.photonics.mzi_mesh import (
+    MeshDecomposition,
+    decompose_unitary,
+    decompose_unitary_stack,
+)
 
 
 @dataclass
@@ -101,8 +111,47 @@ class PhotonicMatrix:
         return states[..., 0, :] if single else states
 
 
+def _apply_mesh_policy(mesh: MeshDecomposition, backend: str,
+                       dense_dimension_limit: Optional[int]) -> MeshDecomposition:
+    if backend not in MeshDecomposition.BACKENDS:
+        raise ValueError(f"unknown mesh backend {backend!r}; "
+                         f"choose from {MeshDecomposition.BACKENDS}")
+    mesh.backend = backend
+    mesh.dense_dimension_limit = (None if dense_dimension_limit is None
+                                  else int(dense_dimension_limit))
+    return mesh
+
+
+def _assemble(rows: int, cols: int, left_mesh: MeshDecomposition,
+              right_mesh: MeshDecomposition, singular_values: np.ndarray,
+              scale: float) -> PhotonicMatrix:
+    photonic = PhotonicMatrix(
+        rows=rows, cols=cols, left_mesh=left_mesh, right_mesh=right_mesh,
+        singular_values=singular_values.astype(float), scale=scale,
+    )
+    expected = mzi_count_matrix(rows, cols) - min(rows, cols)
+    if photonic.mzi_count != expected:
+        raise AssertionError(
+            f"mesh MZI count {photonic.mzi_count} disagrees with closed form {expected}"
+        )
+    return photonic
+
+
+def _svd_factors(weight: np.ndarray, normalize: bool):
+    weight = np.asarray(weight, dtype=complex)
+    if weight.ndim != 2:
+        raise ValueError("svd_decompose expects a 2-D matrix")
+    left, singular_values, right = np.linalg.svd(weight, full_matrices=True)
+    scale = 1.0
+    if normalize and singular_values.size and singular_values[0] > 1.0:
+        scale = float(singular_values[0])
+        singular_values = singular_values / scale
+    return weight.shape, left, right, singular_values, scale
+
+
 def svd_decompose(weight: np.ndarray, method: str = "clements",
-                  normalize: bool = True) -> PhotonicMatrix:
+                  normalize: bool = True, backend: str = "auto",
+                  dense_dimension_limit: Optional[int] = None) -> PhotonicMatrix:
     """Map a weight matrix onto a photonic circuit via SVD.
 
     Parameters
@@ -116,25 +165,60 @@ def svd_decompose(weight: np.ndarray, method: str = "clements",
         If True, scale the singular values so the largest attenuator
         transmission is 1 (physically realisable); the scale factor is stored
         in :attr:`PhotonicMatrix.scale`.
+    backend, dense_dimension_limit:
+        Execution policy stamped onto both meshes (see
+        :class:`~repro.photonics.mzi_mesh.MeshDecomposition`); the compiler
+        threads these in from ``CompileOptions`` instead of module globals.
     """
-    weight = np.asarray(weight, dtype=complex)
-    if weight.ndim != 2:
-        raise ValueError("svd_decompose expects a 2-D matrix")
-    rows, cols = weight.shape
-    left, singular_values, right = np.linalg.svd(weight, full_matrices=True)
-    scale = 1.0
-    if normalize and singular_values.size and singular_values[0] > 1.0:
-        scale = float(singular_values[0])
-        singular_values = singular_values / scale
-    left_mesh = decompose_unitary(left, method=method)
-    right_mesh = decompose_unitary(right, method=method)
-    photonic = PhotonicMatrix(
-        rows=rows, cols=cols, left_mesh=left_mesh, right_mesh=right_mesh,
-        singular_values=singular_values.astype(float), scale=scale,
-    )
-    expected = mzi_count_matrix(rows, cols) - min(rows, cols)
-    if photonic.mzi_count != expected:
-        raise AssertionError(
-            f"mesh MZI count {photonic.mzi_count} disagrees with closed form {expected}"
-        )
-    return photonic
+    (rows, cols), left, right, singular_values, scale = _svd_factors(weight, normalize)
+    left_mesh = _apply_mesh_policy(decompose_unitary(left, method=method),
+                                   backend, dense_dimension_limit)
+    right_mesh = _apply_mesh_policy(decompose_unitary(right, method=method),
+                                    backend, dense_dimension_limit)
+    return _assemble(rows, cols, left_mesh, right_mesh, singular_values, scale)
+
+
+#: smallest dimension group that is decomposed as a batched stack, per mesh
+#: method.  The Reck stack path replaces an already-vectorized wavefront loop
+#: and wins from two matrices up; the Clements stack path replaces a *scalar*
+#: nulling chain with small-array numpy ops, whose per-op overhead is only
+#: amortized from about four matrices (measured; see
+#: ``benchmarks/test_bench_compile.py``).
+STACK_THRESHOLDS: Dict[str, int] = {"reck": 2, "clements": 4}
+
+
+def svd_decompose_many(weights: Sequence[np.ndarray], method: str = "clements",
+                       normalize: bool = True, batch_unitaries: bool = True,
+                       backend: str = "auto",
+                       dense_dimension_limit: Optional[int] = None
+                       ) -> List[PhotonicMatrix]:
+    """Map many weight matrices onto photonic circuits in one batched pass.
+
+    All SVD factors of all weights are grouped by dimension and every group
+    at or above the method's :data:`STACK_THRESHOLDS` size is decomposed as a
+    single stacked Reck/Clements pass (``batch_unitaries=False`` falls back
+    to the per-matrix path, same results).  The returned list is
+    index-aligned with ``weights``.
+    """
+    factored = [_svd_factors(weight, normalize) for weight in weights]
+    # group the unitaries of every weight by dimension: (weight index, side)
+    groups: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}
+    for index, (_shape, left, right, _sv, _scale) in enumerate(factored):
+        for side, unitary in enumerate((left, right)):
+            groups.setdefault(unitary.shape[0], []).append((index, side, unitary))
+    meshes: Dict[Tuple[int, int], MeshDecomposition] = {}
+    threshold = STACK_THRESHOLDS.get(method.lower(), 2)
+    for members in groups.values():
+        if batch_unitaries and len(members) >= threshold:
+            stack = np.stack([unitary for _index, _side, unitary in members])
+            decomposed = decompose_unitary_stack(stack, method=method)
+        else:
+            decomposed = [decompose_unitary(unitary, method=method)
+                          for _index, _side, unitary in members]
+        for (index, side, _unitary), mesh in zip(members, decomposed):
+            meshes[index, side] = _apply_mesh_policy(mesh, backend,
+                                                     dense_dimension_limit)
+    return [_assemble(rows, cols, meshes[index, 0], meshes[index, 1],
+                      singular_values, scale)
+            for index, ((rows, cols), _left, _right, singular_values, scale)
+            in enumerate(factored)]

@@ -12,7 +12,20 @@ class TestParser:
         parser = build_parser()
         actions = {action.dest: action for action in parser._subparsers._group_actions}
         choices = actions["command"].choices
-        assert set(choices) >= {"table2", "table3", "fig7", "fig8", "fig9", "ablations", "area"}
+        assert set(choices) >= {"table2", "table3", "fig7", "fig8", "fig9", "ablations",
+                                "area", "deploy-cnn", "deploy-resnet"}
+
+    def test_deploy_subcommands_take_method_and_backend(self):
+        parser = build_parser()
+        for command in ("deploy-cnn", "deploy-resnet"):
+            args = parser.parse_args([command, "--preset", "smoke",
+                                      "--method", "reck", "--backend", "column"])
+            assert args.method == "reck"
+            assert args.backend == "column"
+
+    def test_deploy_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy-resnet", "--backend", "warp"])
 
     def test_requires_a_command(self, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,353 @@
+"""Tests of the ``repro.compile`` graph compiler API.
+
+Covers the compiler entry point and its dataclasses, the graph IR produced
+for residual models (fan-out, electronic skip adds, folded batch norms), the
+execution-policy threading that replaced the module globals, and the
+deprecated ``deploy_model`` / ``lower_model`` shims.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.assignment import get_scheme
+from repro.core.area_analysis import model_area_report
+from repro.core.compile import CompiledProgram, CompileOptions, HardwareTarget
+from repro.core.graph_ir import INPUT, ElectronicAdd, ElectronicBatchNorm, GraphProgram
+from repro.core.lowering import Conv2dStage, LinearStage
+from repro.core.training import prepare_batch
+from repro.models import ComplexFCNN
+from repro.models.lenet import ComplexLeNet5
+from repro.models.resnet import ComplexResNet, RealResNet
+from repro.nn.normalization import _BatchNorm
+from repro.photonics.noise import PhaseNoiseModel
+from repro.tensor import no_grad
+
+DECODERS = ("merge", "linear", "unitary", "coherent", "photodiode")
+
+
+def randomize_batchnorms(model, rng):
+    """Give every batch norm non-trivial running statistics and affine params."""
+    for _name, module in model.named_modules():
+        if isinstance(module, _BatchNorm):
+            module._set_buffer("running_mean", rng.normal(size=module.num_features) * 0.3)
+            module._set_buffer("running_var", rng.uniform(0.5, 2.0, size=module.num_features))
+            if module.affine:
+                module.weight.data[:] = rng.uniform(0.5, 1.5, size=module.num_features)
+                module.bias.data[:] = rng.normal(size=module.num_features) * 0.2
+
+
+def tiny_resnet(rng, decoder="merge", num_classes=3):
+    model = ComplexResNet(depth=8, in_channels=2, num_classes=num_classes,
+                          base_widths=(2, 3, 4), decoder=decoder, rng=rng)
+    randomize_batchnorms(model, rng)
+    model.head.calibration.scale.data[:] = rng.uniform(0.5, 1.5, size=num_classes)
+    model.head.calibration.bias.data[:] = rng.normal(size=num_classes)
+    return model
+
+
+def tiny_lenet(rng, decoder="merge", num_classes=4):
+    return ComplexLeNet5(in_channels=2, num_classes=num_classes, image_size=(12, 12),
+                         channels=(3, 4), hidden_sizes=(12, 10), decoder=decoder,
+                         kernel_size=3, padding=1, rng=rng)
+
+
+def software_logits(model, images, scheme):
+    model.eval()
+    with no_grad():
+        return model(prepare_batch(images, scheme)).data
+
+
+class TestCompileEntryPoint:
+    def test_top_level_export(self):
+        from repro.core.compile import compile as compile_function
+
+        assert repro.compile is compile_function
+        assert repro.HardwareTarget is HardwareTarget
+        assert repro.CompileOptions is CompileOptions
+
+    def test_compiled_lenet_is_a_chain_program(self, rng):
+        program = repro.compile(tiny_lenet(rng))
+        assert isinstance(program, CompiledProgram)
+        assert isinstance(program.graph, GraphProgram)
+        assert program.graph.is_chain
+        assert program.input_kind == "image"
+        kinds = [type(stage) for stage in program.stages]
+        assert kinds.count(Conv2dStage) == 2
+        assert kinds.count(LinearStage) == 3
+
+    def test_compiled_fcnn_matches_software(self, rng):
+        scheme = get_scheme("SI")
+        model = ComplexFCNN(18, (10,), 4, decoder="merge", rng=rng)
+        program = repro.compile(model)
+        images = rng.normal(size=(6, 1, 6, 6))
+        assert np.allclose(program.predict_logits(images, scheme),
+                           software_logits(model, images, scheme), atol=1e-6)
+
+    def test_unsupported_model_rejected(self, rng):
+        with pytest.raises(TypeError, match="register_lowering"):
+            repro.compile(RealResNet(depth=8, in_channels=3, num_classes=3,
+                                     base_widths=(2, 3, 4), rng=rng))
+
+    def test_invalid_target_and_options(self):
+        with pytest.raises(ValueError):
+            HardwareTarget(method="butterfly")
+        with pytest.raises(ValueError):
+            HardwareTarget(trials=4)          # trials without a noise model
+        with pytest.raises(ValueError):
+            CompileOptions(backend="warp")
+        with pytest.raises(ValueError):
+            CompileOptions(dense_dimension_limit=-1)
+
+
+class TestResNetGraphCompile:
+    @pytest.mark.parametrize("decoder", DECODERS)
+    def test_resnet_matches_software_on_all_decoder_heads(self, decoder, rng):
+        scheme = get_scheme("CL")
+        model = tiny_resnet(rng, decoder=decoder)
+        program = repro.compile(model)
+        images = rng.normal(size=(4, 3, 8, 8))
+        expected = software_logits(model, images, scheme)
+        actual = program.predict_logits(images, scheme)
+        assert np.abs(actual - expected).max() <= 1e-8
+
+    @pytest.mark.parametrize("method", ["clements", "reck"])
+    def test_both_mesh_methods(self, method, rng):
+        scheme = get_scheme("CL")
+        model = tiny_resnet(rng)
+        program = repro.compile(model, target=HardwareTarget(method=method))
+        images = rng.normal(size=(3, 3, 8, 8))
+        assert np.abs(program.predict_logits(images, scheme)
+                      - software_logits(model, images, scheme)).max() <= 1e-8
+
+    def test_graph_has_skip_adds_and_fanout(self, rng):
+        program = repro.compile(tiny_resnet(rng))
+        graph = program.graph
+        assert not graph.is_chain
+        adds = [node for node in graph.nodes if isinstance(node.op, ElectronicAdd)]
+        assert len(adds) == 3                      # one skip add per basic block
+        assert all(len(node.inputs) == 2 for node in adds)
+        # batch norms fold into electronic affine nodes, not mesh stages
+        assert any(isinstance(node.op, ElectronicBatchNorm) for node in graph.nodes)
+        # at least one producer fans out to two consumers (branch + skip)
+        consumers = {}
+        for node in graph.nodes:
+            for name in node.inputs:
+                consumers[name] = consumers.get(name, 0) + 1
+        assert max(consumers.values()) >= 2
+        with pytest.raises(TypeError):
+            program.stages                          # no chain form
+
+    def test_mzi_count_matches_area_report(self, rng):
+        model = tiny_resnet(rng)
+        program = repro.compile(model)
+        assert program.mzi_count == model_area_report(model).total_mzis
+
+    def test_batched_equals_looped(self, rng):
+        scheme = get_scheme("CL")
+        program = repro.compile(tiny_resnet(rng))
+        images = rng.normal(size=(4, 3, 8, 8))
+        batched = program.predict_logits(images, scheme)
+        looped = np.concatenate([program.predict_logits(images[i:i + 1], scheme)
+                                 for i in range(len(images))])
+        assert np.allclose(batched, looped, atol=1e-12)
+
+    def test_noise_trials_and_sigma_axes(self, rng):
+        scheme = get_scheme("CL")
+        program = repro.compile(tiny_resnet(rng))
+        images = rng.normal(size=(2, 3, 8, 8))
+        noise = PhaseNoiseModel(sigma=np.array([0.0, 0.05]), rng=rng)
+        logits = program.with_noise(noise=noise, trials=3).predict_logits(images, scheme)
+        assert logits.shape == (2, 3, 2, 3)        # (sigmas, trials, batch, classes)
+        clean = program.predict_logits(images, scheme)
+        # the sigma = 0 slice must agree with the clean circuit; the identity
+        # skip branches broadcast against the trials axes of the mesh branches
+        assert np.allclose(logits[0], np.broadcast_to(clean, (3,) + clean.shape),
+                           atol=1e-8)
+
+    def test_unbatched_decomposition_matches_batched(self, rng):
+        scheme = get_scheme("CL")
+        model = tiny_resnet(rng)
+        images = rng.normal(size=(2, 3, 8, 8))
+        batched = repro.compile(model).predict_logits(images, scheme)
+        sequential = repro.compile(
+            model, options=CompileOptions(batch_unitaries=False)
+        ).predict_logits(images, scheme)
+        assert np.allclose(batched, sequential, atol=1e-10)
+
+
+class TestExecutionPolicy:
+    def test_backend_is_threaded_to_every_mesh(self, rng):
+        program = repro.compile(tiny_lenet(rng),
+                                options=CompileOptions(backend="column",
+                                                       dense_dimension_limit=5))
+        meshes = [mesh for stage in program.stages if isinstance(stage, (LinearStage, Conv2dStage))
+                  for mesh in (stage.layer.photonic_matrix.left_mesh,
+                               stage.layer.photonic_matrix.right_mesh)]
+        assert meshes
+        assert all(mesh.backend == "column" for mesh in meshes)
+        assert all(mesh.dense_dimension_limit == 5 for mesh in meshes)
+
+    @pytest.mark.parametrize("options", [CompileOptions(backend="dense"),
+                                         CompileOptions(backend="column"),
+                                         CompileOptions(dense_dimension_limit=0)],
+                             ids=["dense", "column", "limit0"])
+    def test_backends_agree_numerically(self, options, rng):
+        scheme = get_scheme("CL")
+        model = tiny_lenet(rng)
+        images = rng.normal(size=(3, 3, 12, 12))
+        reference = repro.compile(model).predict_logits(images, scheme)
+        assert np.allclose(repro.compile(model, options=options)
+                           .predict_logits(images, scheme), reference, atol=1e-9)
+
+    def test_per_compile_limits_do_not_share_state(self, rng):
+        # two programs with different limits coexist: no global was mutated
+        from repro.photonics import engine
+
+        before = engine.DENSE_DIMENSION_LIMIT
+        model = tiny_lenet(rng)
+        dense_program = repro.compile(model, options=CompileOptions(dense_dimension_limit=999))
+        column_program = repro.compile(model, options=CompileOptions(dense_dimension_limit=0))
+        assert engine.DENSE_DIMENSION_LIMIT == before
+        sample = dense_program.stages[0].layer.photonic_matrix.left_mesh
+        assert sample.dense_dimension_limit == 999
+        sample = column_program.stages[0].layer.photonic_matrix.left_mesh
+        assert sample.dense_dimension_limit == 0
+
+    def test_target_noise_is_baked_in(self, rng):
+        scheme = get_scheme("CL")
+        model = tiny_lenet(rng)
+        target = HardwareTarget(noise=PhaseNoiseModel.seeded(0.03, seed=11), trials=4)
+        program = repro.compile(model, target=target)
+        logits = program.predict_logits(rng.normal(size=(2, 3, 12, 12)), scheme)
+        assert logits.shape == (4, 2, 4)           # (trials, batch, classes)
+
+    def test_quantization_target(self, rng):
+        scheme = get_scheme("CL")
+        model = tiny_lenet(rng)
+        images = rng.normal(size=(2, 3, 12, 12))
+        clean = repro.compile(model).predict_logits(images, scheme)
+        coarse = repro.compile(model, target=HardwareTarget(quantization_bits=6))
+        assert not np.allclose(coarse.predict_logits(images, scheme), clean)
+
+
+class TestDeprecatedShims:
+    def test_deploy_model_warns_and_matches_compile(self, rng):
+        from repro.core.deploy import DeployedModel, deploy_model
+
+        scheme = get_scheme("CL")
+        model = tiny_lenet(rng)
+        with pytest.warns(DeprecationWarning):
+            deployed = deploy_model(model)
+        assert isinstance(deployed, DeployedModel)
+        program = repro.compile(model)
+        images = rng.normal(size=(4, 3, 12, 12))
+        assert np.allclose(deployed.predict_logits(images, scheme),
+                           program.predict_logits(images, scheme), atol=1e-12)
+        assert deployed.mzi_count == program.mzi_count
+
+    def test_deploy_linear_model_warns(self, rng):
+        from repro.core.deploy import deploy_linear_model
+
+        with pytest.warns(DeprecationWarning):
+            deploy_linear_model(ComplexFCNN(8, (6,), 3, decoder="merge", rng=rng))
+
+    def test_lower_model_warns_and_rejects_graph_programs(self, rng):
+        from repro.core.lowering import lower_model
+
+        with pytest.warns(DeprecationWarning):
+            lower_model(tiny_lenet(rng))
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="repro.compile"):
+                lower_model(tiny_resnet(rng))
+
+    def test_deploy_model_rejects_graph_programs(self, rng):
+        from repro.core.deploy import deploy_model
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="repro.compile"):
+                deploy_model(tiny_resnet(rng))
+
+    def test_set_dense_dimension_limit_warns_but_still_seeds_default(self):
+        from repro.photonics import engine
+
+        with pytest.warns(DeprecationWarning):
+            previous = engine.set_dense_dimension_limit(33)
+        try:
+            assert engine.DENSE_DIMENSION_LIMIT == 33
+        finally:
+            engine._set_default_dense_limit(previous)
+
+
+class TestLoweringRegistry:
+    def test_rules_are_extensible(self, rng):
+        from repro.core.graph_ir import ElectronicActivation
+        from repro.core.lowering import (
+            LoweringContext,
+            _LAYER_RULES,
+            register_lowering,
+        )
+
+        class Doubler:
+            """A toy electronic module type with its own lowering rule."""
+
+        @register_lowering(Doubler)
+        def _lower_doubler(module, name, ctx):
+            ctx.emit(name, ElectronicActivation())
+
+        try:
+            ctx = LoweringContext()
+            ctx.lower_chain([Doubler()], "custom")
+            assert ctx.builder.node_count == 1
+            assert isinstance(ctx.builder.ops()[0], ElectronicActivation)
+        finally:
+            del _LAYER_RULES[Doubler]
+
+    def test_mro_dispatch_covers_subclasses(self, rng):
+        from repro.core.lowering import LoweringContext
+        from repro.nn.complex import ComplexLinear
+
+        class FancyLinear(ComplexLinear):
+            pass
+
+        ctx = LoweringContext()
+        ctx.lower_chain([FancyLinear(4, 3, rng=rng)], "custom")
+        ctx.finalize()
+        assert isinstance(ctx.builder.ops()[0], LinearStage)
+
+    def test_activation_folds_only_for_sole_consumers(self, rng):
+        from repro.core.graph_ir import ElectronicActivation
+        from repro.core.lowering import LoweringContext, fold_activation_nodes
+        from repro.nn.complex import ComplexLinear, CReLU
+
+        # pure chain: the CReLU folds into the linear stage
+        ctx = LoweringContext()
+        ctx.lower_chain([ComplexLinear(4, 4, rng=rng), CReLU()], "chain")
+        nodes, output = fold_activation_nodes(ctx.builder.nodes(), ctx.cursor)
+        assert len(nodes) == 1 and output == nodes[0].name
+        assert nodes[0].op.activation_after is True
+
+        # fan-out: a skip branch consumes the pre-activation output, so the
+        # CReLU must stay its own node and the producer must stay unactivated
+        ctx = LoweringContext()
+        ctx.lower_module(ComplexLinear(4, 4, rng=rng), "linear")
+        entry = ctx.cursor
+        ctx.lower_module(CReLU(), "act")
+        main = ctx.cursor
+        ctx.emit("add", ElectronicAdd(), inputs=(main, entry))
+        nodes, _output = fold_activation_nodes(ctx.builder.nodes(), ctx.cursor)
+        ops = {node.name: node.op for node in nodes}
+        assert isinstance(ops["act"], ElectronicActivation)
+        assert ops["linear"].activation_after is False
+
+    def test_graph_program_validates_topology(self):
+        from repro.core.graph_ir import GraphNode
+
+        op = ElectronicAdd()
+        with pytest.raises(ValueError, match="undefined"):
+            GraphProgram(nodes=[GraphNode("a", op, ("missing",))], output="a",
+                         readout=lambda s: s, num_classes=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            GraphProgram(nodes=[GraphNode("a", op, (INPUT,)),
+                                GraphNode("a", op, (INPUT,))],
+                         output="a", readout=lambda s: s, num_classes=1)

@@ -243,3 +243,15 @@ class TestDeployedCnn:
         assert all(r.trials == 3 for r in rows)
         assert all(0.0 <= r.noisy_accuracy <= 1.0 for r in rows)
         assert "im2col" in format_deployed_cnn(rows)
+
+    def test_deployed_resnet_smoke(self):
+        from repro.experiments.deployed import format_deployed_resnet, run_deployed_resnet
+
+        rows = run_deployed_resnet(preset="smoke", sigmas=(0.0, 0.05), trials=2,
+                                   eval_samples=12)
+        assert len(rows) == 2
+        # the noiseless graph-compiled circuit matches the software model
+        assert rows[0].max_logit_error < 1e-8
+        assert rows[0].deployed_accuracy == rows[0].software_accuracy
+        assert all(0.0 <= r.noisy_accuracy <= 1.0 for r in rows)
+        assert "graph" in format_deployed_resnet(rows)

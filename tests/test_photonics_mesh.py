@@ -214,3 +214,94 @@ class TestVectorizedDecompositionParity:
                 assert np.abs(mesh.phis - spec.phis).max() < 1e-10
                 assert np.abs(mesh.output_phases - spec.output_phases).max() < 1e-10
                 assert np.abs(mesh.reconstruct() - unitary).max() < 1e-9
+
+
+class TestBatchedStackDecomposition:
+    """The stack paths must agree with the per-matrix paths to 1e-10."""
+
+    @staticmethod
+    def _assert_stack_parity(stack, method):
+        from repro.photonics import decompose_unitary_stack
+
+        meshes = decompose_unitary_stack(stack, method=method)
+        assert len(meshes) == len(stack)
+        for unitary, mesh in zip(stack, meshes):
+            reference = decompose_unitary(unitary, method=method)
+            assert np.array_equal(mesh.modes, reference.modes)
+            assert np.allclose(mesh.thetas, reference.thetas, atol=1e-10)
+            assert np.allclose(mesh.phis, reference.phis, atol=1e-10)
+            assert np.allclose(mesh.output_phases, reference.output_phases, atol=1e-10)
+            assert np.allclose(mesh.reconstruct(), unitary, atol=1e-9)
+
+    @pytest.mark.parametrize("method", ["reck", "clements"])
+    @pytest.mark.parametrize("dimension", [1, 2, 5, 12])
+    def test_haar_random_stack_matches_per_matrix(self, method, dimension, rng):
+        stack = np.stack([random_unitary(dimension, rng) for _ in range(4)])
+        self._assert_stack_parity(stack, method)
+
+    @pytest.mark.parametrize("method", ["reck", "clements"])
+    def test_rank_deficient_svd_factors(self, method, rng):
+        # SVD factors of rank-deficient weights contain null-space completion
+        # rows whose nulling pivots are optically dark; the stack path must
+        # apply the same dark-cell clamp as the per-matrix path
+        stacks = {}
+        for rank in (1, 3):
+            weight = ((rng.normal(size=(9, rank)) + 1j * rng.normal(size=(9, rank)))
+                      @ (rng.normal(size=(rank, 9)) + 1j * rng.normal(size=(rank, 9))))
+            left, _sigma, right = np.linalg.svd(weight)
+            stacks.setdefault(left.shape[0], []).append(left)
+            stacks.setdefault(right.shape[0], []).append(right)
+        for dimension, members in stacks.items():
+            self._assert_stack_parity(np.stack(members), method)
+
+    @pytest.mark.parametrize("method", ["reck", "clements"])
+    def test_non_square_weight_factors(self, method, rng):
+        # left (m x m) and right (n x n) factors of non-square weights land in
+        # different dimension groups; each group must keep per-matrix parity
+        weights = [rng.normal(size=(4, 10)) + 1j * rng.normal(size=(4, 10)),
+                   rng.normal(size=(10, 4)) + 1j * rng.normal(size=(10, 4))]
+        groups = {}
+        for weight in weights:
+            left, _sigma, right = np.linalg.svd(weight, full_matrices=True)
+            for factor in (left, right):
+                groups.setdefault(factor.shape[0], []).append(factor)
+        for dimension, members in groups.items():
+            self._assert_stack_parity(np.stack(members), method)
+
+    def test_non_unitary_stack_rejected(self, rng):
+        from repro.photonics import decompose_unitary_stack
+
+        with pytest.raises(ValueError):
+            decompose_unitary_stack(rng.normal(size=(3, 5, 5)) * 2.0)
+        with pytest.raises(ValueError):
+            decompose_unitary_stack(random_unitary(4, rng))  # missing stack axis
+
+
+class TestSvdDecomposeMany:
+    def test_batched_matches_per_weight(self, rng):
+        from repro.photonics import svd_decompose, svd_decompose_many
+
+        weights = [rng.normal(size=(6, 6)) + 1j * rng.normal(size=(6, 6)),
+                   rng.normal(size=(6, 6)) + 1j * rng.normal(size=(6, 6)),
+                   rng.normal(size=(3, 6)) + 1j * rng.normal(size=(3, 6))]
+        batched = svd_decompose_many(weights, batch_unitaries=True)
+        for weight, photonic in zip(weights, batched):
+            reference = svd_decompose(weight)
+            assert photonic.mzi_count == reference.mzi_count
+            assert np.abs(photonic.matrix() - weight).max() < 1e-10
+            vector = rng.normal(size=(2, weight.shape[1])) + 0j
+            assert np.allclose(photonic.apply(vector), reference.apply(vector),
+                               atol=1e-10)
+
+    def test_policy_is_stamped_on_meshes(self, rng):
+        from repro.photonics import svd_decompose_many
+
+        weights = [rng.normal(size=(4, 4)) + 0j, rng.normal(size=(4, 4)) + 0j]
+        matrices = svd_decompose_many(weights, backend="column",
+                                      dense_dimension_limit=7)
+        for photonic in matrices:
+            for mesh in (photonic.left_mesh, photonic.right_mesh):
+                assert mesh.backend == "column"
+                assert mesh.dense_dimension_limit == 7
+        with pytest.raises(ValueError):
+            svd_decompose_many(weights, backend="warp")
