@@ -10,6 +10,7 @@ Examples
     python -m repro ablations --preset smoke
     python -m repro deploy-cnn --method reck --backend column
     python -m repro deploy-resnet --preset smoke   # graph compiler end to end
+    python -m repro serve --workload lenet5 --max-batch 1 8 64
 
 Each subcommand prints the same rows/series the paper reports and optionally
 saves them as JSON with ``--output``.
@@ -113,6 +114,65 @@ def _run_deploy_resnet(args: argparse.Namespace) -> None:
     _maybe_save(rows, args.output)
 
 
+def _run_serve(args: argparse.Namespace) -> None:
+    """Serving throughput demo: plan runtime + dynamic micro-batching."""
+    import numpy as np
+
+    from repro.core.compile import CompileOptions, HardwareTarget
+    from repro.core.pipeline import OplixNet
+    from repro.experiments.common import get_workload, workload_config
+    from repro.experiments.presets import get_preset
+    from repro.serve import ProgramCache, measure_plan_speedup, run_serving_benchmark
+
+    preset = get_preset(args.preset)
+    workload = get_workload(args.workload)
+    config = workload_config(workload, preset, seed=args.seed, decoder=args.decoder)
+    pipeline = OplixNet(config)
+    if args.train:
+        student, _ = pipeline.train_student(mutual_learning=False)
+    else:
+        student = pipeline.build_student()
+    scheme = pipeline.student_scheme()
+
+    cache = ProgramCache(capacity=4)
+    target = HardwareTarget(method=args.method)
+    options = CompileOptions(backend=args.backend)
+    program = cache.get_or_compile(args.workload, student, target, options)
+    # a second deploy of the same key must hit the cache
+    if cache.get_or_compile(args.workload, student, target, options) is not program:
+        raise RuntimeError("program cache failed to serve the repeated deploy")
+
+    image_shape = (config.channels, *config.image_size)
+    rng = np.random.default_rng(args.seed)
+    plan_row = measure_plan_speedup(
+        program, rng.normal(size=(args.max_batch[-1],) + image_shape), scheme)
+    print(f"{workload.display_name}: {program.plan().describe()}")
+    print(f"plan vs node-walk at batch {plan_row['batch']}: "
+          f"{plan_row['speedup']:.2f}x "
+          f"(walk {plan_row['walk_seconds'] * 1e3:.2f} ms, "
+          f"plan {plan_row['plan_seconds'] * 1e3:.2f} ms, "
+          f"parity {plan_row['max_deviation']:.1e})\n")
+
+    rows = []
+    for max_batch in args.max_batch:
+        rows.append(run_serving_benchmark(
+            program, scheme, image_shape=image_shape, requests=args.requests,
+            clients=args.clients, max_batch=max_batch,
+            max_latency_s=args.max_latency_ms / 1e3, seed=args.seed))
+    table = [[row.max_batch, row.clients, row.requests,
+              f"{row.sequential_requests_per_s:.0f}",
+              f"{row.batched_requests_per_s:.0f}",
+              f"{row.throughput_gain:.2f}x",
+              f"{row.batcher['mean_batch_samples']:.1f}"]
+             for row in rows]
+    print(format_table(
+        ["max batch", "clients", "requests", "seq req/s", "batched req/s",
+         "gain", "mean flush size"],
+        table, title="Dynamic micro-batching throughput (synthetic traffic)"))
+    _maybe_save({"plan": plan_row, "serving": rows,
+                 "cache": cache.stats.as_dict()}, args.output)
+
+
 def _run_area(args: argparse.Namespace) -> None:
     """Exact paper-scale MZI accounting for every workload (no training)."""
     from repro.experiments.common import WORKLOADS
@@ -177,6 +237,28 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("auto", "dense", "column"),
                             help="mesh execution backend (CompileOptions.backend)")
         deploy.set_defaults(runner=runner)
+
+    serve = subparsers.add_parser(
+        "serve", help="serving demo: plan runtime + dynamic micro-batching throughput")
+    _add_common_arguments(serve)
+    serve.add_argument("--workload", default="fcnn",
+                       choices=("fcnn", "lenet5", "resnet20", "resnet32"))
+    serve.add_argument("--decoder", default="merge",
+                       choices=("merge", "linear", "unitary", "coherent", "photodiode"))
+    serve.add_argument("--method", default="clements", choices=("clements", "reck"))
+    serve.add_argument("--backend", default="auto", choices=("auto", "dense", "column"))
+    serve.add_argument("--train", action="store_true",
+                       help="train the student first (default: serve random weights, "
+                            "which measures the same throughput)")
+    serve.add_argument("--requests", type=int, default=256,
+                       help="synthetic single-image requests to serve")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="concurrent client threads")
+    serve.add_argument("--max-batch", type=int, nargs="+", default=[1, 8, 64],
+                       help="flush sample budgets to sweep")
+    serve.add_argument("--max-latency-ms", type=float, default=2.0,
+                       help="longest a queued request waits for co-batching")
+    serve.set_defaults(runner=_run_serve)
 
     area = subparsers.add_parser("area", help="exact paper-scale MZI accounting (no training)")
     area.set_defaults(runner=_run_area)

@@ -167,30 +167,51 @@ class CompiledProgram:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
+    def plan(self, options: Optional[Any] = None):
+        """The program's :class:`~repro.core.runtime.ExecutionPlan`.
+
+        Compiled once and cached on the graph; every ``forward`` /
+        ``predict_logits`` call executes it.  Call this eagerly to pay the
+        plan compilation (eager dense matrices, buffer-lifetime analysis)
+        before the first request -- the serving layer does so when a program
+        enters the cache.  Pass :class:`~repro.core.runtime.PlanOptions` to
+        compile a fresh plan with a different fusion policy.
+        """
+        return self.graph.plan(options)
+
     def forward_signals(self, complex_inputs: np.ndarray) -> np.ndarray:
         """Propagate complex input amplitudes through the program graph.
 
-        Batch-first: ``complex_inputs`` is ``(batch, n)`` for flat programs
-        or ``(batch, channels, height, width)`` for convolutional ones.  When
-        nodes carry trials-batched (noise-ensemble) meshes the signal gains a
-        leading trials axis at the first mesh node and every realization
-        propagates consistently through the rest of the graph.
+        Executes the cached execution plan (see :meth:`plan`).  Batch-first:
+        ``complex_inputs`` is ``(batch, n)`` for flat programs or ``(batch,
+        channels, height, width)`` for convolutional ones.  When nodes carry
+        trials-batched (noise-ensemble) meshes the signal gains a leading
+        trials axis at the first mesh node and every realization propagates
+        consistently through the rest of the graph.
         """
         return self.graph.forward(complex_inputs)
 
     forward = forward_signals
     __call__ = forward_signals
 
-    def predict_logits(self, images: np.ndarray, scheme: AssignmentScheme) -> np.ndarray:
-        """Run the full optical pipeline: assignment, encoding, meshes, readout."""
+    def encode_images(self, images: np.ndarray, scheme: AssignmentScheme) -> np.ndarray:
+        """The complex light the program graph consumes for a raw image batch.
+
+        Applies the assignment scheme and the optical encoder, flattening the
+        assigned maps first for flat-input programs.  This is the front half
+        of :meth:`predict_logits`; the harnesses use it to drive the graph
+        executors directly on encoded signals.
+        """
         assignment = scheme.assign(images)
         if self.input_kind == "image":
-            light = self.encoder.encode(assignment.real, assignment.imag)
-        else:
-            flattened_real = assignment.real.reshape(assignment.real.shape[0], -1)
-            flattened_imag = assignment.imag.reshape(assignment.imag.shape[0], -1)
-            light = self.encoder.encode(flattened_real, flattened_imag)
-        signal = self.forward_signals(light)
+            return self.encoder.encode(assignment.real, assignment.imag)
+        flattened_real = assignment.real.reshape(assignment.real.shape[0], -1)
+        flattened_imag = assignment.imag.reshape(assignment.imag.shape[0], -1)
+        return self.encoder.encode(flattened_real, flattened_imag)
+
+    def predict_logits(self, images: np.ndarray, scheme: AssignmentScheme) -> np.ndarray:
+        """Run the full optical pipeline: assignment, encoding, meshes, readout."""
+        signal = self.forward_signals(self.encode_images(images, scheme))
         return self.readout(signal)
 
     def classify(self, images: np.ndarray, scheme: AssignmentScheme) -> np.ndarray:

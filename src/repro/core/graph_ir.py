@@ -20,9 +20,15 @@ their skip connections:
   preceding mesh stage (e.g. the activation after a skip addition), applied
   electro-optically as its own node.
 
-:class:`GraphProgram` executes the graph topologically, batch-first, freeing
-intermediate signals as soon as their last consumer has run.  Chain-shaped
-graphs (purely sequential models) can be flattened back to a stage list with
+This module holds the graph *definition*; *execution* lives in
+:mod:`repro.core.runtime`.  :meth:`GraphProgram.plan` compiles the DAG once
+into an :class:`~repro.core.runtime.ExecutionPlan` -- a flat instruction list
+with precomputed buffer lifetimes, eager dense transfer matrices and fused
+electronic affine ops -- and :meth:`GraphProgram.forward` is a thin wrapper
+over executing that (cached) plan.  The original interpreted node-walk is
+kept as :meth:`GraphProgram.forward_reference`, the executable specification
+the test-suite pins every plan against to 1e-12.  Chain-shaped graphs
+(purely sequential models) can be flattened back to a stage list with
 :meth:`GraphProgram.chain_stages`, which is what keeps the deprecated
 ``DeployedModel`` shims working on top of the new compiler.
 """
@@ -154,6 +160,7 @@ class GraphProgram:
     num_classes: int
     input_kind: str = "flat"
     _last_use: Dict[str, int] = field(default_factory=dict, repr=False)
+    _plan: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         defined = {INPUT}
@@ -210,12 +217,39 @@ class GraphProgram:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
+    def plan(self, options: Optional[Any] = None):
+        """The graph compiled to an :class:`~repro.core.runtime.ExecutionPlan`.
+
+        The default plan (``options=None``) is compiled once and cached on
+        the program, and recompiled when a baked mesh's phases were mutated
+        in place through ``update_phases`` (plans fold phases into dense
+        matrices, so they track each mesh's phase version); explicit
+        :class:`~repro.core.runtime.PlanOptions` always compile a fresh plan.
+        """
+        from repro.core.runtime import compile_plan
+
+        if options is not None:
+            return compile_plan(self, options)
+        if self._plan is None or self._plan.is_stale():
+            self._plan = compile_plan(self)
+        return self._plan
+
     def forward(self, signal: np.ndarray) -> np.ndarray:
         """Execute the graph on a batch of complex input amplitudes.
 
-        Batch-first like every stage: trials-batched (noise-ensemble) mesh
-        nodes prepend their trials axes and the electronic nodes broadcast
-        over them.  Intermediate signals are freed after their last consumer.
+        Thin wrapper over executing the cached :meth:`plan`.  Batch-first
+        like every stage: trials-batched (noise-ensemble) mesh nodes prepend
+        their trials axes and the electronic nodes broadcast over them.
+        """
+        return self.plan().execute(signal)
+
+    def forward_reference(self, signal: np.ndarray) -> np.ndarray:
+        """The original interpreted node-walk, kept as the parity reference.
+
+        Walks the DAG node by node, refcounting intermediate signals and
+        freeing each after its last consumer -- exactly what
+        :meth:`forward` did before the plan runtime existed.  The test-suite
+        pins plan execution against this walk to 1e-12.
         """
         values: Dict[str, np.ndarray] = {INPUT: np.asarray(signal, dtype=complex)}
         for index, node in enumerate(self.nodes):

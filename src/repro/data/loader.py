@@ -13,6 +13,10 @@ class DataLoader:
     """Iterate over a dataset in shuffled mini-batches of numpy arrays.
 
     Yields ``(images, labels)`` with images stacked along a new batch axis.
+    Datasets that expose contiguous ``images`` / ``labels`` arrays with no
+    per-item transform (:class:`~repro.data.dataset.ArrayDataset`) are
+    batched with one fancy-index gather per batch instead of a per-item
+    Python loop plus ``np.stack``; everything else takes the per-item path.
     """
 
     def __init__(self, dataset: Dataset, batch_size: int = 32, shuffle: bool = True,
@@ -31,13 +35,42 @@ class DataLoader:
             return count // self.batch_size
         return (count + self.batch_size - 1) // self.batch_size
 
+    def _contiguous_arrays(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """The dataset's backing arrays, when batch gathers are equivalent.
+
+        Requires the :class:`~repro.data.dataset.ArrayDataset` per-item
+        access path (subclasses that override ``__getitem__`` fall back to
+        it), plain ``images`` / ``labels`` ndarrays covering the whole
+        dataset, and no per-item ``transform`` -- a subset view or a
+        transforming dataset must keep going through ``__getitem__``.
+        """
+        from repro.data.dataset import ArrayDataset
+
+        if not (isinstance(self.dataset, ArrayDataset)
+                and type(self.dataset).__getitem__ is ArrayDataset.__getitem__):
+            return None
+        images = self.dataset.images
+        labels = self.dataset.labels
+        if (isinstance(images, np.ndarray) and isinstance(labels, np.ndarray)
+                and self.dataset.transform is None
+                and images.shape[:1] == labels.shape[:1]
+                and images.shape[0] == len(self.dataset)):
+            return images, labels
+        return None
+
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
         indices = np.arange(len(self.dataset))
         if self.shuffle:
             self._rng.shuffle(indices)
+        arrays = self._contiguous_arrays()
         for start in range(0, len(indices), self.batch_size):
             batch_indices = indices[start:start + self.batch_size]
             if self.drop_last and len(batch_indices) < self.batch_size:
                 break
-            images, labels = zip(*(self.dataset[int(i)] for i in batch_indices))
-            yield np.stack(images), np.asarray(labels, dtype=int)
+            if arrays is not None:
+                images_array, labels_array = arrays
+                yield (images_array[batch_indices],
+                       np.asarray(labels_array[batch_indices], dtype=int))
+            else:
+                images, labels = zip(*(self.dataset[int(i)] for i in batch_indices))
+                yield np.stack(images), np.asarray(labels, dtype=int)

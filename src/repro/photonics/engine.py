@@ -30,8 +30,8 @@ quantization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -41,6 +41,31 @@ import numpy as np
 #: default is a conservative measured value; :func:`calibrate_dense_limit`
 #: re-measures the crossover on the current machine and can replace it.
 DENSE_DIMENSION_LIMIT = 96
+
+
+#: a strided-slice view ``(start, stop, step)`` equivalent to an index array,
+#: or None when the indices form no arithmetic progression
+SliceSpec = Optional[Tuple[int, int, int]]
+
+
+def as_slice(indices: np.ndarray) -> SliceSpec:
+    """The ``(start, stop, step)`` basic slice equivalent to ``indices``.
+
+    Returns None when the indices are not an ascending arithmetic progression.
+    Reck (and Clements) columns pack their MZIs at stride-2 mode patterns, so
+    most column gathers reduce to basic slices -- views instead of fancy-index
+    copies on the state array.
+    """
+    if indices.size == 0:
+        return None
+    first = int(indices[0])
+    if indices.size == 1:
+        return first, first + 1, 1
+    steps = np.diff(indices)
+    step = int(steps[0])
+    if step <= 0 or not np.all(steps == step):
+        return None
+    return first, int(indices[-1]) + 1, step
 
 
 @dataclass(frozen=True)
@@ -56,10 +81,24 @@ class MeshProgram:
         the indices into the flat MZI arrays scheduled in this column and the
         upper/lower mode of each scheduled MZI.  All mode pairs within a
         column are disjoint.
+    column_slices:
+        One entry per column: ``(mode_slice, index_slice)`` where each element
+        is the ``(start, stop, step)`` basic slice equivalent to the column's
+        ``top_modes`` / ``mzi_indices`` array (or None when the pattern is not
+        an arithmetic progression).  Reck columns alternate stride-2 mode
+        patterns, so their half-empty gathers run as strided views instead of
+        fancy-index copies.
     """
 
     dimension: int
     columns: Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], ...]
+    column_slices: Tuple[Tuple[SliceSpec, SliceSpec], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.column_slices) != len(self.columns):
+            object.__setattr__(self, "column_slices", tuple(
+                (as_slice(tops), as_slice(indices))
+                for indices, tops, _bottoms in self.columns))
 
     @property
     def depth(self) -> int:
@@ -86,6 +125,12 @@ def column_schedule(modes: np.ndarray, dimension: int) -> MeshProgram:
     for column in range(depth):
         indices = np.flatnonzero(assignment == column)
         tops = modes[indices]
+        # MZIs within a column touch disjoint modes (they commute) and stay
+        # positionally paired with their flat indices, so sorting by mode is
+        # free -- and it turns the Reck scheme's descending mode patterns
+        # into ascending stride-2 progressions that gather as basic slices
+        order = np.argsort(tops)
+        indices, tops = indices[order], tops[order]
         columns.append((indices, tops, tops + 1))
     return MeshProgram(dimension=dimension, columns=tuple(columns))
 
@@ -122,7 +167,8 @@ def _loss_transmission(insertion_loss_db: float) -> float:
 
 def propagate(program: MeshProgram, states: np.ndarray, thetas: np.ndarray,
               phis: np.ndarray, output_phases: np.ndarray,
-              insertion_loss_db: float = 0.0) -> np.ndarray:
+              insertion_loss_db: float = 0.0,
+              out: Optional[np.ndarray] = None) -> np.ndarray:
     """Propagate batched complex amplitudes through a scheduled mesh.
 
     Parameters
@@ -134,6 +180,11 @@ def propagate(program: MeshProgram, states: np.ndarray, thetas: np.ndarray,
         Phase arrays of shape ``(n_mzi,)`` or ``(*trials, n_mzi)``.
     output_phases:
         Complex unit-modulus phases of shape ``(dim,)`` or ``(*trials, dim)``.
+    out:
+        Optional preallocated complex result buffer of the broadcast output
+        shape; when compatible, the whole propagation runs in it and no work
+        array is allocated (it may alias ``states`` -- the states are copied
+        in first).  An incompatible buffer is ignored.
 
     Leading trials axes of the states and the phases broadcast against each
     other; the result has shape ``(*trials, batch, dim)``.
@@ -145,18 +196,67 @@ def propagate(program: MeshProgram, states: np.ndarray, thetas: np.ndarray,
     output_phases = np.asarray(output_phases, dtype=complex)
     lead = np.broadcast_shapes(states.shape[:-2], thetas.shape[:-1],
                                phis.shape[:-1], output_phases.shape[:-1])
-    work = np.array(np.broadcast_to(states, lead + states.shape[-2:]))
+    shape = lead + states.shape[-2:]
+    if (out is not None and out.shape == shape and out.dtype == np.complex128
+            and out.flags.writeable):
+        work = out
+        np.copyto(work, states)
+    else:
+        work = np.array(np.broadcast_to(states, shape))
     t00, t01, t10, t11 = mzi_block_coefficients(thetas, phis, transmission)
     # insert the batch axis once so per-column slices broadcast directly
     batch_axis = t00.shape[:-1] + (1, t00.shape[-1])
     t00, t01 = t00.reshape(batch_axis), t01.reshape(batch_axis)
     t10, t11 = t10.reshape(batch_axis), t11.reshape(batch_axis)
-    for indices, tops, bottoms in program.columns:
-        top = work[..., tops]
-        bottom = work[..., bottoms]
-        work[..., tops] = t00[..., indices] * top + t01[..., indices] * bottom
-        work[..., bottoms] = t10[..., indices] * top + t11[..., indices] * bottom
-    return work * output_phases[..., None, :]
+    for (indices, tops, bottoms), (mode_slice, index_slice) in zip(
+            program.columns, program.column_slices):
+        if mode_slice is not None:
+            # arithmetic mode pattern (every Clements column, the half-empty
+            # stride-2 Reck columns): strided views instead of gather copies
+            start, stop, step = mode_slice
+            top = work[..., start:stop:step]
+            bottom = work[..., start + 1:stop + 1:step]
+        else:
+            top = work[..., tops]
+            bottom = work[..., bottoms]
+        if index_slice is not None:
+            i0, i1, istep = index_slice
+            a, b = t00[..., i0:i1:istep], t01[..., i0:i1:istep]
+            c, d = t10[..., i0:i1:istep], t11[..., i0:i1:istep]
+        else:
+            a, b = t00[..., indices], t01[..., indices]
+            c, d = t10[..., indices], t11[..., indices]
+        # both new columns must materialize before the first write-back: with
+        # strided views, writing the tops would corrupt the bottoms' inputs
+        new_top = a * top + b * bottom
+        new_bottom = c * top + d * bottom
+        if mode_slice is not None:
+            work[..., start:stop:step] = new_top
+            work[..., start + 1:stop + 1:step] = new_bottom
+        else:
+            work[..., tops] = new_top
+            work[..., bottoms] = new_bottom
+    work *= output_phases[..., None, :]
+    return work
+
+
+def apply_dense(states: np.ndarray, dense: np.ndarray,
+                out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Apply a dense transfer matrix to batched states: ``states @ dense.T``.
+
+    ``out``-style preallocated-buffer application: when ``out`` is a
+    compatible buffer the matmul writes straight into it (``out`` must not
+    alias ``states``), so steady-state plan execution allocates nothing on
+    the hot path.  Trials-batched dense matrices broadcast like matmul.
+    """
+    states = np.asarray(states, dtype=complex)
+    dense_t = np.swapaxes(np.asarray(dense, dtype=complex), -1, -2)
+    if out is not None:
+        try:
+            return np.matmul(states, dense_t, out=out)
+        except (TypeError, ValueError):
+            pass
+    return np.matmul(states, dense_t)
 
 
 def dense_transfer(program: MeshProgram, thetas: np.ndarray, phis: np.ndarray,

@@ -188,6 +188,7 @@ class MeshDecomposition:
         self._program: Optional[engine.MeshProgram] = None
         self._dense_cache: Dict[float, np.ndarray] = {}
         self._settings_cache: Optional[List[MZISetting]] = None
+        self._phase_version = 0
 
     # ------------------------------------------------------------------ #
     # structure-of-arrays access
@@ -221,6 +222,16 @@ class MeshDecomposition:
     def is_batched(self) -> bool:
         """True when the phases carry a leading trials axis."""
         return bool(self._trial_shape)
+
+    @property
+    def phase_version(self) -> int:
+        """Counter bumped by every :meth:`update_phases` call.
+
+        Callers that bake this mesh's phases into derived state (the plan
+        runtime's eager dense matrices) record the version at bake time and
+        rebuild when it moves.
+        """
+        return self._phase_version
 
     @property
     def settings(self) -> List[MZISetting]:
@@ -293,6 +304,7 @@ class MeshDecomposition:
             self._thetas.shape[:-1], self._phis.shape[:-1], self._output_phases.shape[:-1])
         self._dense_cache.clear()
         self._settings_cache = None
+        self._phase_version += 1
 
     def with_phases(self, thetas: Optional[np.ndarray] = None,
                     phis: Optional[np.ndarray] = None,
@@ -328,7 +340,25 @@ class MeshDecomposition:
         return engine.dense_transfer(self.compiled(), self._thetas, self._phis,
                                      self._output_phases)
 
-    def apply(self, vector: np.ndarray, insertion_loss_db: float = 0.0) -> np.ndarray:
+    def uses_dense_path(self) -> bool:
+        """Whether :meth:`apply` executes through the cached dense matrix.
+
+        The single source of the backend policy: ``"dense"``/``"column"``
+        force their path; ``"auto"`` picks the dense matmul for unbatched
+        meshes up to the dense-dimension limit (per-mesh limit if set,
+        module default otherwise).  The plan compiler consults this to decide
+        which stages it may fold into eager dense matrices.
+        """
+        if self.backend == "dense":
+            return True
+        if self.backend == "column":
+            return False
+        limit = (engine.DENSE_DIMENSION_LIMIT if self.dense_dimension_limit is None
+                 else self.dense_dimension_limit)
+        return not self.is_batched and self.dimension <= limit
+
+    def apply(self, vector: np.ndarray, insertion_loss_db: float = 0.0,
+              out: Optional[np.ndarray] = None) -> np.ndarray:
         """Propagate complex input amplitudes through the mesh (batch-aware).
 
         ``vector`` may be ``(dimension,)``, ``(batch, dimension)`` or carry
@@ -343,6 +373,12 @@ class MeshDecomposition:
             Optional per-MZI insertion loss in dB (power).  Each MZI a signal
             traverses multiplies its amplitude by ``10**(-IL/20)``, modelling
             waveguide/coupler losses; 0 dB (default) keeps the mesh lossless.
+        out:
+            Optional preallocated complex result buffer.  The column path
+            propagates in it (it may alias the input -- the engine copies the
+            states in first); the dense path only uses it when it does *not*
+            alias the input (matmul forbids overlap).  An incompatible or
+            unusable buffer is ignored.
         """
         if insertion_loss_db < 0:
             raise ValueError("insertion_loss_db must be non-negative")
@@ -351,22 +387,19 @@ class MeshDecomposition:
         states = vector[None, :] if single else vector
         if states.shape[-1] != self.dimension:
             raise ValueError(f"expected vectors of length {self.dimension}, got {states.shape[-1]}")
-        if self.backend == "dense":
-            use_dense = True
-        elif self.backend == "column":
-            use_dense = False
-        else:
-            limit = (engine.DENSE_DIMENSION_LIMIT if self.dense_dimension_limit is None
-                     else self.dense_dimension_limit)
-            use_dense = not self.is_batched and self.dimension <= limit
-        if use_dense:
+        if self.uses_dense_path():
             dense = self._dense_matrix(insertion_loss_db)
+            matmul_out = (out if out is not None and out.shape == states.shape
+                          and dense.ndim == 2 and out.dtype == np.complex128
+                          and out.flags.writeable
+                          and not np.may_share_memory(out, states) else None)
             # trials-batched dense matrices broadcast through matmul
-            outputs = states @ np.swapaxes(dense, -1, -2)
+            outputs = engine.apply_dense(states, dense, out=matmul_out)
         else:
             outputs = engine.propagate(self.compiled(), states, self._thetas,
                                        self._phis, self._output_phases,
-                                       insertion_loss_db=insertion_loss_db)
+                                       insertion_loss_db=insertion_loss_db,
+                                       out=None if single else out)
         return outputs[..., 0, :] if single else outputs
 
     def total_phase_power_mw(self) -> float:

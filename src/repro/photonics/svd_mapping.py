@@ -98,16 +98,20 @@ class PhotonicMatrix:
         vector = np.asarray(vector, dtype=complex)
         single = vector.ndim == 1
         states = vector[None, :] if single else vector
-        states = self.right_mesh.apply(states)
+        states = self.right_mesh.apply(states)      # fresh array, ours to mutate
         k = min(self.rows, self.cols)
         if self.rows == self.cols:
             # square weights need no mode padding/truncation
-            projected = states * self.singular_values
+            states *= self.singular_values
+            projected = states
         else:
             projected = np.zeros(states.shape[:-1] + (self.rows,), dtype=complex)
             projected[..., :k] = states[..., :k] * self.singular_values[:k]
-        states = self.left_mesh.apply(projected)
-        states = states * self.scale
+        # the column engine may propagate straight in the projected buffer
+        # (out= copies the states in first); the dense path ignores the
+        # aliasing buffer and allocates as before
+        states = self.left_mesh.apply(projected, out=projected)
+        states *= self.scale
         return states[..., 0, :] if single else states
 
 
@@ -137,16 +141,52 @@ def _assemble(rows: int, cols: int, left_mesh: MeshDecomposition,
     return photonic
 
 
+def _normalized(singular_values: np.ndarray, normalize: bool):
+    scale = 1.0
+    if normalize and singular_values.size and singular_values[0] > 1.0:
+        scale = float(singular_values[0])
+        singular_values = singular_values / scale
+    return singular_values, scale
+
+
 def _svd_factors(weight: np.ndarray, normalize: bool):
     weight = np.asarray(weight, dtype=complex)
     if weight.ndim != 2:
         raise ValueError("svd_decompose expects a 2-D matrix")
     left, singular_values, right = np.linalg.svd(weight, full_matrices=True)
-    scale = 1.0
-    if normalize and singular_values.size and singular_values[0] > 1.0:
-        scale = float(singular_values[0])
-        singular_values = singular_values / scale
+    singular_values, scale = _normalized(singular_values, normalize)
     return weight.shape, left, right, singular_values, scale
+
+
+def _svd_factors_many(weights: Sequence[np.ndarray], normalize: bool) -> List[tuple]:
+    """SVD-factor many weights, grouping same-shape matrices into one call.
+
+    ``np.linalg.svd`` is a gufunc: a group of same-shape weights stacked
+    along a leading axis factors in one batched call (same LAPACK routine
+    per slice, so the factors match the per-matrix path; the parity tests
+    pin this).  The returned list is index-aligned with ``weights``.
+    """
+    arrays = [np.asarray(weight, dtype=complex) for weight in weights]
+    for array in arrays:
+        if array.ndim != 2:
+            raise ValueError("svd_decompose expects 2-D matrices")
+    by_shape: Dict[Tuple[int, int], List[int]] = {}
+    for index, array in enumerate(arrays):
+        by_shape.setdefault(array.shape, []).append(index)
+    factored: List[Optional[tuple]] = [None] * len(arrays)
+    for shape, indices in by_shape.items():
+        if len(indices) >= 2:
+            stack = np.stack([arrays[index] for index in indices])
+            lefts, stacked_values, rights = np.linalg.svd(stack, full_matrices=True)
+            for position, index in enumerate(indices):
+                singular_values, scale = _normalized(stacked_values[position],
+                                                     normalize)
+                factored[index] = (shape, lefts[position], rights[position],
+                                   singular_values, scale)
+        else:
+            index = indices[0]
+            factored[index] = _svd_factors(arrays[index], normalize)
+    return factored
 
 
 def svd_decompose(weight: np.ndarray, method: str = "clements",
@@ -194,13 +234,16 @@ def svd_decompose_many(weights: Sequence[np.ndarray], method: str = "clements",
                        ) -> List[PhotonicMatrix]:
     """Map many weight matrices onto photonic circuits in one batched pass.
 
-    All SVD factors of all weights are grouped by dimension and every group
-    at or above the method's :data:`STACK_THRESHOLDS` size is decomposed as a
-    single stacked Reck/Clements pass (``batch_unitaries=False`` falls back
-    to the per-matrix path, same results).  The returned list is
+    The batching happens at both ends of the pipeline: the *SVDs* of
+    same-shape weight matrices run as one stacked ``np.linalg.svd`` call
+    (:func:`_svd_factors_many`), and the resulting unitaries are grouped by
+    dimension with every group at or above the method's
+    :data:`STACK_THRESHOLDS` size decomposed as a single stacked
+    Reck/Clements pass (``batch_unitaries=False`` falls back to the
+    per-matrix decomposition path, same results).  The returned list is
     index-aligned with ``weights``.
     """
-    factored = [_svd_factors(weight, normalize) for weight in weights]
+    factored = _svd_factors_many(weights, normalize)
     # group the unitaries of every weight by dimension: (weight index, side)
     groups: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}
     for index, (_shape, left, right, _sv, _scale) in enumerate(factored):

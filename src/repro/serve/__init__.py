@@ -1,0 +1,36 @@
+"""Serving subsystem: dynamic micro-batching inference on compiled programs.
+
+Three layers, bottom up:
+
+* :class:`~repro.serve.cache.ProgramCache` -- LRU cache of compiled programs
+  keyed by ``(model_key, HardwareTarget, CompileOptions)``, so repeated
+  deploys never recompile.
+* :class:`~repro.serve.batcher.DynamicBatcher` -- coalesces concurrent
+  ``classify`` / ``logits`` requests into one batched forward pass under a
+  max-batch / max-latency flush policy.
+* :class:`~repro.serve.service.PhotonicInferenceService` -- the process-level
+  frontend tying both together, one request lane per deployed model.
+
+``python -m repro serve`` runs the serving throughput demo on top of these.
+"""
+
+from repro.serve.batcher import BatcherStats, DynamicBatcher
+from repro.serve.cache import CacheStats, ProgramCache, cache_key
+from repro.serve.service import (
+    PhotonicInferenceService,
+    ServingBenchRow,
+    measure_plan_speedup,
+    run_serving_benchmark,
+)
+
+__all__ = [
+    "BatcherStats",
+    "CacheStats",
+    "DynamicBatcher",
+    "PhotonicInferenceService",
+    "ProgramCache",
+    "ServingBenchRow",
+    "cache_key",
+    "measure_plan_speedup",
+    "run_serving_benchmark",
+]

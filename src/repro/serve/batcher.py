@@ -1,0 +1,240 @@
+"""Dynamic micro-batching of concurrent inference requests.
+
+The plan runtime is fastest when it sees large batches, but serving traffic
+arrives as many small independent requests.  :class:`DynamicBatcher` sits in
+between: callers submit ``classify`` / ``logits`` requests from any thread
+and get a :class:`~concurrent.futures.Future`; a single executor thread
+coalesces queued requests into one batched forward pass and scatters the
+result rows back to each caller.
+
+The flush policy is the classic max-batch / max-latency pair:
+
+* a flush happens as soon as the queued requests cover ``max_batch`` samples
+  (a *full* flush), and
+* otherwise when the oldest queued request has waited ``max_latency_s`` (a
+  *timeout* flush), bounding the latency a lonely request can be charged for
+  the batching win.
+
+Requests are never split: a flush drains whole requests until the sample
+budget is reached (always at least one request, so an oversized request
+still runs -- alone).  Executing on a single thread also keeps the plan's
+reused buffers uncontended.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
+
+import numpy as np
+
+REQUEST_KINDS = ("logits", "classify")
+
+
+@dataclass
+class BatcherStats:
+    """Counters describing how well the batching policy is working."""
+
+    requests: int = 0
+    samples: int = 0
+    batches: int = 0
+    full_flushes: int = 0
+    timeout_flushes: int = 0
+    max_batch_samples: int = 0
+
+    @property
+    def mean_batch_samples(self) -> float:
+        return self.samples / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {"requests": self.requests, "samples": self.samples,
+                "batches": self.batches, "full_flushes": self.full_flushes,
+                "timeout_flushes": self.timeout_flushes,
+                "max_batch_samples": self.max_batch_samples,
+                "mean_batch_samples": self.mean_batch_samples}
+
+
+@dataclass
+class _Request:
+    images: np.ndarray
+    kind: str
+    future: Future
+    squeeze: bool
+    arrival: float = field(default_factory=time.monotonic)
+
+    @property
+    def samples(self) -> int:
+        return self.images.shape[0]
+
+
+class DynamicBatcher:
+    """Queue concurrent requests and flush them as one batched forward.
+
+    Parameters
+    ----------
+    program:
+        A :class:`~repro.core.compile.CompiledProgram` (anything with
+        ``predict_logits(images, scheme)``).  Its execution plan is warmed at
+        construction so the first request does not pay plan compilation.
+    scheme:
+        The assignment scheme every request's images go through.
+    max_batch:
+        Sample budget of one flush.
+    max_latency_s:
+        Longest a queued request may wait for co-batching before a timeout
+        flush runs it anyway.
+    """
+
+    def __init__(self, program: Any, scheme: Any, max_batch: int = 64,
+                 max_latency_s: float = 0.002, name: str = "batcher"):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_latency_s < 0:
+            raise ValueError("max_latency_s must be non-negative")
+        self.program = program
+        self.scheme = scheme
+        self.max_batch = int(max_batch)
+        self.max_latency_s = float(max_latency_s)
+        self.name = name
+        self.stats = BatcherStats()
+        plan = getattr(program, "plan", None)
+        if callable(plan):
+            plan()
+        self._queue: Deque[_Request] = deque()
+        self._queued_samples = 0
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._worker = threading.Thread(target=self._serve_loop,
+                                        name=f"{name}-worker", daemon=True)
+        self._worker.start()
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    def submit(self, images: np.ndarray, kind: str = "logits") -> Future:
+        """Enqueue a request; the future resolves to logits or class ids.
+
+        ``images`` may be one batch ``(batch, channels, height, width)`` or a
+        single sample ``(channels, height, width)``; single samples come back
+        without the batch axis.
+        """
+        if kind not in REQUEST_KINDS:
+            raise ValueError(f"unknown request kind {kind!r}; choose from {REQUEST_KINDS}")
+        images = np.asarray(images)
+        squeeze = images.ndim == 3
+        if squeeze:
+            images = images[None]
+        if images.ndim != 4:
+            raise ValueError("submit expects (batch, channels, height, width) "
+                             "images or one (channels, height, width) sample")
+        future: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"batcher {self.name!r} is closed")
+            self._queue.append(_Request(images=images, kind=kind, future=future,
+                                        squeeze=squeeze))
+            self._queued_samples += images.shape[0]
+            self._wakeup.notify_all()
+        return future
+
+    def logits(self, images: np.ndarray) -> np.ndarray:
+        """Blocking convenience wrapper: submit and wait for logits."""
+        return self.submit(images, kind="logits").result()
+
+    def classify(self, images: np.ndarray) -> np.ndarray:
+        """Blocking convenience wrapper: submit and wait for class ids."""
+        return self.submit(images, kind="classify").result()
+
+    # ------------------------------------------------------------------ #
+    # executor side
+    # ------------------------------------------------------------------ #
+    def _drain(self) -> List[_Request]:
+        """Pop whole requests until the sample budget is reached (at least one)."""
+        batch: List[_Request] = []
+        samples = 0
+        while self._queue and (not batch
+                               or samples + self._queue[0].samples <= self.max_batch):
+            request = self._queue.popleft()
+            self._queued_samples -= request.samples
+            batch.append(request)
+            samples += request.samples
+        return batch
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait()
+                if not self._queue:
+                    return                      # closed and drained
+                deadline = self._queue[0].arrival + self.max_latency_s
+                while (self._queued_samples < self.max_batch and not self._closed):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wakeup.wait(timeout=remaining)
+                full = self._queued_samples >= self.max_batch
+                batch = self._drain()
+            self._execute(batch, full)
+
+    def _execute(self, batch: List[_Request], full: bool) -> None:
+        # claim every future first: a claimed future can no longer be
+        # cancelled by the caller, so the set_result/set_exception calls
+        # below cannot raise InvalidStateError and kill the worker
+        batch = [request for request in batch
+                 if request.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        try:
+            images = (batch[0].images if len(batch) == 1
+                      else np.concatenate([request.images for request in batch],
+                                          axis=0))
+            logits = self.program.predict_logits(images, self.scheme)
+        except BaseException as error:  # noqa: BLE001 -- relayed to every caller
+            for request in batch:
+                request.future.set_exception(error)
+            return
+        self.stats.requests += len(batch)
+        self.stats.samples += images.shape[0]
+        self.stats.batches += 1
+        self.stats.max_batch_samples = max(self.stats.max_batch_samples,
+                                           images.shape[0])
+        if full:
+            self.stats.full_flushes += 1
+        else:
+            self.stats.timeout_flushes += 1
+        # scatter rows back; the batch axis is -2 of the logits (noise-trials
+        # axes, if the program carries them, stay in front)
+        predictions = logits.argmax(axis=-1)
+        start = 0
+        for request in batch:
+            stop = start + request.samples
+            if request.kind == "logits":
+                result = logits[..., start:stop, :]
+                result = result[..., 0, :] if request.squeeze else result
+            else:
+                result = predictions[..., start:stop]
+                result = result[..., 0] if request.squeeze else result
+            request.future.set_result(np.array(result))
+            start = stop
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting requests, flush the queue and join the executor."""
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "DynamicBatcher":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

@@ -1,0 +1,253 @@
+"""The photonic inference service: program cache + per-model micro-batchers.
+
+:class:`PhotonicInferenceService` is the process-level serving frontend.
+Models are registered once with :meth:`deploy` -- compiled through the
+:class:`~repro.serve.cache.ProgramCache` (repeated deploys of the same
+``(model_key, target, options)`` hit the cache) and fronted by a
+:class:`~repro.serve.batcher.DynamicBatcher` -- after which any thread can
+call :meth:`classify` / :meth:`logits` / :meth:`submit` by model key and
+have its request coalesced with concurrent traffic.
+
+The module also hosts the measurement harnesses behind
+``python -m repro serve`` and ``benchmarks/test_bench_runtime.py``:
+:func:`measure_plan_speedup` (plan runtime vs the reference node-walk) and
+:func:`run_serving_benchmark` (batched vs sequential request throughput).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.compile import CompiledProgram, CompileOptions, HardwareTarget
+from repro.serve.batcher import BatcherStats, DynamicBatcher
+from repro.serve.cache import ProgramCache
+
+
+class PhotonicInferenceService:
+    """Serve compiled photonic programs to concurrent callers.
+
+    Parameters
+    ----------
+    cache_capacity:
+        LRU capacity of the compiled-program cache.
+    max_batch, max_latency_s:
+        Default flush policy handed to every model's batcher (overridable
+        per :meth:`deploy`).
+    """
+
+    def __init__(self, cache_capacity: int = 8, max_batch: int = 64,
+                 max_latency_s: float = 0.002):
+        self.cache = ProgramCache(capacity=cache_capacity)
+        self.max_batch = int(max_batch)
+        self.max_latency_s = float(max_latency_s)
+        self._batchers: Dict[str, DynamicBatcher] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def deploy(self, model_key: str, model: Any, scheme: Any,
+               target: Optional[HardwareTarget] = None,
+               options: Optional[CompileOptions] = None,
+               max_batch: Optional[int] = None,
+               max_latency_s: Optional[float] = None) -> CompiledProgram:
+        """Compile (or fetch from cache) a model and open its request lane.
+
+        Re-deploying an already-served ``model_key`` swaps its batcher to the
+        newly resolved program after the old lane drains.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+        program = self.cache.get_or_compile(model_key, model, target, options)
+        batcher = DynamicBatcher(
+            program, scheme,
+            max_batch=self.max_batch if max_batch is None else max_batch,
+            max_latency_s=(self.max_latency_s if max_latency_s is None
+                           else max_latency_s),
+            name=f"serve:{model_key}")
+        with self._lock:
+            # close() may have run while we compiled: re-check before
+            # registering, else the new batcher's worker would leak
+            if self._closed:
+                closed = True
+            else:
+                closed = False
+                previous = self._batchers.get(model_key)
+                self._batchers[model_key] = batcher
+        if closed:
+            batcher.close()
+            raise RuntimeError("service is closed")
+        if previous is not None:
+            previous.close()
+        return program
+
+    def batcher(self, model_key: str) -> DynamicBatcher:
+        with self._lock:
+            batcher = self._batchers.get(model_key)
+        if batcher is None:
+            raise KeyError(f"model {model_key!r} is not deployed; call deploy() first")
+        return batcher
+
+    # ------------------------------------------------------------------ #
+    # request side
+    # ------------------------------------------------------------------ #
+    def submit(self, model_key: str, images: np.ndarray,
+               kind: str = "logits") -> Future:
+        return self.batcher(model_key).submit(images, kind=kind)
+
+    def logits(self, model_key: str, images: np.ndarray) -> np.ndarray:
+        return self.batcher(model_key).logits(images)
+
+    def classify(self, model_key: str, images: np.ndarray) -> np.ndarray:
+        return self.batcher(model_key).classify(images)
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        with self._lock:
+            batchers = dict(self._batchers)
+        return {"cache": self.cache.stats.as_dict(),
+                "models": {key: batcher.stats.as_dict()
+                           for key, batcher in batchers.items()}}
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            batchers = list(self._batchers.values())
+            self._batchers.clear()
+        for batcher in batchers:
+            batcher.close()
+
+    def __enter__(self) -> "PhotonicInferenceService":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# measurement harnesses (CLI + benchmarks)
+# --------------------------------------------------------------------------- #
+def _best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def measure_plan_speedup(program: CompiledProgram, images: np.ndarray,
+                         scheme: Any, repeats: int = 5) -> dict:
+    """Time plan execution against the reference node-walk on one batch.
+
+    Also reports the parity between the two executors (must be <= 1e-12; the
+    caller asserts it) and the plan's fusion statistics.
+    """
+    signal = program.encode_images(images, scheme)
+    plan = program.plan()
+    walk = program.graph.forward_reference(signal)
+    planned = plan.execute(signal)
+    max_deviation = float(np.abs(walk - planned).max())
+    walk_seconds = _best_of(lambda: program.graph.forward_reference(signal), repeats)
+    plan_seconds = _best_of(lambda: plan.execute(signal), repeats)
+    return {"batch": int(images.shape[0]),
+            "walk_seconds": walk_seconds,
+            "plan_seconds": plan_seconds,
+            "speedup": walk_seconds / plan_seconds,
+            "max_deviation": max_deviation,
+            "instructions": plan.instruction_count,
+            "buffer_slots": plan.slot_count,
+            "fused_matmuls": plan.fused_matmuls,
+            "fused_affine_chains": plan.fused_affine_chains}
+
+
+@dataclass
+class ServingBenchRow:
+    """Throughput of one serving configuration over synthetic traffic."""
+
+    max_batch: int
+    clients: int
+    requests: int
+    images_per_request: int
+    sequential_seconds: float
+    batched_seconds: float
+    sequential_requests_per_s: float
+    batched_requests_per_s: float
+    throughput_gain: float
+    batcher: dict
+
+
+def run_serving_benchmark(program: CompiledProgram, scheme: Any,
+                          image_shape: Sequence[int], requests: int = 64,
+                          clients: int = 8, images_per_request: int = 1,
+                          max_batch: int = 64, max_latency_s: float = 0.002,
+                          seed: int = 0) -> ServingBenchRow:
+    """Fire synthetic concurrent traffic at a batcher vs a sequential loop.
+
+    ``clients`` threads each submit their share of ``requests`` single
+    (or ``images_per_request``-sized) requests and wait for every future;
+    the sequential baseline runs the same requests one ``predict_logits``
+    call at a time.  Batched results are verified against the sequential
+    ones before timing is reported.
+    """
+    rng = np.random.default_rng(seed)
+    pool = rng.normal(size=(requests, images_per_request, *image_shape))
+
+    def run_sequential() -> List[np.ndarray]:
+        return [program.predict_logits(pool[index], scheme)
+                for index in range(requests)]
+
+    expected = run_sequential()
+    sequential_seconds = _best_of(run_sequential, repeats=1)
+
+    batcher = DynamicBatcher(program, scheme, max_batch=max_batch,
+                             max_latency_s=max_latency_s, name="bench")
+    try:
+        results: List[Optional[np.ndarray]] = [None] * requests
+        errors: List[BaseException] = []
+
+        def client(worker: int) -> None:
+            try:
+                futures = [(index, batcher.submit(pool[index]))
+                           for index in range(worker, requests, clients)]
+                for index, future in futures:
+                    results[index] = future.result(timeout=60)
+            except BaseException as error:  # noqa: BLE001 -- surfaced below
+                errors.append(error)
+
+        start = time.perf_counter()
+        threads = [threading.Thread(target=client, args=(worker,))
+                   for worker in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        batched_seconds = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        for index in range(requests):
+            if not np.allclose(results[index], expected[index], atol=1e-10):
+                raise AssertionError("batched serving returned different logits "
+                                     f"for request {index}")
+        stats = batcher.stats.as_dict()
+    finally:
+        batcher.close()
+
+    return ServingBenchRow(
+        max_batch=max_batch, clients=clients, requests=requests,
+        images_per_request=images_per_request,
+        sequential_seconds=sequential_seconds, batched_seconds=batched_seconds,
+        sequential_requests_per_s=requests / sequential_seconds,
+        batched_requests_per_s=requests / batched_seconds,
+        throughput_gain=sequential_seconds / batched_seconds,
+        batcher=stats)

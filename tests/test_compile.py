@@ -231,6 +231,50 @@ class TestExecutionPolicy:
         assert not np.allclose(coarse.predict_logits(images, scheme), clean)
 
 
+class TestQuantizationEndToEnd:
+    """``HardwareTarget.quantization_bits`` through the full compile pipeline."""
+
+    BITS = (10, 8, 6, 4)        # sensible DAC resolutions; below ~3 bits the
+    #                             phase wrap-around makes the error non-monotone
+
+    def test_accuracy_degrades_monotonically_with_fewer_bits(self, rng):
+        scheme = get_scheme("CL")
+        model = tiny_lenet(rng)
+        images = rng.normal(size=(24, 3, 12, 12))
+        clean = repro.compile(model).predict_logits(images, scheme)
+        clean_predictions = clean.argmax(axis=-1)
+        errors, agreements = [], []
+        for bits in self.BITS:
+            program = repro.compile(model, target=HardwareTarget(quantization_bits=bits))
+            logits = program.predict_logits(images, scheme)
+            errors.append(float(np.abs(logits - clean).max()))
+            agreements.append(float((logits.argmax(axis=-1)
+                                     == clean_predictions).mean()))
+        # fewer bits -> strictly larger logit error, no better agreement
+        for fine, coarse in zip(errors, errors[1:]):
+            assert coarse > fine
+        for fine, coarse in zip(agreements, agreements[1:]):
+            assert coarse <= fine
+
+    @pytest.mark.parametrize("bits", [4, 6])
+    def test_with_noise_quantization_equals_compile_time(self, bits, rng):
+        scheme = get_scheme("CL")
+        model = tiny_lenet(rng)
+        images = rng.normal(size=(4, 3, 12, 12))
+        at_compile = repro.compile(
+            model, target=HardwareTarget(quantization_bits=bits))
+        post_hoc = repro.compile(model).with_noise(quantization_bits=bits)
+        assert np.allclose(post_hoc.predict_logits(images, scheme),
+                           at_compile.predict_logits(images, scheme), atol=1e-12)
+        assert post_hoc.target.quantization_bits == bits
+
+    def test_quantized_program_keeps_mzi_count(self, rng):
+        model = tiny_lenet(rng)
+        clean = repro.compile(model)
+        coarse = repro.compile(model, target=HardwareTarget(quantization_bits=5))
+        assert coarse.mzi_count == clean.mzi_count
+
+
 class TestDeprecatedShims:
     def test_deploy_model_warns_and_matches_compile(self, rng):
         from repro.core.deploy import DeployedModel, deploy_model

@@ -86,6 +86,54 @@ class TestDataLoader:
             DataLoader(tiny_image_dataset, batch_size=0)
 
 
+class TestDataLoaderFastPath:
+    """Array-backed datasets must batch via one gather, same results."""
+
+    @staticmethod
+    def _per_item_batches(dataset, batch_size, rng):
+        indices = np.arange(len(dataset))
+        rng.shuffle(indices)
+        batches = []
+        for start in range(0, len(indices), batch_size):
+            chunk = indices[start:start + batch_size]
+            images, labels = zip(*(dataset[int(i)] for i in chunk))
+            batches.append((np.stack(images), np.asarray(labels, dtype=int)))
+        return batches
+
+    def test_fast_path_taken_for_array_datasets(self, tiny_image_dataset):
+        loader = DataLoader(tiny_image_dataset, batch_size=8)
+        assert loader._contiguous_arrays() is not None
+
+    def test_fast_path_matches_per_item_loop(self, tiny_image_dataset):
+        loader = DataLoader(tiny_image_dataset, batch_size=7,
+                            rng=np.random.default_rng(11))
+        expected = self._per_item_batches(tiny_image_dataset, 7,
+                                          np.random.default_rng(11))
+        batches = list(loader)
+        assert len(batches) == len(expected)
+        for (images, labels), (want_images, want_labels) in zip(batches, expected):
+            assert np.array_equal(images, want_images)
+            assert np.array_equal(labels, want_labels)
+            assert labels.dtype == want_labels.dtype
+
+    def test_transform_disables_fast_path(self, rng):
+        dataset = ArrayDataset(rng.normal(size=(10, 1, 4, 4)),
+                               np.arange(10) % 2,
+                               transform=lambda image: image * 2.0)
+        loader = DataLoader(dataset, batch_size=4, shuffle=False)
+        assert loader._contiguous_arrays() is None
+        images, _ = next(iter(loader))
+        assert np.allclose(images, dataset.images[:4] * 2.0)
+
+    def test_subset_uses_per_item_path(self, tiny_image_dataset):
+        subset = Subset(tiny_image_dataset, [3, 1, 4, 1, 5])
+        loader = DataLoader(subset, batch_size=2, shuffle=False)
+        assert loader._contiguous_arrays() is None
+        images, labels = next(iter(loader))
+        assert np.array_equal(images[0], tiny_image_dataset[3][0])
+        assert labels[0] == tiny_image_dataset[3][1]
+
+
 class TestTransforms:
     def test_to_float_scales_integers(self):
         image = np.full((1, 2, 2), 255, dtype=np.uint8)

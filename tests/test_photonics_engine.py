@@ -89,6 +89,104 @@ class TestColumnSchedule:
         assert program.depth == 0
 
 
+class TestStridedColumnSlices:
+    """Arithmetic column patterns must compile to strided-slice gathers."""
+
+    def test_as_slice_detects_arithmetic_progressions(self):
+        assert engine.as_slice(np.array([], dtype=np.intp)) is None
+        assert engine.as_slice(np.array([3])) == (3, 4, 1)
+        assert engine.as_slice(np.array([0, 2, 4, 6])) == (0, 7, 2)
+        assert engine.as_slice(np.array([1, 4, 7])) == (1, 8, 3)
+        assert engine.as_slice(np.array([0, 2, 3])) is None
+        assert engine.as_slice(np.array([4, 2, 0])) is None
+
+    def test_slice_spec_selects_the_same_modes(self, rng):
+        for method, decompose in DECOMPOSERS.items():
+            mesh = decompose(random_unitary(9, rng))
+            program = mesh.compiled()
+            assert len(program.column_slices) == program.depth
+            for (indices, tops, _bottoms), (mode_slice, index_slice) in zip(
+                    program.columns, program.column_slices):
+                if mode_slice is not None:
+                    start, stop, step = mode_slice
+                    assert np.array_equal(np.arange(start, stop, step), tops), method
+                if index_slice is not None:
+                    start, stop, step = index_slice
+                    assert np.array_equal(np.arange(start, stop, step), indices), method
+
+    @pytest.mark.parametrize("method", ["reck", "clements"])
+    def test_stride2_patterns_become_slices(self, method, rng):
+        # the half-empty Reck columns the ROADMAP called out, and the full
+        # stride-2 Clements columns, must all take the strided-view path
+        mesh = DECOMPOSERS[method](random_unitary(10, rng))
+        mode_slices = [mode_slice for mode_slice, _ in mesh.compiled().column_slices]
+        assert all(mode_slice is not None for mode_slice in mode_slices)
+        assert any(mode_slice[2] == 2 for mode_slice in mode_slices
+                   if mode_slice[1] - mode_slice[0] > 1)
+
+    def test_non_arithmetic_columns_fall_back_to_gathers(self, rng):
+        # modes 0, 2, 5 are disjoint but not an arithmetic progression
+        modes = np.array([0, 2, 5], dtype=np.intp)
+        program = column_schedule(modes, 8)
+        assert program.depth == 1
+        assert program.column_slices[0][0] is None
+        thetas = rng.uniform(0, 2 * np.pi, size=3)
+        phis = rng.uniform(0, 2 * np.pi, size=3)
+        output_phases = np.exp(1j * rng.uniform(0, 2 * np.pi, size=8))
+        states = random_batch(rng, 4, 8)
+        compiled = engine.propagate(program, states, thetas, phis, output_phases)
+        reference = reference_apply(modes, thetas, phis, output_phases, states)
+        assert np.abs(compiled - reference).max() < 1e-10
+
+
+class TestPreallocatedBuffers:
+    @pytest.mark.parametrize("method", ["reck", "clements"])
+    def test_propagate_out_buffer_is_used_and_correct(self, method, rng):
+        mesh = DECOMPOSERS[method](random_unitary(8, rng))
+        program = mesh.compiled()
+        states = random_batch(rng, 5, 8)
+        expected = engine.propagate(program, states, mesh.thetas, mesh.phis,
+                                    mesh.output_phases)
+        out = np.empty((5, 8), dtype=complex)
+        result = engine.propagate(program, states, mesh.thetas, mesh.phis,
+                                  mesh.output_phases, out=out)
+        assert result is out
+        assert np.abs(result - expected).max() < 1e-12
+
+    def test_propagate_out_may_alias_states(self, rng):
+        mesh = clements_decompose(random_unitary(6, rng))
+        states = random_batch(rng, 3, 6)
+        expected = engine.propagate(mesh.compiled(), states, mesh.thetas,
+                                    mesh.phis, mesh.output_phases)
+        result = engine.propagate(mesh.compiled(), states, mesh.thetas,
+                                  mesh.phis, mesh.output_phases, out=states)
+        assert result is states
+        assert np.abs(result - expected).max() < 1e-12
+
+    def test_propagate_ignores_incompatible_out(self, rng):
+        mesh = clements_decompose(random_unitary(6, rng))
+        states = random_batch(rng, 3, 6)
+        wrong = np.empty((2, 6), dtype=complex)
+        result = engine.propagate(mesh.compiled(), states, mesh.thetas,
+                                  mesh.phis, mesh.output_phases, out=wrong)
+        assert result is not wrong
+        assert result.shape == (3, 6)
+
+    def test_apply_dense_out(self, rng):
+        mesh = clements_decompose(random_unitary(7, rng))
+        dense = mesh.reconstruct()
+        states = random_batch(rng, 4, 7)
+        out = np.empty((4, 7), dtype=complex)
+        result = engine.apply_dense(states, dense, out=out)
+        assert result is out
+        assert np.abs(result - states @ dense.T).max() < 1e-12
+        # incompatible buffers are ignored, not fatal
+        bad = np.empty((4, 7), dtype=float)
+        fallback = engine.apply_dense(states, dense, out=bad)
+        assert fallback is not bad
+        assert np.abs(fallback - states @ dense.T).max() < 1e-12
+
+
 @pytest.mark.parametrize("method", ["reck", "clements"])
 class TestCompiledPropagationMatchesReference:
     @pytest.mark.parametrize("dimension", [2, 3, 5, 8, 16, 33])

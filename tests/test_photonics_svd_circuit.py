@@ -70,6 +70,53 @@ class TestSVDMapping:
         assert np.abs(svd_decompose(weight).matrix() - weight).max() < 1e-8
 
 
+class TestBatchedSVDs:
+    """Same-shape weights must factor through one stacked ``np.linalg.svd``."""
+
+    @staticmethod
+    def _mixed_weights(rng):
+        weights = [rng.normal(size=(6, 4)) + 1j * rng.normal(size=(6, 4))
+                   for _ in range(3)]
+        weights += [rng.normal(size=(5, 5)) for _ in range(2)]
+        weights.append(rng.normal(size=(3, 7)))
+        degenerate = rng.normal(size=(6, 4))
+        degenerate[:, -1] = degenerate[:, 0]         # rank-deficient member
+        weights.append(degenerate.astype(complex))
+        return weights
+
+    def test_stacked_factors_match_per_matrix_svd(self, rng):
+        from repro.photonics.svd_mapping import _svd_factors, _svd_factors_many
+
+        weights = self._mixed_weights(rng)
+        stacked = _svd_factors_many(weights, normalize=True)
+        for weight, factors in zip(weights, stacked):
+            shape, left, right, singular_values, scale = factors
+            ref_shape, ref_left, ref_right, ref_values, ref_scale = \
+                _svd_factors(weight, normalize=True)
+            assert shape == ref_shape and scale == ref_scale
+            # the gufunc runs the same LAPACK routine per slice
+            assert np.abs(left - ref_left).max() <= 1e-12
+            assert np.abs(right - ref_right).max() <= 1e-12
+            assert np.abs(singular_values - ref_values).max() <= 1e-12
+
+    @pytest.mark.parametrize("method", ["clements", "reck"])
+    def test_deployed_matrices_match_per_weight_path(self, method, rng):
+        from repro.photonics.svd_mapping import svd_decompose_many
+
+        weights = self._mixed_weights(rng)
+        grouped = svd_decompose_many(weights, method=method)
+        for weight, photonic in zip(weights, grouped):
+            reference = svd_decompose(weight, method=method)
+            assert np.abs(photonic.matrix() - reference.matrix()).max() <= 1e-10
+            assert photonic.mzi_count == reference.mzi_count
+
+    def test_non_2d_weight_rejected(self, rng):
+        from repro.photonics.svd_mapping import svd_decompose_many
+
+        with pytest.raises(ValueError):
+            svd_decompose_many([rng.normal(size=(2, 3, 4))])
+
+
 class TestPhotonicLayersAndNetworks:
     def test_layer_forward_with_bias(self, rng):
         weight = rng.normal(size=(3, 5))

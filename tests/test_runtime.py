@@ -1,0 +1,300 @@
+"""Tests of the plan-based executor (:mod:`repro.core.runtime`).
+
+The acceptance bar: for FCNN, LeNet and ResNet programs (all five decoder
+heads) the :class:`ExecutionPlan` must match the kept node-walk reference to
+1e-12.  The rest covers the plan compiler's moving parts -- slot reuse,
+eager dense fusion, the electronic-affine peephole, buffer-pool safety and
+the interaction with noise/quantization ensembles.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.assignment import get_scheme
+from repro.core.compile import CompileOptions
+from repro.core.graph_ir import (
+    INPUT,
+    ElectronicActivation,
+    ElectronicAdd,
+    ElectronicBatchNorm,
+    GraphNode,
+    GraphProgram,
+)
+from repro.core.runtime import (
+    AffineInstruction,
+    CallInstruction,
+    ConvInstruction,
+    ExecutionPlan,
+    MatmulInstruction,
+    PlanOptions,
+    compile_plan,
+)
+from repro.models import ComplexFCNN
+from repro.photonics.noise import PhaseNoiseModel
+from tests.test_compile import DECODERS, tiny_lenet, tiny_resnet
+
+PARITY = 1e-12
+
+
+def encoded_light(program, images, scheme):
+    return program.encode_images(images, scheme)
+
+
+def models_under_test(rng, decoder):
+    yield "fcnn", ComplexFCNN(18, (10,), 4, decoder=decoder, rng=rng), "SI", (5, 1, 6, 6)
+    yield "lenet", tiny_lenet(rng, decoder=decoder), "CL", (4, 3, 12, 12)
+    yield "resnet", tiny_resnet(rng, decoder=decoder), "CL", (3, 3, 8, 8)
+
+
+class TestPlanParity:
+    @pytest.mark.parametrize("decoder", DECODERS)
+    def test_plan_matches_node_walk_on_all_models_and_heads(self, decoder, rng):
+        for name, model, scheme_key, shape in models_under_test(rng, decoder):
+            scheme = get_scheme(scheme_key)
+            program = repro.compile(model)
+            signal = encoded_light(program, rng.normal(size=shape), scheme)
+            walk = program.graph.forward_reference(signal)
+            planned = program.plan().execute(signal)
+            assert np.abs(walk - planned).max() <= PARITY, (name, decoder)
+
+    def test_repeated_execution_is_stable(self, rng):
+        # pooled interior buffers must not leak state between calls
+        scheme = get_scheme("CL")
+        program = repro.compile(tiny_resnet(rng))
+        first_images = rng.normal(size=(4, 3, 8, 8))
+        second_images = rng.normal(size=(2, 3, 8, 8))     # different batch size
+        first = program.predict_logits(first_images, scheme)
+        second = program.predict_logits(second_images, scheme)
+        assert np.allclose(program.predict_logits(first_images, scheme),
+                           first, atol=0)
+        assert np.allclose(program.predict_logits(second_images, scheme),
+                           second, atol=0)
+
+    def test_output_never_aliases_pooled_storage(self, rng):
+        scheme = get_scheme("SI")
+        program = repro.compile(ComplexFCNN(18, (10,), 4, decoder="merge", rng=rng))
+        signal = encoded_light(program, rng.normal(size=(3, 1, 6, 6)), scheme)
+        first = program.forward_signals(signal)
+        kept = first.copy()
+        program.forward_signals(encoded_light(
+            program, rng.normal(size=(3, 1, 6, 6)), scheme))
+        assert np.array_equal(first, kept)
+
+    def test_conv_output_never_aliases_pooled_storage(self, rng):
+        # the reshape back to feature maps can be a view of the matmul
+        # buffer, so a conv-output program must not pool its last instruction
+        from repro.core.lowering import lower_complex_conv2d
+        from repro.nn.complex import ComplexConv2d
+
+        stage = lower_complex_conv2d(ComplexConv2d(2, 3, 3, rng=rng), "conv")
+        graph = GraphProgram(nodes=[GraphNode("conv", stage, (INPUT,))],
+                             output="conv", readout=lambda s: s, num_classes=3)
+        def signal():
+            return rng.normal(size=(2, 2, 6, 6)) + 1j * rng.normal(size=(2, 2, 6, 6))
+
+        first = graph.forward(signal())
+        kept = first.copy()
+        graph.forward(signal())
+        assert np.array_equal(first, kept)
+
+    def test_flatten_output_over_conv_never_aliases_pool(self, rng):
+        # FlattenStage returns a reshape *view*, so a conv whose result
+        # reaches the output through a flatten chain must not pool either
+        from repro.core.lowering import FlattenStage, lower_complex_conv2d
+        from repro.nn.complex import ComplexConv2d
+
+        stage = lower_complex_conv2d(ComplexConv2d(2, 3, 3, rng=rng), "conv")
+        graph = GraphProgram(
+            nodes=[GraphNode("conv", stage, (INPUT,)),
+                   GraphNode("flat", FlattenStage(), ("conv",))],
+            output="flat", readout=lambda s: s, num_classes=3)
+
+        def signal():
+            return rng.normal(size=(2, 2, 3, 3)) + 1j * rng.normal(size=(2, 2, 3, 3))
+
+        first = graph.forward(signal())        # 1x1 maps: reshape stays a view
+        kept = first.copy()
+        graph.forward(signal())
+        assert np.array_equal(first, kept)
+
+    def test_plan_rebuilds_after_in_place_phase_update(self, rng):
+        # update_phases is a documented in-place mutation API; plans bake
+        # phases into dense matrices, so forward() must notice and rebuild
+        scheme = get_scheme("SI")
+        program = repro.compile(ComplexFCNN(18, (10,), 4, decoder="merge", rng=rng))
+        signal = encoded_light(program, rng.normal(size=(3, 1, 6, 6)), scheme)
+        before = program.forward_signals(signal)     # caches the plan
+        stale_plan = program.plan()
+        mesh = program.stages[0].layer.photonic_matrix.left_mesh
+        mesh.update_phases(thetas=mesh.thetas * 0.5)
+        assert stale_plan.is_stale()
+        after = program.forward_signals(signal)      # rebuilds the plan
+        reference = program.graph.forward_reference(signal)
+        assert np.abs(after - reference).max() <= PARITY
+        assert not np.allclose(after, before)
+        assert program.plan() is not stale_plan
+        assert not program.plan().is_stale()
+
+    def test_unfused_plan_matches_fused(self, rng):
+        scheme = get_scheme("CL")
+        program = repro.compile(tiny_lenet(rng))
+        signal = encoded_light(program, rng.normal(size=(3, 3, 12, 12)), scheme)
+        fused = program.plan().execute(signal)
+        plain = program.plan(PlanOptions(fuse_matrices=False, fuse_affine=False,
+                                         reuse_buffers=False)).execute(signal)
+        assert np.abs(fused - plain).max() <= PARITY
+
+    def test_noise_ensemble_plan_matches_walk(self, rng):
+        scheme = get_scheme("CL")
+        program = repro.compile(tiny_resnet(rng))
+        noisy = program.with_noise(noise=PhaseNoiseModel.seeded(0.02, seed=5), trials=3)
+        signal = encoded_light(noisy, rng.normal(size=(2, 3, 8, 8)), scheme)
+        walk = noisy.graph.forward_reference(signal)
+        planned = noisy.plan().execute(signal)
+        assert walk.shape == planned.shape           # (trials, batch, features)
+        assert np.abs(walk - planned).max() <= PARITY
+        # trials-batched meshes must not have been folded to dense matrices
+        assert noisy.plan().fused_matmuls == 0
+
+
+class TestPlanCompilation:
+    def test_chain_reuses_one_slot(self, rng):
+        program = repro.compile(tiny_lenet(rng))
+        plan = program.plan()
+        assert plan.slot_count == 1                   # pure chain: every value dies
+        assert plan.output_slot == 0
+
+    def test_fanout_needs_extra_slots(self, rng):
+        plan = repro.compile(tiny_resnet(rng)).plan()
+        assert plan.slot_count >= 2                   # skip branches stay live
+
+    def test_dense_stages_fold_to_matmuls(self, rng):
+        plan = repro.compile(tiny_lenet(rng)).plan()
+        kinds = [type(instruction) for instruction in plan.instructions]
+        assert kinds.count(ConvInstruction) == 2
+        assert kinds.count(MatmulInstruction) == 3
+        assert plan.fused_matmuls == 5
+
+    def test_column_backend_stages_stay_unfused(self, rng):
+        program = repro.compile(tiny_lenet(rng),
+                                options=CompileOptions(backend="column"))
+        plan = program.plan()
+        assert plan.fused_matmuls == 0
+        assert all(isinstance(instruction, CallInstruction)
+                   for instruction in plan.instructions)
+
+    def test_plan_is_cached_until_options_differ(self, rng):
+        program = repro.compile(tiny_lenet(rng))
+        assert program.plan() is program.plan()
+        fresh = program.plan(PlanOptions(fuse_matrices=False))
+        assert fresh is not program.plan()
+
+    def test_describe_mentions_instructions(self, rng):
+        plan = repro.compile(tiny_lenet(rng)).plan()
+        text = plan.describe()
+        assert "instructions" in text and "buffer slots" in text
+
+
+class TestAffinePeephole:
+    @staticmethod
+    def _affine(scale, shift, spatial=False):
+        scale = np.asarray(scale, dtype=float)
+        shift = np.asarray(shift, dtype=float)
+        return ElectronicBatchNorm(real_scale=scale, real_shift=shift,
+                                   imag_scale=scale * 0.5, imag_shift=shift - 1.0,
+                                   spatial=spatial)
+
+    def _program(self, nodes, output):
+        return GraphProgram(nodes=nodes, output=output, readout=lambda s: s,
+                            num_classes=2)
+
+    def test_adjacent_affines_fuse_to_one_instruction(self, rng):
+        first = self._affine([2.0, 3.0], [0.5, -0.5])
+        second = self._affine([0.25, 4.0], [1.0, 2.0])
+        graph = self._program([GraphNode("bn1", first, (INPUT,)),
+                               GraphNode("bn2", second, ("bn1",))], "bn2")
+        plan = graph.plan()
+        assert plan.instruction_count == 1
+        assert isinstance(plan.instructions[0], AffineInstruction)
+        assert plan.fused_affine_chains == 1
+        signal = rng.normal(size=(3, 2)) + 1j * rng.normal(size=(3, 2))
+        assert np.abs(graph.forward_reference(signal)
+                      - plan.execute(signal)).max() <= PARITY
+
+    def test_triple_chain_fuses_fully(self, rng):
+        nodes = [GraphNode("bn1", self._affine([2.0], [0.1]), (INPUT,)),
+                 GraphNode("bn2", self._affine([3.0], [0.2]), ("bn1",)),
+                 GraphNode("bn3", self._affine([0.5], [0.3]), ("bn2",))]
+        graph = self._program(nodes, "bn3")
+        plan = graph.plan()
+        assert plan.instruction_count == 1
+        signal = rng.normal(size=(4, 1)) + 1j * rng.normal(size=(4, 1))
+        assert np.abs(graph.forward_reference(signal)
+                      - plan.execute(signal)).max() <= PARITY
+
+    def test_fanned_out_affine_does_not_fuse(self, rng):
+        # bn1 feeds both bn2 and the skip add: composing would corrupt the skip
+        nodes = [GraphNode("bn1", self._affine([2.0, 1.5], [0.1, 0.0]), (INPUT,)),
+                 GraphNode("bn2", self._affine([3.0, 0.5], [0.2, 1.0]), ("bn1",)),
+                 GraphNode("add", ElectronicAdd(), ("bn2", "bn1"))]
+        graph = self._program(nodes, "add")
+        plan = graph.plan()
+        assert plan.fused_affine_chains == 0
+        assert plan.instruction_count == 3
+        signal = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        assert np.abs(graph.forward_reference(signal)
+                      - plan.execute(signal)).max() <= PARITY
+
+    def test_output_affine_chain_remaps_output(self, rng):
+        # the fused-away node was the program output; the plan must return
+        # the merged node's value
+        nodes = [GraphNode("bn1", self._affine([2.0], [0.5]), (INPUT,)),
+                 GraphNode("bn2", self._affine([0.5], [0.25]), ("bn1",))]
+        graph = self._program(nodes, "bn2")
+        signal = rng.normal(size=(3, 1)) + 1j * rng.normal(size=(3, 1))
+        assert np.abs(graph.forward_reference(signal)
+                      - graph.plan().execute(signal)).max() <= PARITY
+
+    def test_mixed_layouts_do_not_fuse(self, rng):
+        spatial = ElectronicBatchNorm(real_scale=np.ones(2), real_shift=np.zeros(2),
+                                      imag_scale=np.ones(2), imag_shift=np.zeros(2),
+                                      spatial=True)
+        flat = self._affine([1.0, 2.0], [0.0, 0.1], spatial=False)
+        graph = self._program([GraphNode("bn1", spatial, (INPUT,)),
+                               GraphNode("bn2", flat, ("bn1",))], "bn2")
+        assert graph.plan().fused_affine_chains == 0
+
+
+class TestGraphForwardWrapper:
+    def test_forward_is_plan_backed(self, rng):
+        scheme = get_scheme("CL")
+        program = repro.compile(tiny_lenet(rng))
+        signal = encoded_light(program, rng.normal(size=(3, 3, 12, 12)), scheme)
+        assert np.abs(program.graph.forward(signal)
+                      - program.graph.forward_reference(signal)).max() <= PARITY
+
+    def test_generic_graphs_still_execute(self, rng):
+        # hand-built graphs with only electronic ops go through CallInstruction
+        graph = GraphProgram(
+            nodes=[GraphNode("act", ElectronicActivation(), (INPUT,)),
+                   GraphNode("add", ElectronicAdd(), ("act", INPUT))],
+            output="add", readout=lambda s: s, num_classes=2)
+        signal = rng.normal(size=(3, 4)) + 1j * rng.normal(size=(3, 4))
+        assert np.abs(graph.forward(signal)
+                      - graph.forward_reference(signal)).max() <= PARITY
+
+    def test_plan_execute_callable_alias(self, rng):
+        program = repro.compile(ComplexFCNN(8, (6,), 3, decoder="merge", rng=rng))
+        plan = program.plan()
+        assert isinstance(plan, ExecutionPlan)
+        signal = (rng.normal(size=(2, 8)) + 1j * rng.normal(size=(2, 8)))
+        assert np.array_equal(plan(signal), plan.execute(signal))
+
+
+class TestCompilePlanFunction:
+    def test_compile_plan_defaults(self, rng):
+        program = repro.compile(tiny_lenet(rng))
+        plan = compile_plan(program.graph)
+        assert plan.options == PlanOptions()
+        assert plan.instruction_count == len(program.graph.nodes)
