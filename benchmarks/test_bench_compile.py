@@ -56,7 +56,19 @@ class ResnetBenchRow:
     max_logit_error: float
 
 
-_results: dict = {"stack_decomposition": [], "deployed_resnet": []}
+@dataclass
+class ThresholdBenchRow:
+    dimension: int
+    stack_size: int
+    method: str
+    per_matrix_seconds: float
+    batched_seconds: float
+    speedup: float
+    configured_threshold: int
+
+
+_results: dict = {"stack_decomposition": [], "stack_threshold": [],
+                  "deployed_resnet": []}
 
 
 def _save(results_dir) -> None:
@@ -101,6 +113,42 @@ def test_batched_stack_decomposition_speedup(benchmark, best_of, method, results
         dimension=dimension, stack_size=stack_size, method=method,
         per_matrix_seconds=per_matrix_seconds, batched_seconds=batched_seconds,
         speedup=speedup, max_phase_deviation=deviation))
+    _save(results_dir)
+
+
+@pytest.mark.parametrize("method", ["clements", "reck"])
+def test_stack_threshold_crossover(best_of, method, results_dir):
+    """Re-measure the per-method stack/per-matrix crossover at small stacks.
+
+    The ``STACK_THRESHOLDS`` defaults are picked from exactly this
+    measurement: the smallest stack size whose batched decomposition does not
+    lose to the per-matrix loop.  The fused small-array kernel
+    (:func:`repro.photonics.engine.nulling_rotation_blocks`, one solve + one
+    batched 2x2 matmul per Clements chain step) moved the Clements crossover
+    from four matrices to three; Reck wins from two.  The batched path must
+    be at (or above) break-even at the configured threshold -- asserted with
+    headroom for shared-runner noise.
+    """
+    from repro.photonics.svd_mapping import STACK_THRESHOLDS
+
+    dimension = 16 if bench_preset_name() == "smoke" else 32
+    threshold = STACK_THRESHOLDS[method]
+    rng = np.random.default_rng(1)
+    for stack_size in (2, 3, 4):
+        stack = np.stack([random_unitary(dimension, rng) for _ in range(stack_size)])
+        decompose_unitary_stack(stack, method=method)   # warm the schedule caches
+        batched_seconds = best_of(
+            lambda: decompose_unitary_stack(stack, method=method), repeats=5)
+        per_matrix_seconds = best_of(
+            lambda: [decompose_unitary(unitary, method=method) for unitary in stack],
+            repeats=5)
+        speedup = per_matrix_seconds / batched_seconds
+        if stack_size == threshold:
+            assert speedup >= 0.7
+        _results["stack_threshold"].append(ThresholdBenchRow(
+            dimension=dimension, stack_size=stack_size, method=method,
+            per_matrix_seconds=per_matrix_seconds, batched_seconds=batched_seconds,
+            speedup=speedup, configured_threshold=threshold))
     _save(results_dir)
 
 

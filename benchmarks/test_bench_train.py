@@ -1,0 +1,165 @@
+"""Micro-benchmarks of the training hot path.
+
+Records per-training-step latency (forward + backward + optimizer step) of
+the complex model families at several batch sizes, fused fast-path kernels
+versus the pre-optimization reference path
+(:func:`repro.tensor.functional.use_reference_kernels`: 4-real-op complex
+layers, index-table im2col, ``np.add.at`` col2im), plus the isolated cost of
+the in-place versus allocating optimizer steps -- all saved to
+``benchmarks/results/train.json``.
+
+Two regression floors are pinned: the LeNet-style complex CNN training step
+must stay at least 3x faster than the reference path at batch 64 (the
+ISSUE-5 acceptance bar; measured ~5x on the dev box), and the fused path
+must never lose to the reference anywhere else.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import save_json
+from repro.models.fcnn import ComplexFCNN
+from repro.models.lenet import ComplexLeNet5
+from repro.models.resnet import ComplexResNet
+from repro.nn.complex import ComplexTensor
+from repro.nn.losses import cross_entropy
+from repro.optim import SGD, Adam
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+
+def bench_preset_name() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "bench")
+
+
+@dataclass
+class TrainStepRow:
+    model: str
+    batch: int
+    fused_seconds: float
+    reference_seconds: float
+    speedup: float
+    fused_steps_per_second: float
+
+
+@dataclass
+class OptimizerRow:
+    optimizer: str
+    parameter_count: int
+    in_place_seconds: float
+    allocating_seconds: float
+    speedup: float
+
+
+_results: dict = {"train_step": [], "optimizer_step": []}
+
+
+def _save(results_dir) -> None:
+    save_json(_results, results_dir / "train.json")
+
+
+def _batch_sizes():
+    if bench_preset_name() == "smoke":
+        return (8, 32)
+    return (16, 64, 256)
+
+
+def _models():
+    smoke = bench_preset_name() == "smoke"
+    rng = np.random.default_rng(0)
+    image = 16 if smoke else 32
+    lenet_kwargs = dict(kernel_size=3, padding=1) if smoke else {}
+    return {
+        "fcnn": (ComplexFCNN(392, [50], 10, rng=rng),
+                 lambda batch_rng, batch: ComplexTensor(
+                     Tensor(batch_rng.normal(size=(batch, 392))),
+                     Tensor(batch_rng.normal(size=(batch, 392))))),
+        "lenet": (ComplexLeNet5(in_channels=2, image_size=(image, image),
+                                rng=rng, **lenet_kwargs),
+                  lambda batch_rng, batch: ComplexTensor(
+                      Tensor(batch_rng.normal(size=(batch, 2, image, image))),
+                      Tensor(batch_rng.normal(size=(batch, 2, image, image))))),
+        "resnet": (ComplexResNet(depth=8, in_channels=2,
+                                 base_widths=(2, 4, 8) if smoke else (4, 8, 16),
+                                 rng=rng),
+                   lambda batch_rng, batch: ComplexTensor(
+                       Tensor(batch_rng.normal(size=(batch, 2, image, image))),
+                       Tensor(batch_rng.normal(size=(batch, 2, image, image))))),
+    }
+
+
+@pytest.fixture(scope="module")
+def models():
+    return _models()
+
+
+@pytest.mark.parametrize("model_name", ["fcnn", "lenet", "resnet"])
+@pytest.mark.parametrize("batch", _batch_sizes())
+def test_train_step_speedup(best_of, results_dir, models, model_name, batch):
+    smoke = bench_preset_name() == "smoke"
+    if model_name == "resnet" and batch > (32 if smoke else 64):
+        pytest.skip("resnet reference path at large batch is too slow for CI")
+    model, make_batch = models[model_name]
+    rng = np.random.default_rng(1)
+    inputs = make_batch(rng, batch)
+    labels = rng.integers(0, model.num_classes, size=batch)
+    optimizer = SGD(model.parameters(), lr=0.01, momentum=0.9)
+
+    def step():
+        optimizer.zero_grad()
+        loss = cross_entropy(model(inputs), labels)
+        loss.backward()
+        optimizer.step()
+
+    repeats = 3 if model_name == "resnet" else 5
+    fused_seconds = best_of(step, repeats=repeats)
+    with F.use_reference_kernels():
+        reference_seconds = best_of(step, repeats=repeats)
+    speedup = reference_seconds / fused_seconds
+
+    # the fused path must not lose to the reference (0.8 floor leaves room
+    # for shared-runner noise on the small fcnn steps); the LeNet CNN at
+    # batch 64 carries the ISSUE-5 acceptance floor of 3x (measured ~5x)
+    assert speedup >= 0.8
+    if model_name == "lenet" and batch == 64 and not smoke:
+        assert speedup >= 3.0
+
+    _results["train_step"].append(TrainStepRow(
+        model=model_name, batch=batch,
+        fused_seconds=fused_seconds, reference_seconds=reference_seconds,
+        speedup=speedup, fused_steps_per_second=1.0 / fused_seconds))
+    _save(results_dir)
+
+
+@pytest.mark.parametrize("optimizer_name", ["sgd", "sgd_nesterov", "adam"])
+def test_optimizer_step_cost(best_of, results_dir, models, optimizer_name):
+    model, _make_batch = models["lenet"]
+    parameters = model.parameters()
+    rng = np.random.default_rng(2)
+    grads = [rng.normal(size=parameter.shape) for parameter in parameters]
+    for parameter, grad in zip(parameters, grads):
+        parameter.grad = grad
+
+    if optimizer_name == "sgd":
+        optimizer = SGD(parameters, lr=1e-4, momentum=0.9, weight_decay=1e-4)
+    elif optimizer_name == "sgd_nesterov":
+        optimizer = SGD(parameters, lr=1e-4, momentum=0.9, nesterov=True)
+    else:
+        optimizer = Adam(parameters, lr=1e-5)
+
+    repeats = 20
+    in_place_seconds = best_of(optimizer.step, repeats=repeats)
+    allocating_seconds = best_of(optimizer.step_reference, repeats=repeats)
+
+    _results["optimizer_step"].append(OptimizerRow(
+        optimizer=optimizer_name,
+        parameter_count=int(sum(parameter.size for parameter in parameters)),
+        in_place_seconds=in_place_seconds,
+        allocating_seconds=allocating_seconds,
+        speedup=allocating_seconds / in_place_seconds))
+    _save(results_dir)

@@ -9,6 +9,12 @@ arithmetic.
 """
 
 from repro.nn.complex.ctensor import ComplexTensor
+from repro.nn.complex.cfunctional import (
+    complex_conv2d,
+    complex_conv2d_reference,
+    complex_linear,
+    complex_linear_reference,
+)
 from repro.nn.complex.expansion import (
     complex_matrix_to_real,
     complex_vector_to_real,
@@ -29,6 +35,10 @@ from repro.nn.complex.cmodule import (
 
 __all__ = [
     "ComplexTensor",
+    "complex_conv2d",
+    "complex_conv2d_reference",
+    "complex_linear",
+    "complex_linear_reference",
     "complex_matrix_to_real",
     "complex_vector_to_real",
     "real_vector_to_complex",

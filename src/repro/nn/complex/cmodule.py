@@ -98,6 +98,10 @@ class ComplexMaxPool2d(Module):
         reshaped = power.reshape(batch * channels, 1, height, width)
         columns, _ = F.im2col(reshaped, kernel, stride, (0, 0))
         max_idx = columns.argmax(axis=0)
+        # capture the adjoint kernel at forward time (same contract as the
+        # closures in repro.tensor.functional)
+        col2im_fn = (F.col2im_reference if F.reference_kernels_enabled()
+                     else F._col2im_fast)
 
         def gather(part: Tensor) -> Tensor:
             part_reshaped = part.reshape(batch * channels, 1, height, width)
@@ -108,7 +112,7 @@ class ComplexMaxPool2d(Module):
                 grad_cols = np.zeros_like(part_cols_data)
                 grad_flat = grad.reshape(batch * channels, out_h, out_w).transpose(1, 2, 0).reshape(-1)
                 grad_cols[max_idx, np.arange(part_cols_data.shape[1])] = grad_flat
-                grad_input = F.col2im(grad_cols, (batch * channels, 1, height, width), kernel, stride, (0, 0))
+                grad_input = col2im_fn(grad_cols, (batch * channels, 1, height, width), kernel, stride, (0, 0))
                 return (grad_input.reshape(batch, channels, height, width),)
 
             selected = part_cols_data[max_idx, np.arange(part_cols_data.shape[1])]

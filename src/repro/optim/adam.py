@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -11,7 +11,15 @@ from repro.optim.optimizer import Optimizer
 
 
 class Adam(Optimizer):
-    """Adam with bias-corrected first/second moment estimates."""
+    """Adam with bias-corrected first/second moment estimates.
+
+    :meth:`step` is allocation-free: the moment buffers and
+    ``parameter.data`` are updated in place through ``out=`` ufunc operands
+    and two preallocated per-parameter scratch buffers.
+    :meth:`step_reference` keeps the allocating formulation as an executable
+    specification; the two produce bit-identical trajectories (pinned in the
+    test-suite).
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
                  betas: Tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
@@ -26,39 +34,95 @@ class Adam(Optimizer):
         self._step_count = 0
         self._moment1 = [np.zeros_like(p.data) for p in self.parameters]
         self._moment2 = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
+        self._scratch2 = [np.empty_like(p.data) for p in self.parameters]
 
-    def _apply_weight_decay(self, parameter: Parameter, grad: np.ndarray) -> np.ndarray:
-        if self.weight_decay:
-            return grad + self.weight_decay * parameter.data
-        return grad
+    def _effective_grad(self, parameter: Parameter,
+                        scratch: Optional[np.ndarray] = None) -> np.ndarray:
+        """Coupled-weight-decay gradient, shared by both step flavours.
 
-    def _decoupled_decay(self, parameter: Parameter) -> None:
-        """Hook for AdamW-style decoupled decay (no-op for plain Adam)."""
+        With ``scratch`` the result is written in place (the allocation-free
+        :meth:`step`); without it a fresh array is returned
+        (:meth:`step_reference`).  The two orderings are bit-identical
+        because float addition commutes.
+        """
+        if not self.weight_decay:
+            return parameter.grad
+        if scratch is None:
+            return parameter.grad + self.weight_decay * parameter.data
+        np.multiply(parameter.data, self.weight_decay, out=scratch)
+        scratch += parameter.grad
+        return scratch
+
+    def _decoupled_decay(self, parameter: Parameter,
+                         scratch: Optional[np.ndarray] = None) -> None:
+        """Hook for AdamW-style decoupled decay (no-op for plain Adam).
+
+        Same convention as :meth:`_effective_grad`: ``scratch`` selects the
+        in-place flavour, ``None`` the allocating reference flavour.
+        """
 
     def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for index, (parameter, m1, m2) in enumerate(
+                zip(self.parameters, self._moment1, self._moment2)):
+            if parameter.grad is None:
+                continue
+            buf = self._scratch[index]
+            buf2 = self._scratch2[index]
+            grad = self._effective_grad(parameter, buf2)
+            m1 *= self.beta1
+            np.multiply(grad, 1.0 - self.beta1, out=buf)
+            m1 += buf
+            m2 *= self.beta2
+            np.multiply(grad, grad, out=buf)
+            buf *= 1.0 - self.beta2
+            m2 += buf
+            self._decoupled_decay(parameter, buf)
+            # buf <- sqrt(m2_hat) + eps, buf2 <- lr * m1_hat, then one in-place
+            # divide and subtract finish the update without a single fresh array
+            np.divide(m2, bias2, out=buf)
+            np.sqrt(buf, out=buf)
+            buf += self.eps
+            np.divide(m1, bias1, out=buf2)
+            buf2 *= self.lr
+            buf2 /= buf
+            parameter.data -= buf2
+
+    def step_reference(self) -> None:
+        """The allocating seed update, kept as an executable specification."""
         self._step_count += 1
         bias1 = 1.0 - self.beta1 ** self._step_count
         bias2 = 1.0 - self.beta2 ** self._step_count
         for parameter, m1, m2 in zip(self.parameters, self._moment1, self._moment2):
             if parameter.grad is None:
                 continue
-            grad = self._apply_weight_decay(parameter, parameter.grad)
+            grad = self._effective_grad(parameter)
             m1 *= self.beta1
             m1 += (1.0 - self.beta1) * grad
             m2 *= self.beta2
             m2 += (1.0 - self.beta2) * grad ** 2
+            self._decoupled_decay(parameter)
             m1_hat = m1 / bias1
             m2_hat = m2 / bias2
-            self._decoupled_decay(parameter)
             parameter.data = parameter.data - self.lr * m1_hat / (np.sqrt(m2_hat) + self.eps)
 
 
 class AdamW(Adam):
     """Adam with decoupled weight decay (Loshchilov & Hutter)."""
 
-    def _apply_weight_decay(self, parameter: Parameter, grad: np.ndarray) -> np.ndarray:
-        return grad
+    def _effective_grad(self, parameter: Parameter,
+                        scratch: Optional[np.ndarray] = None) -> np.ndarray:
+        return parameter.grad
 
-    def _decoupled_decay(self, parameter: Parameter) -> None:
-        if self.weight_decay:
+    def _decoupled_decay(self, parameter: Parameter,
+                         scratch: Optional[np.ndarray] = None) -> None:
+        if not self.weight_decay:
+            return
+        if scratch is None:
             parameter.data = parameter.data - self.lr * self.weight_decay * parameter.data
+        else:
+            np.multiply(parameter.data, self.lr * self.weight_decay, out=scratch)
+            parameter.data -= scratch

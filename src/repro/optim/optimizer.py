@@ -48,5 +48,7 @@ class Optimizer:
             scale = max_norm / (total + 1e-12)
             for parameter in self.parameters:
                 if parameter.grad is not None:
-                    parameter.grad = parameter.grad * scale
+                    # gradients are freshly accumulated arrays, so the scale
+                    # can be applied in place instead of rebinding a copy
+                    np.multiply(parameter.grad, scale, out=parameter.grad)
         return total

@@ -159,6 +159,72 @@ def mzi_block_coefficients(thetas: np.ndarray, phis: np.ndarray,
     return t00, t01, t10, t11
 
 
+def nulling_rotation_blocks(a: np.ndarray, b: np.ndarray, left: bool,
+                            null_tolerance: float,
+                            out: Optional[np.ndarray] = None):
+    """Solve a stacked nulling rotation and emit batched 2x2 transfer blocks.
+
+    This is the low-overhead small-array kernel of the Clements stack
+    decomposition chain: for every matrix of a stack it solves the
+    ``(theta, phi)`` MZI parameters that null pivot entry ``b`` against ``a``
+    and assembles the resulting 2x2 block -- ``M(theta, phi)`` for *left*
+    (row-pair) operations, its conjugate transpose for *right* (column-pair)
+    operations -- ready for one batched ``np.matmul`` pair update.
+
+    Compared to composing :func:`mzi_block_coefficients` with separate
+    ``np.where`` clamps and four per-entry gathers, the fused form roughly
+    halves the number of small-array ufunc dispatches, which is what
+    dominates when the stack axis is short (2-4 conv-kernel SVD factors).
+    The closed forms are identical, so the phases agree with the scalar
+    per-matrix chain to the last bit.
+
+    Parameters
+    ----------
+    a, b:
+        Stacked pivot pairs, shape ``(stack,)``.
+    left:
+        Left (row) operation when True, right (column) operation when False.
+    null_tolerance:
+        Magnitudes at or below this are treated as exact zeros.
+    out:
+        Optional preallocated ``(stack, 2, 2)`` complex block buffer.
+
+    Returns ``(theta, phi, blocks)``.
+    """
+    a_abs = np.abs(a)
+    b_abs = np.abs(b)
+    a_abs[a_abs <= null_tolerance] = 0.0
+    b_abs[b_abs <= null_tolerance] = 0.0
+    mask = (a_abs > 0) & (b_abs > 0)
+    product = b * np.conj(a)
+    if left:
+        theta = 2.0 * np.arctan2(a_abs, b_abs)
+        phi = np.where(mask, np.arctan2(product.imag, product.real), 0.0)
+    else:
+        theta = 2.0 * np.arctan2(b_abs, a_abs)
+        np.negative(product, out=product)
+        phi = np.where(mask, -np.arctan2(product.imag, product.real), 0.0)
+    e_theta = np.exp(1j * theta)
+    e_phi = np.exp(1j * phi)
+    t01 = 0.5j * (e_theta + 1.0)
+    t00 = 0.5 * (e_theta - 1.0) * e_phi
+    t10 = t01 * e_phi
+    t11 = 0.5 * (1.0 - e_theta)
+    blocks = out if out is not None and out.shape == a.shape + (2, 2) \
+        else np.empty(a.shape + (2, 2), dtype=complex)
+    if left:
+        blocks[..., 0, 0] = t00
+        blocks[..., 0, 1] = t01
+        blocks[..., 1, 0] = t10
+        blocks[..., 1, 1] = t11
+    else:
+        np.conj(t00, out=blocks[..., 0, 0])
+        np.conj(t10, out=blocks[..., 0, 1])
+        np.conj(t01, out=blocks[..., 1, 0])
+        np.conj(t11, out=blocks[..., 1, 1])
+    return theta, phi, blocks
+
+
 def _loss_transmission(insertion_loss_db: float) -> float:
     if insertion_loss_db < 0:
         raise ValueError("insertion_loss_db must be non-negative")

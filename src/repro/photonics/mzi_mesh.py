@@ -865,32 +865,22 @@ def clements_decompose_stack(unitaries: np.ndarray) -> List[MeshDecomposition]:
         _clements_oplist(n)
     thetas = np.empty((count, op_modes.size), dtype=float)
     phis = np.empty_like(thetas)
+    blocks = np.empty((count, 2, 2), dtype=complex)
     for index, (left, mode, pivot) in enumerate(
             zip(is_left.tolist(), op_modes.tolist(), op_pivots.tolist())):
+        # the fused small-array kernel solves the rotation and assembles the
+        # 2x2 blocks (conjugate-transposed for right ops) in one pass; the
+        # pair update is a single batched matmul over the stack axis
         if left:
             a, b = work[:, mode, pivot], work[:, mode + 1, pivot]
-            a_abs = np.where(np.abs(a) > NULL_TOLERANCE, np.abs(a), 0.0)
-            b_abs = np.where(np.abs(b) > NULL_TOLERANCE, np.abs(b), 0.0)
-            theta = 2.0 * np.arctan2(a_abs, b_abs)
-            phi = np.where((a_abs > 0) & (b_abs > 0), np.angle(b * np.conj(a)), 0.0)
-            t00, t01, t10, t11 = engine.mzi_block_coefficients(theta, phi)
-            upper = work[:, mode, :].copy()
-            lower = work[:, mode + 1, :]
-            work[:, mode, :] = t00[:, None] * upper + t01[:, None] * lower
-            work[:, mode + 1, :] = t10[:, None] * upper + t11[:, None] * lower
         else:
             a, b = work[:, pivot, mode], work[:, pivot, mode + 1]
-            a_abs = np.where(np.abs(a) > NULL_TOLERANCE, np.abs(a), 0.0)
-            b_abs = np.where(np.abs(b) > NULL_TOLERANCE, np.abs(b), 0.0)
-            theta = 2.0 * np.arctan2(b_abs, a_abs)
-            phi = np.where((a_abs > 0) & (b_abs > 0), -np.angle(-b * np.conj(a)), 0.0)
-            # right ops apply the conjugate-transpose block on column pairs
-            t00, t01, t10, t11 = engine.mzi_block_coefficients(theta, phi)
-            h00, h01, h10, h11 = np.conj(t00), np.conj(t10), np.conj(t01), np.conj(t11)
-            upper = work[:, :, mode].copy()
-            lower = work[:, :, mode + 1]
-            work[:, :, mode] = h00[:, None] * upper + h10[:, None] * lower
-            work[:, :, mode + 1] = h01[:, None] * upper + h11[:, None] * lower
+        theta, phi, blocks = engine.nulling_rotation_blocks(
+            a, b, left, NULL_TOLERANCE, out=blocks)
+        if left:
+            work[:, mode:mode + 2, :] = np.matmul(blocks, work[:, mode:mode + 2, :])
+        else:
+            work[:, :, mode:mode + 2] = np.matmul(work[:, :, mode:mode + 2], blocks)
         thetas[:, index] = theta
         phis[:, index] = phi
 

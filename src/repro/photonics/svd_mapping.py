@@ -221,10 +221,13 @@ def svd_decompose(weight: np.ndarray, method: str = "clements",
 #: smallest dimension group that is decomposed as a batched stack, per mesh
 #: method.  The Reck stack path replaces an already-vectorized wavefront loop
 #: and wins from two matrices up; the Clements stack path replaces a *scalar*
-#: nulling chain with small-array numpy ops, whose per-op overhead is only
-#: amortized from about four matrices (measured; see
-#: ``benchmarks/test_bench_compile.py``).
-STACK_THRESHOLDS: Dict[str, int] = {"reck": 2, "clements": 4}
+#: nulling chain with small-array numpy ops whose per-op overhead only
+#: amortizes with the stack size.  The fused
+#: :func:`repro.photonics.engine.nulling_rotation_blocks` kernel (one solve +
+#: one batched 2x2 matmul per chain step) cut that overhead enough to move
+#: the measured crossover from four matrices to three (see the
+#: ``stack_threshold`` rows of ``benchmarks/results/compile.json``).
+STACK_THRESHOLDS: Dict[str, int] = {"reck": 2, "clements": 3}
 
 
 def svd_decompose_many(weights: Sequence[np.ndarray], method: str = "clements",
