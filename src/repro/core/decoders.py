@@ -116,8 +116,9 @@ class UnitaryLinear(Module):
         """Replace the weight with the nearest unitary matrix (polar factor)."""
         left, _sigma, right = np.linalg.svd(self.complex_weight())
         unitary = left @ right
-        self.weight_real.data = unitary.real.copy()
-        self.weight_imag.data = unitary.imag.copy()
+        # in-place so optimizer scratch and compiled plans keep their aliases
+        self.weight_real.data[...] = unitary.real
+        self.weight_imag.data[...] = unitary.imag
 
     def unitarity_error(self) -> float:
         """Frobenius distance of ``W^H W`` from the identity."""

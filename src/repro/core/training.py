@@ -4,35 +4,53 @@ The :class:`Trainer` hides the difference between real and complex models: a
 data-assignment scheme turns each numpy image batch into either a real tensor
 (RVNN) or a :class:`~repro.nn.complex.ComplexTensor` (CVNN / SCVNN), and the
 model maps it to real logits.
+
+The hot path is compiled: the first step at each ``(image, label)`` batch
+shape runs eagerly under :func:`~repro.tensor.tensor.trace_tape` and is
+lowered by :mod:`repro.core.train_plan` to a flat instruction plan
+(forward + backward + optimizer update on preallocated buffers).  Later
+steps with the same shapes replay the plan; anything the tracer cannot
+lower (dropout, custom ops) falls back to the eager tape transparently.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.assignment import AssignmentScheme
 from repro.core.config import TrainingConfig
+from repro.core.train_plan import PlanUnsupported, TrainStepPlan, compile_train_step
 from repro.data.loader import DataLoader
 from repro.nn.complex import ComplexTensor
-from repro.nn.losses import cross_entropy
+from repro.nn.losses import cross_entropy, smoothed_targets
 from repro.nn.module import Module
 from repro.optim import SGD, Adam, CosineAnnealingLR, MultiStepLR
-from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor.tensor import Tensor, mark_trace_input, no_grad, trace_tape
 
 
 def prepare_batch(images: np.ndarray, scheme: Optional[AssignmentScheme]):
     """Convert a numpy image batch into the input the model expects.
 
     With a scheme, the batch is packed into a :class:`ComplexTensor` (complex
-    models); without one it is wrapped as a real :class:`Tensor` (RVNN).
+    models); without one it is wrapped as a real :class:`Tensor` (RVNN).  The
+    wrapped tensors are marked as trace inputs so a recorded step knows which
+    leaf buffers to refresh per batch.
     """
     if scheme is None:
-        return Tensor(np.asarray(images, dtype=float))
+        tensor = Tensor(np.asarray(images, dtype=float))
+        mark_trace_input(tensor, "input", {})
+        return tensor
     result = scheme.assign(images)
-    return ComplexTensor(Tensor(result.real), Tensor(result.imag))
+    real = Tensor(result.real)
+    imag = Tensor(result.imag)
+    mark_trace_input(real, "input_real", {})
+    mark_trace_input(imag, "input_imag", {})
+    return ComplexTensor(real, imag)
 
 
 def apply_parameter_constraints(model: Module) -> None:
@@ -66,6 +84,10 @@ class TrainingHistory:
     train_loss: List[float] = field(default_factory=list)
     train_accuracy: List[float] = field(default_factory=list)
     test_accuracy: List[float] = field(default_factory=list)
+    #: wall-clock seconds spent in the training batches of each epoch
+    epoch_time: List[float] = field(default_factory=list)
+    #: training throughput of each epoch (samples / epoch_time)
+    samples_per_second: List[float] = field(default_factory=list)
 
     @property
     def best_test_accuracy(self) -> float:
@@ -74,6 +96,14 @@ class TrainingHistory:
     @property
     def final_test_accuracy(self) -> float:
         return self.test_accuracy[-1] if self.test_accuracy else 0.0
+
+
+def _plan_enabled_from_env(default: bool) -> bool:
+    """Resolve the ``REPRO_TRAIN_PLAN`` override (``0``/``1``)."""
+    value = os.environ.get("REPRO_TRAIN_PLAN")
+    if value is None:
+        return default
+    return value.strip().lower() not in ("0", "false", "off", "no", "")
 
 
 class Trainer:
@@ -87,15 +117,29 @@ class Trainer:
         Training hyper-parameters.
     scheme:
         Data-assignment scheme for complex models; ``None`` for real models.
+    compile_train_step:
+        Override ``config.compile_train_step``.  ``None`` keeps the config
+        value; the ``REPRO_TRAIN_PLAN`` environment variable (``0`` or ``1``)
+        beats both.
     """
 
+    #: distinct batch shapes the trainer keeps compiled plans for; typically a
+    #: run only ever sees two (the full batch and the smaller final batch)
+    MAX_PLANS = 8
+
     def __init__(self, model: Module, config: TrainingConfig,
-                 scheme: Optional[AssignmentScheme] = None):
+                 scheme: Optional[AssignmentScheme] = None,
+                 compile_train_step: Optional[bool] = None):
         self.model = model
         self.config = config
         self.scheme = scheme
         self.optimizer = self._build_optimizer()
         self.scheduler = self._build_scheduler()
+        if compile_train_step is None:
+            compile_train_step = config.compile_train_step
+        self._plan_enabled = _plan_enabled_from_env(compile_train_step)
+        self._plans: Dict[Tuple, TrainStepPlan] = {}
+        self._plan_fallback_reason: Optional[str] = None
 
     def _build_optimizer(self):
         params = self.model.parameters()
@@ -112,8 +156,27 @@ class Trainer:
             return MultiStepLR(self.optimizer, milestones=self.config.milestones)
         return None
 
+    # ------------------------------------------------------------------ #
+    # the training step: compiled plan when possible, eager tape otherwise
+    # ------------------------------------------------------------------ #
+    @property
+    def plan_stats(self) -> dict:
+        """Diagnostics of the plan compiler: per-shape stats and fallbacks."""
+        return {
+            "enabled": self._plan_enabled,
+            "compiled": len(self._plans),
+            "fallback_reason": self._plan_fallback_reason,
+            "plans": {str(key): plan.stats for key, plan in self._plans.items()},
+        }
+
     def train_step(self, images: np.ndarray, labels: np.ndarray):
         """One optimizer update; returns ``(batch loss, predicted labels)``."""
+        if self._plan_enabled and self.model.training:
+            return self._planned_step(images, labels)
+        return self._eager_step(images, labels)
+
+    def _eager_step(self, images: np.ndarray, labels: np.ndarray):
+        """The reference step: graph walk, closure backward, optimizer loop."""
         self.optimizer.zero_grad()
         logits = self.model(prepare_batch(images, self.scheme))
         loss = cross_entropy(logits, labels, label_smoothing=self.config.label_smoothing)
@@ -123,6 +186,57 @@ class Trainer:
         self.optimizer.step()
         apply_parameter_constraints(self.model)
         return float(loss.data), logits.data.argmax(axis=1)
+
+    def _planned_step(self, images: np.ndarray, labels: np.ndarray):
+        key = (np.shape(images), np.shape(labels))
+        plan = self._plans.get(key)
+        if plan is None:
+            if self._plan_fallback_reason is not None or len(self._plans) >= self.MAX_PLANS:
+                return self._eager_step(images, labels)
+            return self._trace_step(key, images, labels)
+        loss, predictions = plan.execute(self._plan_inputs(images, labels, plan.input_meta))
+        apply_parameter_constraints(self.model)
+        return loss, predictions
+
+    def _trace_step(self, key, images: np.ndarray, labels: np.ndarray):
+        """Run one eager step under the tape tracer and lower it to a plan."""
+        self.optimizer.zero_grad()
+        with trace_tape() as trace:
+            logits = self.model(prepare_batch(images, self.scheme))
+            loss = cross_entropy(logits, labels,
+                                 label_smoothing=self.config.label_smoothing)
+        loss.backward()
+        if self.config.grad_clip:
+            self.optimizer.clip_grad_norm(self.config.grad_clip)
+        self.optimizer.step()
+        apply_parameter_constraints(self.model)
+        try:
+            self._plans[key] = compile_train_step(trace, loss, logits, self.optimizer,
+                                                  grad_clip=self.config.grad_clip)
+        except PlanUnsupported as reason:
+            # models the tracer cannot replay keep the eager path for good
+            self._plan_fallback_reason = str(reason)
+        return float(loss.data), logits.data.argmax(axis=1)
+
+    def _plan_inputs(self, images: np.ndarray, labels: np.ndarray,
+                     input_meta: dict) -> Dict[str, np.ndarray]:
+        """The per-batch arrays a compiled plan copies into its input leaves."""
+        values: Dict[str, np.ndarray] = {}
+        if self.scheme is None:
+            values["input"] = np.asarray(images, dtype=float)
+        else:
+            result = self.scheme.assign(images)
+            values["input_real"] = result.real
+            values["input_imag"] = result.imag
+        target_meta = input_meta.get("cross_entropy_targets")
+        if target_meta is not None:
+            values["cross_entropy_targets"] = smoothed_targets(
+                np.asarray(labels).astype(int).reshape(-1),
+                target_meta["num_classes"],
+                target_meta["label_smoothing"],
+                target_meta["dtype"],
+            )
+        return values
 
     def fit(self, train_loader: DataLoader, test_loader: Optional[DataLoader] = None,
             verbose: bool = False) -> TrainingHistory:
@@ -134,12 +248,16 @@ class Trainer:
             batches = 0
             correct = 0
             seen = 0
+            epoch_start = time.perf_counter()
             for images, labels in train_loader:
                 loss, predictions = self.train_step(images, labels)
                 epoch_loss += loss
                 batches += 1
                 correct += int((predictions == labels).sum())
                 seen += labels.shape[0]
+            elapsed = time.perf_counter() - epoch_start
+            history.epoch_time.append(elapsed)
+            history.samples_per_second.append(seen / elapsed if elapsed > 0 else 0.0)
             history.train_loss.append(epoch_loss / max(batches, 1))
             history.train_accuracy.append(correct / max(seen, 1))
             if test_loader is not None:
@@ -149,5 +267,6 @@ class Trainer:
             if verbose:
                 test_acc = history.test_accuracy[-1] if history.test_accuracy else float("nan")
                 print(f"epoch {epoch + 1:3d}: loss={history.train_loss[-1]:.4f} "
-                      f"train_acc={history.train_accuracy[-1]:.4f} test_acc={test_acc:.4f}")
+                      f"train_acc={history.train_accuracy[-1]:.4f} test_acc={test_acc:.4f} "
+                      f"({history.samples_per_second[-1]:.1f} samples/s)")
         return history

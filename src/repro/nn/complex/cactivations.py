@@ -21,7 +21,7 @@ import numpy as np
 from repro.nn.complex.ctensor import ComplexTensor
 from repro.nn.module import Module, Parameter
 from repro.tensor import ops
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, mark_trace_volatile
 
 
 class CReLU(Module):
@@ -35,6 +35,9 @@ class ZReLU(Module):
     """Pass values whose phase lies in ``[0, pi/2]``, zero otherwise."""
 
     def forward(self, inputs: ComplexTensor) -> ComplexTensor:
+        # the quadrant mask is a data-dependent constant the plan compiler
+        # cannot replay
+        mark_trace_volatile("zrelu quadrant mask")
         mask = (inputs.real.data >= 0) & (inputs.imag.data >= 0)
         mask_tensor = Tensor(mask.astype(inputs.real.dtype))
         return ComplexTensor(inputs.real * mask_tensor, inputs.imag * mask_tensor)

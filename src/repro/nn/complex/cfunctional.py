@@ -61,7 +61,8 @@ def _unpack_pair(packed: Tensor) -> ComplexTensor:
             full[index] = grad
             return (full,)
 
-        return Tensor._make(packed.data[index], (packed,), backward)
+        return Tensor._make(packed.data[index], (packed,), backward,
+                            "pick", {"index": index})
 
     return ComplexTensor(part(0), part(1))
 
@@ -104,24 +105,30 @@ def complex_linear(inputs: ComplexTensor,
 
     needs_input_grad = x_real.requires_grad or x_imag.requires_grad
     needs_weight_grad = weight_real.requires_grad or weight_imag.requires_grad
+    input_shape = x_real.shape
 
     def backward(grad):
+        # data reads happen at call time so a replayed plan (which refreshes
+        # the parents' buffers in place) reuses this closure unchanged
+        bxr = x_real.data.reshape(-1, in_features)
+        bxi = x_imag.data.reshape(-1, in_features)
+        bwr, bwi = weight_real.data, weight_imag.data
         grad_r = grad[0].reshape(-1, out_features)
         grad_i = grad[1].reshape(-1, out_features)
         grad_sum = grad_r + grad_i
         dx_real = dx_imag = dw_real = dw_imag = None
         if needs_input_grad:
             # dx = g conj(W): Re = gr Wr + gi Wi, Im = (gr + gi)(Wr - Wi) - gr Wr + gi Wi
-            p1 = grad_r @ wr
-            p2 = grad_i @ wi
-            dx_real = (p1 + p2).reshape(x_real.shape)
-            dx_imag = (grad_sum @ (wr - wi) - p1 + p2).reshape(x_real.shape)
+            p1 = grad_r @ bwr
+            p2 = grad_i @ bwi
+            dx_real = (p1 + p2).reshape(input_shape)
+            dx_imag = (grad_sum @ (bwr - bwi) - p1 + p2).reshape(input_shape)
         if needs_weight_grad:
             # dW = g^T conj(x): Re = gr^T xr + gi^T xi, Im = (gr + gi)^T (xr - xi) - gr^T xr + gi^T xi
-            q1 = grad_r.T @ xr
-            q2 = grad_i.T @ xi
+            q1 = grad_r.T @ bxr
+            q2 = grad_i.T @ bxi
             dw_real = q1 + q2
-            dw_imag = grad_sum.T @ (xr - xi) - q1 + q2
+            dw_imag = grad_sum.T @ (bxr - bxi) - q1 + q2
         if has_bias:
             return (dx_real, dx_imag, dw_real, dw_imag,
                     grad_r.sum(axis=0), grad_i.sum(axis=0))
@@ -130,7 +137,12 @@ def complex_linear(inputs: ComplexTensor,
     parents = (x_real, x_imag, weight_real, weight_imag)
     if has_bias:
         parents = parents + (bias_real, bias_imag)
-    return _unpack_pair(Tensor._make(out, parents, backward))
+    packed = Tensor._make(out, parents, backward, "complex_linear",
+                          {"lead_shape": lead_shape,
+                           "in_features": in_features,
+                           "out_features": out_features,
+                           "has_bias": has_bias})
+    return _unpack_pair(packed)
 
 
 def complex_linear_reference(inputs: ComplexTensor,
@@ -209,6 +221,7 @@ def complex_conv2d(inputs: ComplexTensor,
     cols_imag = columns[patch:]
     wr = weight_real.data.reshape(out_channels, -1)
     wi = weight_imag.data.reshape(out_channels, -1)
+    cache = {"columns": columns}
 
     matrix_shape = (2, out_channels, out_h, out_w, batch)
     if product == "block":
@@ -219,6 +232,7 @@ def complex_conv2d(inputs: ComplexTensor,
         np.negative(wi, out=w_block[:out_channels, patch:])
         w_block[out_channels:, :patch] = wi
         w_block[out_channels:, patch:] = wr
+        cache["w_block"] = w_block
         out_matrix = w_block @ columns
         out = np.ascontiguousarray(
             out_matrix.reshape(matrix_shape).transpose(0, 4, 1, 2, 3))
@@ -243,7 +257,17 @@ def complex_conv2d(inputs: ComplexTensor,
     needs_input_grad = x_real.requires_grad or x_imag.requires_grad
     needs_weight_grad = weight_real.requires_grad or weight_imag.requires_grad
 
+    weight_shape = weight_real.shape
+
     def backward(grad):
+        # forward intermediates come from the cache and weights are read at
+        # call time, so a replayed plan that refreshes the cache per step can
+        # reuse this closure unchanged
+        cols = cache["columns"]
+        bcols_real = cols[:patch]
+        bcols_imag = cols[patch:]
+        bwr = weight_real.data.reshape(out_channels, -1)
+        bwi = weight_imag.data.reshape(out_channels, -1)
         # one transpose pass produces the stacked (2*OC, out_h*out_w*batch)
         # upstream gradient for both planes
         grad_matrix = grad.transpose(0, 2, 3, 4, 1).reshape(2 * out_channels, -1)
@@ -253,26 +277,26 @@ def complex_conv2d(inputs: ComplexTensor,
         if product == "block":
             # dW2 = G @ cols^T, dcols = W2^T @ G: one product per direction
             if needs_weight_grad:
-                dw_block = grad_matrix @ columns.T
+                dw_block = grad_matrix @ cols.T
                 dw_real = dw_block[:out_channels, :patch] + dw_block[out_channels:, patch:]
                 dw_imag = dw_block[out_channels:, :patch] - dw_block[:out_channels, patch:]
-            dcols = w_block.T @ grad_matrix if needs_input_grad else None
+            dcols = cache["w_block"].T @ grad_matrix if needs_input_grad else None
         else:
             grad_sum = grad_r + grad_i
             if needs_weight_grad:
                 # dW = g conj(cols)^T (Karatsuba on the shared cached columns)
-                p1 = grad_r @ cols_real.T
-                p2 = grad_i @ cols_imag.T
+                p1 = grad_r @ bcols_real.T
+                p2 = grad_i @ bcols_imag.T
                 dw_real = p1 + p2
-                dw_imag = grad_sum @ (cols_real - cols_imag).T - p1 + p2
+                dw_imag = grad_sum @ (bcols_real - bcols_imag).T - p1 + p2
             dcols = None
             if needs_input_grad:
                 # dcols = conj(W)^T g
-                q1 = wr.T @ grad_r
-                q2 = wi.T @ grad_i
+                q1 = bwr.T @ grad_r
+                q2 = bwi.T @ grad_i
                 dcols = np.empty((2 * patch, grad_r.shape[1]), dtype=q1.dtype)
                 np.add(q1, q2, out=dcols[:patch])
-                dcols[patch:] = (wr - wi).T @ grad_sum
+                dcols[patch:] = (bwr - bwi).T @ grad_sum
                 dcols[patch:] -= q1
                 dcols[patch:] += q2
         if needs_input_grad:
@@ -280,8 +304,8 @@ def complex_conv2d(inputs: ComplexTensor,
             dx_real = dx_stacked[:, :in_channels]
             dx_imag = dx_stacked[:, in_channels:]
         if needs_weight_grad:
-            dw_real = dw_real.reshape(weight_real.shape)
-            dw_imag = dw_imag.reshape(weight_real.shape)
+            dw_real = dw_real.reshape(weight_shape)
+            dw_imag = dw_imag.reshape(weight_shape)
         if has_bias:
             return (dx_real, dx_imag, dw_real, dw_imag,
                     grad_r.sum(axis=1), grad_i.sum(axis=1))
@@ -290,7 +314,17 @@ def complex_conv2d(inputs: ComplexTensor,
     parents = (x_real, x_imag, weight_real, weight_imag)
     if has_bias:
         parents = parents + (bias_real, bias_imag)
-    return _unpack_pair(Tensor._make(out, parents, backward))
+    packed = Tensor._make(out, parents, backward, "complex_conv2d",
+                          {"cache": cache, "product": product,
+                           "kernel": kernel, "stride": stride,
+                           "padding": padding, "patch": patch,
+                           "in_channels": in_channels,
+                           "out_channels": out_channels,
+                           "stacked_shape": stacked_shape,
+                           "matrix_shape": matrix_shape,
+                           "out_hw": (out_h, out_w),
+                           "has_bias": has_bias})
+    return _unpack_pair(packed)
 
 
 def complex_conv2d_reference(inputs: ComplexTensor,

@@ -10,7 +10,7 @@ from repro.nn.complex.ctensor import ComplexTensor
 from repro.nn.module import Module
 from repro.tensor import functional as F
 from repro.tensor.random import default_rng
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, mark_trace_volatile
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -94,6 +94,7 @@ class ComplexMaxPool2d(Module):
 
         # Select indices by modulus (constant w.r.t. autograd), then gather both
         # parts with the same indices so the selection is consistent.
+        mark_trace_volatile("complex max-pool modulus argmax")
         power = inputs.real.data ** 2 + inputs.imag.data ** 2
         reshaped = power.reshape(batch * channels, 1, height, width)
         columns, _ = F.im2col(reshaped, kernel, stride, (0, 0))

@@ -20,13 +20,26 @@ import numpy as np
 
 from repro.nn.module import Module
 from repro.tensor import functional as F
-from repro.tensor.tensor import Tensor, ensure_tensor
+from repro.tensor.tensor import Tensor, ensure_tensor, mark_trace_input
 
 
 def _labels_to_array(labels: Union[Tensor, np.ndarray]) -> np.ndarray:
     if isinstance(labels, Tensor):
         labels = labels.data
     return np.asarray(labels).astype(int).reshape(-1)
+
+
+def smoothed_targets(labels: np.ndarray, num_classes: int, label_smoothing: float,
+                     dtype) -> np.ndarray:
+    """The (optionally label-smoothed) target distribution of ``cross_entropy``.
+
+    Shared with the train-plan compiler, which recomputes the targets for each
+    new batch and copies them into the traced target leaf.
+    """
+    targets = F.one_hot(labels, num_classes, dtype=dtype)
+    if label_smoothing > 0.0:
+        targets = (1.0 - label_smoothing) * targets + label_smoothing / num_classes
+    return targets
 
 
 def cross_entropy(logits: Tensor, labels: Union[Tensor, np.ndarray],
@@ -48,11 +61,14 @@ def cross_entropy(logits: Tensor, labels: Union[Tensor, np.ndarray],
     batch, num_classes = logits.shape
     if labels.shape[0] != batch:
         raise ValueError(f"label count {labels.shape[0]} does not match batch size {batch}")
-    targets = F.one_hot(labels, num_classes, dtype=logits.dtype)
-    if label_smoothing > 0.0:
-        targets = (1.0 - label_smoothing) * targets + label_smoothing / num_classes
+    targets_tensor = Tensor(smoothed_targets(labels, num_classes, label_smoothing,
+                                             logits.dtype))
+    mark_trace_input(targets_tensor, "cross_entropy_targets",
+                     {"num_classes": num_classes,
+                      "label_smoothing": float(label_smoothing),
+                      "dtype": logits.dtype})
     log_probs = F.log_softmax(logits, axis=-1)
-    return -(Tensor(targets) * log_probs).sum(axis=-1).mean()
+    return -(targets_tensor * log_probs).sum(axis=-1).mean()
 
 
 def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:

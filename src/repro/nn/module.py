@@ -149,7 +149,9 @@ class Module:
                         f"shape mismatch for parameter {name!r}: "
                         f"{value.shape} vs {parameter.data.shape}"
                     )
-                parameter.data = value.astype(parameter.data.dtype, copy=True)
+                # write through the existing array: optimizer scratch buffers
+                # and compiled training plans hold references to it
+                parameter.data[...] = value.astype(parameter.data.dtype, copy=False)
             else:
                 missing.append(name)
         for name, (module, buffer_name) in own_buffer_owners.items():

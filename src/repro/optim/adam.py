@@ -32,6 +32,7 @@ class Adam(Optimizer):
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
         self._step_count = 0
+        self._bias1 = self._bias2 = 1.0
         self._moment1 = [np.zeros_like(p.data) for p in self.parameters]
         self._moment2 = [np.zeros_like(p.data) for p in self.parameters]
         self._scratch = [np.empty_like(p.data) for p in self.parameters]
@@ -62,34 +63,37 @@ class Adam(Optimizer):
         in-place flavour, ``None`` the allocating reference flavour.
         """
 
-    def step(self) -> None:
+    def begin_step(self) -> None:
         self._step_count += 1
-        bias1 = 1.0 - self.beta1 ** self._step_count
-        bias2 = 1.0 - self.beta2 ** self._step_count
-        for index, (parameter, m1, m2) in enumerate(
-                zip(self.parameters, self._moment1, self._moment2)):
-            if parameter.grad is None:
-                continue
-            buf = self._scratch[index]
-            buf2 = self._scratch2[index]
-            grad = self._effective_grad(parameter, buf2)
-            m1 *= self.beta1
-            np.multiply(grad, 1.0 - self.beta1, out=buf)
-            m1 += buf
-            m2 *= self.beta2
-            np.multiply(grad, grad, out=buf)
-            buf *= 1.0 - self.beta2
-            m2 += buf
-            self._decoupled_decay(parameter, buf)
-            # buf <- sqrt(m2_hat) + eps, buf2 <- lr * m1_hat, then one in-place
-            # divide and subtract finish the update without a single fresh array
-            np.divide(m2, bias2, out=buf)
-            np.sqrt(buf, out=buf)
-            buf += self.eps
-            np.divide(m1, bias1, out=buf2)
-            buf2 *= self.lr
-            buf2 /= buf
-            parameter.data -= buf2
+        self._bias1 = 1.0 - self.beta1 ** self._step_count
+        self._bias2 = 1.0 - self.beta2 ** self._step_count
+
+    def step_parameter(self, index: int) -> None:
+        parameter = self.parameters[index]
+        if parameter.grad is None:
+            return
+        m1 = self._moment1[index]
+        m2 = self._moment2[index]
+        buf = self._scratch[index]
+        buf2 = self._scratch2[index]
+        grad = self._effective_grad(parameter, buf2)
+        m1 *= self.beta1
+        np.multiply(grad, 1.0 - self.beta1, out=buf)
+        m1 += buf
+        m2 *= self.beta2
+        np.multiply(grad, grad, out=buf)
+        buf *= 1.0 - self.beta2
+        m2 += buf
+        self._decoupled_decay(parameter, buf)
+        # buf <- sqrt(m2_hat) + eps, buf2 <- lr * m1_hat, then one in-place
+        # divide and subtract finish the update without a single fresh array
+        np.divide(m2, self._bias2, out=buf)
+        np.sqrt(buf, out=buf)
+        buf += self.eps
+        np.divide(m1, self._bias1, out=buf2)
+        buf2 *= self.lr
+        buf2 /= buf
+        parameter.data -= buf2
 
     def step_reference(self) -> None:
         """The allocating seed update, kept as an executable specification."""

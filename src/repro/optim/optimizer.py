@@ -34,9 +34,24 @@ class Optimizer:
         for parameter in self.parameters:
             parameter.zero_grad()
 
+    def begin_step(self) -> None:
+        """Per-step bookkeeping shared by all parameters (e.g. bias correction).
+
+        Split out from :meth:`step` so a compiled training plan can fold the
+        update into its instruction tail: one ``begin_step`` instruction
+        followed by one :meth:`step_parameter` instruction per parameter is
+        exactly what :meth:`step` runs, so the two are bit-identical.
+        """
+
+    def step_parameter(self, index: int) -> None:
+        """Apply the update for ``self.parameters[index]`` from its gradient."""
+        raise NotImplementedError
+
     def step(self) -> None:
         """Apply one update using the currently accumulated gradients."""
-        raise NotImplementedError
+        self.begin_step()
+        for index in range(len(self.parameters)):
+            self.step_parameter(index)
 
     def clip_grad_norm(self, max_norm: float) -> float:
         """Clip the global gradient norm in place; returns the pre-clip norm."""

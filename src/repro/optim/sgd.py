@@ -39,28 +39,29 @@ class SGD(Optimizer):
         self._scratch2 = ([np.empty_like(p.data) for p in self.parameters]
                           if self.nesterov else None)
 
-    def step(self) -> None:
-        for index, (parameter, velocity) in enumerate(zip(self.parameters, self._velocity)):
-            grad = parameter.grad
-            if grad is None:
-                continue
-            buf = self._scratch[index]
-            if self.weight_decay:
-                np.multiply(parameter.data, self.weight_decay, out=buf)
-                buf += grad
+    def step_parameter(self, index: int) -> None:
+        parameter = self.parameters[index]
+        grad = parameter.grad
+        if grad is None:
+            return
+        velocity = self._velocity[index]
+        buf = self._scratch[index]
+        if self.weight_decay:
+            np.multiply(parameter.data, self.weight_decay, out=buf)
+            buf += grad
+        else:
+            np.copyto(buf, grad)
+        if self.momentum:
+            velocity *= self.momentum
+            velocity += buf
+            if self.nesterov:
+                extra = self._scratch2[index]
+                np.multiply(velocity, self.momentum, out=extra)
+                buf += extra
             else:
-                np.copyto(buf, grad)
-            if self.momentum:
-                velocity *= self.momentum
-                velocity += buf
-                if self.nesterov:
-                    extra = self._scratch2[index]
-                    np.multiply(velocity, self.momentum, out=extra)
-                    buf += extra
-                else:
-                    np.copyto(buf, velocity)
-            np.multiply(buf, self.lr, out=buf)
-            parameter.data -= buf
+                np.copyto(buf, velocity)
+        np.multiply(buf, self.lr, out=buf)
+        parameter.data -= buf
 
     def step_reference(self) -> None:
         """The allocating seed update, kept as an executable specification."""

@@ -37,7 +37,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.tensor import ops
-from repro.tensor.tensor import Tensor, ensure_tensor
+from repro.tensor.tensor import Tensor, ensure_tensor, mark_trace_volatile
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -84,6 +84,10 @@ def use_reference_kernels():
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:
     """Numerically-stable softmax along ``axis``."""
     logits = ensure_tensor(logits)
+    # the shift constant is data-dependent, so a traced softmax cannot be
+    # replayed with frozen leaves (log_softmax routes through logsumexp and
+    # stays replayable)
+    mark_trace_volatile("softmax shift constant")
     shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
@@ -414,14 +418,20 @@ def conv2d(inputs: Tensor,
     # the input is e.g. the data batch of the first layer
     needs_input_grad = inputs.requires_grad
     needs_weight_grad = weight.requires_grad
+    # forward intermediates live in a cache dict (refreshed in place by the
+    # train-plan replay emitter) and the weight matrix is re-derived from the
+    # parameter at call time, so the closure never sees stale arrays
+    cache = {"columns": columns}
 
     def backward(grad):
+        cols = cache["columns"]
+        w_matrix = weight.data.reshape(out_channels, -1)
         grad_matrix = grad.transpose(1, 2, 3, 0).reshape(out_channels, -1)
-        grad_weight = ((grad_matrix @ columns.T).reshape(weight.shape)
+        grad_weight = ((grad_matrix @ cols.T).reshape(weight.shape)
                        if needs_weight_grad else None)
         grad_input = None
         if needs_input_grad:
-            grad_columns = weight_matrix.T @ grad_matrix
+            grad_columns = w_matrix.T @ grad_matrix
             grad_input = col2im_fn(grad_columns, inputs.shape, (kernel_h, kernel_w),
                                    stride, padding)
         grad_bias = grad.sum(axis=(0, 2, 3)) if bias is not None else None
@@ -430,7 +440,10 @@ def conv2d(inputs: Tensor,
         return grad_input, grad_weight
 
     parents = (inputs, weight) if bias is None else (inputs, weight, bias)
-    output = Tensor._make(out_data, parents, backward)
+    output = Tensor._make(out_data, parents, backward, "conv2d",
+                          {"kernel": (kernel_h, kernel_w), "stride": stride,
+                           "padding": padding, "cache": cache,
+                           "has_bias": bias is not None})
     return output
 
 
@@ -490,16 +503,20 @@ def max_pool2d(inputs: Tensor, kernel_size: IntPair, stride: Optional[IntPair] =
     out_data = out_cols.reshape(out_h, out_w, batch * channels).transpose(2, 0, 1)
     out_data = out_data.reshape(batch, channels, out_h, out_w)
 
+    cache = {"columns": columns, "max_idx": max_idx}
+
     def backward(grad):
         # the closure reuses the forward pass's columns, argmax and cached
-        # im2col geometry (pool_shape/kernel/stride key the memoized tables)
-        grad_cols = np.zeros_like(columns)
+        # im2col geometry (pool_shape/kernel/stride key the memoized tables);
+        # both live in `cache` so a train-plan replay can refresh them
+        grad_cols = np.zeros_like(cache["columns"])
         grad_flat = grad.reshape(batch * channels, out_h, out_w).transpose(1, 2, 0).reshape(-1)
-        grad_cols[max_idx, flat_positions] = grad_flat
+        grad_cols[cache["max_idx"], flat_positions] = grad_flat
         grad_input = col2im_fn(grad_cols, pool_shape, kernel, stride, (0, 0))
         return (grad_input.reshape(batch, channels, height, width),)
 
-    return Tensor._make(out_data, (inputs,), backward)
+    return Tensor._make(out_data, (inputs,), backward, "max_pool2d",
+                        {"kernel": kernel, "stride": stride, "cache": cache})
 
 
 def avg_pool2d(inputs: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
@@ -527,7 +544,8 @@ def avg_pool2d(inputs: Tensor, kernel_size: IntPair, stride: Optional[IntPair] =
         grad_input = col2im_fn(grad_cols, pool_shape, kernel, stride, (0, 0))
         return (grad_input.reshape(batch, channels, height, width),)
 
-    return Tensor._make(out_data, (inputs,), backward)
+    return Tensor._make(out_data, (inputs,), backward, "avg_pool2d",
+                        {"kernel": kernel, "stride": stride})
 
 
 def global_avg_pool2d(inputs: Tensor) -> Tensor:
@@ -544,5 +562,109 @@ def dropout(inputs: Tensor, rate: float, training: bool, rng: Optional[np.random
         raise ValueError("dropout rate must be in [0, 1)")
     rng = rng if rng is not None else np.random.default_rng()
     inputs = ensure_tensor(inputs)
+    # a fresh random mask every step cannot be baked into a replayed plan
+    mark_trace_volatile("dropout mask")
     mask = (rng.random(inputs.shape) >= rate) / (1.0 - rate)
     return inputs * Tensor(mask.astype(inputs.dtype))
+
+
+# --------------------------------------------------------------------------- #
+# fused batch normalisation
+# --------------------------------------------------------------------------- #
+def _batch_norm_forward_math(x: np.ndarray, weight, bias, axes, shape, eps: float,
+                             cache: dict, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Training-mode batch-norm forward, shared by eager and plan replay.
+
+    Performs exactly the float operations the composed op-by-op formulation in
+    :meth:`repro.nn.normalization._BatchNorm.forward` performs (mean, biased
+    variance with its own mean, ``/ sqrt(var + eps)`` as a true division, then
+    the affine map), so the fused node is bit-identical to the composed graph.
+    Intermediates needed by the backward closure are published into ``cache``.
+    With ``out`` the result is written into the given buffer (the plan replay
+    emitter); the elementwise float operations are the same either way.
+    """
+    mean = x.mean(axis=axes, keepdims=True)
+    sub = x - mean
+    var = (sub ** 2).mean(axis=axes, keepdims=True)
+    sq = np.sqrt(var + eps)
+    norm = sub / sq
+    cache["mean"] = mean
+    cache["sub"] = sub
+    cache["var"] = var
+    cache["sq"] = sq
+    cache["norm"] = norm
+    if weight is None:
+        if out is None:
+            return norm
+        np.copyto(out, norm)
+        return out
+    if out is None:
+        return norm * weight.data.reshape(shape) + bias.data.reshape(shape)
+    np.multiply(norm, weight.data.reshape(shape), out=out)
+    out += bias.data.reshape(shape)
+    return out
+
+
+def batch_norm(inputs: Tensor, weight: Optional[Tensor], bias: Optional[Tensor],
+               axes, param_shape, eps: float,
+               stats_hook=None) -> Tensor:
+    """Training-mode batch normalisation as a single fused autograd node.
+
+    Replaces the ~10-node composed graph (mean, var, sub, add-eps, sqrt, div,
+    two reshapes, mul, add) that :class:`~repro.nn.normalization._BatchNorm`
+    used to build per part per step with one tape node whose forward *and*
+    backward are bit-identical to the composed formulation -- the closure
+    replays the exact per-node float operations, including the order in which
+    the engine summed the three input-gradient contributions (variance, then
+    centring, then mean).
+
+    ``axes``/``param_shape`` follow the layer's conventions (``(0, 2, 3)`` /
+    ``(1, C, 1, 1)`` for 2-d, ``0`` / ``(1, C)`` for 1-d).  ``stats_hook``,
+    when given, receives the flat batch mean and biased batch variance each
+    time the forward math runs -- at eager forward here and again on every
+    plan replay -- so running-statistic updates stay outside the tape but
+    inside the replayed step.
+    """
+    inputs = ensure_tensor(inputs)
+    affine = weight is not None
+    axes_tuple = axes if isinstance(axes, tuple) else (axes,)
+    count = int(np.prod([inputs.shape[ax] for ax in axes_tuple]))
+    num_features = int(np.prod(param_shape))
+    x_shape = inputs.shape
+    cache: dict = {}
+
+    out_data = _batch_norm_forward_math(inputs.data, weight, bias, axes,
+                                        param_shape, eps, cache)
+    if stats_hook is not None:
+        stats_hook(cache["mean"].reshape(num_features),
+                   cache["var"].reshape(num_features))
+
+    def backward(grad):
+        sub = cache["sub"]
+        sq = cache["sq"]
+        if affine:
+            g_norm = grad * weight.data.reshape(param_shape)
+            g_weight = ((grad * cache["norm"]).sum(axis=axes_tuple, keepdims=True)
+                        .reshape(weight.data.shape))
+            g_bias = grad.sum(axis=axes_tuple, keepdims=True).reshape(bias.data.shape)
+        else:
+            g_norm = grad
+        g_sub = g_norm / sq
+        g_sq = (-g_norm * sub / (sq ** 2)).sum(axis=axes_tuple, keepdims=True)
+        g_var = g_sq * 0.5 / sq
+        # engine accumulation order of the composed graph: variance term
+        # first, then the centring term, then the mean term
+        g_x = np.broadcast_to(g_var, x_shape) * 2.0 * sub / count
+        g_x = g_x + g_sub
+        g_x = g_x + np.broadcast_to((-g_sub).sum(axis=axes_tuple, keepdims=True),
+                                    x_shape) / count
+        if affine:
+            return g_x, g_weight, g_bias
+        return (g_x,)
+
+    parents = (inputs, weight, bias) if affine else (inputs,)
+    return Tensor._make(out_data, parents, backward, "batch_norm",
+                        {"axes": axes, "axes_tuple": axes_tuple,
+                         "shape": param_shape, "eps": eps, "count": count,
+                         "num_features": num_features, "cache": cache,
+                         "affine": affine, "stats_hook": stats_hook})

@@ -27,7 +27,7 @@ def add(a, b) -> Tensor:
     def backward(grad):
         return grad, grad
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, "add")
 
 
 def sub(a, b) -> Tensor:
@@ -37,7 +37,7 @@ def sub(a, b) -> Tensor:
     def backward(grad):
         return grad, -grad
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, "sub")
 
 
 def mul(a, b) -> Tensor:
@@ -47,7 +47,7 @@ def mul(a, b) -> Tensor:
     def backward(grad):
         return grad * b.data, grad * a.data
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, "mul")
 
 
 def div(a, b) -> Tensor:
@@ -59,7 +59,7 @@ def div(a, b) -> Tensor:
         grad_b = -grad * a.data / (b.data ** 2)
         return grad_a, grad_b
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, "div")
 
 
 def neg(a) -> Tensor:
@@ -68,7 +68,7 @@ def neg(a) -> Tensor:
     def backward(grad):
         return (-grad,)
 
-    return Tensor._make(-a.data, (a,), backward)
+    return Tensor._make(-a.data, (a,), backward, "neg")
 
 
 def power(a, exponent: float) -> Tensor:
@@ -79,7 +79,7 @@ def power(a, exponent: float) -> Tensor:
     def backward(grad):
         return (grad * exponent * a.data ** (exponent - 1),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "power", {"exponent": exponent})
 
 
 def maximum(a, b) -> Tensor:
@@ -95,7 +95,7 @@ def maximum(a, b) -> Tensor:
         grad_b = grad * (b_larger + 0.5 * ties)
         return grad_a, grad_b
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, "maximum")
 
 
 def matmul(a, b) -> Tensor:
@@ -124,7 +124,7 @@ def matmul(a, b) -> Tensor:
             grad_b = np.swapaxes(a_data, -1, -2) @ grad
         return grad_a, grad_b
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor._make(out_data, (a, b), backward, "matmul")
 
 
 # --------------------------------------------------------------------------- #
@@ -137,7 +137,7 @@ def exp(a) -> Tensor:
     def backward(grad):
         return (grad * out_data,)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "exp")
 
 
 def log(a) -> Tensor:
@@ -147,7 +147,7 @@ def log(a) -> Tensor:
     def backward(grad):
         return (grad / a.data,)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "log")
 
 
 def sqrt(a) -> Tensor:
@@ -157,7 +157,7 @@ def sqrt(a) -> Tensor:
     def backward(grad):
         return (grad * 0.5 / out_data,)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "sqrt")
 
 
 def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
@@ -167,7 +167,7 @@ def abs(a) -> Tensor:  # noqa: A001 - mirrors numpy naming
     def backward(grad):
         return (grad * np.sign(a.data),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "abs")
 
 
 def tanh(a) -> Tensor:
@@ -177,7 +177,7 @@ def tanh(a) -> Tensor:
     def backward(grad):
         return (grad * (1.0 - out_data ** 2),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "tanh")
 
 
 def sigmoid(a) -> Tensor:
@@ -187,7 +187,7 @@ def sigmoid(a) -> Tensor:
     def backward(grad):
         return (grad * out_data * (1.0 - out_data),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "sigmoid")
 
 
 def relu(a) -> Tensor:
@@ -197,7 +197,7 @@ def relu(a) -> Tensor:
     def backward(grad):
         return (grad * (a.data > 0),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "relu")
 
 
 def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
@@ -207,7 +207,7 @@ def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
     def backward(grad):
         return (grad * np.where(a.data > 0, 1.0, negative_slope),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "leaky_relu", {"negative_slope": negative_slope})
 
 
 def clip(a, low: Optional[float], high: Optional[float]) -> Tensor:
@@ -223,7 +223,7 @@ def clip(a, low: Optional[float], high: Optional[float]) -> Tensor:
             mask = mask * (a.data <= high)
         return (grad * mask,)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "clip", {"low": low, "high": high})
 
 
 def sin(a) -> Tensor:
@@ -232,7 +232,7 @@ def sin(a) -> Tensor:
     def backward(grad):
         return (grad * np.cos(a.data),)
 
-    return Tensor._make(np.sin(a.data), (a,), backward)
+    return Tensor._make(np.sin(a.data), (a,), backward, "sin")
 
 
 def cos(a) -> Tensor:
@@ -241,7 +241,7 @@ def cos(a) -> Tensor:
     def backward(grad):
         return (-grad * np.sin(a.data),)
 
-    return Tensor._make(np.cos(a.data), (a,), backward)
+    return Tensor._make(np.cos(a.data), (a,), backward, "cos")
 
 
 # --------------------------------------------------------------------------- #
@@ -267,7 +267,7 @@ def sum(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
     def backward(grad):
         return (_expand_reduced(grad, a.data.shape, axis, keepdims),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "sum", {"axis": axis, "keepdims": keepdims})
 
 
 def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
@@ -280,7 +280,7 @@ def mean(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
     def backward(grad):
         return (_expand_reduced(grad, a.data.shape, axis, keepdims) / count,)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "mean", {"axis": axis, "keepdims": keepdims})
 
 
 def var(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
@@ -296,10 +296,10 @@ def var(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
         grad_full = _expand_reduced(grad, a.data.shape, axis, keepdims)
         return (grad_full * 2.0 * (a.data - mean_data) / count,)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "var", {"axis": axis, "keepdims": keepdims, "mean": mean_data})
 
 
-def _minmax(a, axis: Axis, keepdims: bool, fn) -> Tensor:
+def _minmax(a, axis: Axis, keepdims: bool, fn, kind: str) -> Tensor:
     a = ensure_tensor(a)
     out_data = fn(a.data, axis=axis, keepdims=keepdims)
 
@@ -311,15 +311,15 @@ def _minmax(a, axis: Axis, keepdims: bool, fn) -> Tensor:
         grad_full = _expand_reduced(grad, a.data.shape, axis, keepdims)
         return (grad_full * mask,)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, kind, {"axis": axis, "keepdims": keepdims, "fn": fn})
 
 
 def max(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
-    return _minmax(a, axis, keepdims, np.max)
+    return _minmax(a, axis, keepdims, np.max, "max")
 
 
 def min(a, axis: Axis = None, keepdims: bool = False) -> Tensor:  # noqa: A001
-    return _minmax(a, axis, keepdims, np.min)
+    return _minmax(a, axis, keepdims, np.min, "min")
 
 
 def logsumexp(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
@@ -338,7 +338,7 @@ def logsumexp(a, axis: Axis = None, keepdims: bool = False) -> Tensor:
         grad_full = _expand_reduced(grad, a.data.shape, axis, keepdims)
         return (grad_full * softmax,)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "logsumexp", {"axis": axis, "keepdims": keepdims, "exps": exps, "sum_exps": sum_exps})
 
 
 # --------------------------------------------------------------------------- #
@@ -351,7 +351,7 @@ def reshape(a, shape: Sequence[int]) -> Tensor:
     def backward(grad):
         return (grad.reshape(a.data.shape),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "reshape", {"shape": shape})
 
 
 def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
@@ -364,7 +364,7 @@ def transpose(a, axes: Optional[Tuple[int, ...]] = None) -> Tensor:
         inverse = np.argsort(axes)
         return (grad.transpose(inverse),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "transpose", {"axes": axes})
 
 
 def getitem(a, index) -> Tensor:
@@ -376,7 +376,7 @@ def getitem(a, index) -> Tensor:
         np.add.at(full, index, grad)
         return (full,)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "getitem", {"index": index})
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -393,7 +393,7 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             slices.append(grad[tuple(index)])
         return tuple(slices)
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    return Tensor._make(out_data, tuple(tensors), backward, "concatenate", {"axis": axis, "offsets": offsets})
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -404,7 +404,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
         parts = np.split(grad, len(tensors), axis=axis)
         return tuple(np.squeeze(p, axis=axis) for p in parts)
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    return Tensor._make(out_data, tuple(tensors), backward, "stack", {"axis": axis})
 
 
 def _normalize_pad_width(pad_width, ndim: int) -> np.ndarray:
@@ -432,7 +432,7 @@ def pad(a, pad_width, constant_value: float = 0.0) -> Tensor:
         )
         return (grad[slices],)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(out_data, (a,), backward, "pad", {"width": width})
 
 
 def where(condition: np.ndarray, a, b) -> Tensor:

@@ -24,7 +24,7 @@ Design notes
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,6 +54,73 @@ def no_grad():
         yield
     finally:
         _GRAD_ENABLED = previous
+
+
+# --------------------------------------------------------------------------- #
+# tape tracing (consumed by repro.core.train_plan)
+# --------------------------------------------------------------------------- #
+class TapeEntry:
+    """One node recorded while a :func:`trace_tape` context is active.
+
+    ``op`` names the primitive that created the node and ``params`` carries
+    whatever the op's replay emitter needs to recompute ``tensor.data`` in
+    place (static attributes plus mutable cache dicts shared with the backward
+    closure).  ``parents``/``backward`` are stored here explicitly because
+    nodes with ``requires_grad=False`` do not keep them on the tensor.
+    """
+
+    __slots__ = ("tensor", "op", "params", "parents", "backward")
+
+    def __init__(self, tensor: "Tensor", op: Optional[str], params: Optional[dict],
+                 parents: Tuple["Tensor", ...], backward: Optional["BackwardFn"]):
+        self.tensor = tensor
+        self.op = op
+        self.params = params
+        self.parents = parents
+        self.backward = backward
+
+
+class TapeTrace:
+    """Creation-ordered record of every autograd node built under the trace.
+
+    ``inputs`` maps a caller-chosen key to ``(leaf tensor, meta)`` for leaves
+    whose data changes every step (the image batch, the loss targets);
+    ``volatile`` collects reasons why the traced step cannot be replayed
+    (data-dependent constants such as dropout masks).
+    """
+
+    def __init__(self):
+        self.entries: List[TapeEntry] = []
+        self.inputs: Dict[str, Tuple["Tensor", dict]] = {}
+        self.volatile: List[str] = []
+
+
+_ACTIVE_TRACE: Optional[TapeTrace] = None
+
+
+@contextlib.contextmanager
+def trace_tape():
+    """Record every node created inside the context into a :class:`TapeTrace`."""
+    global _ACTIVE_TRACE
+    previous = _ACTIVE_TRACE
+    trace = TapeTrace()
+    _ACTIVE_TRACE = trace
+    try:
+        yield trace
+    finally:
+        _ACTIVE_TRACE = previous
+
+
+def mark_trace_input(tensor: "Tensor", key: str, meta: Optional[dict] = None) -> None:
+    """Register a leaf whose data must be refreshed before each plan replay."""
+    if _ACTIVE_TRACE is not None:
+        _ACTIVE_TRACE.inputs[key] = (tensor, dict(meta or {}))
+
+
+def mark_trace_volatile(reason: str) -> None:
+    """Declare the step being traced unreplayable (forces the eager fallback)."""
+    if _ACTIVE_TRACE is not None:
+        _ACTIVE_TRACE.volatile.append(reason)
 
 
 def _as_array(value: Arrayable, dtype=None) -> np.ndarray:
@@ -175,25 +242,47 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray,
               parents: Sequence["Tensor"],
-              backward: BackwardFn) -> "Tensor":
+              backward: BackwardFn,
+              op: Optional[str] = None,
+              params: Optional[dict] = None) -> "Tensor":
         """Create a result tensor and register its backward closure.
 
         ``backward`` receives the upstream gradient and must return one
-        gradient (or ``None``) per entry of ``parents``.
+        gradient (or ``None``) per entry of ``parents``.  ``op``/``params``
+        are replay metadata recorded when a :func:`trace_tape` context is
+        active; they have no effect on eager execution.
         """
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
             out._backward = backward
+        if _ACTIVE_TRACE is not None:
+            _ACTIVE_TRACE.entries.append(
+                TapeEntry(out, op, params, tuple(parents), backward))
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(grad, self.data.shape)
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into :attr:`grad`.
+
+        ``owned`` asserts that ``grad`` is a freshly allocated array with no
+        other live reference, letting the first accumulation bind it directly
+        instead of copying.  Subsequent accumulations run in place
+        (``self.grad`` is private by construction, the same invariant
+        ``Optimizer.clip_grad_norm`` already relies on).
+        """
+        reduced = _unbroadcast(grad, self.data.shape)
+        if reduced is not grad:
+            owned = True  # _unbroadcast allocated a fresh reduction
         if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            if owned and reduced.dtype == self.data.dtype:
+                self.grad = reduced
+            else:
+                self.grad = np.array(reduced, dtype=self.data.dtype, copy=True)
+        elif reduced.dtype == self.grad.dtype:
+            np.add(self.grad, reduced, out=self.grad)
         else:
-            self.grad = self.grad + grad
+            self.grad = self.grad + reduced
 
     def backward(self, grad: Optional[Union[np.ndarray, "Tensor", float]] = None) -> None:
         """Back-propagate gradients from this tensor through the graph.
@@ -210,20 +299,33 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        elif isinstance(grad, Tensor):
-            grad = grad.data
-        grad = np.asarray(grad, dtype=self.data.dtype)
+            seed_owned = True
+        else:
+            if isinstance(grad, Tensor):
+                grad = grad.data
+            source = grad
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            seed_owned = grad is not source
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
+            seed_owned = True
 
         topo = self._topological_order()
         pending = {id(self): grad}
+        # ids of gradient arrays allocated by this loop and referenced only by
+        # ``pending`` -- the only arrays safe to accumulate into in place
+        # (closures may return aliased arrays, e.g. ``add`` hands the upstream
+        # gradient to both parents)
+        owned_ids = {id(grad)} if seed_owned else set()
         for node in reversed(topo):
             node_grad = pending.pop(id(node), None)
             if node_grad is None:
                 continue
+            node_owned = id(node_grad) in owned_ids
+            if node_owned:
+                owned_ids.discard(id(node_grad))
             if node._backward is None or not node._parents:
-                node._accumulate(node_grad)
+                node._accumulate(node_grad, owned=node_owned)
                 continue
             parent_grads = node._backward(node_grad)
             if len(parent_grads) != len(node._parents):
@@ -234,9 +336,19 @@ class Tensor:
             for parent, parent_grad in zip(node._parents, parent_grads):
                 if parent_grad is None or not parent.requires_grad:
                     continue
-                parent_grad = _unbroadcast(parent_grad, parent.data.shape)
+                reduced = _unbroadcast(parent_grad, parent.data.shape)
                 existing = pending.get(id(parent))
-                pending[id(parent)] = parent_grad if existing is None else existing + parent_grad
+                if existing is None:
+                    pending[id(parent)] = reduced
+                    if reduced is not parent_grad:
+                        owned_ids.add(id(reduced))  # fresh reduction, unaliased
+                elif id(existing) in owned_ids and existing.dtype == reduced.dtype:
+                    np.add(existing, reduced, out=existing)
+                else:
+                    merged = existing + reduced
+                    pending[id(parent)] = merged
+                    owned_ids.discard(id(existing))
+                    owned_ids.add(id(merged))
 
     def _topological_order(self) -> List["Tensor"]:
         """Iterative depth-first topological sort of the reachable subgraph."""
