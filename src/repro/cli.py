@@ -11,6 +11,7 @@ Examples
     python -m repro deploy-cnn --method reck --backend column
     python -m repro deploy-resnet --preset smoke   # graph compiler end to end
     python -m repro serve --workload lenet5 --max-batch 1 8 64
+    python -m repro serve --workload fcnn --workers 1 2 4   # sharded service
 
 Each subcommand prints the same rows/series the paper reports and optionally
 saves them as JSON with ``--output``.
@@ -134,6 +135,11 @@ def _run_serve(args: argparse.Namespace) -> None:
         student = pipeline.build_student()
     scheme = pipeline.student_scheme()
 
+    if args.workers is not None:
+        _run_serve_sharded(args, student, scheme,
+                           (config.channels, *config.image_size))
+        return
+
     cache = ProgramCache(capacity=4)
     target = HardwareTarget(method=args.method)
     options = CompileOptions(backend=args.backend)
@@ -171,6 +177,38 @@ def _run_serve(args: argparse.Namespace) -> None:
         table, title="Dynamic micro-batching throughput (synthetic traffic)"))
     _maybe_save({"plan": plan_row, "serving": rows,
                  "cache": cache.stats.as_dict()}, args.output)
+
+
+def _run_serve_sharded(args: argparse.Namespace, student, scheme,
+                       image_shape) -> None:
+    """Sharded serving demo: worker pools behind shared-memory transport."""
+    import dataclasses
+    import os
+
+    from repro.core.compile import CompileOptions, HardwareTarget
+    from repro.serve import run_shard_benchmark
+
+    worker_counts = sorted(set(args.workers))
+    if args.replicas is not None:
+        worker_counts = sorted(set(worker_counts + [args.replicas]))
+    cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    print(f"sharded serving demo: worker counts {worker_counts} on {cpus} CPU(s)")
+    rows = run_shard_benchmark(
+        student, scheme, image_shape, worker_counts=worker_counts,
+        requests=args.requests, clients=args.clients,
+        max_batch=max(args.max_batch), max_latency_s=args.max_latency_ms / 1e3,
+        seed=args.seed)
+    table = [[row.workers, row.clients, row.requests,
+              f"{row.requests_per_s:.0f}", f"{row.gain_vs_single:.2f}x",
+              f"{row.max_parity:.1e}", row.overload_retries]
+             for row in rows]
+    print(format_table(
+        ["workers", "clients", "requests", "req/s", "gain vs 1 worker",
+         "parity vs in-process", "overload retries"],
+        table, title="Sharded serving throughput (shared-memory worker pools)"))
+    _maybe_save({"cpus": cpus,
+                 "rows": [dataclasses.asdict(row) for row in rows]}, args.output)
 
 
 def _run_area(args: argparse.Namespace) -> None:
@@ -258,6 +296,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flush sample budgets to sweep")
     serve.add_argument("--max-latency-ms", type=float, default=2.0,
                        help="longest a queued request waits for co-batching")
+    serve.add_argument("--workers", type=int, nargs="+", default=None,
+                       help="run the multi-process sharded service instead, "
+                            "sweeping these worker-pool sizes")
+    serve.add_argument("--replicas", type=int, default=None,
+                       help="additional replica count to include in the "
+                            "sharded sweep (e.g. a hot-model pool size)")
     serve.set_defaults(runner=_run_serve)
 
     area = subparsers.add_parser("area", help="exact paper-scale MZI accounting (no training)")

@@ -1,6 +1,6 @@
-"""Serving subsystem: dynamic micro-batching inference on compiled programs.
+"""Serving subsystem: micro-batched inference on compiled programs.
 
-Three layers, bottom up:
+Bottom up:
 
 * :class:`~repro.serve.cache.ProgramCache` -- LRU cache of compiled programs
   keyed by ``(model_key, HardwareTarget, CompileOptions)``, so repeated
@@ -8,10 +8,16 @@ Three layers, bottom up:
 * :class:`~repro.serve.batcher.DynamicBatcher` -- coalesces concurrent
   ``classify`` / ``logits`` requests into one batched forward pass under a
   max-batch / max-latency flush policy.
-* :class:`~repro.serve.service.PhotonicInferenceService` -- the process-level
-  frontend tying both together, one request lane per deployed model.
+* :class:`~repro.serve.service.PhotonicInferenceService` -- the in-process
+  frontend tying both together, one request lane per deployed model; always
+  available and the parity reference for every faster path.
+* :class:`~repro.serve.shard.ShardedInferenceService` -- the multi-process
+  frontend: per-model worker pools (:mod:`repro.serve.worker`) fed through
+  shared-memory slab rings (:mod:`repro.serve.shm`), with admission control,
+  backpressure and least-outstanding replica routing.
 
-``python -m repro serve`` runs the serving throughput demo on top of these.
+``python -m repro serve`` runs the serving throughput demos on top of these
+(``--workers`` switches to the sharded service).
 """
 
 from repro.serve.batcher import BatcherStats, DynamicBatcher
@@ -22,6 +28,15 @@ from repro.serve.service import (
     measure_plan_speedup,
     run_serving_benchmark,
 )
+from repro.serve.shard import (
+    ServiceOverloadedError,
+    ShardBenchRow,
+    ShardedInferenceService,
+    WorkerError,
+    run_shard_benchmark,
+)
+from repro.serve.shm import SharedSlab, SlabRing, segment_exists
+from repro.serve.worker import WorkerSpec
 
 __all__ = [
     "BatcherStats",
@@ -29,8 +44,17 @@ __all__ = [
     "DynamicBatcher",
     "PhotonicInferenceService",
     "ProgramCache",
+    "ServiceOverloadedError",
     "ServingBenchRow",
+    "ShardBenchRow",
+    "ShardedInferenceService",
+    "SharedSlab",
+    "SlabRing",
+    "WorkerError",
+    "WorkerSpec",
     "cache_key",
     "measure_plan_speedup",
     "run_serving_benchmark",
+    "run_shard_benchmark",
+    "segment_exists",
 ]

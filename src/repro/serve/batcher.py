@@ -23,6 +23,7 @@ reused buffers uncontended.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import deque
@@ -100,7 +101,7 @@ class DynamicBatcher:
         self.max_batch = int(max_batch)
         self.max_latency_s = float(max_latency_s)
         self.name = name
-        self.stats = BatcherStats()
+        self._stats = BatcherStats()
         plan = getattr(program, "plan", None)
         if callable(plan):
             plan()
@@ -112,6 +113,17 @@ class DynamicBatcher:
         self._worker = threading.Thread(target=self._serve_loop,
                                         name=f"{name}-worker", daemon=True)
         self._worker.start()
+
+    @property
+    def stats(self) -> BatcherStats:
+        """An atomic snapshot of the flush counters.
+
+        The executor thread mutates the counters under ``self._lock``; the
+        copy taken here means readers (benchmark JSON writers, the service
+        stats endpoint) never observe a torn multi-field update.
+        """
+        with self._lock:
+            return dataclasses.replace(self._stats)
 
     # ------------------------------------------------------------------ #
     # client side
@@ -132,6 +144,9 @@ class DynamicBatcher:
         if images.ndim != 4:
             raise ValueError("submit expects (batch, channels, height, width) "
                              "images or one (channels, height, width) sample")
+        if images.shape[0] == 0:
+            raise ValueError("zero-sample request: images.shape[0] must be >= 1 "
+                             "(an empty request would occupy a flush for nothing)")
         future: Future = Future()
         with self._lock:
             if self._closed:
@@ -199,15 +214,17 @@ class DynamicBatcher:
             for request in batch:
                 request.future.set_exception(error)
             return
-        self.stats.requests += len(batch)
-        self.stats.samples += images.shape[0]
-        self.stats.batches += 1
-        self.stats.max_batch_samples = max(self.stats.max_batch_samples,
-                                           images.shape[0])
-        if full:
-            self.stats.full_flushes += 1
-        else:
-            self.stats.timeout_flushes += 1
+        with self._lock:
+            stats = self._stats
+            stats.requests += len(batch)
+            stats.samples += images.shape[0]
+            stats.batches += 1
+            stats.max_batch_samples = max(stats.max_batch_samples,
+                                          images.shape[0])
+            if full:
+                stats.full_flushes += 1
+            else:
+                stats.timeout_flushes += 1
         # scatter rows back; the batch axis is -2 of the logits (noise-trials
         # axes, if the program carries them, stay in front)
         predictions = logits.argmax(axis=-1)
@@ -226,12 +243,18 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def close(self, timeout: Optional[float] = None) -> None:
-        """Stop accepting requests, flush the queue and join the executor."""
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting requests, flush the queue and join the executor.
+
+        Returns whether the executor thread actually joined within
+        ``timeout`` (always ``True`` for the default unbounded join); a
+        ``False`` means queued work may still be draining.
+        """
         with self._lock:
             self._closed = True
             self._wakeup.notify_all()
         self._worker.join(timeout=timeout)
+        return not self._worker.is_alive()
 
     def __enter__(self) -> "DynamicBatcher":
         return self

@@ -174,6 +174,18 @@ class ProgramCache:
                     del self._inflight[key]
                 pending.set()
 
+    def invalidate(self, model_key: str, target: Optional[HardwareTarget] = None,
+                   options: Optional[CompileOptions] = None) -> bool:
+        """Drop one cached entry; returns whether it existed.
+
+        Redeploying a model key whose *weights* changed must not hit the
+        stale program -- the serving frontends call this before a
+        ``refresh`` deploy so the next ``get_or_compile`` recompiles.
+        """
+        key = cache_key(model_key, target, options)
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

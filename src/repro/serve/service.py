@@ -57,15 +57,21 @@ class PhotonicInferenceService:
                target: Optional[HardwareTarget] = None,
                options: Optional[CompileOptions] = None,
                max_batch: Optional[int] = None,
-               max_latency_s: Optional[float] = None) -> CompiledProgram:
+               max_latency_s: Optional[float] = None,
+               refresh: bool = False) -> CompiledProgram:
         """Compile (or fetch from cache) a model and open its request lane.
 
         Re-deploying an already-served ``model_key`` swaps its batcher to the
-        newly resolved program after the old lane drains.
+        newly resolved program after the old lane drains.  Pass
+        ``refresh=True`` when the model's *weights* changed under an
+        unchanged key: the stale cache entry is invalidated first, so the
+        swap serves a freshly compiled program.
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("service is closed")
+        if refresh:
+            self.cache.invalidate(model_key, target, options)
         program = self.cache.get_or_compile(model_key, model, target, options)
         batcher = DynamicBatcher(
             program, scheme,
@@ -119,13 +125,13 @@ class PhotonicInferenceService:
                 "models": {key: batcher.stats.as_dict()
                            for key, batcher in batchers.items()}}
 
-    def close(self) -> None:
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Drain every lane; returns whether all executors actually joined."""
         with self._lock:
             self._closed = True
             batchers = list(self._batchers.values())
             self._batchers.clear()
-        for batcher in batchers:
-            batcher.close()
+        return all([batcher.close(timeout=timeout) for batcher in batchers])
 
     def __enter__(self) -> "PhotonicInferenceService":
         return self

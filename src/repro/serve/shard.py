@@ -1,0 +1,544 @@
+"""Multi-process sharded inference: worker pools, admission control, routing.
+
+:class:`ShardedInferenceService` lifts the in-process
+:class:`~repro.serve.service.PhotonicInferenceService` across process
+boundaries so request throughput scales with cores instead of stopping at
+one plan-executor thread per model:
+
+* **Per-model worker pools.**  Each deployed model gets ``replicas``
+  spawn-started worker processes (:mod:`repro.serve.worker`); every worker
+  rebuilds the compiled program from a pickled :class:`WorkerSpec` and warms
+  its own :class:`~repro.serve.cache.ProgramCache`, so no live program (or
+  its plan buffers) ever crosses a pickle.
+* **Shared-memory batch transport.**  Batches cross via a leased slab from a
+  preallocated :class:`~repro.serve.shm.SlabRing` -- zero tensor pickling on
+  the hot path; slabs are recycled after each flush and unlinked at
+  shutdown.
+* **Flush policy per worker.**  Each replica is fronted by its own
+  :class:`~repro.serve.batcher.DynamicBatcher` whose "program" is a
+  :class:`_WorkerProxy` -- the exact max-batch / max-latency coalescing of
+  the in-process service, with the flushed batch executing in the worker.
+* **Admission control.**  A lane bounds its queued-but-unresolved samples;
+  :meth:`submit` fast-fails with :class:`ServiceOverloadedError` once the
+  bound is hit, giving callers backpressure instead of unbounded latency.
+* **Replica routing.**  Requests go to the replica with the least
+  outstanding samples (round-robin tie-break), so N replicas of a hot model
+  absorb a dominant traffic share evenly.
+* **Drain-then-swap redeploys.**  Re-deploying a served key builds the new
+  lane first, swaps it in, then drains and dismantles the old one -- queued
+  futures on the old lane still resolve.
+
+The in-process service remains the always-available reference path; the
+test-suite pins sharded logits against it to 1e-10.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.compile import CompileOptions, HardwareTarget
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.shm import SlabRing
+from repro.serve.worker import WorkerSpec, worker_main
+
+
+class ServiceOverloadedError(RuntimeError):
+    """A lane's admission bound is full; the request was fast-failed."""
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed; carries the child's traceback text."""
+
+
+def _scheme_name(scheme: Any) -> str:
+    """Registry name of a scheme given either the name or a scheme object."""
+    if isinstance(scheme, str):
+        return scheme
+    name = getattr(scheme, "name", None)
+    if isinstance(name, str):
+        return name
+    raise TypeError("scheme must be a registry name or an AssignmentScheme "
+                    f"with a .name, got {scheme!r}")
+
+
+class _Replica:
+    """One worker process plus its control queues and routing counter."""
+
+    def __init__(self, name: str, context, spec: WorkerSpec):
+        self.name = name
+        self.requests = context.Queue()
+        self.responses = context.Queue()
+        self.process = context.Process(target=worker_main,
+                                       args=(spec, self.requests, self.responses),
+                                       name=f"repro-{name}", daemon=True)
+        self.ready: dict = {}
+        self.outstanding = 0            # samples routed here, not yet resolved
+        self.batcher: Optional[DynamicBatcher] = None
+
+    def wait_ready(self, timeout: float) -> dict:
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                message = self.responses.get(timeout=min(1.0, timeout))
+            except queue_module.Empty:
+                if not self.process.is_alive():
+                    raise WorkerError(f"worker {self.name} died during startup "
+                                      f"(exit code {self.process.exitcode})") from None
+                if time.monotonic() > deadline:
+                    raise WorkerError(f"worker {self.name} did not become ready "
+                                      f"within {timeout}s") from None
+                continue
+            if message[0] == "ready":
+                self.ready = message[1]
+                return self.ready
+            if message[0] == "failed":
+                raise WorkerError(f"worker {self.name} failed to start:\n{message[1]}")
+
+    def wait_response(self, request_id: int, poll_s: float = 1.0) -> Tuple:
+        """The ("ok"/"err", id, payload) message for ``request_id``.
+
+        Only one request is in flight per replica (its batcher executes
+        flushes one at a time), so matching is a liveness-checked poll, not
+        a correlation table.
+        """
+        while True:
+            try:
+                message = self.responses.get(timeout=poll_s)
+            except queue_module.Empty:
+                if not self.process.is_alive():
+                    raise WorkerError(
+                        f"worker {self.name} died mid-request "
+                        f"(exit code {self.process.exitcode})") from None
+                continue
+            if message[0] in ("ok", "err") and message[1] == request_id:
+                return message
+            # anything else (a stale "stopped", a response to a request whose
+            # caller already errored out) is dropped
+
+    def stop(self, timeout: float) -> bool:
+        """Ask the worker to exit; returns whether it actually stopped."""
+        if not self.process.is_alive():
+            return True
+        try:
+            self.requests.put(("stop",))
+        except (OSError, ValueError):  # pragma: no cover -- queue already torn down
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        return not self.process.is_alive()
+
+
+class _WorkerProxy:
+    """Duck-types ``predict_logits`` so a DynamicBatcher can front a worker.
+
+    A flush becomes: lease a slab, write the batch into shared memory, ship
+    the control tuple, wait for the worker's completion message, copy the
+    logits out, recycle the slab.
+    """
+
+    def __init__(self, replica: _Replica, ring: SlabRing,
+                 lease_timeout_s: float = 60.0):
+        self._replica = replica
+        self._ring = ring
+        self._lease_timeout_s = lease_timeout_s
+        self._request_id = 0
+
+    def predict_logits(self, images: np.ndarray, scheme: Any = None) -> np.ndarray:
+        slab = self._ring.lease(timeout=self._lease_timeout_s)
+        try:
+            shape = slab.write_input(images)
+            self._request_id += 1
+            self._replica.requests.put(("run", self._request_id, slab.name,
+                                        slab.input_elements, slab.output_elements,
+                                        shape))
+            message = self._replica.wait_response(self._request_id)
+            if message[0] == "err":
+                raise WorkerError(f"worker {self._replica.name} failed a batch:\n"
+                                  f"{message[2]}")
+            return np.array(slab.output_view(message[2]))
+        finally:
+            self._ring.release(slab)
+
+
+class _ModelLane:
+    """One deployed model: replicas, slab ring, admission + routing state."""
+
+    def __init__(self, model_key: str, replicas: List[_Replica], ring: SlabRing,
+                 max_batch: int, max_queue_samples: int):
+        self.model_key = model_key
+        self.replicas = replicas
+        self.ring = ring
+        self.max_batch = max_batch
+        self.max_queue_samples = max_queue_samples
+        self.pending_samples = 0        # admitted, future not yet resolved
+        self.rejected = 0               # fast-failed by admission control
+        self._route_counter = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # request path
+    # ------------------------------------------------------------------ #
+    def submit(self, images: np.ndarray, kind: str = "logits") -> Future:
+        images = np.asarray(images)
+        if images.ndim == 3:
+            samples = 1
+        elif images.ndim == 4:
+            samples = images.shape[0]
+        else:
+            raise ValueError("submit expects (batch, channels, height, width) "
+                             "images or one (channels, height, width) sample")
+        if samples == 0:
+            raise ValueError("zero-sample request: images.shape[0] must be >= 1")
+        if samples > self.max_batch:
+            raise ValueError(f"request of {samples} samples exceeds the lane's "
+                             f"slab capacity (max_batch={self.max_batch}); "
+                             "split the request or deploy with a larger max_batch")
+        with self._lock:
+            if self.pending_samples + samples > self.max_queue_samples:
+                self.rejected += 1
+                raise ServiceOverloadedError(
+                    f"model {self.model_key!r} is overloaded: "
+                    f"{self.pending_samples} samples pending against a bound of "
+                    f"{self.max_queue_samples}; retry with backoff")
+            self.pending_samples += samples
+            replica = self._route_locked()
+            replica.outstanding += samples
+        try:
+            future = replica.batcher.submit(images, kind=kind)
+        except BaseException:
+            with self._lock:
+                self.pending_samples -= samples
+                replica.outstanding -= samples
+            raise
+        future.add_done_callback(lambda _f: self._resolve(replica, samples))
+        return future
+
+    def _route_locked(self) -> _Replica:
+        """Least-outstanding-samples replica, round-robin on ties."""
+        count = len(self.replicas)
+        offset = self._route_counter % count
+        self._route_counter += 1
+        best = None
+        for step in range(count):
+            replica = self.replicas[(offset + step) % count]
+            if best is None or replica.outstanding < best.outstanding:
+                best = replica
+        return best
+
+    def _resolve(self, replica: _Replica, samples: int) -> None:
+        with self._lock:
+            self.pending_samples -= samples
+            replica.outstanding -= samples
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        with self._lock:
+            pending, rejected = self.pending_samples, self.rejected
+            per_replica = {replica.name: {"outstanding": replica.outstanding,
+                                          "pid": replica.ready.get("pid"),
+                                          **replica.batcher.stats.as_dict()}
+                           for replica in self.replicas}
+        return {"replicas": per_replica, "pending_samples": pending,
+                "rejected": rejected, "max_queue_samples": self.max_queue_samples,
+                "slabs": self.ring.names}
+
+    def close(self, timeout: float = 30.0) -> bool:
+        """Drain batchers, stop workers, unlink slabs; True if all stopped."""
+        joined = [replica.batcher.close(timeout=timeout)
+                  for replica in self.replicas if replica.batcher is not None]
+        stopped = [replica.stop(timeout) for replica in self.replicas]
+        self.ring.close_and_unlink()
+        return all(joined) and all(stopped)
+
+
+class ShardedInferenceService:
+    """Serve compiled photonic programs from a pool of worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Default replica count per deployed model (overridable per
+        :meth:`deploy` via ``replicas=``).
+    max_batch, max_latency_s:
+        Default flush policy of every replica's batcher; ``max_batch`` also
+        sizes the shared-memory slabs, so it bounds the largest single
+        request a lane accepts.
+    max_queue_samples:
+        Default admission bound per lane (samples admitted but unresolved);
+        ``None`` means ``8 * max_batch`` per replica.
+    start_timeout_s:
+        How long a worker may take to import, compile and report ready.
+    context:
+        Multiprocessing start method; ``"spawn"`` (the default) is the only
+        one the workers are audited for.
+    """
+
+    def __init__(self, workers: int = 2, max_batch: int = 64,
+                 max_latency_s: float = 0.002,
+                 max_queue_samples: Optional[int] = None,
+                 start_timeout_s: float = 120.0, context: str = "spawn"):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = int(workers)
+        self.max_batch = int(max_batch)
+        self.max_latency_s = float(max_latency_s)
+        self.max_queue_samples = max_queue_samples
+        self.start_timeout_s = float(start_timeout_s)
+        self._context = multiprocessing.get_context(context)
+        self._lanes: Dict[str, _ModelLane] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # deployment
+    # ------------------------------------------------------------------ #
+    def deploy(self, model_key: str, model: Any, scheme: Any,
+               image_shape: Sequence[int], replicas: Optional[int] = None,
+               target: Optional[HardwareTarget] = None,
+               options: Optional[CompileOptions] = None,
+               max_batch: Optional[int] = None,
+               max_latency_s: Optional[float] = None,
+               max_queue_samples: Optional[int] = None) -> dict:
+        """Open a sharded request lane for ``model_key``.
+
+        Spawns ``replicas`` workers (each compiling its own copy of the
+        pickled model spec), sizes the slab ring off ``max_batch`` samples of
+        ``image_shape`` in and the widest replica's logit geometry out, and
+        fronts every replica with a :class:`DynamicBatcher`.  Re-deploying a
+        served key is a drain-then-swap: traffic switches to the new lane,
+        then the old lane's queue drains and its workers and slabs go away.
+        Returns a summary dict (``replicas``, ``num_classes``, ``pids``).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+        lane = self._build_lane(
+            model_key, model, scheme, tuple(int(s) for s in image_shape),
+            self.workers if replicas is None else int(replicas),
+            target, options,
+            self.max_batch if max_batch is None else int(max_batch),
+            self.max_latency_s if max_latency_s is None else float(max_latency_s),
+            max_queue_samples)
+        with self._lock:
+            if self._closed:
+                closed = True
+            else:
+                closed = False
+                previous = self._lanes.get(model_key)
+                self._lanes[model_key] = lane
+        if closed:
+            lane.close()
+            raise RuntimeError("service is closed")
+        if previous is not None:
+            previous.close()
+        return {"model_key": model_key, "replicas": len(lane.replicas),
+                "num_classes": lane.replicas[0].ready.get("num_classes"),
+                "pids": [replica.ready.get("pid") for replica in lane.replicas],
+                "slabs": lane.ring.names}
+
+    def _build_lane(self, model_key: str, model: Any, scheme: Any,
+                    image_shape: Tuple[int, ...], replicas: int,
+                    target, options, max_batch: int, max_latency_s: float,
+                    max_queue_samples: Optional[int]) -> _ModelLane:
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        scheme_name = _scheme_name(scheme)
+        spec = WorkerSpec(model_key=model_key, model=model, scheme=scheme_name,
+                          image_shape=image_shape, target=target, options=options)
+        pool = [_Replica(f"{model_key}:r{index}", self._context, spec)
+                for index in range(replicas)]
+        try:
+            for replica in pool:            # start all first: parallel warm-up
+                replica.process.start()
+            for replica in pool:
+                replica.wait_ready(self.start_timeout_s)
+            elements_per_sample = max(replica.ready["elements_per_sample"]
+                                      for replica in pool)
+            samples_per_image = int(np.prod(image_shape, dtype=np.int64))
+            ring = SlabRing(slots=replicas,
+                            input_elements=max_batch * samples_per_image,
+                            output_elements=max_batch * elements_per_sample)
+        except BaseException:
+            for replica in pool:
+                replica.stop(timeout=5.0)
+            raise
+        for replica in pool:
+            replica.batcher = DynamicBatcher(
+                _WorkerProxy(replica, ring), scheme=None, max_batch=max_batch,
+                max_latency_s=max_latency_s, name=f"shard:{replica.name}")
+        if max_queue_samples is None:
+            max_queue_samples = self.max_queue_samples
+        if max_queue_samples is None:
+            max_queue_samples = 8 * max_batch * replicas
+        return _ModelLane(model_key, pool, ring, max_batch=max_batch,
+                          max_queue_samples=int(max_queue_samples))
+
+    def lane(self, model_key: str) -> _ModelLane:
+        with self._lock:
+            lane = self._lanes.get(model_key)
+        if lane is None:
+            raise KeyError(f"model {model_key!r} is not deployed; call deploy() first")
+        return lane
+
+    # ------------------------------------------------------------------ #
+    # request side
+    # ------------------------------------------------------------------ #
+    def submit(self, model_key: str, images: np.ndarray,
+               kind: str = "logits") -> Future:
+        return self.lane(model_key).submit(images, kind=kind)
+
+    def logits(self, model_key: str, images: np.ndarray) -> np.ndarray:
+        return self.submit(model_key, images, kind="logits").result()
+
+    def classify(self, model_key: str, images: np.ndarray) -> np.ndarray:
+        return self.submit(model_key, images, kind="classify").result()
+
+    # asyncio-facing variants: the concurrent future resolves on a batcher
+    # thread and wakes the caller's event loop without blocking it
+    async def logits_async(self, model_key: str, images: np.ndarray) -> np.ndarray:
+        return await asyncio.wrap_future(self.submit(model_key, images,
+                                                     kind="logits"))
+
+    async def classify_async(self, model_key: str, images: np.ndarray) -> np.ndarray:
+        return await asyncio.wrap_future(self.submit(model_key, images,
+                                                     kind="classify"))
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        with self._lock:
+            lanes = dict(self._lanes)
+        return {key: lane.stats() for key, lane in lanes.items()}
+
+    def slab_names(self, model_key: str) -> List[str]:
+        return list(self.lane(model_key).ring.names)
+
+    def close(self, timeout: float = 30.0) -> bool:
+        """Drain every lane and tear down workers; True if all stopped."""
+        with self._lock:
+            self._closed = True
+            lanes = list(self._lanes.values())
+            self._lanes.clear()
+        return all([lane.close(timeout=timeout) for lane in lanes])
+
+    def __enter__(self) -> "ShardedInferenceService":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# measurement harness (CLI + benchmarks)
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardBenchRow:
+    """Throughput of one worker count over the same synthetic traffic."""
+
+    workers: int
+    requests: int
+    clients: int
+    images_per_request: int
+    seconds: float
+    requests_per_s: float
+    samples_per_s: float
+    max_parity: float               # vs the in-process reference service
+    overload_retries: int
+    gain_vs_single: float = 0.0     # filled once the 1-worker row exists
+    replicas: dict = field(default_factory=dict)
+
+
+def run_shard_benchmark(model: Any, scheme: Any, image_shape: Sequence[int],
+                        worker_counts: Sequence[int] = (1, 2, 4),
+                        requests: int = 96, clients: int = 8,
+                        images_per_request: int = 4, max_batch: int = 32,
+                        max_latency_s: float = 0.002, seed: int = 0,
+                        warmup_requests: int = 8) -> List[ShardBenchRow]:
+    """Fire one request wave per worker count and pin parity per request.
+
+    The expected logits come from the in-process
+    :class:`~repro.serve.service.PhotonicInferenceService` reference path
+    serving the *same* model object; every sharded result is compared against
+    its row before timings are reported.  Clients that hit admission control
+    back off and retry (counted in ``overload_retries``), so the numbers
+    describe a loaded-but-live service, not a fast-fail storm.
+    """
+    from repro.serve.service import PhotonicInferenceService
+
+    rng = np.random.default_rng(seed)
+    pool = rng.normal(size=(requests, images_per_request, *image_shape))
+    with PhotonicInferenceService(max_batch=max_batch,
+                                  max_latency_s=max_latency_s) as reference:
+        from repro.assignment import get_scheme
+
+        reference.deploy("bench", model, get_scheme(_scheme_name(scheme)),
+                         max_batch=max_batch)
+        expected = [reference.logits("bench", pool[index])
+                    for index in range(requests)]
+
+    rows: List[ShardBenchRow] = []
+    for workers in worker_counts:
+        with ShardedInferenceService(workers=int(workers), max_batch=max_batch,
+                                     max_latency_s=max_latency_s) as service:
+            service.deploy("bench", model, scheme, image_shape)
+            for index in range(min(warmup_requests, requests)):
+                service.logits("bench", pool[index])
+
+            results: List[Optional[np.ndarray]] = [None] * requests
+            errors: List[BaseException] = []
+            retries = [0] * clients
+
+            def client(worker_index: int) -> None:
+                try:
+                    futures = []
+                    for index in range(worker_index, requests, clients):
+                        while True:
+                            try:
+                                futures.append((index, service.submit("bench",
+                                                                      pool[index])))
+                                break
+                            except ServiceOverloadedError:
+                                retries[worker_index] += 1
+                                time.sleep(0.0005)
+                    for index, future in futures:
+                        results[index] = future.result(timeout=120)
+                except BaseException as error:  # noqa: BLE001 -- surfaced below
+                    errors.append(error)
+
+            start = time.perf_counter()
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            seconds = time.perf_counter() - start
+            if errors:
+                raise errors[0]
+            parity = max(float(np.abs(results[index] - expected[index]).max())
+                         for index in range(requests))
+            stats = service.stats()["bench"]["replicas"]
+        rows.append(ShardBenchRow(
+            workers=int(workers), requests=requests, clients=clients,
+            images_per_request=images_per_request, seconds=seconds,
+            requests_per_s=requests / seconds,
+            samples_per_s=requests * images_per_request / seconds,
+            max_parity=parity, overload_retries=sum(retries), replicas=stats))
+    baseline = next((row for row in rows if row.workers == 1), rows[0])
+    for row in rows:
+        row.gain_vs_single = row.requests_per_s / baseline.requests_per_s
+    return rows

@@ -1,0 +1,205 @@
+"""Shared-memory slab transport for the sharded inference service.
+
+Request images and result logits cross the frontend/worker process boundary
+through a ring of preallocated :mod:`multiprocessing.shared_memory` segments
+("slabs") instead of being pickled: the frontend leases a slab, writes the
+batch into its *input region*, and ships only a tiny control tuple (slab
+name, shape) over a queue; the worker attaches the segment once (cached by
+name), runs the compiled program, writes the logits into the *output
+region*, and the frontend copies the result rows out and recycles the slab.
+No tensor bytes touch a pickle on the hot path.
+
+Each slab is one segment laid out as ``[input region | output region]``,
+both sized in float64 elements at ring construction (``max_batch`` samples
+of the model's image shape in, ``max_batch`` logit rows -- including any
+leading noise-trials axes -- out).  The frontend owns the segments: it
+creates them with :class:`SlabRing` and unlinks every one at shutdown, so a
+crashed worker can never leak ``/dev/shm`` entries.  Workers attach with
+:func:`attach_slab`, which keeps Python's ``resource_tracker`` from
+"helpfully" unlinking a segment it does not own when the worker exits.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import uuid
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without registering it for cleanup.
+
+    ``SharedMemory(name=...)`` registers the segment with the attaching
+    process's resource tracker, which unlinks it when that process exits --
+    wrong for workers that merely *borrow* the frontend's slabs.  Python
+    3.13 grew ``track=False`` for exactly this; on older interpreters the
+    attachment is unregistered by hand.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        pass
+    # pre-3.13: suppress the registration itself.  Unregistering *after* the
+    # attach is not enough -- the tracker's name cache is a set, so the
+    # borrower's register/unregister pair would swallow the owner's single
+    # registration and its unlink-time unregister would then KeyError.
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+
+    def _register_except_shm(name_, rtype):  # pragma: no cover -- trivial shim
+        if rtype != "shared_memory":
+            original_register(name_, rtype)
+
+    resource_tracker.register = _register_except_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class SharedSlab:
+    """One shared-memory segment holding an input and an output region.
+
+    Views returned by :meth:`input_view` / :meth:`output_view` alias the
+    segment directly; callers copy out of them (``np.array``) before
+    releasing the slab back to its ring.
+    """
+
+    def __init__(self, name: str, input_elements: int, output_elements: int,
+                 dtype=np.float64, create: bool = False):
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        self.input_elements = int(input_elements)
+        self.output_elements = int(output_elements)
+        nbytes = (self.input_elements + self.output_elements) * self.dtype.itemsize
+        if create:
+            self._segment = shared_memory.SharedMemory(name=name, create=True,
+                                                       size=max(nbytes, 1))
+        else:
+            self._segment = _attach_untracked(name)
+        self._input = np.ndarray((self.input_elements,), dtype=self.dtype,
+                                 buffer=self._segment.buf)
+        self._output = np.ndarray((self.output_elements,), dtype=self.dtype,
+                                  buffer=self._segment.buf,
+                                  offset=self.input_elements * self.dtype.itemsize)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    def input_view(self, shape: Sequence[int]) -> np.ndarray:
+        elements = int(np.prod(shape, dtype=np.int64)) if len(shape) else 1
+        if elements > self.input_elements:
+            raise ValueError(f"batch of shape {tuple(shape)} ({elements} elements) "
+                             f"overflows the slab input region "
+                             f"({self.input_elements} elements)")
+        return self._input[:elements].reshape(tuple(shape))
+
+    def output_view(self, shape: Sequence[int]) -> np.ndarray:
+        elements = int(np.prod(shape, dtype=np.int64)) if len(shape) else 1
+        if elements > self.output_elements:
+            raise ValueError(f"logits of shape {tuple(shape)} ({elements} elements) "
+                             f"overflow the slab output region "
+                             f"({self.output_elements} elements)")
+        return self._output[:elements].reshape(tuple(shape))
+
+    def write_input(self, images: np.ndarray) -> Tuple[int, ...]:
+        """Copy a batch into the input region; returns the shape written."""
+        images = np.ascontiguousarray(images, dtype=self.dtype)
+        self.input_view(images.shape)[...] = images
+        return images.shape
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        self._input = self._output = None  # type: ignore[assignment]
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover -- a view escaped; unlink still works
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (owner side)."""
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover -- already gone
+            pass
+
+    def destroy(self) -> None:
+        self.close()
+        self.unlink()
+
+
+def attach_slab(name: str, input_elements: int, output_elements: int,
+                dtype=np.float64) -> SharedSlab:
+    """Worker-side attachment to a frontend-owned slab (never unlinks it)."""
+    return SharedSlab(name, input_elements, output_elements, dtype=dtype,
+                      create=False)
+
+
+def segment_exists(name: str) -> bool:
+    """Whether a named shared-memory segment still exists on this system."""
+    path = os.path.join("/dev/shm", name)
+    if os.path.isdir("/dev/shm"):
+        return os.path.exists(path)
+    try:  # pragma: no cover -- non-Linux fallback
+        segment = _attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+class SlabRing:
+    """A leasable ring of preallocated shared-memory slabs.
+
+    ``lease`` hands out a free slab (blocking up to ``timeout``); ``release``
+    recycles it.  The ring owns its segments: :meth:`close_and_unlink`
+    removes every one and is idempotent, so shutdown paths can call it
+    defensively without double-unlink errors.
+    """
+
+    def __init__(self, slots: int, input_elements: int, output_elements: int,
+                 dtype=np.float64, prefix: str = "repro-shard"):
+        if slots < 1:
+            raise ValueError("a slab ring needs at least one slot")
+        token = uuid.uuid4().hex[:8]
+        self.slabs: List[SharedSlab] = [
+            SharedSlab(f"{prefix}-{os.getpid()}-{token}-{index}",
+                       input_elements, output_elements, dtype=dtype, create=True)
+            for index in range(int(slots))
+        ]
+        self._free: "queue.Queue[SharedSlab]" = queue.Queue()
+        for slab in self.slabs:
+            self._free.put(slab)
+        self._closed = False
+
+    @property
+    def names(self) -> List[str]:
+        return [slab.name for slab in self.slabs]
+
+    def lease(self, timeout: Optional[float] = None) -> SharedSlab:
+        if self._closed:
+            raise RuntimeError("slab ring is closed")
+        try:
+            return self._free.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError("no free shared-memory slab became available "
+                               f"within {timeout}s") from None
+
+    def release(self, slab: SharedSlab) -> None:
+        if not self._closed:
+            self._free.put(slab)
+
+    def close_and_unlink(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for slab in self.slabs:
+            slab.destroy()

@@ -1,0 +1,110 @@
+"""Worker process of the sharded inference service.
+
+A worker is one replica of one model: it rebuilds the compiled program from
+a pickled :class:`WorkerSpec` (the model module's architecture + weights --
+never a live :class:`~repro.core.compile.CompiledProgram`, whose plans,
+cached dense matrices and locks do not belong on a pickle), warms its own
+:class:`~repro.serve.cache.ProgramCache`, and then loops over a control
+queue executing shared-memory batches.
+
+The control protocol is deliberately tiny (everything bulky crosses via the
+slabs in :mod:`repro.serve.shm`):
+
+========================  =====================================================
+frontend -> worker        ``("run", request_id, slab_name, in_cap, out_cap,
+                          shape)`` and ``("stop",)``
+worker  -> frontend       ``("ready", info)`` once after compilation,
+                          ``("ok", request_id, logits_shape)`` /
+                          ``("err", request_id, traceback)`` per request,
+                          ``("failed", traceback)`` if startup died
+========================  =====================================================
+
+Workers are spawn-safe: :func:`worker_main` imports everything it needs and
+touches no inherited globals, so it behaves identically under the ``spawn``
+start method the service uses (fork would duplicate the frontend's batcher
+threads and BLAS state).
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.compile import CompileOptions, HardwareTarget
+from repro.serve.shm import SharedSlab, attach_slab
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to rebuild its program, picklable.
+
+    ``model`` is the model :class:`~repro.nn.module.Module` itself (its
+    pickle is the architecture plus parameter arrays) or a zero-arg factory
+    returning one.  The assignment scheme crosses as its registry *name* and
+    is rebuilt worker-side, and compilation policy crosses as the frozen
+    :class:`HardwareTarget` / :class:`CompileOptions` dataclasses.
+    """
+
+    model_key: str
+    model: Any
+    scheme: str
+    image_shape: Tuple[int, ...]
+    target: Optional[HardwareTarget] = None
+    options: Optional[CompileOptions] = None
+
+
+def worker_main(spec: WorkerSpec, requests, responses) -> None:
+    """Entry point of one replica process (see the module protocol table)."""
+    try:
+        from repro.assignment import get_scheme
+        from repro.serve.cache import ProgramCache
+
+        scheme = get_scheme(spec.scheme)
+        cache = ProgramCache(capacity=2)
+        # get_or_compile warms the execution plan, so the first request does
+        # not pay plan compilation
+        program = cache.get_or_compile(spec.model_key, spec.model,
+                                       spec.target, spec.options)
+        probe = np.zeros((1, *spec.image_shape))
+        logits = program.predict_logits(probe, scheme)
+        responses.put(("ready", {
+            "pid": os.getpid(),
+            "num_classes": int(logits.shape[-1]),
+            # logit elements one sample produces, including leading
+            # noise-trials axes; the frontend sizes slab output regions off
+            # the maximum across replicas
+            "elements_per_sample": int(logits.size),
+            "cache": cache.stats.as_dict(),
+        }))
+    except BaseException:  # noqa: BLE001 -- startup failure crosses as text
+        responses.put(("failed", traceback.format_exc()))
+        return
+
+    slabs: Dict[str, SharedSlab] = {}
+    executed = 0
+    try:
+        while True:
+            message = requests.get()
+            if message[0] == "stop":
+                break
+            _, request_id, slab_name, input_elements, output_elements, shape = message
+            try:
+                slab = slabs.get(slab_name)
+                if slab is None:
+                    slab = slabs[slab_name] = attach_slab(
+                        slab_name, input_elements, output_elements)
+                images = slab.input_view(shape)
+                logits = program.predict_logits(images, scheme)
+                slab.output_view(logits.shape)[...] = logits
+                executed += 1
+                responses.put(("ok", request_id, tuple(logits.shape)))
+            except BaseException:  # noqa: BLE001 -- relayed to the frontend
+                responses.put(("err", request_id, traceback.format_exc()))
+    finally:
+        for slab in slabs.values():
+            slab.close()
+        responses.put(("stopped", os.getpid(), executed))

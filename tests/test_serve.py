@@ -173,6 +173,103 @@ class TestDynamicBatcher:
         assert np.allclose(got, expected, atol=1e-10)
 
 
+class _StubProgram:
+    """Predictable in-test stand-in for a compiled program."""
+
+    def __init__(self, fn):
+        self._fn = fn
+
+    def predict_logits(self, images, scheme):
+        return self._fn(np.asarray(images))
+
+
+def _identity_logits(images):
+    return images.reshape(images.shape[0], -1)
+
+
+class TestBatcherEdgeCases:
+    """Edge semantics the sharded frontend builds on."""
+
+    def test_zero_sample_request_rejected(self):
+        with DynamicBatcher(_StubProgram(_identity_logits), None) as batcher:
+            with pytest.raises(ValueError, match="zero-sample"):
+                batcher.submit(np.zeros((0, 1, 2, 2)))
+
+    def test_oversized_request_runs_alone(self):
+        with DynamicBatcher(_StubProgram(_identity_logits), None, max_batch=4,
+                            max_latency_s=0.2) as batcher:
+            big = batcher.submit(np.ones((10, 1, 2, 2)))
+            small = batcher.submit(np.ones((1, 1, 2, 2)))
+            big.result(timeout=30)
+            small.result(timeout=30)
+            stats = batcher.stats
+        # the 10-sample request must not have been co-batched with anything
+        assert stats.max_batch_samples == 10
+        assert stats.batches == 2
+
+    def test_exception_fans_out_to_every_cobatched_future(self):
+        def explode(images):
+            raise RuntimeError("mesh on fire")
+
+        with DynamicBatcher(_StubProgram(explode), None, max_batch=8,
+                            max_latency_s=0.2) as batcher:
+            futures = [batcher.submit(np.ones((1, 1, 2, 2))) for _ in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="mesh on fire"):
+                    future.result(timeout=30)
+
+    def test_cancelled_future_is_skipped(self):
+        release, entered = threading.Event(), threading.Event()
+
+        def blocked(images):
+            entered.set()
+            release.wait(10)
+            return _identity_logits(images)
+
+        with DynamicBatcher(_StubProgram(blocked), None, max_batch=1) as batcher:
+            first = batcher.submit(np.ones((1, 1, 2, 2)))
+            assert entered.wait(10)              # worker is executing the first
+            doomed = batcher.submit(np.ones((1, 1, 2, 2)))
+            kept = batcher.submit(np.ones((1, 1, 2, 2)))
+            assert doomed.cancel()               # still queued, so cancellable
+            release.set()
+            first.result(timeout=30)
+            kept.result(timeout=30)
+            assert doomed.cancelled()
+            stats = batcher.stats
+        # the cancelled request never reached the program
+        assert stats.requests == 2
+
+    def test_close_drains_queued_requests(self):
+        release, entered = threading.Event(), threading.Event()
+
+        def blocked(images):
+            entered.set()
+            release.wait(10)
+            return _identity_logits(images)
+
+        batcher = DynamicBatcher(_StubProgram(blocked), None, max_batch=1)
+        first = batcher.submit(np.ones((1, 1, 2, 2)))
+        assert entered.wait(10)
+        queued = [batcher.submit(np.ones((1, 1, 2, 2))) for _ in range(3)]
+        # close with the worker still blocked: it must report a failed join,
+        # then drain the queue and join once the program unblocks
+        assert batcher.close(timeout=0.05) is False
+        release.set()
+        assert batcher.close() is True
+        for future in [first, *queued]:
+            assert future.result(timeout=1) is not None
+
+    def test_stats_snapshot_is_decoupled(self):
+        with DynamicBatcher(_StubProgram(_identity_logits), None,
+                            max_latency_s=0.001) as batcher:
+            batcher.submit(np.ones((2, 1, 2, 2))).result(timeout=30)
+            snapshot = batcher.stats
+            snapshot.requests = 10_000           # mutating the copy is harmless
+            assert batcher.stats.requests == 1
+            assert batcher.stats.as_dict()["samples"] == 2
+
+
 class TestProgramCache:
     def test_hit_returns_same_program(self, rng):
         model = tiny_lenet(rng)
@@ -270,6 +367,14 @@ class TestProgramCache:
         program = cache.get_or_compile("lenet", tiny_lenet(rng))
         assert program.graph._plan is not None
 
+    def test_invalidate_drops_one_entry(self, rng):
+        cache = ProgramCache(capacity=4)
+        stale = cache.get_or_compile("lenet", tiny_lenet(rng))
+        assert cache.invalidate("lenet") is True
+        assert cache.invalidate("lenet") is False      # already gone
+        fresh = cache.get_or_compile("lenet", tiny_lenet(rng))
+        assert fresh is not stale
+
 
 class TestInferenceService:
     def test_deploy_and_classify(self, rng):
@@ -300,9 +405,26 @@ class TestInferenceService:
 
     def test_closed_service_rejects_deploys(self, rng):
         service = PhotonicInferenceService()
-        service.close()
+        assert service.close() is True
         with pytest.raises(RuntimeError, match="closed"):
             service.deploy("lenet", tiny_lenet(rng), get_scheme("CL"))
+
+    def test_refresh_redeploy_serves_updated_weights(self, rng):
+        model = tiny_lenet(rng)
+        scheme = get_scheme("CL")
+        images = rng.normal(size=(2, 3, 12, 12))
+        with PhotonicInferenceService(max_latency_s=0.001) as service:
+            service.deploy("lenet", model, scheme)
+            before = service.logits("lenet", images)
+            state = {name: value * 0.5 for name, value in model.state_dict().items()}
+            model.load_state_dict(state)
+            # a plain redeploy hits the stale cache entry; refresh recompiles
+            assert service.deploy("lenet", model, scheme) is not \
+                service.deploy("lenet", model, scheme, refresh=True)
+            after = service.logits("lenet", images)
+        assert not np.allclose(before, after)
+        assert np.allclose(after, repro.compile(model).predict_logits(images, scheme),
+                           atol=1e-10)
 
 
 class TestServingBenchmarkHarness:

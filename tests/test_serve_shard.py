@@ -1,0 +1,201 @@
+"""Tests of the multi-process sharded inference service.
+
+Process spawns are expensive (each worker imports the stack and compiles its
+program), so most tests share one module-scoped two-replica service; the
+lifecycle-sensitive cases (admission control, slab unlinking, drain-then-swap
+redeploys) build their own small services.  Sharded results are parity-pinned
+against the in-process :class:`PhotonicInferenceService` reference path.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.assignment import get_scheme
+from repro.models import ComplexFCNN
+from repro.serve import (
+    PhotonicInferenceService,
+    ServiceOverloadedError,
+    ShardedInferenceService,
+    SlabRing,
+    segment_exists,
+)
+
+IMAGE_SHAPE = (1, 4, 4)      # SI assignment halves 16 pixels -> 8 complex features
+
+
+def tiny_fcnn(seed: int = 0) -> ComplexFCNN:
+    return ComplexFCNN(8, (6,), 3, decoder="merge",
+                       rng=np.random.default_rng(seed))
+
+
+@pytest.fixture(scope="module")
+def shard_service():
+    """A running 2-replica service plus the in-process reference logits."""
+    model = tiny_fcnn()
+    with PhotonicInferenceService(max_latency_s=0.001) as reference:
+        reference.deploy("fcnn", model, get_scheme("SI"))
+        images = np.random.default_rng(7).normal(size=(6, *IMAGE_SHAPE))
+        expected = reference.logits("fcnn", images)
+    service = ShardedInferenceService(workers=2, max_batch=8,
+                                      max_latency_s=0.002)
+    service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+    yield service, model, images, expected
+    service.close()
+
+
+class TestSlabRing:
+    def test_lease_release_and_unlink(self):
+        ring = SlabRing(slots=2, input_elements=16, output_elements=4)
+        names = ring.names
+        assert all(segment_exists(name) for name in names)
+        first = ring.lease(timeout=1)
+        second = ring.lease(timeout=1)
+        with pytest.raises(TimeoutError):
+            ring.lease(timeout=0.01)
+        shape = first.write_input(np.arange(8.0).reshape(2, 4))
+        assert shape == (2, 4)
+        assert np.array_equal(first.input_view((2, 4)),
+                              np.arange(8.0).reshape(2, 4))
+        with pytest.raises(ValueError, match="overflow"):
+            first.input_view((5, 4))
+        ring.release(first)
+        assert ring.lease(timeout=1) is first        # recycled
+        ring.release(second)
+        ring.close_and_unlink()
+        ring.close_and_unlink()                      # idempotent
+        assert all(not segment_exists(name) for name in names)
+
+
+class TestShardedService:
+    def test_logits_match_in_process_reference(self, shard_service):
+        service, _model, images, expected = shard_service
+        got = service.logits("fcnn", images)
+        assert np.abs(got - expected).max() <= 1e-10
+        labels = service.classify("fcnn", images)
+        assert np.array_equal(labels, expected.argmax(axis=-1))
+
+    def test_single_sample_is_squeezed(self, shard_service):
+        service, _model, images, expected = shard_service
+        logits = service.logits("fcnn", images[0])
+        assert logits.shape == expected[0].shape
+        assert np.abs(logits - expected[0]).max() <= 1e-10
+
+    def test_concurrent_clients_get_their_own_rows(self, shard_service):
+        service, _model, images, expected = shard_service
+        results = [None] * len(images)
+
+        def client(worker):
+            for index in range(worker, len(images), 3):
+                results[index] = service.submit("fcnn", images[index:index + 1]) \
+                                        .result(timeout=60)
+
+        threads = [threading.Thread(target=client, args=(w,)) for w in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for index in range(len(images)):
+            assert np.abs(results[index] - expected[index:index + 1]).max() <= 1e-10
+
+    def test_routing_spreads_over_replicas(self, shard_service):
+        service, _model, images, _expected = shard_service
+        futures = [service.submit("fcnn", images[index:index + 1])
+                   for index in range(6)]
+        for future in futures:
+            future.result(timeout=60)
+        per_replica = service.stats()["fcnn"]["replicas"]
+        assert len(per_replica) == 2
+        # least-outstanding routing with a round-robin tie-break must not
+        # starve a replica under back-to-back traffic
+        assert all(stats["requests"] >= 1 for stats in per_replica.values())
+        assert all(stats["outstanding"] == 0 for stats in per_replica.values())
+
+    def test_async_frontend(self, shard_service):
+        service, _model, images, expected = shard_service
+
+        async def drive():
+            logits, labels = await asyncio.gather(
+                service.logits_async("fcnn", images),
+                service.classify_async("fcnn", images))
+            return logits, labels
+
+        logits, labels = asyncio.run(drive())
+        assert np.abs(logits - expected).max() <= 1e-10
+        assert np.array_equal(labels, expected.argmax(axis=-1))
+
+    def test_invalid_submissions_rejected(self, shard_service):
+        service, _model, images, _expected = shard_service
+        with pytest.raises(KeyError, match="deploy"):
+            service.submit("ghost", images)
+        with pytest.raises(ValueError, match="zero-sample"):
+            service.submit("fcnn", np.zeros((0, *IMAGE_SHAPE)))
+        with pytest.raises(ValueError, match="slab capacity"):
+            service.submit("fcnn", np.zeros((9, *IMAGE_SHAPE)))  # max_batch=8
+        with pytest.raises(ValueError, match="sample"):
+            service.submit("fcnn", np.zeros((4, 4)))
+
+    def test_pending_counters_return_to_zero(self, shard_service):
+        service, _model, images, _expected = shard_service
+        futures = [service.submit("fcnn", images) for _ in range(3)]
+        for future in futures:
+            future.result(timeout=60)
+        lane_stats = service.stats()["fcnn"]
+        assert lane_stats["pending_samples"] == 0
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardedInferenceService(workers=0)
+
+
+class TestLifecycle:
+    def test_admission_control_and_slab_unlink(self):
+        # one replica, a long flush window and a 2-sample admission bound:
+        # the first two single-sample requests are admitted and sit in the
+        # flush window, the third must fast-fail
+        service = ShardedInferenceService(workers=1, max_batch=8,
+                                          max_latency_s=0.25,
+                                          max_queue_samples=2)
+        try:
+            model = tiny_fcnn()
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            sample = np.zeros((1, *IMAGE_SHAPE))
+            admitted = [service.submit("fcnn", sample), service.submit("fcnn", sample)]
+            with pytest.raises(ServiceOverloadedError, match="overloaded"):
+                service.submit("fcnn", sample)
+            for future in admitted:
+                future.result(timeout=60)
+            # the bound frees as futures resolve
+            service.submit("fcnn", sample).result(timeout=60)
+            assert service.stats()["fcnn"]["rejected"] == 1
+            names = service.slab_names("fcnn")
+            assert all(segment_exists(name) for name in names)
+        finally:
+            assert service.close() is True
+        # shutdown must unlink every shared-memory slab (no /dev/shm leaks)
+        assert all(not segment_exists(name) for name in names)
+
+    def test_redeploy_is_drain_then_swap(self):
+        model = tiny_fcnn()
+        images = np.random.default_rng(11).normal(size=(2, *IMAGE_SHAPE))
+        with ShardedInferenceService(workers=1, max_batch=8,
+                                     max_latency_s=0.1) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            old_slabs = service.slab_names("fcnn")
+            old_pids = [stats["pid"] for stats
+                        in service.stats()["fcnn"]["replicas"].values()]
+            # a request sitting in the old lane's flush window when the
+            # redeploy lands must still resolve (drain before teardown)
+            in_flight = service.submit("fcnn", images)
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            assert in_flight.result(timeout=60) is not None
+            # old workers and slabs are gone, new lane serves traffic
+            assert all(not segment_exists(name) for name in old_slabs)
+            new_pids = [stats["pid"] for stats
+                        in service.stats()["fcnn"]["replicas"].values()]
+            assert set(new_pids).isdisjoint(old_pids)
+            expected = repro.compile(model).predict_logits(images, get_scheme("SI"))
+            assert np.abs(service.logits("fcnn", images) - expected).max() <= 1e-10
