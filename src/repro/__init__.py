@@ -30,19 +30,22 @@ controlling the mesh scheme / noise model and the execution policy (these
 resolve lazily so ``import repro`` stays cheap).
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 _COMPILER_EXPORTS = ("compile", "CompiledProgram", "CompileOptions", "HardwareTarget")
+_STORE_EXPORTS = ("ArtifactStore",)
 
-__all__ = ["__version__", *_COMPILER_EXPORTS]
+__all__ = ["__version__", *_COMPILER_EXPORTS, *_STORE_EXPORTS]
 
 
 def __getattr__(name):
     """Lazily resolve the compiler API (PEP 562) to keep ``import repro`` light."""
-    if name in _COMPILER_EXPORTS:
-        # import_module (not attribute access): repro.core re-exports the
-        # compile *function* under the same name as the submodule
-        from importlib import import_module
+    # import_module (not attribute access): repro.core re-exports the
+    # compile *function* under the same name as the submodule
+    from importlib import import_module
 
+    if name in _COMPILER_EXPORTS:
         return getattr(import_module("repro.core.compile"), name)
+    if name in _STORE_EXPORTS:
+        return getattr(import_module("repro.store"), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

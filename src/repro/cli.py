@@ -12,6 +12,8 @@ Examples
     python -m repro deploy-resnet --preset smoke   # graph compiler end to end
     python -m repro serve --workload lenet5 --max-batch 1 8 64
     python -m repro serve --workload fcnn --workers 1 2 4   # sharded service
+    python -m repro precompile --store ./store --workloads fcnn lenet5
+    python -m repro serve --workload fcnn --store ./store   # warm cold-start
 
 Each subcommand prints the same rows/series the paper reports and optionally
 saves them as JSON with ``--output``.
@@ -140,13 +142,22 @@ def _run_serve(args: argparse.Namespace) -> None:
                            (config.channels, *config.image_size))
         return
 
-    cache = ProgramCache(capacity=4)
+    store = None
+    if args.store:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(args.store)
+    cache = ProgramCache(capacity=4, store=store)
     target = HardwareTarget(method=args.method)
     options = CompileOptions(backend=args.backend)
     program = cache.get_or_compile(args.workload, student, target, options)
     # a second deploy of the same key must hit the cache
     if cache.get_or_compile(args.workload, student, target, options) is not program:
         raise RuntimeError("program cache failed to serve the repeated deploy")
+    if store is not None:
+        status = "warm hit" if program.store_hit else "miss (populated)"
+        print(f"artifact store {store.root}: {status} "
+              f"[key {(program.store_key or '')[:12]}]")
 
     image_shape = (config.channels, *config.image_size)
     rng = np.random.default_rng(args.seed)
@@ -194,11 +205,13 @@ def _run_serve_sharded(args: argparse.Namespace, student, scheme,
     cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
         else (os.cpu_count() or 1)
     print(f"sharded serving demo: worker counts {worker_counts} on {cpus} CPU(s)")
+    if args.store:
+        print(f"workers cold-start from the artifact store at {args.store}")
     rows = run_shard_benchmark(
         student, scheme, image_shape, worker_counts=worker_counts,
         requests=args.requests, clients=args.clients,
         max_batch=max(args.max_batch), max_latency_s=args.max_latency_ms / 1e3,
-        seed=args.seed)
+        seed=args.seed, store_path=args.store)
     table = [[row.workers, row.clients, row.requests,
               f"{row.requests_per_s:.0f}", f"{row.gain_vs_single:.2f}x",
               f"{row.max_parity:.1e}", row.overload_retries]
@@ -209,6 +222,55 @@ def _run_serve_sharded(args: argparse.Namespace, student, scheme,
         table, title="Sharded serving throughput (shared-memory worker pools)"))
     _maybe_save({"cpus": cpus,
                  "rows": [dataclasses.asdict(row) for row in rows]}, args.output)
+
+
+def _run_precompile(args: argparse.Namespace) -> None:
+    """Build the ahead-of-time compilation artifact store offline.
+
+    For every requested workload the student model is built (deterministic
+    from the seed, exactly as ``repro serve`` builds it), compiled, and its
+    decomposition published into the store -- after which serving processes
+    pointed at the same store (``repro serve --store``, ``WorkerSpec``'s
+    ``store_path``) cold-start from a memory-mapped disk read instead of
+    re-decomposing every mesh.
+    """
+    import time
+
+    from repro.core.compile import CompileOptions, HardwareTarget
+    from repro.core.compile import compile as compile_model
+    from repro.core.pipeline import OplixNet
+    from repro.experiments.common import get_workload, workload_config
+    from repro.experiments.presets import get_preset
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    target = HardwareTarget(method=args.method)
+    options = CompileOptions(backend=args.backend)
+    preset = get_preset(args.preset)
+    table = []
+    for name in args.workloads:
+        workload = get_workload(name)
+        config = workload_config(workload, preset, seed=args.seed,
+                                 decoder=args.decoder)
+        pipeline = OplixNet(config)
+        if args.train:
+            student, _ = pipeline.train_student(mutual_learning=False)
+        else:
+            student = pipeline.build_student()
+        start = time.perf_counter()
+        program = compile_model(student, target=target, options=options,
+                                store=store, store_refresh=args.refresh)
+        program.plan()
+        seconds = time.perf_counter() - start
+        status = "warm hit" if program.store_hit else (
+            "rewritten" if args.refresh else "compiled + stored")
+        table.append([workload.display_name, (program.store_key or "")[:12],
+                      status, f"{seconds * 1e3:.0f} ms"])
+    print(format_table(["Model", "key", "status", "build time"], table,
+                       title=f"Ahead-of-time compilation into {store.root}"))
+    print(f"store stats: {store.stats.as_dict()}")
+    _maybe_save({"store": str(store.root), "stats": store.stats.as_dict(),
+                 "rows": table}, args.output)
 
 
 def _run_area(args: argparse.Namespace) -> None:
@@ -302,7 +364,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replicas", type=int, default=None,
                        help="additional replica count to include in the "
                             "sharded sweep (e.g. a hot-model pool size)")
+    serve.add_argument("--store", default=None,
+                       help="path of an ahead-of-time compilation artifact "
+                            "store (see 'repro precompile'); deploys hit warm "
+                            "precompiled entries instead of decomposing")
     serve.set_defaults(runner=_run_serve)
+
+    precompile = subparsers.add_parser(
+        "precompile",
+        help="build the ahead-of-time compilation artifact store offline")
+    _add_common_arguments(precompile)
+    precompile.add_argument("--store", required=True,
+                            help="store directory (created if missing)")
+    precompile.add_argument("--workloads", nargs="+",
+                            default=["fcnn", "lenet5", "resnet20"],
+                            choices=("fcnn", "lenet5", "resnet20", "resnet32"),
+                            help="models to precompile")
+    precompile.add_argument("--decoder", default="merge",
+                            choices=("merge", "linear", "unitary", "coherent",
+                                     "photodiode"))
+    precompile.add_argument("--method", default="clements",
+                            choices=("clements", "reck"))
+    precompile.add_argument("--backend", default="auto",
+                            choices=("auto", "dense", "column"))
+    precompile.add_argument("--train", action="store_true",
+                            help="train the student first so the stored "
+                                 "program serves trained weights")
+    precompile.add_argument("--refresh", action="store_true",
+                            help="bypass existing entries and rewrite them "
+                                 "from a live compile")
+    precompile.set_defaults(runner=_run_precompile)
 
     area = subparsers.add_parser("area", help="exact paper-scale MZI accounting (no training)")
     area.set_defaults(runner=_run_area)

@@ -132,6 +132,10 @@ class CompiledProgram:
     target: HardwareTarget
     options: CompileOptions
     encoder: DCComplexEncoder = field(default_factory=DCComplexEncoder)
+    #: content key in the artifact store this program was compiled against
+    #: (None when no store participated), and whether it was a warm hit
+    store_key: Optional[str] = None
+    store_hit: bool = False
 
     # ------------------------------------------------------------------ #
     # structure
@@ -235,11 +239,14 @@ class CompiledProgram:
                          quantization_bits=quantization_bits, trials=trials)
         return CompiledProgram(
             graph=self.graph.with_noise(noise, quantization_bits, trials=trials),
-            target=target, options=self.options, encoder=self.encoder)
+            target=target, options=self.options, encoder=self.encoder,
+            store_key=self.store_key, store_hit=self.store_hit)
 
 
 def compile(model, target: Optional[HardwareTarget] = None,
-            options: Optional[CompileOptions] = None) -> CompiledProgram:
+            options: Optional[CompileOptions] = None,
+            store: Optional[Any] = None,
+            store_refresh: bool = False) -> CompiledProgram:
     """Compile a trained complex model onto simulated photonic hardware.
 
     Lowers the model through the ``@register_lowering`` rule registry into a
@@ -248,13 +255,75 @@ def compile(model, target: Optional[HardwareTarget] = None,
     skip-add nodes), deploys every weight via SVD with same-size unitaries
     decomposed as one batched stack, and bakes the target's non-idealities in.
     The model is switched to eval mode.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`~repro.store.ArtifactStore`.  A warm entry for the
+        content key of ``(model weights, target, options)`` skips
+        decomposition entirely -- the stored phases and memory-mapped dense
+        matrices are deployed in its place; a miss falls through to live
+        compilation and (unless the store is read-only) publishes the fresh
+        decomposition.  Targets carrying a live noise model bypass the store
+        (noise is injected after the stored clean decomposition anyway, so
+        only the clean step is ever persisted).
+    store_refresh:
+        Skip the store read and rewrite the entry from a live compile --
+        the redeploy-with-changed-weights escape hatch
+        (:meth:`repro.serve.cache.ProgramCache.invalidate` sets it).
     """
     target = HardwareTarget() if target is None else target
     options = CompileOptions() if options is None else options
-    graph = lower_to_graph(model, method=target.method, backend=options.backend,
-                           dense_dimension_limit=options.dense_dimension_limit,
-                           batch_unitaries=options.batch_unitaries)
-    program = CompiledProgram(graph=graph, target=target, options=options)
+
+    def lower(deploy_fn=None) -> GraphProgram:
+        return lower_to_graph(model, method=target.method,
+                              backend=options.backend,
+                              dense_dimension_limit=options.dense_dimension_limit,
+                              batch_unitaries=options.batch_unitaries,
+                              deploy_fn=deploy_fn)
+
+    key = store.try_key_for(model, target, options) if store is not None else None
+    graph = None
+    hit = False
+    if key is not None and not store_refresh:
+        artifact = store.load(key, options)
+        if artifact is not None:
+            from repro.store.errors import ArtifactError
+            try:
+                graph = lower(artifact.deploy_fn())
+                hit = True
+            except ArtifactError as error:
+                import logging
+
+                logging.getLogger("repro.store").warning(
+                    "store entry %s does not fit this model (%s); quarantining "
+                    "and recompiling live", key[:12], error)
+                store.quarantine(key)
+                graph = None
+    if graph is None:
+        if key is not None and not store.readonly:
+            from repro.photonics.svd_mapping import svd_decompose_many
+
+            captured: List[Any] = []
+
+            def capturing(weights):
+                matrices = svd_decompose_many(
+                    weights, method=target.method,
+                    batch_unitaries=options.batch_unitaries,
+                    backend=options.backend,
+                    dense_dimension_limit=options.dense_dimension_limit)
+                captured.extend(matrices)
+                return matrices
+
+            graph = lower(capturing)
+            if store_refresh:
+                store.delete(key)
+            store.save(key, captured, model=model, target=target,
+                       options=options)
+        else:
+            graph = lower()
+    program = CompiledProgram(graph=graph, target=target, options=options,
+                              store_key=key, store_hit=hit)
     if target.noise is not None or target.quantization_bits is not None:
         program = program.with_noise(noise=target.noise,
                                      quantization_bits=target.quantization_bits,

@@ -352,11 +352,15 @@ class LoweringContext:
 
     def __init__(self, method: str = "clements", backend: str = "auto",
                  dense_dimension_limit: Optional[int] = None,
-                 batch_unitaries: bool = True):
+                 batch_unitaries: bool = True,
+                 deploy_fn: Optional[Callable] = None):
         self.method = method
         self.backend = backend
         self.dense_dimension_limit = dense_dimension_limit
         self.batch_unitaries = batch_unitaries
+        # optional replacement for the live svd_decompose_many call in
+        # finalize(); the artifact store serves precompiled matrices here
+        self.deploy_fn = deploy_fn
         self.builder = GraphBuilder()
         self.cursor: str = INPUT
         self.input_kind: str = "flat"
@@ -409,13 +413,26 @@ class LoweringContext:
         return layer
 
     def finalize(self) -> None:
-        """Deploy every queued weight; same-size unitaries share one stack pass."""
+        """Deploy every queued weight; same-size unitaries share one stack pass.
+
+        With a ``deploy_fn`` installed (the artifact store's warm path) the
+        queued weights are handed to it instead of being SVD-factored live;
+        the function must return one :class:`PhotonicMatrix` per weight, in
+        order.
+        """
         if not self._pending:
             return
-        matrices = svd_decompose_many(
-            [weight for weight, _layer in self._pending], method=self.method,
-            batch_unitaries=self.batch_unitaries, backend=self.backend,
-            dense_dimension_limit=self.dense_dimension_limit)
+        weights = [weight for weight, _layer in self._pending]
+        if self.deploy_fn is not None:
+            matrices = list(self.deploy_fn(weights))
+            if len(matrices) != len(weights):
+                raise ValueError(f"deploy_fn returned {len(matrices)} matrices "
+                                 f"for {len(weights)} weights")
+        else:
+            matrices = svd_decompose_many(
+                weights, method=self.method,
+                batch_unitaries=self.batch_unitaries, backend=self.backend,
+                dense_dimension_limit=self.dense_dimension_limit)
         for (_weight, layer), matrix in zip(self._pending, matrices):
             layer.photonic_matrix = matrix
         self._pending.clear()
@@ -716,14 +733,17 @@ class LoweredProgram:
 
 def lower_to_graph(model, method: str = "clements", backend: str = "auto",
                    dense_dimension_limit: Optional[int] = None,
-                   batch_unitaries: bool = True) -> GraphProgram:
+                   batch_unitaries: bool = True,
+                   deploy_fn: Optional[Callable] = None) -> GraphProgram:
     """Lower a trained complex model into a photonic dataflow graph.
 
     Dispatches to the model's ``@register_model_lowering`` rule (the built-in
     families -- ComplexFCNN, ComplexLeNet5, ComplexResNet -- register theirs
     in :mod:`repro.models`); switches the model to eval mode so batch norms
-    fold their running statistics.  This is the lowering pass behind
-    :func:`repro.compile`.
+    fold their running statistics.  ``deploy_fn`` overrides the live batched
+    SVD deployment (see :meth:`LoweringContext.finalize`) -- the artifact
+    store's warm path serves precompiled matrices through it.  This is the
+    lowering pass behind :func:`repro.compile`.
     """
     # importing the zoo registers the built-in model and block rules; a
     # custom model only needs its own module imported (which constructing the
@@ -734,7 +754,8 @@ def lower_to_graph(model, method: str = "clements", backend: str = "auto",
     rule = _find_rule(_MODEL_RULES, model, "lower model")
     ctx = LoweringContext(method=method, backend=backend,
                           dense_dimension_limit=dense_dimension_limit,
-                          batch_unitaries=batch_unitaries)
+                          batch_unitaries=batch_unitaries,
+                          deploy_fn=deploy_fn)
     rule(model, ctx)
     return ctx.program()
 

@@ -297,9 +297,14 @@ def _materialize_dense_caches(stage: Any) -> None:
 
 
 def _effective_weight_t(stage: Any) -> np.ndarray:
-    """Pre-transposed effective matrix ``(scale * U @ diag(S) @ V).T``."""
-    weight = stage.layer.photonic_matrix.matrix()
-    return np.ascontiguousarray(np.swapaxes(weight, -1, -2))
+    """Pre-transposed effective matrix ``(scale * U @ diag(S) @ V).T``.
+
+    Delegates to the :class:`~repro.photonics.svd_mapping.PhotonicMatrix`
+    cache so repeated plan builds reuse one reconstruction -- and so the
+    artifact store can seed it with a memory-mapped precomputed copy that
+    warm plan builds pick up without touching the meshes at all.
+    """
+    return stage.layer.photonic_matrix.effective_weight_t()
 
 
 def _fuse_affine_nodes(nodes: List[GraphNode],

@@ -23,7 +23,7 @@ compiler amortizes deploying models with many same-size kernels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -61,6 +61,13 @@ class PhotonicMatrix:
     singular_values: np.ndarray
     scale: float
 
+    # cached pre-transposed effective matrix (see effective_weight_t); keyed
+    # by the mesh phase versions it was computed from
+    _weight_t_cache: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False)
+    _weight_t_versions: Optional[Tuple[int, int]] = field(
+        default=None, init=False, repr=False, compare=False)
+
     @property
     def mzi_count(self) -> int:
         """MZIs used by both meshes (matches the closed-form count)."""
@@ -86,6 +93,39 @@ class PhotonicMatrix:
         k = min(self.rows, self.cols)
         diag[np.arange(k), np.arange(k)] = self.singular_values
         return self.scale * (left @ diag @ right)
+
+    def effective_weight_t(self) -> np.ndarray:
+        """The pre-transposed effective matrix ``matrix().T``, cached.
+
+        This is exactly what the plan runtime bakes into a fused matmul
+        instruction (``states @ weight_t``), so it is cached here -- keyed by
+        the two meshes' phase versions -- instead of being reconstructed per
+        plan build.  The artifact store seeds the cache with a memory-mapped
+        copy on warm loads (:meth:`seed_effective_weight_t`), which is how N
+        serving replicas share one physical copy of every dense matrix.
+        """
+        versions = (self.left_mesh.phase_version, self.right_mesh.phase_version)
+        if self._weight_t_cache is None or self._weight_t_versions != versions:
+            weight = self.matrix()
+            self._weight_t_cache = np.ascontiguousarray(
+                np.swapaxes(weight, -1, -2))
+            self._weight_t_versions = versions
+        return self._weight_t_cache
+
+    def seed_effective_weight_t(self, weight_t: np.ndarray) -> None:
+        """Install a precomputed (possibly memory-mapped) effective matrix.
+
+        The seed is tied to the *current* mesh phase versions, so a later
+        in-place phase update still invalidates it exactly like a computed
+        cache entry.
+        """
+        if weight_t.shape[-2:] != (self.cols, self.rows):
+            raise ValueError(
+                f"effective matrix must have trailing shape "
+                f"({self.cols}, {self.rows}), got {weight_t.shape}")
+        self._weight_t_cache = weight_t
+        self._weight_t_versions = (self.left_mesh.phase_version,
+                                   self.right_mesh.phase_version)
 
     def apply(self, vector: np.ndarray) -> np.ndarray:
         """Propagate complex amplitudes through ``V*``, the attenuators and ``U``.
@@ -113,6 +153,23 @@ class PhotonicMatrix:
         states = self.left_mesh.apply(projected, out=projected)
         states *= self.scale
         return states[..., 0, :] if single else states
+
+
+#: weight matrices decomposed (SVD factoring + mesh nulling) by this process.
+#: The serving workers report it in their ready info, which is how the tests
+#: prove a warm artifact store performs *zero* decompositions across a spawn
+#: boundary (where monkeypatching cannot reach).
+_DECOMPOSITIONS = 0
+
+
+def decompositions_performed() -> int:
+    """How many weight matrices this process has decomposed onto meshes."""
+    return _DECOMPOSITIONS
+
+
+def _count_decompositions(count: int) -> None:
+    global _DECOMPOSITIONS
+    _DECOMPOSITIONS += count
 
 
 def _apply_mesh_policy(mesh: MeshDecomposition, backend: str,
@@ -210,6 +267,7 @@ def svd_decompose(weight: np.ndarray, method: str = "clements",
         :class:`~repro.photonics.mzi_mesh.MeshDecomposition`); the compiler
         threads these in from ``CompileOptions`` instead of module globals.
     """
+    _count_decompositions(1)
     (rows, cols), left, right, singular_values, scale = _svd_factors(weight, normalize)
     left_mesh = _apply_mesh_policy(decompose_unitary(left, method=method),
                                    backend, dense_dimension_limit)
@@ -246,6 +304,7 @@ def svd_decompose_many(weights: Sequence[np.ndarray], method: str = "clements",
     per-matrix decomposition path, same results).  The returned list is
     index-aligned with ``weights``.
     """
+    _count_decompositions(len(weights))
     factored = _svd_factors_many(weights, normalize)
     # group the unitaries of every weight by dimension: (weight index, side)
     groups: Dict[int, List[Tuple[int, int, np.ndarray]]] = {}

@@ -79,16 +79,25 @@ class ProgramCache:
     program is returned untouched.  Compilation happens outside the cache
     lock with a per-key in-flight marker: concurrent misses on the same key
     wait for one compile, while hits on other keys proceed unstalled.
+
+    With an :class:`~repro.store.ArtifactStore` attached, a memory miss
+    consults the store before decomposing anything (and populates it after a
+    live compile); :meth:`invalidate` then also bypasses *and rewrites* the
+    on-disk entry on the next compile, so a weight-changed redeploy cannot
+    resurrect a stale artifact from disk.
     """
 
-    def __init__(self, capacity: int = 8):
+    def __init__(self, capacity: int = 8, store: Optional[Any] = None):
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self.capacity = int(capacity)
+        self.store = store
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple, CompiledProgram]" = OrderedDict()
         self._lock = threading.RLock()
         self._inflight: dict = {}
+        self._refresh: set = set()          # keys whose next compile bypasses
+        self._store_keys: dict = {}         # cache key -> on-disk content key
 
     def __len__(self) -> int:
         with self._lock:
@@ -164,10 +173,19 @@ class ProgramCache:
                 # modules are callable, so only non-module callables are factories
                 module = (model() if callable(model) and not isinstance(model, Module)
                           else model)
-                program = compile_fn(module, target=target, options=options)
+                if self.store is not None:
+                    with self._lock:
+                        refresh = key in self._refresh
+                    program = compile_fn(module, target=target, options=options,
+                                         store=self.store, store_refresh=refresh)
+                else:
+                    program = compile_fn(module, target=target, options=options)
                 program.plan()
                 with self._lock:
                     self._insert_locked(key, program)
+                    self._refresh.discard(key)
+                    if getattr(program, "store_key", None):
+                        self._store_keys[key] = program.store_key
                 return program
             finally:
                 with self._lock:
@@ -180,12 +198,22 @@ class ProgramCache:
 
         Redeploying a model key whose *weights* changed must not hit the
         stale program -- the serving frontends call this before a
-        ``refresh`` deploy so the next ``get_or_compile`` recompiles.
+        ``refresh`` deploy so the next ``get_or_compile`` recompiles.  With
+        an artifact store attached the invalidation extends to disk: the
+        recorded on-disk entry is deleted and the next compile of this key
+        bypasses the store read and rewrites the entry from a live compile.
         """
         key = cache_key(model_key, target, options)
         with self._lock:
-            return self._entries.pop(key, None) is not None
+            existed = self._entries.pop(key, None) is not None
+            store_key = self._store_keys.pop(key, None)
+            if self.store is not None:
+                self._refresh.add(key)
+        if store_key is not None and self.store is not None:
+            self.store.delete(store_key)
+        return existed
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._store_keys.clear()

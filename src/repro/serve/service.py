@@ -39,11 +39,16 @@ class PhotonicInferenceService:
     max_batch, max_latency_s:
         Default flush policy handed to every model's batcher (overridable
         per :meth:`deploy`).
+    store:
+        Optional :class:`~repro.store.ArtifactStore` backing the program
+        cache: deploys hit warm precompiled entries instead of decomposing,
+        and ``deploy(refresh=True)`` bypasses and rewrites the on-disk
+        entry along with the in-memory one.
     """
 
     def __init__(self, cache_capacity: int = 8, max_batch: int = 64,
-                 max_latency_s: float = 0.002):
-        self.cache = ProgramCache(capacity=cache_capacity)
+                 max_latency_s: float = 0.002, store=None):
+        self.cache = ProgramCache(capacity=cache_capacity, store=store)
         self.max_batch = int(max_batch)
         self.max_latency_s = float(max_latency_s)
         self._batchers: Dict[str, DynamicBatcher] = {}

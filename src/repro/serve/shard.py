@@ -249,6 +249,9 @@ class _ModelLane:
             pending, rejected = self.pending_samples, self.rejected
             per_replica = {replica.name: {"outstanding": replica.outstanding,
                                           "pid": replica.ready.get("pid"),
+                                          "decompositions":
+                                              replica.ready.get("decompositions"),
+                                          "store": replica.ready.get("store"),
                                           **replica.batcher.stats.as_dict()}
                            for replica in self.replicas}
         return {"replicas": per_replica, "pending_samples": pending,
@@ -284,12 +287,19 @@ class ShardedInferenceService:
     context:
         Multiprocessing start method; ``"spawn"`` (the default) is the only
         one the workers are audited for.
+    store_path:
+        Optional path of an ahead-of-time compilation artifact store
+        (:mod:`repro.store`).  Every spawned worker opens it: warm entries
+        turn replica cold-start into a memory-mapped lookup, and all
+        replicas on the host share one physical copy of the mapped dense
+        matrices through the page cache.
     """
 
     def __init__(self, workers: int = 2, max_batch: int = 64,
                  max_latency_s: float = 0.002,
                  max_queue_samples: Optional[int] = None,
-                 start_timeout_s: float = 120.0, context: str = "spawn"):
+                 start_timeout_s: float = 120.0, context: str = "spawn",
+                 store_path: Optional[str] = None):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = int(workers)
@@ -297,6 +307,7 @@ class ShardedInferenceService:
         self.max_latency_s = float(max_latency_s)
         self.max_queue_samples = max_queue_samples
         self.start_timeout_s = float(start_timeout_s)
+        self.store_path = None if store_path is None else str(store_path)
         self._context = multiprocessing.get_context(context)
         self._lanes: Dict[str, _ModelLane] = {}
         self._lock = threading.Lock()
@@ -347,6 +358,8 @@ class ShardedInferenceService:
         return {"model_key": model_key, "replicas": len(lane.replicas),
                 "num_classes": lane.replicas[0].ready.get("num_classes"),
                 "pids": [replica.ready.get("pid") for replica in lane.replicas],
+                "decompositions": [replica.ready.get("decompositions")
+                                   for replica in lane.replicas],
                 "slabs": lane.ring.names}
 
     def _build_lane(self, model_key: str, model: Any, scheme: Any,
@@ -357,7 +370,8 @@ class ShardedInferenceService:
             raise ValueError("replicas must be at least 1")
         scheme_name = _scheme_name(scheme)
         spec = WorkerSpec(model_key=model_key, model=model, scheme=scheme_name,
-                          image_shape=image_shape, target=target, options=options)
+                          image_shape=image_shape, target=target, options=options,
+                          store_path=self.store_path)
         pool = [_Replica(f"{model_key}:r{index}", self._context, spec)
                 for index in range(replicas)]
         try:
@@ -467,7 +481,8 @@ def run_shard_benchmark(model: Any, scheme: Any, image_shape: Sequence[int],
                         requests: int = 96, clients: int = 8,
                         images_per_request: int = 4, max_batch: int = 32,
                         max_latency_s: float = 0.002, seed: int = 0,
-                        warmup_requests: int = 8) -> List[ShardBenchRow]:
+                        warmup_requests: int = 8,
+                        store_path: Optional[str] = None) -> List[ShardBenchRow]:
     """Fire one request wave per worker count and pin parity per request.
 
     The expected logits come from the in-process
@@ -493,7 +508,8 @@ def run_shard_benchmark(model: Any, scheme: Any, image_shape: Sequence[int],
     rows: List[ShardBenchRow] = []
     for workers in worker_counts:
         with ShardedInferenceService(workers=int(workers), max_batch=max_batch,
-                                     max_latency_s=max_latency_s) as service:
+                                     max_latency_s=max_latency_s,
+                                     store_path=store_path) as service:
             service.deploy("bench", model, scheme, image_shape)
             for index in range(min(warmup_requests, requests)):
                 service.logits("bench", pool[index])

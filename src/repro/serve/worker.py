@@ -47,6 +47,11 @@ class WorkerSpec:
     returning one.  The assignment scheme crosses as its registry *name* and
     is rebuilt worker-side, and compilation policy crosses as the frozen
     :class:`HardwareTarget` / :class:`CompileOptions` dataclasses.
+    ``store_path`` (optional) points at an ahead-of-time compilation
+    artifact store: a warm entry turns the replica's rebuild into a
+    memory-mapped lookup instead of a full re-decomposition, and the mapped
+    dense matrices are shared by every replica on the host through the page
+    cache.
     """
 
     model_key: str
@@ -55,16 +60,23 @@ class WorkerSpec:
     image_shape: Tuple[int, ...]
     target: Optional[HardwareTarget] = None
     options: Optional[CompileOptions] = None
+    store_path: Optional[str] = None
 
 
 def worker_main(spec: WorkerSpec, requests, responses) -> None:
     """Entry point of one replica process (see the module protocol table)."""
     try:
         from repro.assignment import get_scheme
+        from repro.photonics.svd_mapping import decompositions_performed
         from repro.serve.cache import ProgramCache
 
         scheme = get_scheme(spec.scheme)
-        cache = ProgramCache(capacity=2)
+        store = None
+        if spec.store_path is not None:
+            from repro.store import ArtifactStore
+
+            store = ArtifactStore(spec.store_path)
+        cache = ProgramCache(capacity=2, store=store)
         # get_or_compile warms the execution plan, so the first request does
         # not pay plan compilation
         program = cache.get_or_compile(spec.model_key, spec.model,
@@ -79,6 +91,10 @@ def worker_main(spec: WorkerSpec, requests, responses) -> None:
             # the maximum across replicas
             "elements_per_sample": int(logits.size),
             "cache": cache.stats.as_dict(),
+            # weight matrices this process decomposed during startup -- zero
+            # when a warm artifact store served the whole program
+            "decompositions": decompositions_performed(),
+            "store": None if store is None else store.stats.as_dict(),
         }))
     except BaseException:  # noqa: BLE001 -- startup failure crosses as text
         responses.put(("failed", traceback.format_exc()))

@@ -1,0 +1,393 @@
+"""Content-addressed on-disk store of compiled-program artifacts.
+
+Decomposition is the expensive pure step of the whole pipeline -- mesh
+phases are a deterministic function of ``(weights, method)`` -- so the
+store persists exactly that step's output: per deployed weight matrix, the
+structure-of-arrays phases of both SVD meshes plus the singular values as
+one NPZ payload, and (where the execution policy runs dense) the dense
+transfer matrices as separate raw ``.npy`` files so readers can map them
+with ``np.load(..., mmap_mode="r")`` -- N serving replicas on a host then
+share one physical page-cache copy of every dense matrix instead of N
+private allocations.  (``.npy`` beside the zip rather than inside it:
+memory mapping does not reach through an NPZ container.)
+
+Entries live at ``root/<key[:2]>/<key>/`` with a validated
+``manifest.json`` beside the payloads (:mod:`repro.store.manifest`).
+Publication is atomic: the entry is assembled in a sibling ``*.tmp``
+directory and ``os.replace``-d into place, so concurrent writers race
+cleanly (one rename wins, the loser discards its tmp) and a crashed writer
+never leaves a torn entry -- exactly the tmp-then-replace idiom of the
+serving tables this repo's ROADMAP points at.  Every read-side failure --
+truncated zip, bit-flipped payload, wrong schema version, shape mismatch
+-- degrades to a logged miss: the entry is quarantined (or deleted when
+quarantining fails) and the caller falls through to live compilation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import os
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.compile import CompileOptions, HardwareTarget
+from repro.photonics.area import mzi_count_matrix
+from repro.photonics.mzi_mesh import MeshDecomposition
+from repro.photonics.svd_mapping import PhotonicMatrix
+from repro.store.errors import ArtifactError, ArtifactMismatchError, StoreKeyError
+from repro.store.hashing import file_sha256, policy_document, store_key
+from repro.store.manifest import (
+    DENSE_DIR,
+    MANIFEST_NAME,
+    PAYLOAD_NAME,
+    build_manifest,
+    validate_manifest,
+)
+
+logger = logging.getLogger("repro.store")
+
+#: per-process counter making concurrent tmp directories of one pid unique
+_TMP_COUNTER = itertools.count()
+
+
+@dataclass
+class StoreStats:
+    """Read/write outcomes of one :class:`ArtifactStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    saves: int = 0
+    corrupt: int = 0            # entries quarantined/deleted on a failed read
+    errors: int = 0             # failed writes (read-only store, full disk)
+    deletes: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "saves": self.saves,
+                "corrupt": self.corrupt, "errors": self.errors,
+                "deletes": self.deletes}
+
+
+def _frozen_loaded(array: np.ndarray) -> np.ndarray:
+    """Mark a freshly loaded array read-only so mesh construction aliases it."""
+    array.flags.writeable = False
+    return array
+
+
+class StoredArtifact:
+    """One loaded entry: the deployed matrices, ready to stand in for SVD.
+
+    :meth:`deploy_fn` returns a drop-in replacement for the live
+    ``svd_decompose_many`` call at the lowering seam: it serves the stored
+    :class:`~repro.photonics.svd_mapping.PhotonicMatrix` objects positionally
+    (deployment order is the deterministic rule-walk order the entry was
+    captured in), validating each against the weight it is asked to stand in
+    for.  A disagreement raises
+    :class:`~repro.store.errors.ArtifactMismatchError`, which the compile
+    seam turns into quarantine + live recompilation.
+    """
+
+    def __init__(self, key: str, matrices: List[PhotonicMatrix]):
+        self.key = key
+        self.matrices = matrices
+
+    def deploy_fn(self) -> Callable[[Sequence[np.ndarray]], List[PhotonicMatrix]]:
+        cursor = [0]
+
+        def deploy(weights: Sequence[np.ndarray]) -> List[PhotonicMatrix]:
+            start = cursor[0]
+            if start + len(weights) > len(self.matrices):
+                raise ArtifactMismatchError(
+                    f"entry {self.key[:12]} holds {len(self.matrices)} matrices "
+                    f"but the model deploys more")
+            served = self.matrices[start:start + len(weights)]
+            for position, (weight, matrix) in enumerate(zip(weights, served)):
+                shape = np.asarray(weight).shape
+                if shape != (matrix.rows, matrix.cols):
+                    raise ArtifactMismatchError(
+                        f"entry {self.key[:12]} matrix {start + position} is "
+                        f"{matrix.rows}x{matrix.cols} but the model deploys "
+                        f"a {shape} weight")
+            cursor[0] += len(weights)
+            return list(served)
+
+        return deploy
+
+
+class ArtifactStore:
+    """A content-addressed directory of precompiled decomposition artifacts.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created lazily on the first save.
+    readonly:
+        Never write (no population on miss, no quarantine renames that
+        would modify the tree).  A store on read-only media also degrades
+        to this behaviour automatically -- every failed write is counted
+        in :attr:`stats` and logged, never raised to the compile seam.
+    """
+
+    def __init__(self, root, readonly: bool = False):
+        self.root = Path(root)
+        self.readonly = bool(readonly)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    # keys and paths
+    # ------------------------------------------------------------------ #
+    def key_for(self, model: Any, target: Optional[HardwareTarget] = None,
+                options: Optional[CompileOptions] = None) -> str:
+        """Content key of one deployment; raises :class:`StoreKeyError` when
+        the target has no canonical form (live noise models)."""
+        target = HardwareTarget() if target is None else target
+        options = CompileOptions() if options is None else options
+        return store_key(model, target, options)
+
+    def try_key_for(self, model: Any, target: Optional[HardwareTarget] = None,
+                    options: Optional[CompileOptions] = None) -> Optional[str]:
+        """:meth:`key_for`, with unhashable targets mapped to ``None``."""
+        try:
+            return self.key_for(model, target, options)
+        except StoreKeyError:
+            return None
+
+    def entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    def has(self, key: str) -> bool:
+        return (self.entry_path(key) / MANIFEST_NAME).is_file()
+
+    __contains__ = has
+
+    def keys(self) -> List[str]:
+        """Keys of every published entry under the root."""
+        if not self.root.is_dir():
+            return []
+        return sorted(entry.parent.name
+                      for entry in self.root.glob(f"??/*/{MANIFEST_NAME}"))
+
+    # ------------------------------------------------------------------ #
+    # read path
+    # ------------------------------------------------------------------ #
+    def load(self, key: str,
+             options: Optional[CompileOptions] = None) -> Optional[StoredArtifact]:
+        """The entry for ``key``, or ``None`` (miss or quarantined corruption).
+
+        Validates the manifest and the size + SHA-256 of every payload file
+        before deserializing anything, then rebuilds the
+        :class:`PhotonicMatrix` objects with ``options``'s execution policy
+        stamped on (the policy is part of the key, so it always agrees with
+        what the entry was compiled under).  Dense transfer matrices are
+        attached via ``np.load(..., mmap_mode="r")``.
+        """
+        options = CompileOptions() if options is None else options
+        entry = self.entry_path(key)
+        if not (entry / MANIFEST_NAME).is_file():
+            self.stats.misses += 1
+            return None
+        try:
+            with open(entry / MANIFEST_NAME, "r", encoding="utf-8") as handle:
+                manifest = validate_manifest(json.load(handle), expected_key=key)
+            for name, meta in manifest["files"].items():
+                path = entry / name
+                size = path.stat().st_size
+                if size != int(meta["bytes"]):
+                    raise ArtifactError(f"{name} is {size} bytes, "
+                                        f"manifest says {meta['bytes']}")
+                if file_sha256(path) != meta["sha256"]:
+                    raise ArtifactError(f"{name} fails its SHA-256 digest")
+            with np.load(entry / PAYLOAD_NAME, allow_pickle=False) as payload:
+                matrices = [self._build_matrix(entry, payload, index, record, options)
+                            for index, record in enumerate(manifest["matrices"])]
+        except Exception as error:  # noqa: BLE001 -- any damage means "miss"
+            logger.warning("store entry %s is unusable (%s); quarantining and "
+                           "falling back to live compilation", key[:12], error)
+            self.stats.corrupt += 1
+            self.quarantine(key)
+            return None
+        self.stats.hits += 1
+        return StoredArtifact(key, matrices)
+
+    def _build_matrix(self, entry: Path, payload, index: int,
+                      record: Dict[str, Any],
+                      options: CompileOptions) -> PhotonicMatrix:
+        rows, cols = int(record["rows"]), int(record["cols"])
+        meshes = {}
+        for side, tag in (("left", "L"), ("right", "R")):
+            dimension = int(record[side]["dimension"])
+            mesh = MeshDecomposition(
+                dimension=dimension, method=str(record["method"]),
+                modes=_frozen_loaded(payload[f"w{index}.{tag}.modes"]),
+                thetas=_frozen_loaded(payload[f"w{index}.{tag}.thetas"]),
+                phis=_frozen_loaded(payload[f"w{index}.{tag}.phis"]),
+                output_phases=_frozen_loaded(payload[f"w{index}.{tag}.out"]),
+                backend=options.backend,
+                dense_dimension_limit=options.dense_dimension_limit)
+            if mesh.mzi_count != int(record[side]["mzi_count"]):
+                raise ArtifactError(f"matrix {index} {side} mesh has "
+                                    f"{mesh.mzi_count} MZIs, manifest says "
+                                    f"{record[side]['mzi_count']}")
+            meshes[side] = mesh
+        singular_values = _frozen_loaded(payload[f"w{index}.sv"])
+        if singular_values.shape != (min(rows, cols),):
+            raise ArtifactError(f"matrix {index} has {singular_values.shape} "
+                                f"singular values for a {rows}x{cols} weight")
+        matrix = PhotonicMatrix(
+            rows=rows, cols=cols, left_mesh=meshes["left"],
+            right_mesh=meshes["right"], singular_values=singular_values,
+            scale=float(record["scale"]))
+        if matrix.mzi_count != mzi_count_matrix(rows, cols) - min(rows, cols):
+            raise ArtifactError(f"matrix {index} MZI count disagrees with the "
+                                "closed form for its shape")
+        self._attach_dense(entry, matrix, record.get("dense") or {})
+        return matrix
+
+    def _attach_dense(self, entry: Path, matrix: PhotonicMatrix,
+                      dense: Dict[str, str]) -> None:
+        """Memory-map stored dense matrices into the caches the runtime reads.
+
+        Seeding is policy-checked against the *reconstructed* meshes: a
+        payload the current dense/column crossover would not use is simply
+        skipped (the phases alone are always sufficient), so a process
+        default differing from the writer's can never execute a wrong path.
+        """
+        left, right = matrix.left_mesh, matrix.right_mesh
+        if "eff" in dense and left.uses_dense_path() and right.uses_dense_path():
+            mapped = np.load(entry / dense["eff"], mmap_mode="r")
+            if mapped.shape != (matrix.cols, matrix.rows):
+                raise ArtifactError("effective dense matrix has shape "
+                                    f"{mapped.shape} for a {matrix.rows}x"
+                                    f"{matrix.cols} weight")
+            matrix.seed_effective_weight_t(mapped)
+        for side, mesh in (("left", left), ("right", right)):
+            if side in dense and mesh.uses_dense_path():
+                mapped = np.load(entry / dense[side], mmap_mode="r")
+                if mapped.shape != (mesh.dimension, mesh.dimension):
+                    raise ArtifactError(f"{side} dense matrix has shape "
+                                        f"{mapped.shape} for dimension "
+                                        f"{mesh.dimension}")
+                mesh._dense_cache[0.0] = mapped
+
+    # ------------------------------------------------------------------ #
+    # write path
+    # ------------------------------------------------------------------ #
+    def save(self, key: str, matrices: Sequence[PhotonicMatrix], model: Any,
+             target: HardwareTarget, options: CompileOptions) -> bool:
+        """Publish one entry atomically; returns whether the key is now stored.
+
+        The entry is assembled in a sibling ``<key>.<pid>-<n>.tmp`` directory
+        and ``os.replace``-d into place.  Losing the rename race to a
+        concurrent writer counts as success (the other writer published the
+        identical content-addressed entry); any OS-level failure (read-only
+        store, full disk) is logged and counted, never raised.
+        """
+        if self.readonly:
+            return False
+        entry = self.entry_path(key)
+        tmp = entry.with_name(f"{key}.{os.getpid()}-{next(_TMP_COUNTER)}.tmp")
+        try:
+            (tmp / DENSE_DIR).mkdir(parents=True)
+            payload: Dict[str, np.ndarray] = {}
+            records: List[Dict[str, Any]] = []
+            dense_files: List[str] = []
+            for index, matrix in enumerate(matrices):
+                records.append(self._write_matrix(tmp, payload, dense_files,
+                                                  index, matrix))
+            np.savez(tmp / PAYLOAD_NAME, **payload)
+            if not dense_files:
+                (tmp / DENSE_DIR).rmdir()
+            files = {name: {"bytes": (tmp / name).stat().st_size,
+                            "sha256": file_sha256(tmp / name)}
+                     for name in [PAYLOAD_NAME, *dense_files]}
+            from repro import __version__
+            manifest = build_manifest(
+                key=key, repro_version=__version__,
+                target_doc=policy_document(target),
+                options_doc=policy_document(options),
+                model_doc={"class": type(model).__name__,
+                           "arrays": len(model.state_dict())},
+                matrices=records, files=files)
+            with open(tmp / MANIFEST_NAME, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+            try:
+                os.replace(tmp, entry)
+            except OSError:
+                # a concurrent writer published the same content first; its
+                # entry is identical by construction, so losing the rename
+                # race is success -- just discard our duplicate
+                if not self.has(key):
+                    raise
+                shutil.rmtree(tmp, ignore_errors=True)
+            self.stats.saves += 1
+            return True
+        except OSError as error:
+            logger.warning("could not publish store entry %s (%s); continuing "
+                           "without persisting", key[:12], error)
+            self.stats.errors += 1
+            shutil.rmtree(tmp, ignore_errors=True)
+            return False
+
+    def _write_matrix(self, tmp: Path, payload: Dict[str, np.ndarray],
+                      dense_files: List[str], index: int,
+                      matrix: PhotonicMatrix) -> Dict[str, Any]:
+        """Stage one matrix's arrays into the payload dict + dense files."""
+        record: Dict[str, Any] = {
+            "rows": matrix.rows, "cols": matrix.cols,
+            "scale": float(matrix.scale), "method": matrix.left_mesh.method,
+            "dense": {},
+        }
+        payload[f"w{index}.sv"] = matrix.singular_values
+        for side, tag, mesh in (("left", "L", matrix.left_mesh),
+                                ("right", "R", matrix.right_mesh)):
+            record[side] = {"dimension": mesh.dimension,
+                            "mzi_count": mesh.mzi_count}
+            payload[f"w{index}.{tag}.modes"] = mesh.modes
+            payload[f"w{index}.{tag}.thetas"] = mesh.thetas
+            payload[f"w{index}.{tag}.phis"] = mesh.phis
+            payload[f"w{index}.{tag}.out"] = mesh.output_phases
+        left, right = matrix.left_mesh, matrix.right_mesh
+        if left.uses_dense_path() and right.uses_dense_path():
+            # the plan runtime fuses this stage into one effective matmul;
+            # store that exact matrix so warm loads skip the reconstruction
+            name = f"{DENSE_DIR}/w{index}.eff.npy"
+            np.save(tmp / name, matrix.effective_weight_t())
+            record["dense"]["eff"] = name
+        else:
+            for side, mesh in (("left", left), ("right", right)):
+                if mesh.uses_dense_path():
+                    name = f"{DENSE_DIR}/w{index}.{side}.npy"
+                    np.save(tmp / name, mesh._dense_matrix(0.0))
+                    record["dense"][side] = name
+        dense_files.extend(record["dense"].values())
+        return record
+
+    # ------------------------------------------------------------------ #
+    # removal
+    # ------------------------------------------------------------------ #
+    def delete(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed.  Never raises."""
+        entry = self.entry_path(key)
+        existed = entry.is_dir()
+        if existed and not self.readonly:
+            shutil.rmtree(entry, ignore_errors=True)
+            self.stats.deletes += 1
+        return existed
+
+    def quarantine(self, key: str) -> None:
+        """Move a damaged entry out of the addressable tree (or delete it)."""
+        entry = self.entry_path(key)
+        if not entry.exists() or self.readonly:
+            return
+        target = (self.root / ".quarantine"
+                  / f"{key}.{os.getpid()}-{next(_TMP_COUNTER)}")
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(entry, target)
+        except OSError:
+            shutil.rmtree(entry, ignore_errors=True)

@@ -55,3 +55,18 @@ class TestExecution:
     def test_fig9_smoke_single_workload(self, capsys):
         assert main(["fig9", "--preset", "smoke", "--workloads", "fcnn"]) == 0
         assert "decoder" in capsys.readouterr().out.lower()
+
+    def test_precompile_populates_then_warm_hits(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        argv = ["precompile", "--store", str(store), "--preset", "smoke",
+                "--workloads", "fcnn"]
+        assert main(argv) == 0
+        assert "compiled + stored" in capsys.readouterr().out
+        # the second build of the identical deployment comes off the store
+        assert main(argv) == 0
+        assert "warm hit" in capsys.readouterr().out
+        output_path = tmp_path / "precompile.json"
+        assert main(argv + ["--refresh", "--output", str(output_path)]) == 0
+        assert "rewritten" in capsys.readouterr().out
+        report = json.loads(output_path.read_text())
+        assert report["stats"]["saves"] == 1 and report["stats"]["deletes"] == 1
