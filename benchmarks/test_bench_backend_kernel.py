@@ -1,0 +1,164 @@
+"""Micro-benchmarks of the native ``cchain`` backend vs the numpy paths.
+
+Records to ``benchmarks/results/backend_kernel.json``:
+
+* **Propagation** -- the compiled C rotation-chain walk
+  (:func:`repro.photonics.engine.native_propagate`) against the vectorized
+  numpy column program on the same mesh/batch, per dimension.
+* **Clements chain decomposition** -- the native scalar nulling chain
+  against the pure-numpy chain, single-matrix and stacked.  The two-matrix
+  stack is the headline row: it is exactly the case the per-backend
+  ``STACK_THRESHOLDS`` axis moved from "not worth batching" (numpy needs
+  three matrices) to "batch it" (the C stack kernel pays off at two), and
+  CI pins a conservative 1.5x floor on it.
+
+Without a C toolchain every test here auto-skips with a logged reason and
+the JSON records ``skip_reason`` instead of timings, so the artifact always
+says *why* numbers are absent.  All timed paths are parity-pinned to the
+numpy reference at 1e-10 before any floor is asserted.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import save_json
+from repro.photonics import _native, engine
+from repro.photonics.mzi_mesh import clements_decompose, clements_decompose_stack
+from repro.photonics.svd_mapping import stack_threshold
+
+logger = logging.getLogger("repro.benchmarks.backend_kernel")
+
+PARITY = 1e-10
+
+_results: dict = {
+    "native_kernel": None,
+    "skip_reason": None,
+    "propagate": [],
+    "clements_chain": [],
+}
+
+
+def bench_preset_name() -> str:
+    return os.environ.get("REPRO_BENCH_PRESET", "bench")
+
+
+def _save(results_dir) -> None:
+    _results["native_kernel"] = _native.build_info()
+    save_json(_results, results_dir / "backend_kernel.json")
+
+
+def _require_kernel(results_dir):
+    """Skip (with a recorded reason) when the native kernel is unavailable."""
+    if _native.kernel() is not None:
+        return
+    if _native.force_reference_enabled():
+        reason = "disabled by REPRO_FORCE_REFERENCE"
+    else:
+        reason = _native.load_error() or "kernel not loaded"
+    _results["skip_reason"] = reason
+    _save(results_dir)
+    logger.warning("skipping native backend benchmark: %s", reason)
+    pytest.skip(f"native cchain kernel unavailable: {reason}")
+
+
+def _random_unitary(dim: int, rng) -> np.ndarray:
+    gaussian = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(gaussian)
+    return q * (np.diagonal(r) / np.abs(np.diagonal(r)))
+
+
+def test_native_propagate_vs_column_program(best_of, results_dir):
+    _require_kernel(results_dir)
+    dims = (16, 32) if bench_preset_name() == "smoke" else (16, 32, 64, 128)
+    batch = 32
+    rng = np.random.default_rng(0)
+    for dim in dims:
+        mesh = clements_decompose(_random_unitary(dim, rng))
+        program = mesh.compiled()
+        states = rng.normal(size=(batch, dim)) + 1j * rng.normal(size=(batch, dim))
+        native = engine.native_propagate(mesh.modes, states, mesh.thetas,
+                                         mesh.phis, mesh.output_phases)
+        column = engine.propagate(program, states, mesh.thetas, mesh.phis,
+                                  mesh.output_phases)
+        parity = float(np.abs(native - column).max())
+        assert parity <= PARITY
+        native_seconds = best_of(
+            lambda: engine.native_propagate(mesh.modes, states, mesh.thetas,
+                                            mesh.phis, mesh.output_phases),
+            repeats=5)
+        column_seconds = best_of(
+            lambda: engine.propagate(program, states, mesh.thetas, mesh.phis,
+                                     mesh.output_phases),
+            repeats=5)
+        _results["propagate"].append({
+            "dimension": dim, "batch": batch,
+            "native_seconds": native_seconds,
+            "column_seconds": column_seconds,
+            "speedup": column_seconds / native_seconds,
+            "parity": parity,
+        })
+    _save(results_dir)
+    # the C walk must not lose badly to the vectorized column program
+    # anywhere; where it wins is machine-dependent and recorded, not pinned
+    assert all(row["speedup"] >= 0.5 for row in _results["propagate"])
+
+
+@pytest.mark.parametrize("stack_size", [1, 2, 4])
+def test_clements_chain_vs_numpy(best_of, results_dir, stack_size):
+    """Native Clements nulling chain vs the pure-numpy scalar chain.
+
+    ``stack_size == 2`` is the CI-pinned row: the two-matrix stacked
+    decomposition through the C kernel must be at least 1.5x faster than
+    the pure-numpy chain over the same matrices -- that gap is what
+    justifies the clements ``cchain`` stack threshold of 2.
+    """
+    _require_kernel(results_dir)
+    dimension = 16 if bench_preset_name() == "smoke" else 32
+    rng = np.random.default_rng(stack_size)
+    stack = np.stack([_random_unitary(dimension, rng) for _ in range(stack_size)])
+
+    def decompose_native():
+        if stack_size == 1:
+            return [clements_decompose(stack[0])]
+        return clements_decompose_stack(stack)
+
+    def decompose_numpy():
+        with pytest.MonkeyPatch.context() as patch:
+            patch.setenv("REPRO_FORCE_REFERENCE", "1")
+            if stack_size == 1:
+                return [clements_decompose(stack[0])]
+            return clements_decompose_stack(stack)
+
+    native_meshes = decompose_native()
+    numpy_meshes = decompose_numpy()
+    parity = max(
+        max(float(np.abs(a.thetas - b.thetas).max()),
+            float(np.abs(a.phis - b.phis).max()),
+            float(np.abs(a.output_phases - b.output_phases).max()),
+            float(np.abs(a.reconstruct() - unitary).max()))
+        for a, b, unitary in zip(native_meshes, numpy_meshes, stack))
+    assert parity <= PARITY
+
+    native_seconds = best_of(decompose_native, repeats=5)
+    numpy_seconds = best_of(decompose_numpy, repeats=5)
+    speedup = numpy_seconds / native_seconds
+    _results["clements_chain"].append({
+        "dimension": dimension, "stack_size": stack_size,
+        "native_seconds": native_seconds,
+        "numpy_seconds": numpy_seconds,
+        "speedup": speedup,
+        "parity": parity,
+        "configured_stack_threshold": stack_threshold("clements"),
+    })
+    _save(results_dir)
+    if stack_size == 2:
+        # the CI floor of the issue: two-matrix Clements stack through the
+        # kernel vs the pure-numpy chain (measured well above this; the
+        # floor leaves room for shared-runner noise)
+        assert speedup >= 1.5, (
+            f"two-matrix Clements stack only {speedup:.2f}x over numpy")

@@ -65,6 +65,7 @@ class ThresholdBenchRow:
     batched_seconds: float
     speedup: float
     configured_threshold: int
+    chain_backend: str = "numpy"    # which scalar-chain kernel the run used
 
 
 _results: dict = {"stack_decomposition": [], "stack_threshold": [],
@@ -121,18 +122,22 @@ def test_stack_threshold_crossover(best_of, method, results_dir):
     """Re-measure the per-method stack/per-matrix crossover at small stacks.
 
     The ``STACK_THRESHOLDS`` defaults are picked from exactly this
-    measurement: the smallest stack size whose batched decomposition does not
-    lose to the per-matrix loop.  The fused small-array kernel
+    measurement, per chain backend: the smallest stack size whose batched
+    decomposition does not lose to the per-matrix loop.  On the pure-numpy
+    chain the fused small-array kernel
     (:func:`repro.photonics.engine.nulling_rotation_blocks`, one solve + one
     batched 2x2 matmul per Clements chain step) moved the Clements crossover
-    from four matrices to three; Reck wins from two.  The batched path must
-    be at (or above) break-even at the configured threshold -- asserted with
-    headroom for shared-runner noise.
+    from four matrices to three; with the native ``cchain`` kernel the
+    per-matrix loop gets faster too, but the stacked C pass amortizes its
+    call overhead already at two matrices.  Reck wins from two either way.
+    The batched path must be at (or above) break-even at the configured
+    threshold -- asserted with headroom for shared-runner noise.
     """
-    from repro.photonics.svd_mapping import STACK_THRESHOLDS
+    from repro.photonics.svd_mapping import chain_backend, stack_threshold
 
     dimension = 16 if bench_preset_name() == "smoke" else 32
-    threshold = STACK_THRESHOLDS[method]
+    backend = chain_backend()
+    threshold = stack_threshold(method, backend=backend)
     rng = np.random.default_rng(1)
     for stack_size in (2, 3, 4):
         stack = np.stack([random_unitary(dimension, rng) for _ in range(stack_size)])
@@ -148,7 +153,8 @@ def test_stack_threshold_crossover(best_of, method, results_dir):
         _results["stack_threshold"].append(ThresholdBenchRow(
             dimension=dimension, stack_size=stack_size, method=method,
             per_matrix_seconds=per_matrix_seconds, batched_seconds=batched_seconds,
-            speedup=speedup, configured_threshold=threshold))
+            speedup=speedup, configured_threshold=threshold,
+            chain_backend=backend))
     _save(results_dir)
 
 

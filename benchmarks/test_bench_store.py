@@ -8,10 +8,14 @@ program-build time for the three deployable model families to
   compile of the same weights to <= 1e-12 (the stored phases and dense
   matrices are the float64 arrays the live compile produced, so the warm
   path is bit-identical by construction; asserted for every model).
-* **Speedup** -- on the largest model (the ResNet) the warm build must be at
-  least 10x faster than the live build.  Warm builds replace SVD factoring
-  and Reck/Clements mesh decomposition with a digest-checked manifest read
-  plus ``np.load``, so the measured margin is far above this CI floor.
+* **Speedup** -- on the largest model (the ResNet) the warm build must beat
+  the live build by a floor that depends on how fast the live build is:
+  10x against the pure-numpy decomposition chain, 3x when the native
+  ``cchain`` kernel is loaded (the kernel cut live decomposition several-x,
+  shrinking -- but not closing -- the warm-store advantage).  Warm builds
+  replace SVD factoring and Reck/Clements mesh decomposition with a
+  digest-checked manifest read plus ``np.load``, so the measured margin is
+  above the active floor either way.
 
 A final hygiene check asserts the store directory holds no orphaned
 ``*.tmp`` writer directories and no quarantined entries after the sweep --
@@ -33,9 +37,21 @@ from repro.models import ComplexFCNN, ComplexLeNet5, ComplexResNet
 from repro.store import ArtifactStore
 
 PARITY = 1e-12
-WARM_SPEEDUP_FLOOR = 10.0    # CI floor on the largest model (measured far above)
 MODELS = ("fcnn", "lenet5", "resnet")
 LARGEST = "resnet"
+
+
+def warm_speedup_floor() -> float:
+    """CI floor on the largest model (measured far above either value).
+
+    The live-build baseline depends on which decomposition chain runs: the
+    native cchain kernel makes live compiles several-x faster, so the
+    warm-store advantage is structurally smaller (though still real --
+    a warm build does no decomposition at all).
+    """
+    from repro.photonics import _native
+
+    return 3.0 if _native.kernel() is not None else 10.0
 
 
 def bench_preset_name() -> str:
@@ -133,9 +149,12 @@ def test_store_cold_vs_warm_build(best_of, results_dir, tmp_path):
             warm_speedup=live_seconds / warm_seconds,
             max_parity=max_parity, store=store.stats.as_dict())))
 
+    from repro.photonics import _native
+
     _results["preset"] = bench_preset_name()
     _results["parity_bound"] = PARITY
-    _results["warm_speedup_floor"] = WARM_SPEEDUP_FLOOR
+    _results["warm_speedup_floor"] = warm_speedup_floor()
+    _results["native_kernel"] = _native.kernel() is not None
     save_json(_results, results_dir / "store.json")
     # publication hygiene: no torn/orphaned writer directories, nothing
     # quarantined -- every entry in the tree is addressable and valid
@@ -147,4 +166,4 @@ def test_warm_speedup_floor_on_largest_model():
     rows = {row["model"]: row for row in _results["rows"]}
     assert rows, "the cold-vs-warm sweep must run first"
     row = rows[LARGEST]
-    assert row["warm_speedup"] >= WARM_SPEEDUP_FLOOR, row
+    assert row["warm_speedup"] >= warm_speedup_floor(), row

@@ -14,6 +14,8 @@ Examples
     python -m repro serve --workload fcnn --workers 1 2 4   # sharded service
     python -m repro precompile --store ./store --workloads fcnn lenet5
     python -m repro serve --workload fcnn --store ./store   # warm cold-start
+    python -m repro backends --calibrate    # native kernel state + crossovers
+    python -m repro store prune ./store --max-entries 64 --max-age-days 30
 
 Each subcommand prints the same rows/series the paper reports and optionally
 saves them as JSON with ``--output``.
@@ -26,6 +28,9 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.experiments.reporting import format_table, percent, save_json
+
+# mirrors MeshDecomposition.BACKENDS without importing numpy at parse time
+_BACKEND_CHOICES = ("auto", "dense", "column", "cchain")
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -273,6 +278,80 @@ def _run_precompile(args: argparse.Namespace) -> None:
                  "rows": table}, args.output)
 
 
+def _run_backends(args: argparse.Namespace) -> None:
+    """List mesh execution backends, native-kernel build state, crossovers."""
+    from repro.photonics import _native, engine
+    from repro.photonics.mzi_mesh import MeshDecomposition
+    from repro.photonics.svd_mapping import chain_backend, stack_threshold
+
+    kernel = _native.kernel()
+    info = _native.build_info()
+    rows = [
+        ["dense", "yes", "cached unitary matmul (small meshes)"],
+        ["column", "yes", "vectorized numpy column program (reference)"],
+        ["cchain", "yes" if kernel is not None else "no",
+         "compiled C rotation-chain kernel"],
+        ["auto", "yes", "dense below limit, then cchain, then column"],
+    ]
+    print(format_table(["backend", "available", "description"], rows,
+                       title="Mesh execution backends (MeshDecomposition.BACKENDS)"))
+    print(f"\nnative kernel: "
+          f"{'loaded' if kernel is not None else 'unavailable'}")
+    for key in ("source", "compiler", "cache_dir", "forced_reference"):
+        if key in info:
+            print(f"  {key}: {info[key]}")
+    error = _native.load_error()
+    if error:
+        print(f"  load error: {error}")
+    print(f"  decomposition chain backend: {chain_backend()} "
+          f"(clements stack threshold "
+          f"{stack_threshold('clements')}, reck {stack_threshold('reck')})")
+    print(f"  dense size limit: {engine.DENSE_DIMENSION_LIMIT}")
+
+    payload = {"backends": list(MeshDecomposition.BACKENDS),
+               "native": info, "load_error": error}
+    if args.calibrate:
+        print("\nre-measuring dense/backend crossover "
+              f"(dims {args.dimensions}, batch {args.batch}) ...")
+        crossover = engine.measure_dense_crossover(
+            dimensions=tuple(args.dimensions), batch=args.batch,
+            repeats=args.repeats, seed=args.seed)
+        table = []
+        for row in crossover:
+            seconds = row["backend_seconds"]
+            table.append([row["dimension"],
+                          f"{seconds['dense'] * 1e6:.0f}",
+                          f"{seconds['column'] * 1e6:.0f}",
+                          "n/a" if seconds.get("cchain") is None
+                          else f"{seconds['cchain'] * 1e6:.0f}",
+                          f"{row['dense_speedup_vs_best']:.2f}x"])
+        print(format_table(
+            ["dim", "dense us", "column us", "cchain us", "dense vs best"],
+            table, title="Per-backend apply time (warm caches)"))
+        limit = engine.calibrate_dense_limit(
+            dimensions=tuple(args.dimensions), batch=args.batch,
+            repeats=args.repeats, seed=args.seed, apply=False)
+        print(f"calibrated dense size limit: {limit}")
+        payload["crossover"] = crossover
+        payload["calibrated_dense_limit"] = limit
+    _maybe_save(payload, args.output)
+
+
+def _run_store_prune(args: argparse.Namespace) -> None:
+    """Prune the ahead-of-time artifact store by age and entry count."""
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    report = store.prune(max_entries=args.max_entries,
+                         max_age=args.max_age_days * 86400.0
+                         if args.max_age_days is not None else None)
+    print(f"store {store.root}: removed {report['removed_entries']} "
+          f"entr{'y' if report['removed_entries'] == 1 else 'ies'}, "
+          f"{report['removed_quarantined']} quarantined tree(s), "
+          f"{report['kept_entries']} kept")
+    _maybe_save(report, args.output)
+
+
 def _run_area(args: argparse.Namespace) -> None:
     """Exact paper-scale MZI accounting for every workload (no training)."""
     from repro.experiments.common import WORKLOADS
@@ -333,9 +412,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="Monte-Carlo noise realizations per sigma")
         deploy.add_argument("--method", default="clements", choices=("clements", "reck"),
                             help="mesh decomposition scheme (HardwareTarget.method)")
-        deploy.add_argument("--backend", default="auto",
-                            choices=("auto", "dense", "column"),
-                            help="mesh execution backend (CompileOptions.backend)")
+        deploy.add_argument("--backend", default="auto", choices=_BACKEND_CHOICES,
+                            help="mesh execution backend (CompileOptions.backend): "
+                                 "'auto' picks dense below the calibrated size "
+                                 "limit, then the compiled cchain kernel when "
+                                 "built, then the column program; 'cchain' "
+                                 "forces the native kernel (falls back to "
+                                 "'column' with a logged warning if no C "
+                                 "toolchain is available)")
         deploy.set_defaults(runner=runner)
 
     serve = subparsers.add_parser(
@@ -346,7 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--decoder", default="merge",
                        choices=("merge", "linear", "unitary", "coherent", "photodiode"))
     serve.add_argument("--method", default="clements", choices=("clements", "reck"))
-    serve.add_argument("--backend", default="auto", choices=("auto", "dense", "column"))
+    serve.add_argument("--backend", default="auto", choices=_BACKEND_CHOICES)
     serve.add_argument("--train", action="store_true",
                        help="train the student first (default: serve random weights, "
                             "which measures the same throughput)")
@@ -386,7 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     precompile.add_argument("--method", default="clements",
                             choices=("clements", "reck"))
     precompile.add_argument("--backend", default="auto",
-                            choices=("auto", "dense", "column"))
+                            choices=_BACKEND_CHOICES)
     precompile.add_argument("--train", action="store_true",
                             help="train the student first so the stored "
                                  "program serves trained weights")
@@ -394,6 +478,37 @@ def build_parser() -> argparse.ArgumentParser:
                             help="bypass existing entries and rewrite them "
                                  "from a live compile")
     precompile.set_defaults(runner=_run_precompile)
+
+    backends = subparsers.add_parser(
+        "backends",
+        help="list mesh execution backends and the native kernel build state")
+    backends.add_argument("--calibrate", action="store_true",
+                          help="re-measure the dense/column/cchain crossover "
+                               "and report the calibrated dense size limit")
+    backends.add_argument("--dimensions", type=int, nargs="+",
+                          default=[16, 32, 48, 64, 96, 128],
+                          help="mesh dimensions to time with --calibrate")
+    backends.add_argument("--batch", type=int, default=32)
+    backends.add_argument("--repeats", type=int, default=5)
+    backends.add_argument("--seed", type=int, default=0)
+    backends.add_argument("--output", default=None,
+                          help="optional path of a JSON file to store the report")
+    backends.set_defaults(runner=_run_backends)
+
+    store = subparsers.add_parser(
+        "store", help="manage the ahead-of-time compilation artifact store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    prune = store_sub.add_parser(
+        "prune", help="evict old/excess store entries and quarantined trees")
+    prune.add_argument("store", help="store directory to prune")
+    prune.add_argument("--max-entries", type=int, default=None,
+                       help="keep at most this many entries (least recently "
+                            "used evicted first)")
+    prune.add_argument("--max-age-days", type=float, default=None,
+                       help="evict entries not read or written for this many days")
+    prune.add_argument("--output", default=None,
+                       help="optional path of a JSON file to store the report")
+    prune.set_defaults(runner=_run_store_prune)
 
     area = subparsers.add_parser("area", help="exact paper-scale MZI accounting (no training)")
     area.set_defaults(runner=_run_area)

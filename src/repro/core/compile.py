@@ -91,8 +91,12 @@ class CompileOptions:
     ----------
     backend:
         How compiled meshes execute: ``"auto"`` (cached dense matmul up to
-        the dense-dimension limit, compiled column program above it),
-        ``"dense"`` or ``"column"`` to force one path.
+        the dense-dimension limit, then the native ``cchain`` kernel when it
+        is loaded, then the compiled numpy column program), ``"dense"`` /
+        ``"column"`` to force one path, or ``"cchain"`` to request the
+        native C chain kernel (logged fallback to the column program on
+        hosts without a C toolchain; see
+        :mod:`repro.photonics._native`).
     dense_dimension_limit:
         Per-mesh dense/column crossover used by the ``"auto"`` backend.
         ``None`` falls back to the process default

@@ -77,6 +77,7 @@ from repro.nn.complex.cmodule import (
 )
 from repro.nn.complex.cnorm import ComplexBatchNorm1d, ComplexBatchNorm2d
 from repro.photonics.circuit import PhotonicLinearLayer, split_relu
+from repro.photonics.mzi_mesh import MeshDecomposition
 from repro.photonics.noise import PhaseNoiseModel
 from repro.photonics.svd_mapping import svd_decompose_many
 
@@ -348,12 +349,22 @@ class LoweringContext:
     and join.  Weight matrices requested through :meth:`deploy_weight` are
     deployed together in :meth:`finalize` so that all same-size SVD factors
     of the walk decompose as one batched Reck/Clements stack.
+
+    ``backend`` is the per-mesh execution policy stamped onto every deployed
+    mesh (any of :data:`MeshDecomposition.BACKENDS`, including the native
+    ``"cchain"`` kernel) -- the lowering walk is the single place the
+    :class:`~repro.core.compile.CompileOptions` selection reaches the
+    photonics layer, which is how compiled programs, execution plans and
+    sharded workers all end up on the same kernel.
     """
 
     def __init__(self, method: str = "clements", backend: str = "auto",
                  dense_dimension_limit: Optional[int] = None,
                  batch_unitaries: bool = True,
                  deploy_fn: Optional[Callable] = None):
+        if backend not in MeshDecomposition.BACKENDS:
+            raise ValueError(f"unknown mesh backend {backend!r}; "
+                             f"choose from {MeshDecomposition.BACKENDS}")
         self.method = method
         self.backend = backend
         self.dense_dimension_limit = dense_dimension_limit

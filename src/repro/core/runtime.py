@@ -15,10 +15,12 @@ node-walk repeats on every call:
   execute on the dense path is folded into a *single* effective complex
   matrix ``scale * U @ diag(S) @ V`` at plan time; the stage becomes one
   matmul (plus electronic bias and optional in-place CReLU) instead of two
-  mesh applications with an intermediate.  Stages that must run on the
-  column program (forced ``"column"`` backend, trials-batched noise
-  ensembles) fall back to calling the stage op, and their dense caches are
-  still warmed eagerly where the policy allows.
+  mesh applications with an intermediate.  Linear stages that must run on
+  the rotation-chain path (forced ``"column"``/``"cchain"`` backends,
+  trials-batched noise ensembles) lower to a :class:`ChainInstruction` --
+  two mesh applications that resolve to the native ``cchain`` kernel when
+  it is loaded, with bias/CReLU applied in place -- and their dense caches
+  are still warmed eagerly where the policy allows.
 * **Electronic-affine peephole.**  Chains of adjacent electronic affine ops
   (eval-mode batch norms folded to per-channel scale/shift) whose
   intermediate value has no other consumer are composed into a single
@@ -185,6 +187,38 @@ class ConvInstruction:
 
 
 @dataclass
+class ChainInstruction:
+    """A linear mesh stage executing on the rotation-chain path, unfused.
+
+    Chosen for linear stages the plan may *not* fold into a dense matmul --
+    forced ``"column"``/``"cchain"`` backends, dimensions above the dense
+    limit, trials-batched noise ensembles.  The two mesh applications route
+    through :meth:`~repro.photonics.mzi_mesh.MeshDecomposition.apply`, which
+    resolves to the native ``cchain`` kernel when it is loaded (one C call
+    per mesh) or the numpy column program otherwise; the electronic bias and
+    CReLU are applied in place on the fresh chain output, saving the two
+    interior allocations of the generic call path.  ``backend`` records the
+    resolution at plan-compile time so :meth:`ExecutionPlan.describe` shows
+    where the kernel lands.
+    """
+
+    stage: LinearStage
+    backend: str
+    in_slot: int
+    out_slot: int
+
+    def run(self, buffers: List[Optional[np.ndarray]],
+            pool: Optional[Dict[int, np.ndarray]]) -> None:
+        outputs = self.stage.layer.photonic_matrix.apply(buffers[self.in_slot])
+        bias = self.stage.layer.bias
+        if bias is not None:
+            outputs += bias
+        if self.stage.activation_after:
+            _inplace_crelu(outputs)
+        buffers[self.out_slot] = outputs
+
+
+@dataclass
 class AffineInstruction:
     """One or more folded batch norms as a single split ``a * x + b``.
 
@@ -220,6 +254,7 @@ class ExecutionPlan:
     options: PlanOptions
     fused_matmuls: int = 0
     fused_affine_chains: int = 0
+    chain_stages: int = 0
     baked_meshes: List[Tuple[Any, int]] = field(default_factory=list, repr=False,
                                                 compare=False)
     _pool: Dict[int, np.ndarray] = field(default_factory=dict, repr=False, compare=False)
@@ -389,6 +424,7 @@ def compile_plan(graph: Any, options: Optional[PlanOptions] = None) -> Execution
     slot_count = 1
     instructions: List[Any] = []
     fused_matmuls = 0
+    chain_stages = 0
     baked_meshes: List[Tuple[Any, int]] = []
 
     def bake(stage: Any) -> np.ndarray:
@@ -427,8 +463,20 @@ def compile_plan(graph: Any, options: Optional[PlanOptions] = None) -> Execution
         elif isinstance(op, ElectronicBatchNorm):
             instructions.append(AffineInstruction(
                 op=op, in_slot=in_slots[0], out_slot=out_slot))
+        elif isinstance(op, LinearStage):
+            # unfused mesh stage: runs on the rotation-chain path (native
+            # cchain kernel when loaded, numpy column program otherwise);
+            # meshes whose own policy still allows dense get warmed eagerly
+            _materialize_dense_caches(op)
+            matrix = op.layer.photonic_matrix
+            resolved = sorted({matrix.left_mesh.resolve_backend(),
+                               matrix.right_mesh.resolve_backend()})
+            instructions.append(ChainInstruction(
+                stage=op, backend="+".join(resolved),
+                in_slot=in_slots[0], out_slot=out_slot))
+            chain_stages += 1
         else:
-            if isinstance(op, (LinearStage, Conv2dStage)):
+            if isinstance(op, Conv2dStage):
                 _materialize_dense_caches(op)
             instructions.append(CallInstruction(op=op, in_slots=in_slots,
                                                 out_slot=out_slot))
@@ -437,4 +485,5 @@ def compile_plan(graph: Any, options: Optional[PlanOptions] = None) -> Execution
                          output_slot=slot_of[output], options=options,
                          fused_matmuls=fused_matmuls,
                          fused_affine_chains=fused_affine,
+                         chain_stages=chain_stages,
                          baked_meshes=baked_meshes)

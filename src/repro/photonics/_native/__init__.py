@@ -1,0 +1,21 @@
+"""Native (compiled-C) kernels behind the ``"cchain"`` mesh backend.
+
+The package ships :file:`cchain.c` as source and compiles it on first use
+(:mod:`repro.photonics._native.build`); :func:`kernel` returns the loaded
+kernel or ``None``, and every caller treats ``None`` as "run the pure-numpy
+reference path".  See the build module for the environment knobs
+(``REPRO_FORCE_REFERENCE``, ``REPRO_NATIVE_CC``, ``REPRO_NATIVE_CACHE``).
+"""
+
+from repro.photonics._native.build import (  # noqa: F401
+    ChainKernel,
+    build_info,
+    cache_dir,
+    force_reference_enabled,
+    kernel,
+    load_error,
+    reset,
+)
+
+__all__ = ["ChainKernel", "build_info", "cache_dir", "force_reference_enabled",
+           "kernel", "load_error", "reset"]

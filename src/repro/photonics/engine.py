@@ -26,6 +26,15 @@ a small compiler pipeline:
 specification; the property tests pin the compiled engine against it to
 1e-10 for both topologies, with and without insertion loss, phase noise and
 quantization.
+
+When the native ``cchain`` kernel is available (:mod:`repro.photonics._native`
+compiles it from shipped C source on first use), :func:`native_propagate`
+executes the whole rotation chain plus the output phase screen in one C call
+per batch, in place on the caller's complex buffer.  Sequential flat-order
+application is exactly the column program's semantics -- the greedy column
+schedule only vectorizes the walk -- so the kernel needs no column
+bookkeeping and is parity-pinned against :func:`reference_apply` like every
+other fast path.
 """
 
 from __future__ import annotations
@@ -306,6 +315,63 @@ def propagate(program: MeshProgram, states: np.ndarray, thetas: np.ndarray,
     return work
 
 
+def native_kernel():
+    """The loaded native ``cchain`` kernel, or None when unavailable/disabled.
+
+    Thin convenience over :func:`repro.photonics._native.kernel` so callers
+    inside the photonics package do not each repeat the import dance.
+    """
+    from repro.photonics import _native
+
+    return _native.kernel()
+
+
+def native_propagate(modes: np.ndarray, states: np.ndarray,
+                     thetas: np.ndarray, phis: np.ndarray,
+                     output_phases: np.ndarray,
+                     insertion_loss_db: float = 0.0,
+                     out: Optional[np.ndarray] = None) -> Optional[np.ndarray]:
+    """Propagate batched states through the native chain kernel.
+
+    One C call applies every MZI in flat application order and the output
+    phase screen, in place on a ``(batch, dim)`` complex work buffer --
+    semantically identical to :func:`propagate` of the column schedule (the
+    schedule preserves per-mode order, so columns only vectorize the walk).
+
+    Returns the propagated array, or None when the call is ineligible: no
+    kernel loaded (or ``REPRO_FORCE_REFERENCE`` set) or trials-batched phase
+    arrays, which stay on the numpy ensemble path.  Callers fall back to
+    :func:`propagate` on None.  Leading axes of ``states`` beyond the batch
+    axis are flattened through the same kernel call.
+    """
+    kernel = native_kernel()
+    if kernel is None:
+        return None
+    thetas = np.asarray(thetas, dtype=float)
+    phis = np.asarray(phis, dtype=float)
+    output_phases = np.asarray(output_phases, dtype=complex)
+    if thetas.ndim != 1 or phis.ndim != 1 or output_phases.ndim != 1:
+        return None
+    transmission = _loss_transmission(insertion_loss_db)
+    states = np.asarray(states, dtype=complex)
+    dim = states.shape[-1]
+    if (out is not None and out.shape == states.shape
+            and out.dtype == np.complex128 and out.flags.writeable
+            and out.flags.c_contiguous):
+        work = out
+        np.copyto(work, states)
+    else:
+        # the kernel mutates in place, so always hand it a private copy
+        work = states.astype(np.complex128, order="C", copy=True)
+    kernel.propagate(work.reshape(-1, dim),
+                     np.ascontiguousarray(modes, dtype=np.intp),
+                     np.ascontiguousarray(thetas),
+                     np.ascontiguousarray(phis),
+                     np.ascontiguousarray(output_phases, dtype=np.complex128),
+                     transmission)
+    return work
+
+
 def apply_dense(states: np.ndarray, dense: np.ndarray,
                 out: Optional[np.ndarray] = None) -> np.ndarray:
     """Apply a dense transfer matrix to batched states: ``states @ dense.T``.
@@ -370,15 +436,19 @@ def set_dense_dimension_limit(limit: int) -> int:
 
 def measure_dense_crossover(dimensions=(16, 32, 48, 64, 96, 128, 192),
                             batch: int = 32, repeats: int = 5,
-                            method: str = "clements", seed: int = 0):
-    """Time the cached dense matmul against the column program per dimension.
+                            method: str = "clements", seed: int = 0,
+                            backends=("column", "cchain")):
+    """Time the cached dense matmul against every execution backend per dimension.
 
     For each mesh dimension the warm-cache dense apply (``states @ U.T``) and
-    the compiled column program are timed ``repeats`` times (best-of), on the
-    same Haar-random mesh and the same ``(batch, dim)`` state batch.  Returns
-    one dict per dimension with both timings and the dense speedup -- the raw
-    data the adaptive limit is picked from (and what the crossover benchmark
-    records under ``benchmarks/results/``).
+    each requested non-dense backend (the compiled numpy ``column`` program
+    and, when the kernel is loaded, the native ``cchain`` chain) are timed
+    ``repeats`` times (best-of), on the same Haar-random mesh and the same
+    ``(batch, dim)`` state batch.  Returns one dict per dimension carrying a
+    ``backend_seconds`` mapping (the per-backend axis the ``"auto"`` policy
+    is calibrated from; an unavailable backend maps to None) alongside the
+    legacy flat keys (``dense_seconds``/``column_seconds``/``dense_speedup``)
+    older result readers expect.
     """
     import time
 
@@ -401,17 +471,40 @@ def measure_dense_crossover(dimensions=(16, 32, 48, 64, 96, 128, 192),
                   + 1j * rng.normal(size=(batch, dimension)))
         dense_matrix = dense_transfer(program, mesh.thetas, mesh.phis,
                                       mesh.output_phases)
-        dense_seconds = best_of(lambda: states @ dense_matrix.T)
-        column_seconds = best_of(lambda: propagate(program, states, mesh.thetas,
-                                                   mesh.phis, mesh.output_phases))
+        backend_seconds = {
+            "dense": best_of(lambda: states @ dense_matrix.T),
+        }
+        for backend in backends:
+            if backend == "column":
+                backend_seconds["column"] = best_of(
+                    lambda: propagate(program, states, mesh.thetas,
+                                      mesh.phis, mesh.output_phases))
+            elif backend == "cchain":
+                if native_kernel() is None:
+                    backend_seconds["cchain"] = None
+                    continue
+                backend_seconds["cchain"] = best_of(
+                    lambda: native_propagate(mesh.modes, states, mesh.thetas,
+                                             mesh.phis, mesh.output_phases))
+            else:
+                raise ValueError(f"unknown crossover backend {backend!r}")
+        dense_seconds = backend_seconds["dense"]
+        column_seconds = backend_seconds.get("column")
+        alternatives = [s for name, s in backend_seconds.items()
+                        if name != "dense" and s is not None]
+        best_alternative = min(alternatives) if alternatives else None
         rows.append({
             "dimension": int(dimension),
             "method": method,
             "batch": int(batch),
             "optical_depth": program.depth,
+            "backend_seconds": backend_seconds,
             "dense_seconds": dense_seconds,
             "column_seconds": column_seconds,
-            "dense_speedup": column_seconds / dense_seconds,
+            "dense_speedup": (column_seconds / dense_seconds
+                              if column_seconds is not None else None),
+            "dense_speedup_vs_best": (best_alternative / dense_seconds
+                                      if best_alternative is not None else None),
         })
     return rows
 
@@ -419,19 +512,24 @@ def measure_dense_crossover(dimensions=(16, 32, 48, 64, 96, 128, 192),
 def calibrate_dense_limit(dimensions=(16, 32, 48, 64, 96, 128, 192),
                           batch: int = 32, repeats: int = 5,
                           method: str = "clements", seed: int = 0,
-                          apply: bool = False):
+                          apply: bool = False,
+                          backends=("column", "cchain")):
     """Pick :data:`DENSE_DIMENSION_LIMIT` from measured crossover data.
 
     The limit is the largest measured dimension at which the warm-cache dense
-    matmul still beats the column program (the measured curves are monotone
-    enough that this is the crossover); if the dense path never wins the
-    limit is 0, disabling it.  With ``apply=True`` the module global is
-    updated in place.  Returns ``(limit, rows)`` so callers can record the
-    measurements.
+    matmul still beats the *fastest available* non-dense backend (the numpy
+    column program, or the native chain kernel when it is loaded -- the same
+    alternative the ``"auto"`` policy would otherwise pick); if the dense
+    path never wins the limit is 0, disabling it.  With ``apply=True`` the
+    module global is updated in place.  Returns ``(limit, rows)`` so callers
+    can record the measurements.
     """
     rows = measure_dense_crossover(dimensions=dimensions, batch=batch,
-                                   repeats=repeats, method=method, seed=seed)
-    dense_wins = [row["dimension"] for row in rows if row["dense_speedup"] >= 1.0]
+                                   repeats=repeats, method=method, seed=seed,
+                                   backends=backends)
+    dense_wins = [row["dimension"] for row in rows
+                  if row["dense_speedup_vs_best"] is not None
+                  and row["dense_speedup_vs_best"] >= 1.0]
     limit = max(dense_wins) if dense_wins else 0
     if apply:
         _set_default_dense_limit(limit)

@@ -36,21 +36,28 @@ model (e.g. every conv-kernel matrix of a ResNet stage) in one batched pass;
 both stack paths are parity-pinned against the per-matrix paths to 1e-10.
 
 Execution policy is explicit: each :class:`MeshDecomposition` carries a
-``backend`` ("auto" / "dense" / "column") and an optional per-mesh
+``backend`` ("auto" / "dense" / "column" / "cchain") and an optional per-mesh
 ``dense_dimension_limit``, threaded in by the compiler instead of consulting
 mutable module globals (``engine.DENSE_DIMENSION_LIMIT`` remains only as the
-default when no per-mesh limit is set).
+default when no per-mesh limit is set).  ``"cchain"`` runs the rotation chain
+through the compiled C kernel of :mod:`repro.photonics._native`; when the
+kernel is loaded, the sequential Clements nulling chains of
+:func:`clements_decompose` / :func:`clements_decompose_stack` also execute
+natively (one C call per matrix or stack), parity-pinned to the numpy chain.
 """
 
 from __future__ import annotations
 
 import cmath
+import logging
 import math
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 from repro.photonics import engine
 from repro.photonics.components import mzi_transfer
@@ -122,6 +129,24 @@ def _frozen(array, dtype) -> np.ndarray:
     return array
 
 
+_NATIVE_FALLBACK_LOGGED = False
+
+
+def _log_native_fallback() -> None:
+    """Log (once per process) that ``"cchain"`` fell back to the column path."""
+    global _NATIVE_FALLBACK_LOGGED
+    if not _NATIVE_FALLBACK_LOGGED:
+        _NATIVE_FALLBACK_LOGGED = True
+        from repro.photonics import _native
+
+        reason = _native.load_error() or (
+            "disabled by REPRO_FORCE_REFERENCE"
+            if _native.force_reference_enabled() else "kernel not loaded")
+        logger.warning("mesh backend 'cchain' requested but the native kernel "
+                       "is unavailable (%s); executing the numpy column "
+                       "program instead", reason)
+
+
 class MeshDecomposition:
     """A unitary expressed as output phases applied after a chain of MZIs.
 
@@ -139,14 +164,17 @@ class MeshDecomposition:
     matrix) or :meth:`with_phases` (returns a new mesh sharing the topology).
 
     ``backend`` selects how :meth:`apply` executes: ``"auto"`` (dense matmul
-    below the dense-dimension limit, column program otherwise), ``"dense"``
-    (always the cached dense transfer matrix) or ``"column"`` (always the
-    compiled column program).  ``dense_dimension_limit`` overrides the
-    module-global default crossover for this mesh; both are normally set by
-    the compiler from :class:`~repro.core.compile.CompileOptions`.
+    below the dense-dimension limit, the fastest available chain path
+    otherwise), ``"dense"`` (always the cached dense transfer matrix),
+    ``"column"`` (always the compiled numpy column program -- the
+    always-available reference) or ``"cchain"`` (the native C chain kernel,
+    with a logged fallback to the column program when no kernel could be
+    built).  ``dense_dimension_limit`` overrides the module-global default
+    crossover for this mesh; both are normally set by the compiler from
+    :class:`~repro.core.compile.CompileOptions`.
     """
 
-    BACKENDS = ("auto", "dense", "column")
+    BACKENDS = ("auto", "dense", "column", "cchain")
 
     def __init__(self, dimension: int,
                  settings: Optional[Sequence[MZISetting]] = None,
@@ -343,19 +371,49 @@ class MeshDecomposition:
     def uses_dense_path(self) -> bool:
         """Whether :meth:`apply` executes through the cached dense matrix.
 
-        The single source of the backend policy: ``"dense"``/``"column"``
-        force their path; ``"auto"`` picks the dense matmul for unbatched
-        meshes up to the dense-dimension limit (per-mesh limit if set,
-        module default otherwise).  The plan compiler consults this to decide
-        which stages it may fold into eager dense matrices.
+        Part of the single backend-policy source (see :meth:`resolve_backend`
+        for the full resolution): ``"dense"`` forces the dense path,
+        ``"column"``/``"cchain"`` never take it; ``"auto"`` picks the dense
+        matmul for unbatched meshes up to the dense-dimension limit (per-mesh
+        limit if set, module default otherwise).  The plan compiler consults
+        this to decide which stages it may fold into eager dense matrices.
         """
         if self.backend == "dense":
             return True
-        if self.backend == "column":
+        if self.backend in ("column", "cchain"):
             return False
         limit = (engine.DENSE_DIMENSION_LIMIT if self.dense_dimension_limit is None
                  else self.dense_dimension_limit)
         return not self.is_batched and self.dimension <= limit
+
+    def resolve_backend(self) -> str:
+        """The execution path :meth:`apply` takes right now.
+
+        Returns ``"dense"``, ``"cchain"`` or ``"column"`` -- the single
+        source of the backend policy.  ``"dense"``/``"column"`` force their
+        path.  ``"cchain"`` resolves to the native kernel when it is loaded
+        and the mesh is unbatched (trials ensembles stay on the vectorized
+        numpy path), with a once-logged fallback to the column program
+        otherwise.  ``"auto"`` takes the dense matmul below the
+        dense-dimension limit, then the native kernel when available, then
+        the column program -- the ordering the measured per-backend
+        crossovers (:func:`repro.photonics.engine.measure_dense_crossover`)
+        justify on every machine calibrated so far.
+        """
+        if self.backend == "dense":
+            return "dense"
+        if self.backend == "column":
+            return "column"
+        native = not self.is_batched and engine.native_kernel() is not None
+        if self.backend == "cchain":
+            if native:
+                return "cchain"
+            if not self.is_batched:
+                _log_native_fallback()
+            return "column"
+        if self.uses_dense_path():
+            return "dense"
+        return "cchain" if native else "column"
 
     def apply(self, vector: np.ndarray, insertion_loss_db: float = 0.0,
               out: Optional[np.ndarray] = None) -> np.ndarray:
@@ -387,7 +445,8 @@ class MeshDecomposition:
         states = vector[None, :] if single else vector
         if states.shape[-1] != self.dimension:
             raise ValueError(f"expected vectors of length {self.dimension}, got {states.shape[-1]}")
-        if self.uses_dense_path():
+        resolved = self.resolve_backend()
+        if resolved == "dense":
             dense = self._dense_matrix(insertion_loss_db)
             matmul_out = (out if out is not None and out.shape == states.shape
                           and dense.ndim == 2 and out.dtype == np.complex128
@@ -396,10 +455,17 @@ class MeshDecomposition:
             # trials-batched dense matrices broadcast through matmul
             outputs = engine.apply_dense(states, dense, out=matmul_out)
         else:
-            outputs = engine.propagate(self.compiled(), states, self._thetas,
-                                       self._phis, self._output_phases,
-                                       insertion_loss_db=insertion_loss_db,
-                                       out=None if single else out)
+            outputs = None
+            if resolved == "cchain":
+                outputs = engine.native_propagate(
+                    self._modes, states, self._thetas, self._phis,
+                    self._output_phases, insertion_loss_db=insertion_loss_db,
+                    out=None if single else out)
+            if outputs is None:
+                outputs = engine.propagate(self.compiled(), states, self._thetas,
+                                           self._phis, self._output_phases,
+                                           insertion_loss_db=insertion_loss_db,
+                                           out=None if single else out)
         return outputs[..., 0, :] if single else outputs
 
     def total_phase_power_mw(self) -> float:
@@ -720,6 +786,39 @@ def _refactor_phase_mzi_vec(left_thetas: np.ndarray, left_phis: np.ndarray,
     return new_d0, new_d1, theta, phi
 
 
+def _clements_finalize(n: int, work: np.ndarray, is_left: np.ndarray,
+                       op_modes: np.ndarray, thetas: np.ndarray,
+                       phis: np.ndarray, left_reversed: np.ndarray,
+                       push_modes: np.ndarray, push_schedule):
+    """Push-phase commutation + application-order assembly, stack-generic.
+
+    Shared tail of the Clements paths (native or numpy chain, single matrix
+    or stack): commute every left op through the output phase screen in
+    wavefronts of disjoint diagonal pairs, then assemble the physical-MZI
+    arrays in application order.  ``thetas``/``phis`` may carry a leading
+    stack axis; the returned arrays carry the same leading axes.
+    """
+    diagonal = np.diagonal(work, axis1=-2, axis2=-1).copy()
+    pushed_thetas = np.empty(thetas.shape[:-1] + (left_reversed.size,), dtype=float)
+    pushed_phis = np.empty_like(pushed_thetas)
+    for indices, tops, _bottoms in push_schedule.columns:
+        ops = left_reversed[indices]
+        new_d0, new_d1, theta, phi = _refactor_phase_mzi_vec(
+            thetas[..., ops], phis[..., ops],
+            diagonal[..., tops], diagonal[..., tops + 1])
+        diagonal[..., tops] = new_d0
+        diagonal[..., tops + 1] = new_d1
+        pushed_thetas[..., indices] = theta
+        pushed_phis[..., indices] = phi
+    # application order: right-op MZIs first (in recording order), then the
+    # pushed left-op MZIs in reversed recording order
+    right_indices = np.flatnonzero(~is_left)
+    modes = np.concatenate([op_modes[right_indices], push_modes])
+    all_thetas = np.concatenate([thetas[..., right_indices], pushed_thetas], axis=-1)
+    all_phis = np.concatenate([phis[..., right_indices], pushed_phis], axis=-1)
+    return modes, all_thetas, all_phis, diagonal
+
+
 def clements_decompose(unitary: np.ndarray) -> MeshDecomposition:
     """Rectangular (Clements) decomposition of a unitary into physical MZIs.
 
@@ -736,6 +835,17 @@ def clements_decompose(unitary: np.ndarray) -> MeshDecomposition:
     work = unitary.copy()
     is_left, op_modes, op_pivots, left_reversed, push_modes, push_schedule = \
         _clements_oplist(n)
+    kernel = engine.native_kernel()
+    if kernel is not None:
+        # one C call runs the whole sequential chain in place on `work`
+        thetas, phis = kernel.clements_chain(
+            work, is_left.view(np.uint8), op_modes, op_pivots, NULL_TOLERANCE)
+        modes, all_thetas, all_phis, diagonal = _clements_finalize(
+            n, work, is_left, op_modes, thetas, phis, left_reversed,
+            push_modes, push_schedule)
+        return MeshDecomposition(dimension=n, modes=modes, thetas=all_thetas,
+                                 phis=all_phis, output_phases=diagonal,
+                                 method="clements")
     thetas = np.empty(op_modes.size, dtype=float)
     phis = np.empty(op_modes.size, dtype=float)
     # slim scalar chain: closed-form 2x2 entries (Eq. 1, the same closed form
@@ -776,29 +886,13 @@ def clements_decompose(unitary: np.ndarray) -> MeshDecomposition:
         thetas[index] = theta
         phis[index] = phi
 
-    diagonal = np.diag(work).copy()
-
     # U = L_1^{-1} ... L_q^{-1} D M_p ... M_1; commute each L_k^{-1} through
     # the diagonal (in reversed recording order) so the final expression is
     # D' * (physical MZI chain).  Push steps conflict only on overlapping
     # diagonal pairs, so the column scheduler groups them into wavefronts.
-    pushed_thetas = np.empty(left_reversed.size, dtype=float)
-    pushed_phis = np.empty(left_reversed.size, dtype=float)
-    for indices, tops, _bottoms in push_schedule.columns:
-        ops = left_reversed[indices]
-        new_d0, new_d1, theta, phi = _refactor_phase_mzi_vec(
-            thetas[ops], phis[ops], diagonal[tops], diagonal[tops + 1])
-        diagonal[tops] = new_d0
-        diagonal[tops + 1] = new_d1
-        pushed_thetas[indices] = theta
-        pushed_phis[indices] = phi
-
-    # application order: right-op MZIs first (in recording order), then the
-    # pushed left-op MZIs in reversed recording order
-    right_indices = np.flatnonzero(~is_left)
-    modes = np.concatenate([op_modes[right_indices], push_modes])
-    all_thetas = np.concatenate([thetas[right_indices], pushed_thetas])
-    all_phis = np.concatenate([phis[right_indices], pushed_phis])
+    modes, all_thetas, all_phis, diagonal = _clements_finalize(
+        n, work, is_left, op_modes, thetas, phis, left_reversed,
+        push_modes, push_schedule)
     return MeshDecomposition(dimension=n, modes=modes, thetas=all_thetas,
                              phis=all_phis, output_phases=diagonal, method="clements")
 
@@ -863,6 +957,21 @@ def clements_decompose_stack(unitaries: np.ndarray) -> List[MeshDecomposition]:
     work = stack.copy()
     is_left, op_modes, op_pivots, left_reversed, push_modes, push_schedule = \
         _clements_oplist(n)
+    kernel = engine.native_kernel()
+    if kernel is not None:
+        # one C call runs every matrix's sequential chain in place on `work`
+        # (the chains are independent, so the kernel keeps the stack loop
+        # outer for cache locality)
+        thetas, phis = kernel.clements_chain_stack(
+            work, is_left.view(np.uint8), op_modes, op_pivots, NULL_TOLERANCE)
+        modes, all_thetas, all_phis, diagonal = _clements_finalize(
+            n, work, is_left, op_modes, thetas, phis, left_reversed,
+            push_modes, push_schedule)
+        return [MeshDecomposition(dimension=n, modes=modes,
+                                  thetas=all_thetas[index], phis=all_phis[index],
+                                  output_phases=diagonal[index],
+                                  method="clements")
+                for index in range(count)]
     thetas = np.empty((count, op_modes.size), dtype=float)
     phis = np.empty_like(thetas)
     blocks = np.empty((count, 2, 2), dtype=complex)
@@ -884,23 +993,9 @@ def clements_decompose_stack(unitaries: np.ndarray) -> List[MeshDecomposition]:
         thetas[:, index] = theta
         phis[:, index] = phi
 
-    diagonal = np.diagonal(work, axis1=-2, axis2=-1).copy()
-
-    pushed_thetas = np.empty((count, left_reversed.size), dtype=float)
-    pushed_phis = np.empty_like(pushed_thetas)
-    for indices, tops, _bottoms in push_schedule.columns:
-        ops = left_reversed[indices]
-        new_d0, new_d1, theta, phi = _refactor_phase_mzi_vec(
-            thetas[:, ops], phis[:, ops], diagonal[:, tops], diagonal[:, tops + 1])
-        diagonal[:, tops] = new_d0
-        diagonal[:, tops + 1] = new_d1
-        pushed_thetas[:, indices] = theta
-        pushed_phis[:, indices] = phi
-
-    right_indices = np.flatnonzero(~is_left)
-    modes = np.concatenate([op_modes[right_indices], push_modes])
-    all_thetas = np.concatenate([thetas[:, right_indices], pushed_thetas], axis=1)
-    all_phis = np.concatenate([phis[:, right_indices], pushed_phis], axis=1)
+    modes, all_thetas, all_phis, diagonal = _clements_finalize(
+        n, work, is_left, op_modes, thetas, phis, left_reversed,
+        push_modes, push_schedule)
     return [MeshDecomposition(dimension=n, modes=modes, thetas=all_thetas[index],
                               phis=all_phis[index], output_phases=diagonal[index],
                               method="clements")

@@ -277,15 +277,46 @@ def svd_decompose(weight: np.ndarray, method: str = "clements",
 
 
 #: smallest dimension group that is decomposed as a batched stack, per mesh
-#: method.  The Reck stack path replaces an already-vectorized wavefront loop
-#: and wins from two matrices up; the Clements stack path replaces a *scalar*
-#: nulling chain with small-array numpy ops whose per-op overhead only
-#: amortizes with the stack size.  The fused
-#: :func:`repro.photonics.engine.nulling_rotation_blocks` kernel (one solve +
-#: one batched 2x2 matmul per chain step) cut that overhead enough to move
-#: the measured crossover from four matrices to three (see the
-#: ``stack_threshold`` rows of ``benchmarks/results/compile.json``).
-STACK_THRESHOLDS: Dict[str, int] = {"reck": 2, "clements": 3}
+#: method and per *chain backend* (the backend axis of the measured
+#: ``stack_threshold`` rows of ``benchmarks/results/compile.json``).  The
+#: Reck stack path replaces an already-vectorized wavefront loop and wins
+#: from two matrices up regardless of backend.  The Clements stack path
+#: replaces a *scalar* nulling chain: on the ``numpy`` chain backend the
+#: small-array per-op overhead of the fused
+#: :func:`repro.photonics.engine.nulling_rotation_blocks` kernel only
+#: amortizes from three matrices up, while the native ``cchain`` kernel
+#: (one C call per stack, :mod:`repro.photonics._native`) removes the
+#: per-op overhead entirely, so the stack path wins from two.
+STACK_THRESHOLDS: Dict[str, Dict[str, int]] = {
+    "reck": {"numpy": 2, "cchain": 2},
+    "clements": {"numpy": 3, "cchain": 2},
+}
+
+
+def chain_backend() -> str:
+    """The decomposition-chain backend active in this process.
+
+    ``"cchain"`` when the native kernel is loaded (and not force-disabled),
+    ``"numpy"`` otherwise -- the key :func:`stack_threshold` resolves the
+    per-backend crossover table with.
+    """
+    from repro.photonics import engine
+
+    return "cchain" if engine.native_kernel() is not None else "numpy"
+
+
+def stack_threshold(method: str, backend: Optional[str] = None) -> int:
+    """Measured stack-vs-per-matrix crossover for ``method``.
+
+    ``backend`` is the chain backend (``"numpy"`` / ``"cchain"``); by
+    default the one active in this process (:func:`chain_backend`), so the
+    grouping policy of :func:`svd_decompose_many` automatically tracks
+    whether the native kernel is available.
+    """
+    table = STACK_THRESHOLDS.get(method.lower())
+    if table is None:
+        return 2
+    return table.get(backend if backend is not None else chain_backend(), 2)
 
 
 def svd_decompose_many(weights: Sequence[np.ndarray], method: str = "clements",
@@ -298,11 +329,12 @@ def svd_decompose_many(weights: Sequence[np.ndarray], method: str = "clements",
     The batching happens at both ends of the pipeline: the *SVDs* of
     same-shape weight matrices run as one stacked ``np.linalg.svd`` call
     (:func:`_svd_factors_many`), and the resulting unitaries are grouped by
-    dimension with every group at or above the method's
-    :data:`STACK_THRESHOLDS` size decomposed as a single stacked
-    Reck/Clements pass (``batch_unitaries=False`` falls back to the
-    per-matrix decomposition path, same results).  The returned list is
-    index-aligned with ``weights``.
+    dimension with every group at or above the method's measured
+    :func:`stack_threshold` size (per chain backend, see
+    :data:`STACK_THRESHOLDS`) decomposed as a single stacked Reck/Clements
+    pass (``batch_unitaries=False`` falls back to the per-matrix
+    decomposition path, same results).  The returned list is index-aligned
+    with ``weights``.
     """
     _count_decompositions(len(weights))
     factored = _svd_factors_many(weights, normalize)
@@ -312,7 +344,7 @@ def svd_decompose_many(weights: Sequence[np.ndarray], method: str = "clements",
         for side, unitary in enumerate((left, right)):
             groups.setdefault(unitary.shape[0], []).append((index, side, unitary))
     meshes: Dict[Tuple[int, int], MeshDecomposition] = {}
-    threshold = STACK_THRESHOLDS.get(method.lower(), 2)
+    threshold = stack_threshold(method)
     for members in groups.values():
         if batch_unitaries and len(members) >= threshold:
             stack = np.stack([unitary for _index, _side, unitary in members])

@@ -27,6 +27,11 @@ one plan-executor thread per model:
 * **Drain-then-swap redeploys.**  Re-deploying a served key builds the new
   lane first, swaps it in, then drains and dismantles the old one -- queued
   futures on the old lane still resolve.
+* **Bounded worker auto-restart.**  A replica whose process dies mid-request
+  fails the in-flight flush's futures with the child's error, then respawns
+  within the lane's restart budget (``max_worker_restarts``); requests
+  submitted after the respawn are served by the fresh process.  A lane out
+  of budget keeps serving from its surviving replicas.
 
 The in-process service remains the always-available reference path; the
 test-suite pins sharded logits against it to 1e-10.
@@ -35,6 +40,7 @@ test-suite pins sharded logits against it to 1e-10.
 from __future__ import annotations
 
 import asyncio
+import logging
 import multiprocessing
 import queue as queue_module
 import threading
@@ -49,6 +55,9 @@ from repro.core.compile import CompileOptions, HardwareTarget
 from repro.serve.batcher import DynamicBatcher
 from repro.serve.shm import SlabRing
 from repro.serve.worker import WorkerSpec, worker_main
+
+
+logger = logging.getLogger("repro.serve.shard")
 
 
 class ServiceOverloadedError(RuntimeError):
@@ -75,14 +84,36 @@ class _Replica:
 
     def __init__(self, name: str, context, spec: WorkerSpec):
         self.name = name
-        self.requests = context.Queue()
-        self.responses = context.Queue()
-        self.process = context.Process(target=worker_main,
-                                       args=(spec, self.requests, self.responses),
-                                       name=f"repro-{name}", daemon=True)
+        self._context = context
+        self._spec = spec
         self.ready: dict = {}
         self.outstanding = 0            # samples routed here, not yet resolved
         self.batcher: Optional[DynamicBatcher] = None
+        self.restarts = 0               # times this slot respawned its process
+        self._spawn()
+
+    def _spawn(self) -> None:
+        """Fresh process + control queues for this replica slot (not started)."""
+        self.requests = self._context.Queue()
+        self.responses = self._context.Queue()
+        self.process = self._context.Process(
+            target=worker_main,
+            args=(self._spec, self.requests, self.responses),
+            name=f"repro-{self.name}", daemon=True)
+
+    def respawn(self, timeout: float) -> dict:
+        """Replace a dead worker with a freshly spawned, ready process.
+
+        Builds new control queues too (the dead process may have left stale
+        or half-fed messages on the old ones), so the next flush through
+        this slot talks to a clean replica.  Raises :class:`WorkerError`
+        when the replacement fails to become ready.
+        """
+        self.process.join(timeout=0.1)      # reap the corpse, never blocks long
+        self.restarts += 1
+        self._spawn()
+        self.process.start()
+        return self.wait_ready(timeout)
 
     def wait_ready(self, timeout: float) -> dict:
         deadline = time.monotonic() + timeout
@@ -148,10 +179,11 @@ class _WorkerProxy:
     """
 
     def __init__(self, replica: _Replica, ring: SlabRing,
-                 lease_timeout_s: float = 60.0):
+                 lease_timeout_s: float = 60.0, on_death=None):
         self._replica = replica
         self._ring = ring
         self._lease_timeout_s = lease_timeout_s
+        self._on_death = on_death       # lane callback: maybe respawn the slot
         self._request_id = 0
 
     def predict_logits(self, images: np.ndarray, scheme: Any = None) -> np.ndarray:
@@ -167,6 +199,14 @@ class _WorkerProxy:
                 raise WorkerError(f"worker {self._replica.name} failed a batch:\n"
                                   f"{message[2]}")
             return np.array(slab.output_view(message[2]))
+        except WorkerError:
+            # the in-flight flush's futures still fail with the child's
+            # traceback / exit code; a *dead* process (not a per-batch "err")
+            # additionally triggers the lane's bounded respawn so the slot
+            # keeps serving later requests
+            if self._on_death is not None and not self._replica.process.is_alive():
+                self._on_death(self._replica)
+            raise
         finally:
             self._ring.release(slab)
 
@@ -175,16 +215,46 @@ class _ModelLane:
     """One deployed model: replicas, slab ring, admission + routing state."""
 
     def __init__(self, model_key: str, replicas: List[_Replica], ring: SlabRing,
-                 max_batch: int, max_queue_samples: int):
+                 max_batch: int, max_queue_samples: int,
+                 max_restarts: int = 2, start_timeout_s: float = 120.0):
         self.model_key = model_key
         self.replicas = replicas
         self.ring = ring
         self.max_batch = max_batch
         self.max_queue_samples = max_queue_samples
+        self.max_restarts = max_restarts        # respawn budget, lane-wide
+        self.start_timeout_s = start_timeout_s
+        self.restarts_used = 0
         self.pending_samples = 0        # admitted, future not yet resolved
         self.rejected = 0               # fast-failed by admission control
         self._route_counter = 0
         self._lock = threading.Lock()
+        self._closing = False
+
+    def _handle_worker_death(self, replica: _Replica) -> None:
+        """Respawn a crashed replica's process within the lane's budget.
+
+        Runs on the dead replica's own batcher thread (the only thread that
+        talks to that process), after the failing flush's futures have been
+        charged with the child's error.  Exceeding the budget -- or a
+        respawn that itself fails to become ready -- leaves the slot dead:
+        later flushes routed there keep fast-failing with
+        :class:`WorkerError`, and routing keeps preferring live replicas
+        because dead slots accumulate no resolved work.
+        """
+        with self._lock:
+            if self._closing or self.restarts_used >= self.max_restarts:
+                return
+            self.restarts_used += 1
+        logger.warning("worker %s died (exit code %s); respawning "
+                       "(%d/%d lane restarts used)", replica.name,
+                       replica.process.exitcode, self.restarts_used,
+                       self.max_restarts)
+        try:
+            replica.respawn(self.start_timeout_s)
+        except Exception:  # noqa: BLE001 -- slot stays dead, lane keeps serving
+            logger.exception("respawn of worker %s failed; slot stays down",
+                             replica.name)
 
     # ------------------------------------------------------------------ #
     # request path
@@ -249,17 +319,25 @@ class _ModelLane:
             pending, rejected = self.pending_samples, self.rejected
             per_replica = {replica.name: {"outstanding": replica.outstanding,
                                           "pid": replica.ready.get("pid"),
+                                          "alive": replica.process.is_alive(),
+                                          "restarts": replica.restarts,
                                           "decompositions":
                                               replica.ready.get("decompositions"),
                                           "store": replica.ready.get("store"),
+                                          "native_backend":
+                                              replica.ready.get("native_backend"),
                                           **replica.batcher.stats.as_dict()}
                            for replica in self.replicas}
+            restarts_used = self.restarts_used
         return {"replicas": per_replica, "pending_samples": pending,
                 "rejected": rejected, "max_queue_samples": self.max_queue_samples,
+                "restarts_used": restarts_used, "max_restarts": self.max_restarts,
                 "slabs": self.ring.names}
 
     def close(self, timeout: float = 30.0) -> bool:
         """Drain batchers, stop workers, unlink slabs; True if all stopped."""
+        with self._lock:
+            self._closing = True        # no respawns race the teardown
         joined = [replica.batcher.close(timeout=timeout)
                   for replica in self.replicas if replica.batcher is not None]
         stopped = [replica.stop(timeout) for replica in self.replicas]
@@ -293,16 +371,24 @@ class ShardedInferenceService:
         turn replica cold-start into a memory-mapped lookup, and all
         replicas on the host share one physical copy of the mapped dense
         matrices through the page cache.
+    max_worker_restarts:
+        How many crashed replica processes each lane may respawn over its
+        lifetime; ``0`` disables auto-restart (dead slots just keep failing
+        the requests routed to them).
     """
 
     def __init__(self, workers: int = 2, max_batch: int = 64,
                  max_latency_s: float = 0.002,
                  max_queue_samples: Optional[int] = None,
                  start_timeout_s: float = 120.0, context: str = "spawn",
-                 store_path: Optional[str] = None):
+                 store_path: Optional[str] = None,
+                 max_worker_restarts: int = 2):
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
         self.workers = int(workers)
+        self.max_worker_restarts = int(max_worker_restarts)
         self.max_batch = int(max_batch)
         self.max_latency_s = float(max_latency_s)
         self.max_queue_samples = max_queue_samples
@@ -389,16 +475,21 @@ class ShardedInferenceService:
             for replica in pool:
                 replica.stop(timeout=5.0)
             raise
-        for replica in pool:
-            replica.batcher = DynamicBatcher(
-                _WorkerProxy(replica, ring), scheme=None, max_batch=max_batch,
-                max_latency_s=max_latency_s, name=f"shard:{replica.name}")
         if max_queue_samples is None:
             max_queue_samples = self.max_queue_samples
         if max_queue_samples is None:
             max_queue_samples = 8 * max_batch * replicas
-        return _ModelLane(model_key, pool, ring, max_batch=max_batch,
-                          max_queue_samples=int(max_queue_samples))
+        lane = _ModelLane(model_key, pool, ring, max_batch=max_batch,
+                          max_queue_samples=int(max_queue_samples),
+                          max_restarts=self.max_worker_restarts,
+                          start_timeout_s=self.start_timeout_s)
+        for replica in pool:
+            replica.batcher = DynamicBatcher(
+                _WorkerProxy(replica, ring,
+                             on_death=lane._handle_worker_death),
+                scheme=None, max_batch=max_batch,
+                max_latency_s=max_latency_s, name=f"shard:{replica.name}")
+        return lane
 
     def lane(self, model_key: str) -> _ModelLane:
         with self._lock:

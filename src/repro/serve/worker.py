@@ -67,6 +67,7 @@ def worker_main(spec: WorkerSpec, requests, responses) -> None:
     """Entry point of one replica process (see the module protocol table)."""
     try:
         from repro.assignment import get_scheme
+        from repro.photonics.engine import native_kernel
         from repro.photonics.svd_mapping import decompositions_performed
         from repro.serve.cache import ProgramCache
 
@@ -95,6 +96,10 @@ def worker_main(spec: WorkerSpec, requests, responses) -> None:
             # when a warm artifact store served the whole program
             "decompositions": decompositions_performed(),
             "store": None if store is None else store.stats.as_dict(),
+            # whether this replica loaded the compiled cchain kernel; each
+            # spawn-started process compiles/loads independently, so the
+            # frontend can surface replicas that silently fell back to numpy
+            "native_backend": native_kernel() is not None,
         }))
     except BaseException:  # noqa: BLE001 -- startup failure crosses as text
         responses.put(("failed", traceback.format_exc()))

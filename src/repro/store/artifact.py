@@ -212,7 +212,23 @@ class ArtifactStore:
             self.quarantine(key)
             return None
         self.stats.hits += 1
+        self._touch(entry)
         return StoredArtifact(key, matrices)
+
+    def _touch(self, entry: Path) -> None:
+        """Bump the entry directory's mtime so pruning sees it as recent.
+
+        The directory mtime is the store's LRU clock: saves set it via the
+        publishing rename and every hit refreshes it here, so
+        :meth:`prune` evicts by last *use*, not last write.  Best-effort --
+        read-only media just leaves the write-time ordering in place.
+        """
+        if self.readonly:
+            return
+        try:
+            os.utime(entry)
+        except OSError:
+            pass
 
     def _build_matrix(self, entry: Path, payload, index: int,
                       record: Dict[str, Any],
@@ -378,6 +394,75 @@ class ArtifactStore:
             shutil.rmtree(entry, ignore_errors=True)
             self.stats.deletes += 1
         return existed
+
+    def prune(self, max_entries: Optional[int] = None,
+              max_age: Optional[float] = None) -> Dict[str, int]:
+        """Evict old and excess entries; returns a removal report.
+
+        ``max_age`` (seconds) drops every entry whose directory mtime --
+        bumped on each hit, so effectively its last use -- is older than
+        that; ``max_entries`` then keeps only the most recently used
+        entries.  The quarantine tree is subject to the same two bounds
+        (quarantined trees are debris awaiting inspection, not addressable
+        entries, so they obey the same retention policy).
+
+        Removal never races a concurrent reader into a torn read: each
+        victim is first ``os.replace``-d to a non-addressable ``*.prune``
+        sibling -- after which readers atomically see a clean miss -- and
+        only then deleted.  A reader that opened the manifest just before
+        the rename fails mid-read and degrades to a quarantined miss, which
+        is the store's normal damage path, never a wrong answer.
+        """
+        report = {"removed_entries": 0, "removed_quarantined": 0,
+                  "kept_entries": 0}
+        if self.readonly:
+            report["kept_entries"] = len(self.keys())
+            return report
+        report["removed_entries"] = self._prune_tree(
+            [self.entry_path(key) for key in self.keys()],
+            max_entries, max_age)
+        quarantine_root = self.root / ".quarantine"
+        quarantined = sorted(path for path in quarantine_root.iterdir()
+                             if path.is_dir()) if quarantine_root.is_dir() else []
+        report["removed_quarantined"] = self._prune_tree(
+            quarantined, max_entries, max_age)
+        report["kept_entries"] = len(self.keys())
+        self.stats.deletes += report["removed_entries"]
+        return report
+
+    def _prune_tree(self, entries: List[Path], max_entries: Optional[int],
+                    max_age: Optional[float]) -> int:
+        """Apply the age then LRU bound to one directory list; count removals."""
+        import time
+
+        survivors = []
+        removed = 0
+        now = time.time()
+        for entry in entries:
+            try:
+                mtime = entry.stat().st_mtime
+            except OSError:
+                continue          # a concurrent prune/writer already moved it
+            if max_age is not None and now - mtime > max_age:
+                removed += self._remove_entry(entry)
+            else:
+                survivors.append((mtime, entry))
+        if max_entries is not None and len(survivors) > max_entries:
+            survivors.sort(reverse=True)      # most recently used first
+            for _, entry in survivors[max_entries:]:
+                removed += self._remove_entry(entry)
+        return removed
+
+    def _remove_entry(self, entry: Path) -> int:
+        """Atomically un-address one entry directory, then delete it."""
+        doomed = entry.with_name(
+            f"{entry.name}.{os.getpid()}-{next(_TMP_COUNTER)}.prune")
+        try:
+            os.replace(entry, doomed)
+        except OSError:
+            return 0              # lost a race; someone else removed it
+        shutil.rmtree(doomed, ignore_errors=True)
+        return 1
 
     def quarantine(self, key: str) -> None:
         """Move a damaged entry out of the addressable tree (or delete it)."""

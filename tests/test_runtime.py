@@ -24,6 +24,7 @@ from repro.core.graph_ir import (
 from repro.core.runtime import (
     AffineInstruction,
     CallInstruction,
+    ChainInstruction,
     ConvInstruction,
     ExecutionPlan,
     MatmulInstruction,
@@ -181,7 +182,13 @@ class TestPlanCompilation:
                                 options=CompileOptions(backend="column"))
         plan = program.plan()
         assert plan.fused_matmuls == 0
-        assert all(isinstance(instruction, CallInstruction)
+        # unfused linear mesh stages lower to the explicit chain-path
+        # instruction (native kernel when loaded, column program otherwise);
+        # everything else stays on the generic call
+        assert all(isinstance(instruction, (CallInstruction, ChainInstruction))
+                   for instruction in plan.instructions)
+        assert plan.chain_stages > 0
+        assert any(isinstance(instruction, ChainInstruction)
                    for instruction in plan.instructions)
 
     def test_plan_is_cached_until_options_differ(self, rng):

@@ -21,6 +21,7 @@ from repro.serve import (
     ServiceOverloadedError,
     ShardedInferenceService,
     SlabRing,
+    WorkerError,
     segment_exists,
 )
 
@@ -197,5 +198,82 @@ class TestLifecycle:
             new_pids = [stats["pid"] for stats
                         in service.stats()["fcnn"]["replicas"].values()]
             assert set(new_pids).isdisjoint(old_pids)
+            expected = repro.compile(model).predict_logits(images, get_scheme("SI"))
+            assert np.abs(service.logits("fcnn", images) - expected).max() <= 1e-10
+
+
+class TestWorkerAutoRestart:
+    def _kill_replica(self, service, key="fcnn"):
+        """SIGKILL the lane's only worker process; returns its pid."""
+        import os
+        import signal
+        import time
+
+        lane = service.lane(key)
+        [replica] = lane.replicas
+        pid = replica.process.pid
+        os.kill(pid, signal.SIGKILL)
+        replica.process.join(timeout=10)
+        assert not replica.process.is_alive()
+        return pid
+
+    def test_crashed_replica_respawns_and_serves(self):
+        model = tiny_fcnn()
+        images = np.random.default_rng(13).normal(size=(2, *IMAGE_SHAPE))
+        expected = repro.compile(model).predict_logits(images, get_scheme("SI"))
+        with ShardedInferenceService(workers=1, max_batch=8,
+                                     max_latency_s=0.001,
+                                     max_worker_restarts=2) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            old_pid = self._kill_replica(service)
+            # the request in flight when the crash surfaces still fails
+            # loudly, with the worker's death in the message
+            with pytest.raises(WorkerError, match="died mid-request"):
+                service.logits("fcnn", images)
+            # ...but the lane respawned the slot: new pid, served traffic
+            assert np.abs(service.logits("fcnn", images) - expected).max() <= 1e-10
+            stats = service.stats()["fcnn"]
+            assert stats["restarts_used"] == 1
+            [replica_stats] = stats["replicas"].values()
+            assert replica_stats["alive"] and replica_stats["restarts"] == 1
+            assert replica_stats["pid"] != old_pid
+
+    def test_restart_budget_is_bounded(self):
+        model = tiny_fcnn()
+        sample = np.random.default_rng(17).normal(size=IMAGE_SHAPE)
+        with ShardedInferenceService(workers=1, max_batch=8,
+                                     max_latency_s=0.001,
+                                     max_worker_restarts=0) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            self._kill_replica(service)
+            # no budget: the slot stays dead and every request fails fast
+            for _ in range(2):
+                with pytest.raises(WorkerError, match="died mid-request"):
+                    service.logits("fcnn", sample)
+            stats = service.stats()["fcnn"]
+            assert stats["restarts_used"] == 0
+            [replica_stats] = stats["replicas"].values()
+            assert not replica_stats["alive"] and replica_stats["restarts"] == 0
+
+    def test_worker_batch_error_does_not_restart(self):
+        """A live worker failing one batch keeps its process (no respawn)."""
+        model = tiny_fcnn()
+        images = np.random.default_rng(19).normal(size=(2, *IMAGE_SHAPE))
+        with ShardedInferenceService(workers=1, max_batch=8,
+                                     max_latency_s=0.001,
+                                     max_worker_restarts=2) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            lane = service.lane("fcnn")
+            [replica] = lane.replicas
+            pid = replica.process.pid
+            # an oversized shape the worker-side predict will choke on
+            # crosses admission (sample count is fine) but errors in-process
+            bad = np.zeros((1, 2, *IMAGE_SHAPE[1:]))    # wrong channel count
+            with pytest.raises(WorkerError, match="failed a batch"):
+                service.logits("fcnn", bad)
+            stats = service.stats()["fcnn"]
+            assert stats["restarts_used"] == 0
+            [replica_stats] = stats["replicas"].values()
+            assert replica_stats["alive"] and replica_stats["pid"] == pid
             expected = repro.compile(model).predict_logits(images, get_scheme("SI"))
             assert np.abs(service.logits("fcnn", images) - expected).max() <= 1e-10

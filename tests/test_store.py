@@ -348,3 +348,84 @@ class TestServingIntegration:
             images = sample_images()
             expected = program.predict_logits(images, get_scheme("SI"))
             assert np.abs(service.logits("fcnn", images) - expected).max() <= 1e-12
+
+
+class TestPruning:
+    def _populate(self, store, count=3):
+        """Distinct entries with strictly increasing (stale) LRU stamps."""
+        keys = []
+        for seed in range(count):
+            program = compile_model(tiny_fcnn(seed=seed), store=store)
+            keys.append(program.store_key)
+        for rank, key in enumerate(keys):
+            stamp = 1_000_000.0 + rank        # far in the past, ordered
+            os.utime(store.entry_path(key), (stamp, stamp))
+        return keys
+
+    def test_lru_prune_keeps_most_recently_used(self, store):
+        oldest, middle, newest = self._populate(store)
+        assert store.load(oldest) is not None    # a hit refreshes the clock
+        report = store.prune(max_entries=2)
+        assert report == {"removed_entries": 1, "removed_quarantined": 0,
+                          "kept_entries": 2}
+        # `middle` was the least recently *used* entry, not `oldest`
+        assert store.has(oldest) and store.has(newest) and not store.has(middle)
+        assert store.stats.deletes == 1
+
+    def test_age_prune_drops_stale_entries_and_quarantine(self, store):
+        keys = self._populate(store)
+        store.quarantine(keys[0])                # stale tree under .quarantine
+        [quarantined] = (store.root / ".quarantine").iterdir()
+        os.utime(quarantined, (1_000_000.0, 1_000_000.0))
+        report = store.prune(max_age=3600.0)
+        assert report == {"removed_entries": 2, "removed_quarantined": 1,
+                          "kept_entries": 0}
+        assert store.keys() == []
+        assert not any((store.root / ".quarantine").iterdir())
+        # fresh entries survive the same bound
+        fresh = compile_model(tiny_fcnn(seed=7), store=store)
+        assert store.prune(max_age=3600.0)["kept_entries"] == 1
+        assert store.has(fresh.store_key)
+
+    def test_prune_never_tears_a_concurrent_reader(self, store, monkeypatch):
+        """A reader mid-load when its entry is pruned gets a clean miss.
+
+        The interleaving is forced deterministically: the reader opens the
+        manifest, then -- before it hashes the payload -- another store
+        handle prunes everything.  The reader must degrade to the standard
+        quarantined miss (``None`` + ``corrupt`` counted), never raise or
+        serve a torn entry.
+        """
+        from repro.store import artifact as artifact_module
+
+        [key] = [compile_model(tiny_fcnn(), store=store).store_key]
+        real_sha256 = artifact_module.file_sha256
+        pruned = {}
+
+        def racing_sha256(path):
+            if not pruned:
+                pruned["report"] = ArtifactStore(store.root).prune(max_entries=0)
+            return real_sha256(path)
+
+        monkeypatch.setattr(artifact_module, "file_sha256", racing_sha256)
+        assert store.load(key) is None
+        assert pruned["report"]["removed_entries"] == 1
+        assert store.stats.corrupt == 1 and store.stats.hits == 0
+        # no half-deleted debris left in the addressable tree
+        assert store.keys() == [] and not store.has(key)
+
+    def test_readonly_store_never_prunes(self, warm_store):
+        readonly = ArtifactStore(warm_store.root, readonly=True)
+        report = readonly.prune(max_entries=0, max_age=0.0)
+        assert report == {"removed_entries": 0, "removed_quarantined": 0,
+                          "kept_entries": 1}
+        assert len(warm_store.keys()) == 1
+
+    def test_prune_cli_reports_removals(self, store, capsys):
+        from repro.cli import main
+
+        self._populate(store, count=2)
+        assert main(["store", "prune", str(store.root), "--max-entries", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 entry" in out and "1 kept" in out
+        assert len(ArtifactStore(store.root).keys()) == 1
