@@ -16,6 +16,10 @@ Examples
     python -m repro serve --workload fcnn --store ./store   # warm cold-start
     python -m repro backends --calibrate    # native kernel state + crossovers
     python -m repro store prune ./store --max-entries 64 --max-age-days 30
+    python -m repro scenarios               # hardware-degradation registry
+    python -m repro scenarios --demo        # degradation-vs-time curves
+    python -m repro serve --workload fcnn --recalibrate   # drift-and-heal demo
+    python -m repro precompile --store ./store --prune-max-entries 64
 
 Each subcommand prints the same rows/series the paper reports and optionally
 saves them as JSON with ``--output``.
@@ -142,6 +146,10 @@ def _run_serve(args: argparse.Namespace) -> None:
         student = pipeline.build_student()
     scheme = pipeline.student_scheme()
 
+    if args.recalibrate:
+        _run_serve_recalibrate(args, student, scheme,
+                               (config.channels, *config.image_size))
+        return
     if args.workers is not None:
         _run_serve_sharded(args, student, scheme,
                            (config.channels, *config.image_size))
@@ -217,16 +225,100 @@ def _run_serve_sharded(args: argparse.Namespace, student, scheme,
         requests=args.requests, clients=args.clients,
         max_batch=max(args.max_batch), max_latency_s=args.max_latency_ms / 1e3,
         seed=args.seed, store_path=args.store)
-    table = [[row.workers, row.clients, row.requests,
-              f"{row.requests_per_s:.0f}", f"{row.gain_vs_single:.2f}x",
-              f"{row.max_parity:.1e}", row.overload_retries]
-             for row in rows]
+    table = []
+    for row in rows:
+        alive = sum(1 for replica in row.replicas.values() if replica.get("alive"))
+        restarts = sum(replica.get("restarts", 0)
+                       for replica in row.replicas.values())
+        drift = row.lane.get("drift") if row.lane else None
+        table.append([row.workers, row.clients, row.requests,
+                      f"{row.requests_per_s:.0f}", f"{row.gain_vs_single:.2f}x",
+                      f"{row.max_parity:.1e}", row.overload_retries,
+                      f"{alive}/{len(row.replicas)}",
+                      f"{restarts} ({row.lane.get('restarts_used', 0)}"
+                      f"/{row.lane.get('max_restarts', 0)} budget)"
+                      if row.lane else str(restarts),
+                      "-" if drift is None else
+                      f"score {drift.get('score')} "
+                      f"({drift.get('recalibrations', 0)} recals)"])
     print(format_table(
         ["workers", "clients", "requests", "req/s", "gain vs 1 worker",
-         "parity vs in-process", "overload retries"],
+         "parity vs in-process", "overload retries", "alive", "restarts",
+         "drift"],
         table, title="Sharded serving throughput (shared-memory worker pools)"))
     _maybe_save({"cpus": cpus,
                  "rows": [dataclasses.asdict(row) for row in rows]}, args.output)
+
+
+def _run_serve_recalibrate(args: argparse.Namespace, student, scheme,
+                           image_shape) -> None:
+    """Drift-and-heal demo: chaos-mode drift injection + online recalibration."""
+    import numpy as np
+
+    from repro.experiments.scenarios import run_drift_recalibration
+
+    rng = np.random.default_rng(args.seed)
+    images = rng.normal(size=(32, *image_shape))
+    workers = max(args.workers) if args.workers else 2
+    print(f"drift-and-heal demo: {workers} worker(s), "
+          f"{args.drift_s:.0f}s of injected thermal drift "
+          f"(sigma {args.drift_sigma}, tau {args.drift_tau_s}s)")
+    summary = run_drift_recalibration(
+        student, scheme, image_shape, images, sigma=args.drift_sigma,
+        tau_s=args.drift_tau_s, drift_s=args.drift_s, workers=workers,
+        seed=args.seed)
+    table = [
+        ["clean", percent(summary["clean_accuracy"])],
+        [f"degraded (t={summary['drift_s']:.0f}s)",
+         percent(summary["degraded_accuracy"])],
+        ["recalibrated", percent(summary["recalibrated_accuracy"])],
+    ]
+    print(format_table(["deployment state", "agreement vs clean program"],
+                       table, title="Online recalibration"))
+    print(f"detected drift at score {summary['detection_score']:.3f}; "
+          f"healed in {summary['recalibration_latency_s']:.2f}s; "
+          f"traffic during the run: {summary['traffic']['completed']} requests, "
+          f"{summary['traffic']['failed']} failed")
+    _maybe_save(summary, args.output)
+
+
+def _run_scenarios(args: argparse.Namespace) -> None:
+    """List the hardware-degradation scenario registry; --demo sweeps them."""
+    from repro.scenarios import scenario_descriptions
+
+    rows = [[name, description]
+            for name, description in scenario_descriptions().items()]
+    print(format_table(["scenario", "model"], rows,
+                       title="Hardware-degradation scenario registry "
+                             "(repro.scenarios)"))
+    if not args.demo:
+        return
+
+    import numpy as np
+
+    from repro.experiments.scenarios import format_time_sweep, \
+        scenario_time_sweep
+    from repro.models import ComplexFCNN
+
+    rng = np.random.default_rng(args.seed)
+    model = ComplexFCNN(8, (6,), 3, decoder="merge",
+                        rng=np.random.default_rng(args.seed))
+    images = rng.normal(size=(64, 1, 4, 4))
+    all_rows = []
+    for config in (
+        {"name": "thermal_drift", "params": {"sigma": args.sigma,
+                                             "tau_s": 30.0, "seed": args.seed}},
+        {"name": "crosstalk", "params": {"sigma": args.sigma / 4,
+                                         "coupling": 0.4, "seed": args.seed}},
+        {"name": "fabrication", "params": {"sigma": args.sigma / 8,
+                                           "seed": args.seed}},
+    ):
+        all_rows.extend(scenario_time_sweep(
+            model, "SI", images, config, times=args.times,
+            trials=args.trials))
+    print()
+    print(format_time_sweep(all_rows))
+    _maybe_save(all_rows, args.output)
 
 
 def _run_precompile(args: argparse.Namespace) -> None:
@@ -274,8 +366,18 @@ def _run_precompile(args: argparse.Namespace) -> None:
     print(format_table(["Model", "key", "status", "build time"], table,
                        title=f"Ahead-of-time compilation into {store.root}"))
     print(f"store stats: {store.stats.as_dict()}")
+    prune_report = None
+    if args.prune_max_entries is not None or args.prune_max_age_days is not None:
+        prune_report = store.prune(
+            max_entries=args.prune_max_entries,
+            max_age=args.prune_max_age_days * 86400.0
+            if args.prune_max_age_days is not None else None)
+        print(f"pruned: removed {prune_report['removed_entries']} "
+              f"entr{'y' if prune_report['removed_entries'] == 1 else 'ies'}, "
+              f"{prune_report['removed_quarantined']} quarantined tree(s), "
+              f"{prune_report['kept_entries']} kept")
     _maybe_save({"store": str(store.root), "stats": store.stats.as_dict(),
-                 "rows": table}, args.output)
+                 "rows": table, "prune": prune_report}, args.output)
 
 
 def _run_backends(args: argparse.Namespace) -> None:
@@ -452,6 +554,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="path of an ahead-of-time compilation artifact "
                             "store (see 'repro precompile'); deploys hit warm "
                             "precompiled entries instead of decomposing")
+    serve.add_argument("--recalibrate", action="store_true",
+                       help="run the drift-and-heal demo instead: deploy the "
+                            "sharded service in chaos mode, inject thermal "
+                            "drift, detect it from logit statistics and "
+                            "recalibrate with traffic flowing")
+    serve.add_argument("--drift-s", type=float, default=120.0,
+                       help="seconds of thermal drift to inject (--recalibrate)")
+    serve.add_argument("--drift-sigma", type=float, default=0.5,
+                       help="stationary drift std in radians (--recalibrate)")
+    serve.add_argument("--drift-tau-s", type=float, default=30.0,
+                       help="drift correlation time in seconds (--recalibrate)")
     serve.set_defaults(runner=_run_serve)
 
     precompile = subparsers.add_parser(
@@ -477,7 +590,33 @@ def build_parser() -> argparse.ArgumentParser:
     precompile.add_argument("--refresh", action="store_true",
                             help="bypass existing entries and rewrite them "
                                  "from a live compile")
+    precompile.add_argument("--prune-max-entries", type=int, default=None,
+                            help="after building, keep at most this many "
+                                 "store entries (least recently used evicted)")
+    precompile.add_argument("--prune-max-age-days", type=float, default=None,
+                            help="after building, evict entries unused for "
+                                 "this many days")
     precompile.set_defaults(runner=_run_precompile)
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="hardware-degradation scenario registry; --demo sweeps "
+             "degradation vs time")
+    scenarios.add_argument("--demo", action="store_true",
+                           help="run degradation-trajectory sweeps of every "
+                                "scenario on a tiny FCNN")
+    scenarios.add_argument("--sigma", type=float, default=0.4,
+                           help="thermal-drift stationary std in radians for "
+                                "the demo (other scenarios scale off it)")
+    scenarios.add_argument("--times", type=float, nargs="+",
+                           default=[0.0, 10.0, 30.0, 60.0, 120.0],
+                           help="scenario times (seconds) of the trajectory")
+    scenarios.add_argument("--trials", type=int, default=8,
+                           help="Monte-Carlo realizations per time step")
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument("--output", default=None,
+                           help="optional path of a JSON file to store the rows")
+    scenarios.set_defaults(runner=_run_scenarios)
 
     backends = subparsers.add_parser(
         "backends",

@@ -246,6 +246,27 @@ class CompiledProgram:
             target=target, options=self.options, encoder=self.encoder,
             store_key=self.store_key, store_hit=self.store_hit)
 
+    def with_scenario(self, scenario: Any, times: Optional[Any] = None,
+                      trials: Optional[int] = None,
+                      quantization_bits: Optional[int] = None) -> "CompiledProgram":
+        """Return a copy degraded by a hardware scenario (see ``repro.scenarios``).
+
+        ``scenario`` is a scenario instance, a ``{"name", "params"}`` config
+        dict, or a list of configs (composite).  Without ``times`` the copy
+        is evaluated at the scenario's current clock; with ``times`` (a 1-D
+        grid of seconds) the copy's meshes carry the whole degradation
+        trajectory as a leading time axis, composing with ``trials`` exactly
+        like a sigma sweep.  The scenario rides the same seam as
+        :meth:`with_noise`, so every engine backend runs it unchanged.
+        """
+        from repro.scenarios import build_scenario
+        from repro.scenarios.base import ScenarioTrajectory
+
+        scenario = build_scenario(scenario)
+        noise = scenario if times is None else ScenarioTrajectory(scenario, times)
+        return self.with_noise(noise=noise, quantization_bits=quantization_bits,
+                               trials=trials)
+
 
 def compile(model, target: Optional[HardwareTarget] = None,
             options: Optional[CompileOptions] = None,

@@ -1,0 +1,151 @@
+"""Hardware-realism scenario experiments: degradation curves and the
+drift-detect-recalibrate loop, measured end to end.
+
+Two harnesses, shared by ``python -m repro scenarios``, the scenario tests
+and ``benchmarks/test_bench_scenarios.py``:
+
+* :func:`scenario_time_sweep` -- prediction agreement vs the clean program
+  as a function of scenario time, evaluated as ONE batched ensemble through
+  the engine (the trajectory rides a leading time axis, optionally crossed
+  with Monte-Carlo trials), so a whole degradation curve costs a single
+  forward pass.
+* :func:`run_drift_recalibration` -- the full serving-layer loop against a
+  live :class:`~repro.serve.shard.ShardedInferenceService`: deploy in chaos
+  mode, inject drift, keep client traffic flowing the entire time, let the
+  :class:`~repro.serve.recalibrate.RecalibrationManager` detect the
+  degradation from logit statistics alone and heal the lane, and report
+  accuracy before/after plus swap latency and any failed requests.
+
+"Accuracy" here is agreement with the clean program's predictions on the
+evaluation batch -- ground truth for the hardware question being asked
+(does the served model still compute what was compiled?), and available
+without a trained checkpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+import repro
+from repro.assignment import get_scheme
+from repro.scenarios import build_scenario
+
+
+def _agreement(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of predictions matching ``labels``; extra leading axes
+    (time, trials) are averaged over."""
+    predictions = np.asarray(logits).argmax(axis=-1)
+    return float((predictions == labels).mean())
+
+
+def scenario_time_sweep(model, scheme: Any, images: np.ndarray,
+                        scenario: Any, times: Sequence[float],
+                        trials: Optional[int] = None) -> List[Dict[str, Any]]:
+    """Agreement-vs-clean at every scenario time, in one ensemble pass."""
+    scheme = get_scheme(scheme) if isinstance(scheme, str) else scheme
+    program = repro.compile(model)
+    clean = program.predict_logits(images, scheme)
+    labels = clean.argmax(axis=-1)
+    built = build_scenario(scenario)
+    trajectory = program.with_scenario(built, times=list(times), trials=trials)
+    logits = trajectory.predict_logits(images, scheme)
+    rows = []
+    for index, t in enumerate(times):
+        rows.append({"scenario": built.name, "time_s": float(t),
+                     "agreement": _agreement(logits[index], labels)})
+    return rows
+
+
+def run_drift_recalibration(model, scheme: Any, image_shape: Sequence[int],
+                            images: np.ndarray, sigma: float = 0.5,
+                            tau_s: float = 30.0, drift_s: float = 120.0,
+                            workers: int = 2, threshold: float = 0.15,
+                            min_batches: int = 2, observe_batches: int = 4,
+                            traffic_interval_s: float = 0.01,
+                            seed: int = 0) -> Dict[str, Any]:
+    """Deploy, degrade, detect, heal -- with traffic flowing throughout.
+
+    Returns a summary dict: ``clean_accuracy`` / ``degraded_accuracy`` /
+    ``recalibrated_accuracy`` (agreement with the clean program),
+    ``detection_score`` (the drift score that tripped the threshold),
+    ``recalibration_latency_s`` (redeploy + swap wall clock), and
+    ``traffic`` counts proving zero requests failed during the swap.
+    """
+    from repro.serve import DriftInjector, RecalibrationManager, \
+        ShardedInferenceService
+
+    scheme_name = scheme if isinstance(scheme, str) else scheme.name
+    scheme_obj = get_scheme(scheme_name)
+    images = np.asarray(images)
+    clean = repro.compile(model).predict_logits(images, scheme_obj)
+    labels = clean.argmax(axis=-1)
+    scenario = {"name": "thermal_drift",
+                "params": {"sigma": float(sigma), "tau_s": float(tau_s),
+                           "seed": int(seed)}}
+
+    summary: Dict[str, Any] = {"scenario": scenario, "drift_s": float(drift_s),
+                               "workers": int(workers)}
+    with ShardedInferenceService(workers=int(workers),
+                                 max_latency_s=0.001) as service:
+        service.deploy("drift-demo", model, scheme_name, tuple(image_shape),
+                       scenario=scenario)
+        summary["clean_accuracy"] = _agreement(
+            service.logits("drift-demo", images), labels)
+
+        manager = RecalibrationManager(service, "drift-demo", images,
+                                       threshold=float(threshold),
+                                       min_batches=int(min_batches))
+        injector = DriftInjector(service, "drift-demo")
+        injector.advance(float(drift_s))
+        degraded = service.logits("drift-demo", images)
+        summary["degraded_accuracy"] = _agreement(degraded, labels)
+
+        # continuous client traffic that must survive the swap untouched
+        failures: List[BaseException] = []
+        completed = [0]
+        stop_traffic = threading.Event()
+
+        def traffic() -> None:
+            wave = images[: max(1, len(images) // 4)]
+            while not stop_traffic.is_set():
+                try:
+                    service.logits("drift-demo", wave)
+                    completed[0] += 1
+                except BaseException as error:  # noqa: BLE001 -- counted below
+                    failures.append(error)
+                time.sleep(traffic_interval_s)
+
+        thread = threading.Thread(target=traffic, daemon=True)
+        thread.start()
+        try:
+            # the monitor only sees live traffic; feed it observation batches
+            for _ in range(int(observe_batches)):
+                service.logits("drift-demo", images)
+            summary["detection_score"] = manager.drift_score()
+            summary["detected"] = manager.drifted()
+            status = manager.check()        # heals synchronously when drifted
+            summary["recalibrations"] = status["recalibrations"]
+            summary["recalibration_latency_s"] = status["last_latency_s"]
+            summary["recalibrated_accuracy"] = _agreement(
+                service.logits("drift-demo", images), labels)
+        finally:
+            stop_traffic.set()
+            thread.join(timeout=30.0)
+        summary["traffic"] = {"completed": completed[0],
+                              "failed": len(failures)}
+        if failures:
+            summary["traffic"]["first_error"] = repr(failures[0])
+    return summary
+
+
+def format_time_sweep(rows: List[Dict[str, Any]]) -> str:
+    from repro.experiments.reporting import format_table
+
+    table = [[row["scenario"], f"{row['time_s']:.0f}",
+              f"{row['agreement'] * 100:.1f}%"] for row in rows]
+    return format_table(["scenario", "t (s)", "agreement vs clean"], table,
+                        title="Degradation trajectory (one batched ensemble)")

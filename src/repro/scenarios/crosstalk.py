@@ -1,0 +1,192 @@
+"""Correlated thermal crosstalk between mesh-adjacent phase shifters.
+
+Heaters on a real MZI mesh are not thermally isolated: power dissipated in
+one shifter leaks into its spatial neighbors, so phase errors are
+*correlated* across the mesh instead of i.i.d.  This scenario models the
+leak with a neighbor-coupling construction that stays linear-time in the
+number of shifters while having an exact closed-form covariance:
+
+.. math::
+
+    e_i = s_i \\Big( g_i + \\kappa \\sum_{j \\in N(i)} g_j \\Big),
+    \\qquad s_i = \\frac{\\sigma}{\\sqrt{1 + \\kappa^2 d_i}},
+
+with ``g`` i.i.d. standard normal, ``N(i)`` the spatial neighbors of
+shifter ``i`` and ``d_i = |N(i)|``.  Writing ``A`` for the symmetric
+adjacency matrix and ``S = diag(s)``, the error vector is
+``e = S (I + kappa A) g``, hence
+
+.. math::
+
+    \\operatorname{Cov}[e] = S (I + \\kappa A)(I + \\kappa A)^T S,
+
+whose diagonal is exactly ``sigma**2`` (the normalization absorbs the
+degree) and whose off-diagonal entries are
+``s_i s_j (2 kappa A_ij + kappa^2 |N(i) \\cap N(j)|)`` -- neighbors
+correlate at first order in ``kappa``, shifters two hops apart at second
+order.  :meth:`covariance` materializes the closed form so
+``tools/check_scenarios.py`` can pin the sampler against it.
+
+Adjacency follows the mesh geometry the engine compiles: the two shifters
+of one MZI (theta and phi) are on the same device and always couple; MZIs
+within one optical column and two modes of each other couple; the output
+phase shifters couple to their mode neighbors and to the MZIs of the last
+column that touch their modes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.photonics.mzi_mesh import MeshDecomposition
+from repro.scenarios.base import HardwareScenario, MeshDevice, device_of
+from repro.scenarios.registry import register_scenario
+
+
+def _adjacency_edges(device: MeshDevice) -> Tuple[np.ndarray, np.ndarray]:
+    """Directed edge list ``(src, dst)`` of the shifter adjacency (both
+    directions present), in the flat (thetas, phis, output) layout."""
+    n, dim = device.mzi_count, device.dimension
+    edges = []
+
+    def link(a: np.ndarray, b: np.ndarray) -> None:
+        if len(a):
+            edges.append((np.asarray(a, dtype=np.intp),
+                          np.asarray(b, dtype=np.intp)))
+
+    mzis = np.arange(n, dtype=np.intp)
+    # theta_k <-> phi_k: the two shifters of one physical MZI
+    link(mzis, mzis + n)
+    link(mzis + n, mzis)
+
+    if n:
+        # neighboring MZIs: |column delta| <= 1 and |mode delta| <= 2.
+        # Pair via a (column, mode) occupancy grid -- each (col, mode) slot
+        # holds at most one MZI, so neighbor lookup is a constant number of
+        # vectorized gathers instead of an n^2 scan.
+        grid = np.full((device.depth, dim), -1, dtype=np.intp)
+        grid[device.columns, device.modes] = mzis
+        for dc in (0, 1):
+            for dm in (-2, -1, 0, 1, 2):
+                if dc == 0 and dm <= 0:
+                    continue  # (0, 0) is self; negatives come from symmetry
+                cols, rows = device.columns + dc, device.modes + dm
+                ok = (cols < device.depth) & (rows >= 0) & (rows < dim)
+                src = mzis[ok]
+                dst = grid[cols[ok], rows[ok]]
+                src, dst = src[dst >= 0], dst[dst >= 0]
+                for a, b in ((src, dst), (dst, src)):
+                    link(a, b)          # theta <-> theta
+                    link(a + n, b + n)  # phi <-> phi
+                    link(a, b + n)      # theta <-> neighbor's phi
+                    link(a + n, b)
+
+    # output phase shifters: a chain along the modes...
+    out = 2 * n + np.arange(dim, dtype=np.intp)
+    link(out[:-1], out[1:])
+    link(out[1:], out[:-1])
+    if n:
+        # ...coupled to last-column MZIs on their modes (upper and lower)
+        last = mzis[device.columns == device.depth - 1]
+        for mode in (device.modes[last], device.modes[last] + 1):
+            for shifter in (last, last + n):
+                link(shifter, out[mode])
+                link(out[mode], shifter)
+
+    if not edges:
+        empty = np.zeros(0, dtype=np.intp)
+        return empty, empty
+    src = np.concatenate([edge[0] for edge in edges])
+    dst = np.concatenate([edge[1] for edge in edges])
+    return src, dst
+
+
+@register_scenario("crosstalk")
+class CorrelatedCrosstalkScenario(HardwareScenario):
+    """Spatially correlated phase noise from thermal crosstalk.
+
+    Parameters
+    ----------
+    sigma:
+        Per-shifter phase-error standard deviation in radians (the
+        normalization keeps every marginal at exactly ``sigma`` regardless
+        of how many neighbors a shifter has).
+    coupling:
+        Crosstalk strength ``kappa``: the fraction of a neighbor's thermal
+        fluctuation that leaks into each shifter.  ``0`` recovers i.i.d.
+        noise.
+    seed:
+        Seed of the draw stream.  Draws are fresh per evaluation (crosstalk
+        fluctuates fast compared to the inference clock), i.i.d. across the
+        time and trials axes.
+    """
+
+    def __init__(self, sigma: float = 0.02, coupling: float = 0.3,
+                 seed: int = 0):
+        super().__init__(seed=seed)
+        self.sigma = float(sigma)
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.coupling = float(coupling)
+        if self.coupling < 0:
+            raise ValueError("coupling must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+        # device.key -> (src, dst, scale); topology-only, safe to cache
+        self._graphs: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def params(self) -> Dict[str, Any]:
+        return {"sigma": self.sigma, "coupling": self.coupling,
+                "seed": self.seed}
+
+    def _reset_state(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def _graph(self, device: MeshDevice) -> Tuple[np.ndarray, np.ndarray,
+                                                  np.ndarray]:
+        cached = self._graphs.get(device.key)
+        if cached is None:
+            src, dst = _adjacency_edges(device)
+            degree = np.bincount(dst, minlength=device.shifter_count)
+            scale = self.sigma / np.sqrt(1.0 + self.coupling ** 2 * degree)
+            cached = (src, dst, scale)
+            self._graphs[device.key] = cached
+        return cached
+
+    def degrees(self, device: MeshDevice) -> np.ndarray:
+        """Neighbor count of every shifter (flat layout)."""
+        src, dst, _scale = self._graph(device)
+        return np.bincount(dst, minlength=device.shifter_count)
+
+    def covariance(self, mesh_or_device) -> np.ndarray:
+        """Closed-form covariance matrix ``S (I + kA)(I + kA)^T S``.
+
+        Materializes a dense ``(shifters, shifters)`` matrix -- intended for
+        the small meshes of validation scripts, not production sizes.
+        """
+        device = (mesh_or_device if isinstance(mesh_or_device, MeshDevice)
+                  else device_of(mesh_or_device))
+        count = device.shifter_count
+        if count > 4096:
+            raise ValueError("closed-form covariance is dense; use a mesh "
+                             f"with at most 4096 shifters (got {count})")
+        src, dst, scale = self._graph(device)
+        mix = np.eye(count)
+        np.add.at(mix, (dst, src), self.coupling)
+        return (scale[:, None] * mix) @ (mix.T * scale[None, :])
+
+    def _offsets_for(self, device: MeshDevice, times: np.ndarray,
+                     lead: Tuple[int, ...]) -> np.ndarray:
+        src, dst, scale = self._graph(device)
+        count = device.shifter_count
+        shape = times.shape + lead + (count,)
+        g = self._rng.standard_normal(size=shape)
+        coupled = g.copy()
+        if len(src) and self.coupling:
+            # accumulate kappa * g[src] into coupled[dst]; np.add.at needs
+            # the indexed axis first, so work transposed over a flat batch
+            flat = coupled.reshape(-1, count).T
+            np.add.at(flat, dst, self.coupling * g.reshape(-1, count).T[src])
+            coupled = flat.T.reshape(shape)
+        return scale * coupled

@@ -1,0 +1,127 @@
+"""Slow thermal phase drift: an Ornstein--Uhlenbeck walk per phase shifter.
+
+Real thermo-optic phase shifters drift over minutes as the die temperature
+wanders: each heater's phase error is well modelled as a mean-reverting
+random walk rather than a fresh i.i.d. draw per inference.  The
+Ornstein--Uhlenbeck process captures exactly that:
+
+.. math::
+
+    d x_t = -\\frac{x_t}{\\tau} dt + \\sigma \\sqrt{2 / \\tau}\\, dW_t
+
+Starting from a freshly calibrated mesh (``x_0 = 0``), the phase error of
+each shifter at time ``t`` is Gaussian with variance
+
+.. math::
+
+    \\operatorname{Var}[x_t] = \\sigma^2 (1 - e^{-2 t / \\tau}),
+
+growing from zero to the stationary variance ``sigma**2`` over a few
+correlation times ``tau_s``, with autocorrelation ``exp(-dt / tau_s)``
+between two evaluations ``dt`` apart.  ``tools/check_scenarios.py`` pins the
+implementation against both closed forms.
+
+The walk is *exact* (no Euler step error): between two evaluation times the
+state updates as ``x' = x * exp(-dt/tau) + sigma * sqrt(1 - exp(-2 dt/tau))
+* eps``, so a serving worker may advance the clock in arbitrary increments
+and always samples the true process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.scenarios.base import HardwareScenario, MeshDevice
+from repro.scenarios.registry import register_scenario
+
+
+@register_scenario("thermal_drift")
+class ThermalDriftScenario(HardwareScenario):
+    """Mean-reverting (Ornstein--Uhlenbeck) phase drift on every shifter.
+
+    Parameters
+    ----------
+    sigma:
+        Stationary standard deviation of the phase error in radians.  May be
+        an *array* of standard deviations: the offsets then gain one leading
+        sigma axis per array axis (common random numbers across sigmas,
+        exactly like :class:`~repro.photonics.noise.PhaseNoiseModel` array
+        sigmas), composing with the trials and time axes.
+    tau_s:
+        Correlation time of the walk in seconds.
+    seed:
+        Seed of the per-device generators (each device draws its own
+        deterministic stream, so multi-mesh programs drift independently per
+        mesh but reproducibly across runs).
+    """
+
+    def __init__(self, sigma: float = 0.05, tau_s: float = 30.0, seed: int = 0):
+        super().__init__(seed=seed)
+        self.sigma = np.asarray(sigma, dtype=float)
+        if np.any(self.sigma < 0):
+            raise ValueError("sigma must be non-negative")
+        self.tau_s = float(tau_s)
+        if self.tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        self._state: Dict[Tuple, Dict[str, Any]] = {}
+
+    def params(self) -> Dict[str, Any]:
+        sigma = self.sigma.tolist() if self.sigma.ndim else float(self.sigma)
+        return {"sigma": sigma, "tau_s": self.tau_s, "seed": self.seed}
+
+    def _reset_state(self) -> None:
+        self._state.clear()
+
+    # ------------------------------------------------------------------ #
+    # closed-form expectations (validated by tools/check_scenarios.py)
+    # ------------------------------------------------------------------ #
+    def expected_std(self, t: float) -> np.ndarray:
+        """Phase-error standard deviation ``t`` seconds after calibration."""
+        return self.sigma * np.sqrt(1.0 - np.exp(-2.0 * np.asarray(t, dtype=float)
+                                                 / self.tau_s))
+
+    def expected_autocorrelation(self, dt: float) -> float:
+        """Stationary autocorrelation between evaluations ``dt`` apart."""
+        return float(np.exp(-float(dt) / self.tau_s))
+
+    # ------------------------------------------------------------------ #
+    # offset field
+    # ------------------------------------------------------------------ #
+    def _offsets_for(self, device: MeshDevice, times: np.ndarray,
+                     lead: Tuple[int, ...]) -> np.ndarray:
+        scalar_time = times.ndim == 0
+        grid = np.atleast_1d(times)
+        count = device.shifter_count
+        state = self._state.get((device.key, lead))
+        if state is None:
+            state = {"time": 0.0,
+                     "walk": np.zeros(lead + (count,)),
+                     "rng": np.random.default_rng((self.seed, device.key))}
+            self._state[(device.key, lead)] = state
+        walk, rng, now = state["walk"], state["rng"], state["time"]
+        if grid[0] < now - 1e-12:
+            raise ValueError(
+                f"drift walk for this device is already at t={now:.3f}s; "
+                f"cannot evaluate t={float(grid[0]):.3f}s (drift only moves "
+                "forward -- reset() models a recalibration)")
+        # standardized walk (unit stationary variance); sigma scales at the end
+        # so array sigmas share common random numbers
+        path = np.empty(grid.shape + lead + (count,))
+        for index, t in enumerate(grid):
+            dt = float(t) - now
+            if dt > 0:
+                decay = np.exp(-dt / self.tau_s)
+                walk = walk * decay + np.sqrt(1.0 - decay * decay) * \
+                    rng.standard_normal(size=lead + (count,))
+                now = float(t)
+            path[index] = walk
+        state["walk"], state["time"] = walk, now
+        scale = self.sigma.reshape(self.sigma.shape + (1,) * (len(lead) + 1))
+        if self.sigma.ndim:
+            # insert the sigma axes between the time axis and the trials axes
+            path = path.reshape(grid.shape + (1,) * self.sigma.ndim
+                                + lead + (count,))
+        offsets = scale * path
+        return offsets[0] if scalar_time else offsets

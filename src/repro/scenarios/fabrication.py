@@ -1,0 +1,69 @@
+"""Static per-device fabrication offsets.
+
+No two fabricated meshes are identical: directional-coupler splitting
+ratios and waveguide lengths vary die to die, which at the phase-shifter
+level shows up as a *frozen* offset on every phase -- the same offset every
+time that physical device runs, different across devices.
+
+The offsets are a pure function of ``(seed, device.key)``: the same clean
+decomposition always maps back to the same frozen error field, across
+processes, program rebuilds and scenario instances.  That idempotence is
+what ``tools/check_scenarios.py`` pins, and it is what makes the scenario
+honest -- re-evaluating a deployed program never re-rolls its fabrication
+error, and recalibration (which re-nulls phases, i.e. *compensates* the
+offsets rather than removing them) can be modelled by ``reset()`` -- the
+clock returns to zero but the frozen field survives, unlike drift state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.scenarios.base import HardwareScenario, MeshDevice
+from repro.scenarios.registry import register_scenario
+
+
+@register_scenario("fabrication")
+class FabricationOffsetScenario(HardwareScenario):
+    """Frozen Gaussian phase offsets, one realization per physical device.
+
+    Parameters
+    ----------
+    sigma:
+        Standard deviation of the frozen per-shifter offsets in radians.
+    seed:
+        Fabrication-lot seed: together with the device key it determines
+        the offsets exactly.
+    """
+
+    def __init__(self, sigma: float = 0.01, seed: int = 0):
+        super().__init__(seed=seed)
+        self.sigma = float(sigma)
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self._fields: Dict[int, np.ndarray] = {}
+
+    def params(self) -> Dict[str, Any]:
+        return {"sigma": self.sigma, "seed": self.seed}
+
+    def _reset_state(self) -> None:
+        # fabrication error is permanent: reset() clears nothing
+        pass
+
+    def field(self, device: MeshDevice) -> np.ndarray:
+        """The frozen offset vector of ``device`` (flat layout)."""
+        offsets = self._fields.get(device.key)
+        if offsets is None:
+            rng = np.random.default_rng((self.seed, device.key))
+            offsets = self.sigma * rng.standard_normal(device.shifter_count)
+            offsets.flags.writeable = False
+            self._fields[device.key] = offsets
+        return offsets
+
+    def _offsets_for(self, device: MeshDevice, times: np.ndarray,
+                     lead: Tuple[int, ...]) -> np.ndarray:
+        offsets = self.field(device)
+        return np.broadcast_to(offsets,
+                               times.shape + lead + (device.shifter_count,))

@@ -1,0 +1,94 @@
+"""Config-driven registry of hardware-degradation scenarios.
+
+Scenarios register themselves by name with :func:`register_scenario`; a
+serving process (or a check script, or a benchmark) then rebuilds one from a
+plain-dict config with :func:`build_scenario` -- the config is what crosses a
+pickle into spawned workers, never a live scenario object (scenarios carry
+random generators and per-device state that do not belong on a pickle).
+
+Config format::
+
+    {"name": "thermal_drift", "params": {"sigma": 0.05, "tau_s": 30.0}}
+
+A *list* of configs builds a :class:`~repro.scenarios.base.CompositeScenario`
+applying each member in order (e.g. frozen fabrication offsets underneath a
+thermal drift walk).  An already-built scenario instance passes through
+unchanged, so every entry point accepts either form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Type
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register_scenario(name: str) -> Callable[[Type], Type]:
+    """Class decorator registering a scenario under ``name``.
+
+    The class gains a ``name`` attribute; re-registering a name is an error
+    (scenarios are looked up by config strings, so silent replacement would
+    change what a stored config means).
+    """
+
+    def decorator(cls: Type) -> Type:
+        key = str(name)
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"scenario name {key!r} is already registered "
+                             f"to {existing.__name__}")
+        cls.name = key
+        _REGISTRY[key] = cls
+        return cls
+
+    return decorator
+
+
+def scenario_class(name: str) -> Type:
+    """The registered class for ``name`` (raises ``KeyError`` with choices)."""
+    try:
+        return _REGISTRY[str(name)]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; registered scenarios: "
+                       f"{sorted(_REGISTRY)}") from None
+
+
+def list_scenarios() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def scenario_descriptions() -> Dict[str, str]:
+    """Name -> first docstring line of every registered scenario."""
+    return {name: (cls.__doc__ or "").strip().splitlines()[0]
+            for name, cls in sorted(_REGISTRY.items())}
+
+
+def build_scenario(config: Any) -> Any:
+    """Construct a scenario from a config dict, list of configs, or instance.
+
+    * ``{"name": ..., "params": {...}}`` -- one registered scenario, built
+      with ``params`` as keyword arguments (``params`` optional).
+    * ``[config, config, ...]`` -- a composite applying each member in order.
+    * an object with a ``perturb`` method -- passed through unchanged.
+    """
+    if hasattr(config, "perturb"):
+        return config
+    if isinstance(config, (list, tuple)):
+        from repro.scenarios.base import CompositeScenario
+
+        return CompositeScenario([build_scenario(entry) for entry in config])
+    if not isinstance(config, dict):
+        raise TypeError("scenario config must be a dict, a list of dicts, or "
+                        f"a scenario instance, got {type(config).__name__}")
+    unknown = set(config) - {"name", "params"}
+    if unknown:
+        raise ValueError(f"unknown scenario config keys {sorted(unknown)}; "
+                         "expected {'name', 'params'}")
+    if "name" not in config:
+        raise ValueError("scenario config needs a 'name' key")
+    cls = scenario_class(config["name"])
+    params = config.get("params") or {}
+    if not isinstance(params, dict):
+        raise TypeError("scenario 'params' must be a dict of keyword arguments")
+    return cls(**params)

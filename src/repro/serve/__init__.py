@@ -15,13 +15,21 @@ Bottom up:
   frontend: per-model worker pools (:mod:`repro.serve.worker`) fed through
   shared-memory slab rings (:mod:`repro.serve.shm`), with admission control,
   backpressure and least-outstanding replica routing.
+* :class:`~repro.serve.drift.DriftInjector` /
+  :class:`~repro.serve.recalibrate.RecalibrationManager` -- chaos-mode drift
+  injection on scenario-deployed lanes, and the online loop that detects
+  degradation from logit statistics and heals it through a drain-then-swap
+  redeploy with requests flowing throughout.
 
 ``python -m repro serve`` runs the serving throughput demos on top of these
-(``--workers`` switches to the sharded service).
+(``--workers`` switches to the sharded service, ``--recalibrate`` the
+drift-and-heal demo).
 """
 
 from repro.serve.batcher import BatcherStats, DynamicBatcher
 from repro.serve.cache import CacheStats, ProgramCache, cache_key
+from repro.serve.drift import DriftInjector
+from repro.serve.recalibrate import RecalibrationManager
 from repro.serve.service import (
     PhotonicInferenceService,
     ServingBenchRow,
@@ -33,6 +41,7 @@ from repro.serve.shard import (
     ShardBenchRow,
     ShardedInferenceService,
     WorkerError,
+    WorkerTimeoutError,
     run_shard_benchmark,
 )
 from repro.serve.shm import SharedSlab, SlabRing, segment_exists
@@ -41,9 +50,11 @@ from repro.serve.worker import WorkerSpec
 __all__ = [
     "BatcherStats",
     "CacheStats",
+    "DriftInjector",
     "DynamicBatcher",
     "PhotonicInferenceService",
     "ProgramCache",
+    "RecalibrationManager",
     "ServiceOverloadedError",
     "ServingBenchRow",
     "ShardBenchRow",
@@ -52,6 +63,7 @@ __all__ = [
     "SlabRing",
     "WorkerError",
     "WorkerSpec",
+    "WorkerTimeoutError",
     "cache_key",
     "measure_plan_speedup",
     "run_serving_benchmark",

@@ -1,0 +1,69 @@
+"""Chaos-mode fault injection: advance a deployed lane's hardware clock.
+
+A lane deployed with ``scenario=`` serves every request through a
+hardware-degradation scenario (:mod:`repro.scenarios`) whose clock starts at
+zero -- a freshly calibrated device.  :class:`DriftInjector` moves that
+clock forward on the *live* workers, so the service starts returning the
+progressively degraded logits a real drifting mesh would produce, without
+restarting anything.  That is the test half of the recalibration story: the
+injector degrades a lane on purpose, and
+:class:`~repro.serve.recalibrate.RecalibrationManager` must notice from the
+logits alone and heal it.
+
+The ``("advance", dt)`` control message is fire-and-forget on each
+replica's FIFO request queue: every batch enqueued after the advance is
+guaranteed to execute against the advanced program, and replicas built from
+the same scenario config degrade identically, so routing stays invisible to
+callers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.serve.shard import ShardedInferenceService
+
+
+class DriftInjector:
+    """Advance the hardware-scenario clock of one deployed lane.
+
+    The injector resolves the lane at every call, so it keeps working across
+    recalibration swaps -- after a redeploy it talks to the fresh (re-nulled,
+    clock-zero) workers, exactly like real hardware that drifts again after
+    a recalibration.
+    """
+
+    def __init__(self, service: ShardedInferenceService, model_key: str):
+        self._service = service
+        self.model_key = model_key
+        self.injected_s = 0.0           # total drift injected by this injector
+        self._require_scenario()
+
+    def _require_scenario(self):
+        lane = self._service.lane(self.model_key)
+        if not any(replica.ready.get("scenario") for replica in lane.replicas):
+            raise ValueError(
+                f"lane {self.model_key!r} was deployed without a hardware "
+                "scenario; deploy(..., scenario=...) enables chaos mode")
+        return lane
+
+    def advance(self, dt: float) -> float:
+        """Move every replica's scenario clock forward by ``dt`` seconds."""
+        dt = float(dt)
+        if dt < 0:
+            raise ValueError("drift only moves forward (dt >= 0)")
+        lane = self._require_scenario()
+        for replica in lane.replicas:
+            try:
+                replica.requests.put(("advance", dt))
+            except (OSError, ValueError):   # pragma: no cover -- dead slot
+                pass                        # its flushes already fast-fail
+        self.injected_s += dt
+        return self.injected_s
+
+    def scenario_time(self) -> Optional[float]:
+        """Latest scenario clock any replica reported with a response."""
+        lane = self._service.lane(self.model_key)
+        times = [replica.scenario_time for replica in lane.replicas
+                 if replica.scenario_time is not None]
+        return max(times) if times else None

@@ -68,6 +68,18 @@ class WorkerError(RuntimeError):
     """A worker process failed; carries the child's traceback text."""
 
 
+class WorkerTimeoutError(WorkerError):
+    """A worker blew its per-request deadline; the process was killed.
+
+    A hung-but-alive worker (deadlocked BLAS, a wedged syscall) used to
+    block its lane forever -- ``wait_response`` polled liveness but a live
+    zombie never trips it.  The deadline kills the process, so the failure
+    takes the same path as a crash: the flush's futures fail with this
+    error and the lane's bounded respawn budget decides whether the slot
+    comes back.
+    """
+
+
 def _scheme_name(scheme: Any) -> str:
     """Registry name of a scheme given either the name or a scheme object."""
     if isinstance(scheme, str):
@@ -90,6 +102,7 @@ class _Replica:
         self.outstanding = 0            # samples routed here, not yet resolved
         self.batcher: Optional[DynamicBatcher] = None
         self.restarts = 0               # times this slot respawned its process
+        self.scenario_time: Optional[float] = None  # last reported chaos clock
         self._spawn()
 
     def _spawn(self) -> None:
@@ -134,21 +147,38 @@ class _Replica:
             if message[0] == "failed":
                 raise WorkerError(f"worker {self.name} failed to start:\n{message[1]}")
 
-    def wait_response(self, request_id: int, poll_s: float = 1.0) -> Tuple:
+    def wait_response(self, request_id: int, timeout_s: Optional[float] = None,
+                      poll_s: float = 1.0) -> Tuple:
         """The ("ok"/"err", id, payload) message for ``request_id``.
 
         Only one request is in flight per replica (its batcher executes
         flushes one at a time), so matching is a liveness-checked poll, not
-        a correlation table.
+        a correlation table.  ``timeout_s`` is the per-request deadline: a
+        worker that is still alive but has not answered by then is *killed*
+        (a hung process would otherwise block this lane slot forever) and
+        the wait raises :class:`WorkerTimeoutError`, which the caller turns
+        into failed futures plus a budgeted respawn like any other death.
         """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
         while True:
+            wait = poll_s
+            if deadline is not None:
+                wait = min(wait, max(deadline - time.monotonic(), 0.01))
             try:
-                message = self.responses.get(timeout=poll_s)
+                message = self.responses.get(timeout=wait)
             except queue_module.Empty:
                 if not self.process.is_alive():
                     raise WorkerError(
                         f"worker {self.name} died mid-request "
                         f"(exit code {self.process.exitcode})") from None
+                if deadline is not None and time.monotonic() >= deadline:
+                    logger.error("worker %s blew the %.1fs request deadline; "
+                                 "killing the hung process", self.name, timeout_s)
+                    self.process.kill()
+                    self.process.join(timeout=5.0)
+                    raise WorkerTimeoutError(
+                        f"worker {self.name} did not answer within "
+                        f"{timeout_s}s; process killed") from None
                 continue
             if message[0] in ("ok", "err") and message[1] == request_id:
                 return message
@@ -179,11 +209,13 @@ class _WorkerProxy:
     """
 
     def __init__(self, replica: _Replica, ring: SlabRing,
-                 lease_timeout_s: float = 60.0, on_death=None):
+                 lease_timeout_s: float = 60.0, on_death=None,
+                 request_timeout_s: Optional[float] = None):
         self._replica = replica
         self._ring = ring
         self._lease_timeout_s = lease_timeout_s
         self._on_death = on_death       # lane callback: maybe respawn the slot
+        self._request_timeout_s = request_timeout_s
         self._request_id = 0
 
     def predict_logits(self, images: np.ndarray, scheme: Any = None) -> np.ndarray:
@@ -194,10 +226,13 @@ class _WorkerProxy:
             self._replica.requests.put(("run", self._request_id, slab.name,
                                         slab.input_elements, slab.output_elements,
                                         shape))
-            message = self._replica.wait_response(self._request_id)
+            message = self._replica.wait_response(
+                self._request_id, timeout_s=self._request_timeout_s)
             if message[0] == "err":
                 raise WorkerError(f"worker {self._replica.name} failed a batch:\n"
                                   f"{message[2]}")
+            if len(message) > 3:        # chaos mode: the worker's scenario clock
+                self._replica.scenario_time = message[3]
             return np.array(slab.output_view(message[2]))
         except WorkerError:
             # the in-flight flush's futures still fail with the child's
@@ -230,6 +265,13 @@ class _ModelLane:
         self._route_counter = 0
         self._lock = threading.Lock()
         self._closing = False
+        # observability hooks: deploy() records its own arguments here so the
+        # service can rebuild this lane verbatim (redeploy/recalibration); a
+        # RecalibrationManager installs `logit_monitor` (called with every
+        # successfully resolved logits array) and publishes `drift_status`
+        self.deploy_args: Optional[dict] = None
+        self.logit_monitor = None
+        self.drift_status: Optional[dict] = None
 
     def _handle_worker_death(self, replica: _Replica) -> None:
         """Respawn a crashed replica's process within the lane's budget.
@@ -291,7 +333,8 @@ class _ModelLane:
                 self.pending_samples -= samples
                 replica.outstanding -= samples
             raise
-        future.add_done_callback(lambda _f: self._resolve(replica, samples))
+        future.add_done_callback(
+            lambda f: self._resolve(replica, samples, f, kind))
         return future
 
     def _route_locked(self) -> _Replica:
@@ -306,10 +349,19 @@ class _ModelLane:
                 best = replica
         return best
 
-    def _resolve(self, replica: _Replica, samples: int) -> None:
+    def _resolve(self, replica: _Replica, samples: int,
+                 future: Optional[Future] = None, kind: str = "logits") -> None:
         with self._lock:
             self.pending_samples -= samples
             replica.outstanding -= samples
+            monitor = self.logit_monitor
+        if (monitor is None or kind != "logits" or future is None
+                or future.cancelled() or future.exception() is not None):
+            return
+        try:
+            monitor(future.result())
+        except Exception:  # noqa: BLE001 -- observability never fails serving
+            logger.exception("logit monitor of lane %r raised", self.model_key)
 
     # ------------------------------------------------------------------ #
     # introspection / lifecycle
@@ -326,13 +378,18 @@ class _ModelLane:
                                           "store": replica.ready.get("store"),
                                           "native_backend":
                                               replica.ready.get("native_backend"),
+                                          "scenario": replica.ready.get("scenario"),
+                                          "scenario_time": replica.scenario_time
+                                              if replica.scenario_time is not None
+                                              else replica.ready.get("scenario_time"),
                                           **replica.batcher.stats.as_dict()}
                            for replica in self.replicas}
             restarts_used = self.restarts_used
+            drift = self.drift_status
         return {"replicas": per_replica, "pending_samples": pending,
                 "rejected": rejected, "max_queue_samples": self.max_queue_samples,
                 "restarts_used": restarts_used, "max_restarts": self.max_restarts,
-                "slabs": self.ring.names}
+                "drift": drift, "slabs": self.ring.names}
 
     def close(self, timeout: float = 30.0) -> bool:
         """Drain batchers, stop workers, unlink slabs; True if all stopped."""
@@ -375,6 +432,17 @@ class ShardedInferenceService:
         How many crashed replica processes each lane may respawn over its
         lifetime; ``0`` disables auto-restart (dead slots just keep failing
         the requests routed to them).
+    request_timeout_s:
+        Per-request deadline on the worker round-trip.  A replica that has
+        not answered a flush by then is treated as hung: its process is
+        killed, the flush's futures fail with :class:`WorkerTimeoutError`,
+        and the lane's restart budget decides whether the slot respawns.
+        ``None`` disables the deadline (pre-PR-10 behavior).
+    store_prune_max_entries, store_prune_max_age_s:
+        Automatic artifact-store housekeeping: when either is set (and
+        ``store_path`` is), every deploy/redeploy follows up with
+        ``ArtifactStore.prune`` so a long-running service keeps the store
+        bounded by entry count / entry age without an operator cron job.
     """
 
     def __init__(self, workers: int = 2, max_batch: int = 64,
@@ -382,11 +450,16 @@ class ShardedInferenceService:
                  max_queue_samples: Optional[int] = None,
                  start_timeout_s: float = 120.0, context: str = "spawn",
                  store_path: Optional[str] = None,
-                 max_worker_restarts: int = 2):
+                 max_worker_restarts: int = 2,
+                 request_timeout_s: Optional[float] = 120.0,
+                 store_prune_max_entries: Optional[int] = None,
+                 store_prune_max_age_s: Optional[float] = None):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if max_worker_restarts < 0:
             raise ValueError("max_worker_restarts must be >= 0")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive (or None)")
         self.workers = int(workers)
         self.max_worker_restarts = int(max_worker_restarts)
         self.max_batch = int(max_batch)
@@ -394,6 +467,10 @@ class ShardedInferenceService:
         self.max_queue_samples = max_queue_samples
         self.start_timeout_s = float(start_timeout_s)
         self.store_path = None if store_path is None else str(store_path)
+        self.request_timeout_s = (None if request_timeout_s is None
+                                  else float(request_timeout_s))
+        self.store_prune_max_entries = store_prune_max_entries
+        self.store_prune_max_age_s = store_prune_max_age_s
         self._context = multiprocessing.get_context(context)
         self._lanes: Dict[str, _ModelLane] = {}
         self._lock = threading.Lock()
@@ -408,7 +485,8 @@ class ShardedInferenceService:
                options: Optional[CompileOptions] = None,
                max_batch: Optional[int] = None,
                max_latency_s: Optional[float] = None,
-               max_queue_samples: Optional[int] = None) -> dict:
+               max_queue_samples: Optional[int] = None,
+               scenario: Optional[Any] = None) -> dict:
         """Open a sharded request lane for ``model_key``.
 
         Spawns ``replicas`` workers (each compiling its own copy of the
@@ -417,18 +495,34 @@ class ShardedInferenceService:
         fronts every replica with a :class:`DynamicBatcher`.  Re-deploying a
         served key is a drain-then-swap: traffic switches to the new lane,
         then the old lane's queue drains and its workers and slabs go away.
-        Returns a summary dict (``replicas``, ``num_classes``, ``pids``).
+        ``scenario`` (a ``repro.scenarios`` config or instance) puts the lane
+        in hardware-degradation chaos mode: every replica serves through the
+        scenario, and a :class:`~repro.serve.drift.DriftInjector` can advance
+        its clock.  Returns a summary dict (``replicas``, ``num_classes``,
+        ``pids``).
         """
         with self._lock:
             if self._closed:
                 raise RuntimeError("service is closed")
+        if scenario is not None and hasattr(scenario, "as_config"):
+            # workers rebuild scenarios from configs; live objects (RNGs,
+            # per-device state) stay frontend-side
+            scenario = scenario.as_config()
+        deploy_args = {"model_key": model_key, "model": model, "scheme": scheme,
+                       "image_shape": tuple(int(s) for s in image_shape),
+                       "replicas": replicas, "target": target,
+                       "options": options, "max_batch": max_batch,
+                       "max_latency_s": max_latency_s,
+                       "max_queue_samples": max_queue_samples,
+                       "scenario": scenario}
         lane = self._build_lane(
             model_key, model, scheme, tuple(int(s) for s in image_shape),
             self.workers if replicas is None else int(replicas),
             target, options,
             self.max_batch if max_batch is None else int(max_batch),
             self.max_latency_s if max_latency_s is None else float(max_latency_s),
-            max_queue_samples)
+            max_queue_samples, scenario)
+        lane.deploy_args = deploy_args
         with self._lock:
             if self._closed:
                 closed = True
@@ -441,6 +535,7 @@ class ShardedInferenceService:
             raise RuntimeError("service is closed")
         if previous is not None:
             previous.close()
+        self._prune_store()
         return {"model_key": model_key, "replicas": len(lane.replicas),
                 "num_classes": lane.replicas[0].ready.get("num_classes"),
                 "pids": [replica.ready.get("pid") for replica in lane.replicas],
@@ -451,13 +546,14 @@ class ShardedInferenceService:
     def _build_lane(self, model_key: str, model: Any, scheme: Any,
                     image_shape: Tuple[int, ...], replicas: int,
                     target, options, max_batch: int, max_latency_s: float,
-                    max_queue_samples: Optional[int]) -> _ModelLane:
+                    max_queue_samples: Optional[int],
+                    scenario: Optional[Any] = None) -> _ModelLane:
         if replicas < 1:
             raise ValueError("replicas must be at least 1")
         scheme_name = _scheme_name(scheme)
         spec = WorkerSpec(model_key=model_key, model=model, scheme=scheme_name,
                           image_shape=image_shape, target=target, options=options,
-                          store_path=self.store_path)
+                          store_path=self.store_path, scenario=scenario)
         pool = [_Replica(f"{model_key}:r{index}", self._context, spec)
                 for index in range(replicas)]
         try:
@@ -486,10 +582,49 @@ class ShardedInferenceService:
         for replica in pool:
             replica.batcher = DynamicBatcher(
                 _WorkerProxy(replica, ring,
-                             on_death=lane._handle_worker_death),
+                             on_death=lane._handle_worker_death,
+                             request_timeout_s=self.request_timeout_s),
                 scheme=None, max_batch=max_batch,
                 max_latency_s=max_latency_s, name=f"shard:{replica.name}")
         return lane
+
+    def redeploy(self, model_key: str, **overrides) -> dict:
+        """Rebuild a served lane from its own recorded deploy arguments.
+
+        The drain-then-swap core of online recalibration: the replacement
+        lane's workers recompile from the clean model spec (store-aware, so
+        warm hosts skip the decomposition), traffic switches atomically,
+        and the old lane drains before its processes go away -- requests
+        submitted at any point complete on whichever lane they entered.
+        Keyword ``overrides`` replace individual recorded arguments (e.g.
+        ``scenario=None`` to redeploy without chaos mode).
+        """
+        lane = self.lane(model_key)
+        if lane.deploy_args is None:
+            raise RuntimeError(f"lane {model_key!r} has no recorded deploy "
+                               "arguments; redeploy() needs a lane deployed "
+                               "through deploy()")
+        args = dict(lane.deploy_args)
+        args.update(overrides)
+        return self.deploy(**args)
+
+    def _prune_store(self) -> Optional[dict]:
+        """Apply the configured prune policy to the artifact store, if any."""
+        if self.store_path is None or (self.store_prune_max_entries is None
+                                       and self.store_prune_max_age_s is None):
+            return None
+        from repro.store import ArtifactStore
+
+        try:
+            report = ArtifactStore(self.store_path).prune(
+                max_entries=self.store_prune_max_entries,
+                max_age=self.store_prune_max_age_s)
+        except Exception:  # noqa: BLE001 -- housekeeping never fails a deploy
+            logger.exception("artifact-store prune of %s failed", self.store_path)
+            return None
+        if report.get("removed_entries") or report.get("removed_quarantined"):
+            logger.info("pruned artifact store %s: %s", self.store_path, report)
+        return report
 
     def lane(self, model_key: str) -> _ModelLane:
         with self._lock:
@@ -565,6 +700,7 @@ class ShardBenchRow:
     overload_retries: int
     gain_vs_single: float = 0.0     # filled once the 1-worker row exists
     replicas: dict = field(default_factory=dict)
+    lane: dict = field(default_factory=dict)    # restarts_used / drift status
 
 
 def run_shard_benchmark(model: Any, scheme: Any, image_shape: Sequence[int],
@@ -638,13 +774,17 @@ def run_shard_benchmark(model: Any, scheme: Any, image_shape: Sequence[int],
                 raise errors[0]
             parity = max(float(np.abs(results[index] - expected[index]).max())
                          for index in range(requests))
-            stats = service.stats()["bench"]["replicas"]
+            lane_stats = service.stats()["bench"]
+            stats = lane_stats["replicas"]
         rows.append(ShardBenchRow(
             workers=int(workers), requests=requests, clients=clients,
             images_per_request=images_per_request, seconds=seconds,
             requests_per_s=requests / seconds,
             samples_per_s=requests * images_per_request / seconds,
-            max_parity=parity, overload_retries=sum(retries), replicas=stats))
+            max_parity=parity, overload_retries=sum(retries), replicas=stats,
+            lane={key: lane_stats.get(key) for key in
+                  ("restarts_used", "max_restarts", "drift",
+                   "pending_samples", "rejected")}))
     baseline = next((row for row in rows if row.workers == 1), rows[0])
     for row in rows:
         row.gain_vs_single = row.requests_per_s / baseline.requests_per_s

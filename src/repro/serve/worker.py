@@ -12,12 +12,19 @@ slabs in :mod:`repro.serve.shm`):
 
 ========================  =====================================================
 frontend -> worker        ``("run", request_id, slab_name, in_cap, out_cap,
-                          shape)`` and ``("stop",)``
+                          shape)``, ``("advance", dt_seconds)`` (chaos mode:
+                          move the hardware-scenario clock forward) and
+                          ``("stop",)``
 worker  -> frontend       ``("ready", info)`` once after compilation,
-                          ``("ok", request_id, logits_shape)`` /
-                          ``("err", request_id, traceback)`` per request,
+                          ``("ok", request_id, logits_shape, scenario_clock)``
+                          / ``("err", request_id, traceback)`` per request,
                           ``("failed", traceback)`` if startup died
 ========================  =====================================================
+
+``("advance", dt)`` is fire-and-forget: the control queue is FIFO, so every
+``("run", ...)`` enqueued after it is guaranteed to execute against the
+advanced (further degraded) program -- that ordering is what makes drift
+injection deterministic enough to test against.
 
 Workers are spawn-safe: :func:`worker_main` imports everything it needs and
 touches no inherited globals, so it behaves identically under the ``spawn``
@@ -52,6 +59,13 @@ class WorkerSpec:
     memory-mapped lookup instead of a full re-decomposition, and the mapped
     dense matrices are shared by every replica on the host through the page
     cache.
+
+    ``scenario`` (optional) is a hardware-degradation scenario *config*
+    (``repro.scenarios.build_scenario`` form -- configs cross the pickle,
+    never live scenario objects).  The worker serves a scenario-degraded
+    copy of its program and re-degrades it whenever the frontend advances
+    the scenario clock; every replica builds the scenario from the same
+    config, so all replicas of a lane degrade identically.
     """
 
     model_key: str
@@ -61,6 +75,7 @@ class WorkerSpec:
     target: Optional[HardwareTarget] = None
     options: Optional[CompileOptions] = None
     store_path: Optional[str] = None
+    scenario: Optional[Any] = None
 
 
 def worker_main(spec: WorkerSpec, requests, responses) -> None:
@@ -82,8 +97,16 @@ def worker_main(spec: WorkerSpec, requests, responses) -> None:
         # not pay plan compilation
         program = cache.get_or_compile(spec.model_key, spec.model,
                                        spec.target, spec.options)
+        scenario = None
+        if spec.scenario is not None:
+            from repro.scenarios import build_scenario
+
+            scenario = build_scenario(spec.scenario)
+            serving = program.with_scenario(scenario)
+        else:
+            serving = program
         probe = np.zeros((1, *spec.image_shape))
-        logits = program.predict_logits(probe, scheme)
+        logits = serving.predict_logits(probe, scheme)
         responses.put(("ready", {
             "pid": os.getpid(),
             "num_classes": int(logits.shape[-1]),
@@ -100,6 +123,10 @@ def worker_main(spec: WorkerSpec, requests, responses) -> None:
             # spawn-started process compiles/loads independently, so the
             # frontend can surface replicas that silently fell back to numpy
             "native_backend": native_kernel() is not None,
+            # hardware-degradation chaos mode: which scenario (if any) this
+            # replica serves through, and its current clock in seconds
+            "scenario": None if scenario is None else scenario.name,
+            "scenario_time": None if scenario is None else scenario.clock,
         }))
     except BaseException:  # noqa: BLE001 -- startup failure crosses as text
         responses.put(("failed", traceback.format_exc()))
@@ -112,6 +139,14 @@ def worker_main(spec: WorkerSpec, requests, responses) -> None:
             message = requests.get()
             if message[0] == "stop":
                 break
+            if message[0] == "advance":
+                # chaos mode: move the scenario clock and re-degrade the
+                # serving program from the clean compile.  Fire-and-forget;
+                # FIFO queue order guarantees later "run"s see the new state.
+                if scenario is not None:
+                    scenario.advance(float(message[1]))
+                    serving = program.with_scenario(scenario)
+                continue
             _, request_id, slab_name, input_elements, output_elements, shape = message
             try:
                 slab = slabs.get(slab_name)
@@ -119,10 +154,11 @@ def worker_main(spec: WorkerSpec, requests, responses) -> None:
                     slab = slabs[slab_name] = attach_slab(
                         slab_name, input_elements, output_elements)
                 images = slab.input_view(shape)
-                logits = program.predict_logits(images, scheme)
+                logits = serving.predict_logits(images, scheme)
                 slab.output_view(logits.shape)[...] = logits
                 executed += 1
-                responses.put(("ok", request_id, tuple(logits.shape)))
+                responses.put(("ok", request_id, tuple(logits.shape),
+                               None if scenario is None else scenario.clock))
             except BaseException:  # noqa: BLE001 -- relayed to the frontend
                 responses.put(("err", request_id, traceback.format_exc()))
     finally:

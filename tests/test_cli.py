@@ -13,7 +13,19 @@ class TestParser:
         actions = {action.dest: action for action in parser._subparsers._group_actions}
         choices = actions["command"].choices
         assert set(choices) >= {"table2", "table3", "fig7", "fig8", "fig9", "ablations",
-                                "area", "deploy-cnn", "deploy-resnet"}
+                                "area", "deploy-cnn", "deploy-resnet", "scenarios"}
+
+    def test_serve_takes_recalibration_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--recalibrate", "--drift-s", "60", "--drift-sigma", "0.3"])
+        assert args.recalibrate and args.drift_s == 60.0
+
+    def test_precompile_takes_prune_bounds(self):
+        args = build_parser().parse_args(
+            ["precompile", "--store", "./s", "--prune-max-entries", "4",
+             "--prune-max-age-days", "7"])
+        assert args.prune_max_entries == 4
+        assert args.prune_max_age_days == 7.0
 
     def test_deploy_subcommands_take_method_and_backend(self):
         parser = build_parser()
@@ -55,6 +67,12 @@ class TestExecution:
     def test_fig9_smoke_single_workload(self, capsys):
         assert main(["fig9", "--preset", "smoke", "--workloads", "fcnn"]) == 0
         assert "decoder" in capsys.readouterr().out.lower()
+
+    def test_scenarios_lists_the_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("thermal_drift", "crosstalk", "fabrication"):
+            assert name in output
 
     def test_precompile_populates_then_warm_hits(self, tmp_path, capsys):
         store = tmp_path / "store"

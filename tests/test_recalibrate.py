@@ -1,0 +1,248 @@
+"""Serving-layer robustness tests: chaos-mode scenario lanes, drift
+detection + zero-downtime recalibration, request deadlines, and the
+worker-restart budget failing fast once exhausted.
+
+Process spawns are expensive, so every test builds the smallest service
+that can exhibit its behavior (usually one replica).
+"""
+
+import os
+import signal
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.assignment import get_scheme
+from repro.models import ComplexFCNN
+from repro.serve import (
+    DriftInjector,
+    RecalibrationManager,
+    ShardedInferenceService,
+    WorkerError,
+    WorkerTimeoutError,
+)
+
+IMAGE_SHAPE = (1, 4, 4)
+
+
+def tiny_fcnn(seed: int = 0) -> ComplexFCNN:
+    return ComplexFCNN(8, (6,), 3, decoder="merge",
+                       rng=np.random.default_rng(seed))
+
+
+class TestScenarioLane:
+    """Chaos mode: a lane deployed with a hardware scenario degrades on a
+    shared clock, and every replica degrades identically."""
+
+    def test_chaos_lane_clean_at_clock_zero_then_drifts(self):
+        model = tiny_fcnn()
+        images = np.random.default_rng(23).normal(size=(4, *IMAGE_SHAPE))
+        expected = repro.compile(model).predict_logits(images, get_scheme("SI"))
+        scenario = {"name": "thermal_drift",
+                    "params": {"sigma": 0.5, "tau_s": 30.0, "seed": 0}}
+        with ShardedInferenceService(workers=2, max_batch=8,
+                                     max_latency_s=0.001) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE,
+                           scenario=scenario)
+            # scenario clock starts at zero: a drift lane serves clean logits
+            assert np.abs(service.logits("fcnn", images) - expected).max() <= 1e-10
+
+            injector = DriftInjector(service, "fcnn")
+            with pytest.raises(ValueError, match="dt"):
+                injector.advance(-1.0)
+            injector.advance(90.0)
+            first = service.logits("fcnn", images)
+            assert np.abs(first - expected).max() > 1e-3
+            # replicas replay the same walk: at a fixed clock the degraded
+            # lane is deterministic no matter which replica answers
+            for _ in range(3):
+                assert np.array_equal(service.logits("fcnn", images), first)
+            assert injector.scenario_time() == 90.0
+            stats = service.stats()["fcnn"]
+            assert all(replica["scenario"] == "thermal_drift"
+                       for replica in stats["replicas"].values())
+
+    def test_injector_requires_a_scenario_lane(self):
+        model = tiny_fcnn()
+        with ShardedInferenceService(workers=1,
+                                     max_latency_s=0.001) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            with pytest.raises(ValueError, match="scenario"):
+                DriftInjector(service, "fcnn")
+
+
+class TestRecalibration:
+    def test_drift_detected_and_healed_with_traffic_flowing(self):
+        """The acceptance loop: injected thermal drift measurably degrades
+        accuracy; the manager detects it from logit statistics alone, heals
+        by drain-then-swap redeploy, restores accuracy to within 1% of
+        clean, and no request fails at any point."""
+        from repro.experiments.scenarios import run_drift_recalibration
+
+        images = np.random.default_rng(3).normal(size=(24, *IMAGE_SHAPE))
+        summary = run_drift_recalibration(
+            tiny_fcnn(), "SI", IMAGE_SHAPE, images, sigma=0.5, tau_s=30.0,
+            drift_s=120.0, workers=2, threshold=0.15, min_batches=2,
+            observe_batches=4, seed=0)
+        assert summary["clean_accuracy"] == 1.0
+        assert summary["degraded_accuracy"] < summary["clean_accuracy"] - 0.05
+        assert summary["detected"]
+        assert summary["detection_score"] > 0.15
+        assert summary["recalibrations"] == 1
+        assert summary["recalibration_latency_s"] > 0
+        assert summary["recalibrated_accuracy"] >= summary["clean_accuracy"] - 0.01
+        assert summary["traffic"]["completed"] > 0
+        assert summary["traffic"]["failed"] == 0
+
+    def test_clean_lane_never_trips_the_monitor(self):
+        model = tiny_fcnn()
+        images = np.random.default_rng(5).normal(size=(8, *IMAGE_SHAPE))
+        with ShardedInferenceService(workers=1,
+                                     max_latency_s=0.001) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            manager = RecalibrationManager(service, "fcnn", images,
+                                           threshold=0.25, min_batches=2)
+            for _ in range(4):
+                service.logits("fcnn", images)
+            assert manager.drift_score() < 0.01
+            assert not manager.drifted()
+            status = manager.check()
+            assert status["recalibrations"] == 0
+            # status is surfaced through the lane's stats for `repro serve`
+            assert service.stats()["fcnn"]["drift"]["batches"] >= 4
+
+    def test_submits_during_swap_all_complete_with_correct_logits(self):
+        """Requests racing a recalibration redeploy land on whichever lane
+        incarnation admits them -- but every one resolves, correctly."""
+        model = tiny_fcnn()
+        images = np.random.default_rng(29).normal(size=(2, *IMAGE_SHAPE))
+        expected = repro.compile(model).predict_logits(images, get_scheme("SI"))
+        with ShardedInferenceService(workers=1, max_batch=8,
+                                     max_latency_s=0.001) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            swap_done = threading.Event()
+
+            def swap():
+                service.redeploy("fcnn")
+                swap_done.set()
+
+            thread = threading.Thread(target=swap)
+            results = []
+            thread.start()
+            try:
+                while not swap_done.is_set() or len(results) < 4:
+                    results.append(service.submit("fcnn", images).result(timeout=60))
+            finally:
+                thread.join(timeout=60)
+            assert len(results) >= 4
+            for logits in results:
+                assert np.abs(logits - expected).max() <= 1e-10
+
+    def test_redeploy_requires_recorded_deploy_args(self):
+        with ShardedInferenceService(workers=1,
+                                     max_latency_s=0.001) as service:
+            with pytest.raises(KeyError):
+                service.redeploy("ghost")
+
+    def test_validation(self):
+        with ShardedInferenceService(workers=1,
+                                     max_latency_s=0.001) as service:
+            images = np.zeros((1, *IMAGE_SHAPE))
+            # argument validation fires before any lane lookup
+            with pytest.raises(ValueError, match="ewma_alpha"):
+                RecalibrationManager(service, "fcnn", images, ewma_alpha=0.0)
+            with pytest.raises(ValueError, match="threshold"):
+                RecalibrationManager(service, "fcnn", images, threshold=0.0)
+
+
+class TestRequestDeadline:
+    def test_hung_worker_times_out_and_slot_respawns(self):
+        """A stopped (alive but unresponsive) worker can't be caught by
+        death detection; the per-request deadline kills it, fails the
+        request with WorkerTimeoutError, and the restart budget respawns
+        the slot."""
+        model = tiny_fcnn()
+        images = np.random.default_rng(31).normal(size=(2, *IMAGE_SHAPE))
+        expected = repro.compile(model).predict_logits(images, get_scheme("SI"))
+        with ShardedInferenceService(workers=1, max_batch=8,
+                                     max_latency_s=0.001,
+                                     max_worker_restarts=1,
+                                     request_timeout_s=3.0) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            [replica] = service.lane("fcnn").replicas
+            os.kill(replica.process.pid, signal.SIGSTOP)
+            started = time.monotonic()
+            with pytest.raises(WorkerTimeoutError, match="did not answer"):
+                service.logits("fcnn", images)
+            assert time.monotonic() - started < 30.0
+            # the deadline counts against the same budget as a crash
+            assert np.abs(service.logits("fcnn", images) - expected).max() <= 1e-10
+            stats = service.stats()["fcnn"]
+            assert stats["restarts_used"] == 1
+            [replica_stats] = stats["replicas"].values()
+            assert replica_stats["alive"] and replica_stats["restarts"] == 1
+
+    def test_timeout_error_is_a_worker_error(self):
+        assert issubclass(WorkerTimeoutError, WorkerError)
+
+    def test_request_timeout_validation(self):
+        with pytest.raises(ValueError, match="request_timeout_s"):
+            ShardedInferenceService(request_timeout_s=0.0)
+
+
+class TestRestartBudgetExhaustion:
+    def _kill_replica(self, service, key="fcnn"):
+        lane = service.lane(key)
+        [replica] = lane.replicas
+        pid = replica.process.pid
+        os.kill(pid, signal.SIGKILL)
+        replica.process.join(timeout=10)
+        assert not replica.process.is_alive()
+        return pid
+
+    def test_exhausted_budget_fails_fast_not_hangs(self):
+        model = tiny_fcnn()
+        sample = np.random.default_rng(37).normal(size=IMAGE_SHAPE)
+        with ShardedInferenceService(workers=1, max_batch=8,
+                                     max_latency_s=0.001,
+                                     max_worker_restarts=1) as service:
+            service.deploy("fcnn", model, "SI", image_shape=IMAGE_SHAPE)
+            # first crash consumes the budget; the slot comes back
+            self._kill_replica(service)
+            with pytest.raises(WorkerError, match="died mid-request"):
+                service.logits("fcnn", sample)
+            service.logits("fcnn", sample)
+            # second crash exhausts it: the slot stays dead and every
+            # subsequent request fails fast instead of hanging
+            self._kill_replica(service)
+            with pytest.raises(WorkerError, match="died mid-request"):
+                service.logits("fcnn", sample)
+            for _ in range(2):
+                started = time.monotonic()
+                with pytest.raises(WorkerError):
+                    service.logits("fcnn", sample)
+                assert time.monotonic() - started < 30.0
+            stats = service.stats()["fcnn"]
+            assert stats["restarts_used"] == 1
+            assert stats["max_restarts"] == 1
+            [replica_stats] = stats["replicas"].values()
+            assert not replica_stats["alive"]
+            assert replica_stats["restarts"] == 1
+
+
+class TestServingStorePrune:
+    def test_deploy_prunes_store_to_bound(self, tmp_path):
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        for seed in (1, 2):
+            repro.compile(tiny_fcnn(seed), store=store)
+        assert len(store.keys()) == 2
+        with ShardedInferenceService(workers=1, max_latency_s=0.001,
+                                     store_path=str(tmp_path / "store"),
+                                     store_prune_max_entries=1) as service:
+            service.deploy("fcnn", tiny_fcnn(0), "SI", image_shape=IMAGE_SHAPE)
+            assert len(store.keys()) == 1

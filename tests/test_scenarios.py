@@ -1,0 +1,315 @@
+"""Tests of the hardware-degradation scenario suite (repro.scenarios)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.assignment import get_scheme
+from repro.models import ComplexFCNN
+from repro.photonics.mzi_mesh import decompose_unitary, random_unitary
+from repro.scenarios import (
+    CompositeScenario,
+    CorrelatedCrosstalkScenario,
+    FabricationOffsetScenario,
+    HardwareScenario,
+    ThermalDriftScenario,
+    build_scenario,
+    device_of,
+    list_scenarios,
+    scenario_class,
+    scenario_descriptions,
+)
+
+IMAGE_SHAPE = (1, 4, 4)
+
+
+def small_mesh(seed=1, dim=6):
+    return decompose_unitary(random_unitary(dim, rng=np.random.default_rng(seed)),
+                             method="clements")
+
+
+def tiny_fcnn(seed: int = 0) -> ComplexFCNN:
+    return ComplexFCNN(8, (6,), 3, decoder="merge",
+                       rng=np.random.default_rng(seed))
+
+
+def offsets_of(mesh, degraded):
+    return np.concatenate([
+        degraded.thetas - mesh.thetas,
+        degraded.phis - mesh.phis,
+        np.angle(degraded.output_phases / mesh.output_phases),
+    ], axis=-1)
+
+
+class TestRegistry:
+    def test_paper_scenarios_registered(self):
+        assert {"thermal_drift", "crosstalk", "fabrication"} <= set(list_scenarios())
+
+    def test_descriptions_cover_every_name(self):
+        descriptions = scenario_descriptions()
+        assert set(descriptions) == set(list_scenarios())
+        assert all(descriptions.values())
+
+    def test_build_from_config_dict(self):
+        scenario = build_scenario({"name": "thermal_drift",
+                                   "params": {"sigma": 0.1, "tau_s": 10.0}})
+        assert isinstance(scenario, ThermalDriftScenario)
+        assert scenario.tau_s == 10.0
+
+    def test_build_list_makes_composite(self):
+        composite = build_scenario([{"name": "fabrication"},
+                                    {"name": "crosstalk"}])
+        assert isinstance(composite, CompositeScenario)
+        assert [member.name for member in composite.scenarios] == \
+            ["fabrication", "crosstalk"]
+
+    def test_instance_passes_through(self):
+        scenario = FabricationOffsetScenario()
+        assert build_scenario(scenario) is scenario
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(KeyError, match="thermal_drift"):
+            build_scenario({"name": "cosmic_rays"})
+
+    def test_bad_config_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario config keys"):
+            build_scenario({"name": "fabrication", "sigma": 0.1})
+        with pytest.raises(ValueError, match="'name'"):
+            build_scenario({"params": {}})
+        with pytest.raises(TypeError):
+            build_scenario(42)
+
+    def test_config_round_trip(self):
+        scenario = ThermalDriftScenario(sigma=0.2, tau_s=12.0, seed=9)
+        rebuilt = build_scenario(scenario.as_config())
+        assert rebuilt.params() == scenario.params()
+
+    def test_reregistering_a_name_is_an_error(self):
+        from repro.scenarios.registry import register_scenario
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("fabrication")(ThermalDriftScenario)
+
+
+class TestDeviceIdentity:
+    def test_same_content_same_key(self):
+        assert device_of(small_mesh(seed=3)).key == device_of(small_mesh(seed=3)).key
+
+    def test_different_content_different_key(self):
+        assert device_of(small_mesh(seed=3)).key != device_of(small_mesh(seed=4)).key
+
+    def test_topology_fields(self):
+        mesh = small_mesh()
+        device = device_of(mesh)
+        assert device.mzi_count == mesh.mzi_count
+        assert device.shifter_count == 2 * mesh.mzi_count + mesh.dimension
+        assert device.columns.shape == (mesh.mzi_count,)
+        assert device.columns.max() == device.depth - 1
+
+
+class TestThermalDrift:
+    def test_clock_zero_is_clean(self):
+        mesh = small_mesh()
+        degraded = ThermalDriftScenario(sigma=0.3).perturb(mesh)
+        assert np.abs(offsets_of(mesh, degraded)).max() <= 1e-12
+
+    def test_variance_grows_to_stationary(self):
+        mesh = small_mesh()
+        scenario = ThermalDriftScenario(sigma=0.1, tau_s=30.0, seed=0)
+        offsets = offsets_of(mesh, scenario.at_times(
+            mesh, [5.0, 200.0], trials=4000))
+        early, late = offsets[0].std(), offsets[1].std()
+        assert abs(early - scenario.expected_std(5.0)) < 0.005
+        assert abs(late - 0.1) < 0.005
+
+    def test_idempotent_at_fixed_clock(self):
+        mesh = small_mesh()
+        scenario = ThermalDriftScenario(sigma=0.2, seed=1)
+        scenario.advance(42.0)
+        first = scenario.perturb(mesh)
+        second = scenario.perturb(mesh)
+        assert np.array_equal(first.thetas, second.thetas)
+        assert np.array_equal(first.output_phases, second.output_phases)
+
+    def test_same_grid_replays_identically(self):
+        mesh = small_mesh()
+        walks = []
+        for _ in range(2):
+            scenario = ThermalDriftScenario(sigma=0.2, tau_s=20.0, seed=5)
+            steps = []
+            for dt in (3.0, 7.0, 10.0):
+                scenario.advance(dt)
+                steps.append(offsets_of(mesh, scenario.perturb(mesh)))
+            walks.append(np.stack(steps))
+        assert np.array_equal(walks[0], walks[1])
+
+    def test_times_must_move_forward(self):
+        scenario = ThermalDriftScenario()
+        with pytest.raises(ValueError, match="non-decreasing"):
+            scenario.at_times(small_mesh(), [5.0, 1.0])
+        scenario.at_times(small_mesh(), [5.0])
+        with pytest.raises(ValueError, match="forward"):
+            scenario.at_times(small_mesh(), [1.0])
+
+    def test_reset_recalibrates(self):
+        mesh = small_mesh()
+        scenario = ThermalDriftScenario(sigma=0.3, seed=2)
+        scenario.advance(60.0)
+        assert np.abs(offsets_of(mesh, scenario.perturb(mesh))).max() > 0
+        scenario.reset()
+        assert scenario.clock == 0.0
+        assert np.abs(offsets_of(mesh, scenario.perturb(mesh))).max() <= 1e-12
+
+    def test_sigma_array_adds_axis_with_common_randomness(self):
+        mesh = small_mesh()
+        scenario = ThermalDriftScenario(sigma=[0.0, 0.1, 0.2], seed=0)
+        scenario.advance(100.0)
+        degraded = scenario.perturb(mesh, trials=4)
+        assert degraded.trial_shape == (3, 4)
+        offsets = offsets_of(mesh, degraded)
+        assert np.abs(offsets[0]).max() <= 1e-12        # sigma=0 row is clean
+        # common random numbers: sigma rows are scalar multiples
+        assert np.allclose(offsets[2], 2.0 * offsets[1])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ThermalDriftScenario(sigma=-0.1)
+        with pytest.raises(ValueError, match="positive"):
+            ThermalDriftScenario(tau_s=0.0)
+        with pytest.raises(ValueError, match="dt >= 0"):
+            ThermalDriftScenario().advance(-1.0)
+
+
+class TestCrosstalk:
+    def test_marginals_are_exactly_sigma(self):
+        covariance = CorrelatedCrosstalkScenario(
+            sigma=0.05, coupling=0.7).covariance(small_mesh())
+        assert np.abs(np.diag(covariance) - 0.05 ** 2).max() < 1e-12
+
+    def test_sampled_covariance_matches_closed_form(self):
+        mesh = small_mesh()
+        scenario = CorrelatedCrosstalkScenario(sigma=0.05, coupling=0.4, seed=0)
+        covariance = scenario.covariance(mesh)
+        samples = offsets_of(mesh, scenario.perturb(mesh, trials=60_000))
+        empirical = samples.T @ samples / samples.shape[0]
+        assert np.abs(empirical - covariance).max() < 8.0 * 0.05 ** 2 / np.sqrt(60_000)
+
+    def test_zero_coupling_is_iid(self):
+        covariance = CorrelatedCrosstalkScenario(
+            sigma=0.05, coupling=0.0).covariance(small_mesh())
+        assert np.abs(covariance - np.diag(np.diag(covariance))).max() == 0.0
+
+    def test_every_shifter_is_coupled(self):
+        mesh = small_mesh()
+        scenario = CorrelatedCrosstalkScenario()
+        assert scenario.degrees(device_of(mesh)).min() >= 1
+
+    def test_draws_are_fresh_per_evaluation(self):
+        mesh = small_mesh()
+        scenario = CorrelatedCrosstalkScenario(sigma=0.05, coupling=0.3)
+        first = offsets_of(mesh, scenario.perturb(mesh))
+        second = offsets_of(mesh, scenario.perturb(mesh))
+        assert not np.array_equal(first, second)
+
+
+class TestFabrication:
+    def test_frozen_per_device(self):
+        mesh = small_mesh()
+        first = offsets_of(mesh, FabricationOffsetScenario(seed=4).perturb(mesh))
+        second = offsets_of(mesh, FabricationOffsetScenario(seed=4).perturb(mesh))
+        assert np.array_equal(first, second)
+        assert np.abs(first).max() > 0
+
+    def test_clock_independent(self):
+        mesh = small_mesh()
+        scenario = FabricationOffsetScenario(seed=4)
+        before = offsets_of(mesh, scenario.perturb(mesh))
+        scenario.advance(1e6)
+        assert np.array_equal(before, offsets_of(mesh, scenario.perturb(mesh)))
+
+    def test_distinct_devices_differ(self):
+        scenario = FabricationOffsetScenario(seed=4)
+        a, b = small_mesh(seed=1), small_mesh(seed=2)
+        assert not np.array_equal(offsets_of(a, scenario.perturb(a)),
+                                  offsets_of(b, scenario.perturb(b)))
+
+
+class TestComposite:
+    def test_offsets_add(self):
+        mesh = small_mesh()
+        composite = CompositeScenario([FabricationOffsetScenario(sigma=0.02, seed=1),
+                                       ThermalDriftScenario(sigma=0.05, seed=1)])
+        composite.advance(20.0)
+        combined = offsets_of(mesh, composite.perturb(mesh))
+        fabrication = FabricationOffsetScenario(sigma=0.02, seed=1)
+        drift = ThermalDriftScenario(sigma=0.05, seed=1)
+        drift.advance(20.0)
+        total = offsets_of(mesh, fabrication.perturb(mesh)) + \
+            offsets_of(mesh, drift.perturb(mesh))
+        assert np.allclose(combined, total, atol=1e-12)
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CompositeScenario([])
+
+
+class TestNoiseSeamCompatibility:
+    """Scenarios ride the exact PhaseNoiseModel seam unchanged."""
+
+    def test_perturb_contract_matches_noise_model(self):
+        mesh = small_mesh()
+        scenario = CorrelatedCrosstalkScenario(sigma=0.05)
+        batched = scenario.perturb(mesh, trials=7)
+        assert batched.trial_shape == (7,)
+        with pytest.raises(ValueError, match="trials must be positive"):
+            scenario.perturb(mesh, trials=0)
+        with pytest.raises(ValueError, match="already carries a trials axis"):
+            scenario.perturb(batched, trials=2)
+
+    def test_with_noise_accepts_a_scenario(self):
+        images = np.random.default_rng(0).normal(size=(3, *IMAGE_SHAPE))
+        program = repro.compile(tiny_fcnn())
+        scenario = FabricationOffsetScenario(sigma=0.2, seed=3)
+        degraded = program.with_noise(noise=scenario)
+        clean = program.predict_logits(images, get_scheme("SI"))
+        got = degraded.predict_logits(images, get_scheme("SI"))
+        assert got.shape == clean.shape
+        assert np.abs(got - clean).max() > 0
+
+    def test_with_scenario_time_axis(self):
+        images = np.random.default_rng(0).normal(size=(3, *IMAGE_SHAPE))
+        program = repro.compile(tiny_fcnn())
+        clean = program.predict_logits(images, get_scheme("SI"))
+        scenario = ThermalDriftScenario(sigma=0.4, tau_s=30.0, seed=0)
+        trajectory = program.with_scenario(scenario, times=[0.0, 90.0], trials=3)
+        logits = trajectory.predict_logits(images, get_scheme("SI"))
+        assert logits.shape == (2, 3, *clean.shape)
+        # the t=0 slice of every trial is the clean program
+        assert np.abs(logits[0] - clean).max() <= 1e-10
+        assert np.abs(logits[1] - clean).max() > 0
+
+    def test_with_scenario_accepts_config(self):
+        program = repro.compile(tiny_fcnn())
+        degraded = program.with_scenario({"name": "fabrication",
+                                          "params": {"sigma": 0.1}})
+        images = np.random.default_rng(1).normal(size=(2, *IMAGE_SHAPE))
+        assert degraded.predict_logits(images, get_scheme("SI")).shape == (2, 3)
+
+
+class TestTimeSweepHarness:
+    def test_degradation_curve_monotone_from_clean(self):
+        from repro.experiments.scenarios import scenario_time_sweep
+
+        images = np.random.default_rng(2).normal(size=(24, *IMAGE_SHAPE))
+        rows = scenario_time_sweep(
+            tiny_fcnn(), "SI", images,
+            {"name": "thermal_drift", "params": {"sigma": 0.5, "tau_s": 30.0}},
+            times=[0.0, 120.0], trials=4)
+        assert rows[0]["agreement"] == 1.0
+        assert rows[1]["agreement"] < 1.0
+
+
+class TestSubclassContract:
+    def test_offsets_for_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            HardwareScenario().perturb(small_mesh())

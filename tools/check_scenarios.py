@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Validate every hardware-degradation scenario against closed forms.
+
+Each registered scenario makes a quantitative promise -- the OU walk's
+variance curve and autocorrelation, the crosstalk sampler's covariance
+matrix, the fabrication field's per-device determinism.  This script checks
+the *implementations* against those *closed forms* with large-ensemble
+statistics and exact identities, end to end through the public seams
+(``perturb``, ``at_times``, ``CompiledProgram.with_scenario``).  CI runs it
+on every push; exit status is non-zero when any check fails.
+
+Usage::
+
+    python tools/check_scenarios.py [--trials 200000] [--seed 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.photonics.mzi_mesh import decompose_unitary, random_unitary  # noqa: E402
+from repro.scenarios import (  # noqa: E402
+    CompositeScenario,
+    CorrelatedCrosstalkScenario,
+    FabricationOffsetScenario,
+    ThermalDriftScenario,
+    build_scenario,
+    device_of,
+    list_scenarios,
+)
+
+FAILURES = []
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    status = "PASS" if condition else "FAIL"
+    print(f"  [{status}] {name}" + (f"  ({detail})" if detail else ""))
+    if not condition:
+        FAILURES.append(name)
+
+
+def offsets_of(mesh, degraded) -> np.ndarray:
+    """Flat (thetas, phis, output-angle) offset field between two meshes."""
+    return np.concatenate([
+        degraded.thetas - mesh.thetas,
+        degraded.phis - mesh.phis,
+        np.angle(degraded.output_phases / mesh.output_phases),
+    ], axis=-1)
+
+
+def check_thermal_drift(mesh, trials: int, seed: int) -> None:
+    print("thermal_drift (Ornstein--Uhlenbeck walk)")
+    sigma, tau = 0.1, 30.0
+    scenario = ThermalDriftScenario(sigma=sigma, tau_s=tau, seed=seed)
+    times = [5.0, 15.0, 60.0, 200.0]
+    trajectory = scenario.at_times(mesh, times, trials=trials)
+    offsets = offsets_of(mesh, trajectory)          # (T, trials, shifters)
+    for index, t in enumerate(times):
+        expected = float(scenario.expected_std(t))
+        measured = float(offsets[index].std())
+        check(f"variance curve at t={t:.0f}s",
+              abs(measured - expected) < 0.01 * sigma + 3.0 * sigma / np.sqrt(trials),
+              f"std {measured:.5f} vs sigma*sqrt(1-exp(-2t/tau)) = {expected:.5f}")
+    stationary = float(offsets[-1].std())
+    check("stationary variance -> sigma^2",
+          abs(stationary - sigma) < 0.01 * sigma,
+          f"std at t=200s {stationary:.5f} vs sigma {sigma}")
+    late = offsets_of(mesh, scenario.at_times(mesh, [215.0], trials=trials))[0]
+    r = float((offsets[-1] * late).mean() / (offsets[-1].std() * late.std()))
+    expected_r = scenario.expected_autocorrelation(15.0)
+    check("autocorrelation exp(-dt/tau)", abs(r - expected_r) < 0.02,
+          f"corr over 15s {r:.4f} vs {expected_r:.4f}")
+    replay = ThermalDriftScenario(sigma=sigma, tau_s=tau, seed=seed)
+    again = offsets_of(mesh, replay.at_times(mesh, times, trials=trials))
+    check("same seed + same grid -> same walk",
+          bool(np.array_equal(offsets, again)))
+    fixed = ThermalDriftScenario(sigma=sigma, tau_s=tau, seed=seed)
+    fixed.advance(40.0)
+    first = offsets_of(mesh, fixed.perturb(mesh))
+    second = offsets_of(mesh, fixed.perturb(mesh))
+    check("idempotent at a fixed clock", bool(np.array_equal(first, second)))
+
+
+def check_crosstalk(mesh, trials: int, seed: int) -> None:
+    print("crosstalk (neighbor-coupled Gaussian field)")
+    sigma, coupling = 0.05, 0.4
+    scenario = CorrelatedCrosstalkScenario(sigma=sigma, coupling=coupling,
+                                           seed=seed)
+    covariance = scenario.covariance(mesh)
+    diag_err = float(np.abs(np.diag(covariance) - sigma ** 2).max())
+    check("closed-form marginals are exactly sigma^2", diag_err < 1e-12,
+          f"max |C_ii - sigma^2| = {diag_err:.2e}")
+    device = device_of(mesh)
+    degrees = scenario.degrees(device)
+    check("every shifter has neighbors", bool(degrees.min() >= 1),
+          f"degree range [{degrees.min()}, {degrees.max()}]")
+    samples = offsets_of(mesh, scenario.perturb(mesh, trials=trials))
+    empirical = samples.T @ samples / trials
+    err = float(np.abs(empirical - covariance).max())
+    # sampling error of a covariance entry is O(sigma^2 / sqrt(trials))
+    bound = 8.0 * sigma ** 2 / np.sqrt(trials)
+    check("sampled covariance matches S(I+kA)(I+kA)^T S", err < bound,
+          f"max entry error {err:.2e} < {bound:.2e}")
+    neighbors = covariance[np.triu_indices_from(covariance, k=1)]
+    check("coupling induces off-diagonal correlation",
+          float(np.abs(neighbors).max()) > 0.1 * sigma ** 2)
+    uncoupled = CorrelatedCrosstalkScenario(sigma=sigma, coupling=0.0,
+                                            seed=seed).covariance(mesh)
+    off = float(np.abs(uncoupled - np.diag(np.diag(uncoupled))).max())
+    check("coupling=0 recovers i.i.d. noise", off == 0.0)
+
+
+def check_fabrication(mesh, other_mesh, seed: int) -> None:
+    print("fabrication (frozen per-device offsets)")
+    scenario = FabricationOffsetScenario(sigma=0.02, seed=seed)
+    first = offsets_of(mesh, scenario.perturb(mesh))
+    second = offsets_of(mesh, scenario.perturb(mesh))
+    check("idempotent across evaluations", bool(np.array_equal(first, second)))
+    rebuilt = FabricationOffsetScenario(sigma=0.02, seed=seed)
+    check("pure function of (seed, device)",
+          bool(np.array_equal(first, offsets_of(mesh, rebuilt.perturb(mesh)))))
+    scenario.advance(1000.0)
+    check("time-independent",
+          bool(np.array_equal(first, offsets_of(mesh, scenario.perturb(mesh)))))
+    check("distinct devices get distinct offsets",
+          not np.array_equal(first,
+                             offsets_of(other_mesh,
+                                        scenario.perturb(other_mesh))))
+    reseeded = FabricationOffsetScenario(sigma=0.02, seed=seed + 1)
+    check("distinct lots get distinct offsets",
+          not np.array_equal(first, offsets_of(mesh, reseeded.perturb(mesh))))
+
+
+def check_composition(mesh, seed: int) -> None:
+    print("composite (offset fields are additive)")
+    members = [FabricationOffsetScenario(sigma=0.02, seed=seed),
+               ThermalDriftScenario(sigma=0.05, tau_s=30.0, seed=seed)]
+    solo = [FabricationOffsetScenario(sigma=0.02, seed=seed),
+            ThermalDriftScenario(sigma=0.05, tau_s=30.0, seed=seed)]
+    composite = CompositeScenario(members)
+    composite.advance(25.0)
+    combined = offsets_of(mesh, composite.perturb(mesh))
+    total = np.zeros_like(combined)
+    for member in solo:
+        member.advance(25.0)
+        total = total + offsets_of(mesh, member.perturb(mesh))
+    check("composite offsets == sum of member offsets",
+          bool(np.allclose(combined, total, atol=1e-12)))
+    config = composite.as_config()
+    check("config round-trips through the registry",
+          [entry["name"] for entry in config] == ["fabrication", "thermal_drift"]
+          and build_scenario(config).name == "composite")
+
+
+def check_registry() -> None:
+    print("registry")
+    names = list_scenarios()
+    check("the three paper scenarios are registered",
+          {"thermal_drift", "crosstalk", "fabrication"} <= set(names),
+          f"registered: {names}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=200_000,
+                        help="ensemble size of the statistical checks")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--dimension", type=int, default=6,
+                        help="mesh dimension of the validation device")
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    mesh = decompose_unitary(random_unitary(args.dimension, rng=rng),
+                             method="clements")
+    other = decompose_unitary(random_unitary(args.dimension, rng=rng),
+                              method="clements")
+
+    check_registry()
+    check_thermal_drift(mesh, args.trials, args.seed)
+    check_crosstalk(mesh, args.trials, args.seed)
+    check_fabrication(mesh, other, args.seed)
+    check_composition(mesh, args.seed)
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} check(s) FAILED: {FAILURES}")
+        return 1
+    print("\nall scenario checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
